@@ -1,0 +1,283 @@
+package lfi
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§6), plus ablation benches for the design choices called out in
+// DESIGN.md. Each benchmark runs the corresponding harness and reports the
+// headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation. Workloads run at a reduced scale to
+// keep the suite fast; use cmd/lfi-bench -scale 1 for full-size runs.
+
+import (
+	"testing"
+
+	"lfi/internal/bench"
+	"lfi/internal/core"
+	"lfi/internal/emu"
+	"lfi/internal/hwmodel"
+	"lfi/internal/progs"
+	"lfi/internal/wasmbase"
+	"lfi/internal/workloads"
+)
+
+const benchScale = 0.08
+
+func reportOverheads(b *testing.B, rows []bench.OverheadRow, systems []string) {
+	b.Helper()
+	for _, sys := range systems {
+		b.ReportMetric(bench.Geomean(rows, sys), "pct_"+metricName(sys))
+	}
+}
+
+func metricName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ', r == '(', r == ')', r == ',':
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFig3M1 regenerates Figure 3 (optimization levels O0/O1/O2 and
+// no-loads vs native) on the Apple M1 model.
+func BenchmarkFig3M1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &bench.Runner{Model: emu.ModelM1(), Scale: benchScale}
+		rows, err := r.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportOverheads(b, rows, bench.Fig3Systems)
+	}
+}
+
+// BenchmarkFig3T2A regenerates Figure 3 on the GCP T2A model.
+func BenchmarkFig3T2A(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &bench.Runner{Model: emu.ModelT2A(), Scale: benchScale}
+		rows, err := r.Fig3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportOverheads(b, rows, bench.Fig3Systems)
+	}
+}
+
+// BenchmarkFig4M1 regenerates Figure 4 (LFI vs WebAssembly engines) on
+// the M1 model; the geomean row is Table 4's M1 column.
+func BenchmarkFig4M1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &bench.Runner{Model: emu.ModelM1(), Scale: benchScale}
+		rows, err := r.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportOverheads(b, rows, bench.Fig4Systems())
+	}
+}
+
+// BenchmarkFig4T2A regenerates Figure 4 on the T2A model; the geomean row
+// is Table 4's T2A column.
+func BenchmarkFig4T2A(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &bench.Runner{Model: emu.ModelT2A(), Scale: benchScale}
+		rows, err := r.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportOverheads(b, rows, bench.Fig4Systems())
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (LFI vs KVM nested paging, M1).
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := &bench.Runner{Model: emu.ModelM1(), Scale: benchScale}
+		rows, err := r.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportOverheads(b, rows, []string{"QEMU KVM", "LFI"})
+	}
+}
+
+// BenchmarkCodeSize regenerates the §6.3 code-size comparison.
+func BenchmarkCodeSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.CodeSize(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		text, file, wasm := bench.GeomeanCodeSize(rows)
+		b.ReportMetric(text, "pct_text")
+		b.ReportMetric(file, "pct_binary")
+		b.ReportMetric(wasm, "pct_wasm")
+	}
+}
+
+// BenchmarkTable5M1 regenerates the Table 5 microbenchmarks on the M1
+// model (ns per operation).
+func BenchmarkTable5M1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table5(emu.ModelM1(), hwmodel.M1(), 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.LFInS, "ns_lfi_"+r.Benchmark)
+			if r.LinuxNS > 0 {
+				b.ReportMetric(r.LinuxNS, "ns_linux_"+r.Benchmark)
+			}
+		}
+	}
+}
+
+// BenchmarkTable5T2A regenerates Table 5 on the T2A model, including the
+// gVisor column.
+func BenchmarkTable5T2A(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table5(emu.ModelT2A(), hwmodel.T2A(), 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.LFInS, "ns_lfi_"+r.Benchmark)
+			if r.GVisorNS > 0 {
+				b.ReportMetric(r.GVisorNS, "ns_gvisor_"+r.Benchmark)
+			}
+		}
+	}
+}
+
+// BenchmarkVerifierThroughput measures the §5.2 verifier on a multi-MB
+// text segment (host wall clock, MB/s reported as a metric).
+func BenchmarkVerifierThroughput(b *testing.B) {
+	w, _ := workloads.Get("502.gcc")
+	res, err := Compile(w.Source(1), CompileOptions{Opt: O2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(res.TextSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Verify(res.ELF); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWasmValidator measures the comparison validator on generated
+// WebAssembly modules (§5.2's WABT comparison).
+func BenchmarkWasmValidator(b *testing.B) {
+	mod := wasmbase.GenModule(16, 64<<10)
+	b.SetBytes(int64(len(mod)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wasmbase.ValidateModule(mod); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ablationGeomean measures the Fig-3 workloads under a single rewriter
+// configuration and returns the geomean percent over native.
+func ablationGeomean(b *testing.B, model *emu.CoreModel, opts core.Options) float64 {
+	b.Helper()
+	r := &bench.Runner{Model: model, Scale: benchScale}
+	rows := make([]bench.OverheadRow, 0, 14)
+	for _, w := range workloads.All() {
+		src := w.Source(benchScale)
+		native, err := runnerNative(r, src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := runnerLFI(r, src, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, bench.OverheadRow{
+			Workload:  w.Name,
+			Overheads: map[string]float64{"x": (out/native - 1) * 100},
+		})
+	}
+	return bench.Geomean(rows, "x")
+}
+
+// BenchmarkAblationZeroInstGuard quantifies §4.1's headline optimization:
+// the O0 -> O1 jump from folding guards into addressing modes.
+func BenchmarkAblationZeroInstGuard(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o0 := ablationGeomean(b, emu.ModelM1(), core.Options{Opt: core.O0})
+		o1 := ablationGeomean(b, emu.ModelM1(), core.Options{Opt: core.O1})
+		b.ReportMetric(o0, "pct_O0")
+		b.ReportMetric(o1, "pct_O1")
+		b.ReportMetric(o0-o1, "pct_saved")
+	}
+}
+
+// BenchmarkAblationHoisting quantifies §4.3's redundant guard elimination
+// (O1 vs O2; the paper reports ~1.5%).
+func BenchmarkAblationHoisting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o1 := ablationGeomean(b, emu.ModelM1(), core.Options{Opt: core.O1})
+		o2 := ablationGeomean(b, emu.ModelM1(), core.Options{Opt: core.O2})
+		b.ReportMetric(o1-o2, "pct_saved")
+	}
+}
+
+// BenchmarkAblationSPOpts quantifies the §4.2 stack-pointer guard
+// elisions by disabling them.
+func BenchmarkAblationSPOpts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := ablationGeomean(b, emu.ModelM1(), core.Options{Opt: core.O2})
+		off := ablationGeomean(b, emu.ModelM1(), core.Options{Opt: core.O2, DisableSPOpts: true})
+		b.ReportMetric(off-on, "pct_saved")
+	}
+}
+
+// BenchmarkAblationNoLoads quantifies store/jump-only isolation (§6.1's
+// "pure fault isolation", ~1%).
+func BenchmarkAblationNoLoads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nl := ablationGeomean(b, emu.ModelM1(), core.Options{Opt: core.O2, NoLoads: true})
+		b.ReportMetric(nl, "pct_no_loads")
+	}
+}
+
+// --- helpers shared by the ablation benches ---
+
+func runnerNative(r *bench.Runner, src string) (float64, error) {
+	res, err := progs.BuildNative(src)
+	if err != nil {
+		return 0, err
+	}
+	return timedRun(r, res.ELF, false, false)
+}
+
+func runnerLFI(r *bench.Runner, src string, opts core.Options) (float64, error) {
+	res, err := progs.Build(src, opts)
+	if err != nil {
+		return 0, err
+	}
+	return timedRun(r, res.ELF, true, opts.NoLoads)
+}
+
+func timedRun(r *bench.Runner, elf []byte, verify, noLoads bool) (float64, error) {
+	cfg := RuntimeConfig{Machine: MachineM1, DisableVerification: !verify, NoLoads: noLoads}
+	rt := NewRuntime(cfg)
+	p, err := rt.Load(elf)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := rt.RunProcess(p); err != nil {
+		return 0, err
+	}
+	return rt.Cycles(), nil
+}

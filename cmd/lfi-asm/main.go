@@ -1,0 +1,44 @@
+// lfi-asm compiles guarded (or plain) GNU-syntax ARM64 assembly into a
+// sandbox ELF executable without running the rewriter. Combine with
+// lfi-rewrite to reproduce the paper's lfi-clang pipeline by hand:
+//
+//	lfi-rewrite prog.s | lfi-asm -o prog.elf -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lfi"
+)
+
+func main() {
+	out := flag.String("o", "a.elf", "output path")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lfi-asm [-o out.elf] input.s|-")
+		os.Exit(2)
+	}
+	var src []byte
+	var err error
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-asm:", err)
+		os.Exit(1)
+	}
+	res, err := lfi.CompileNative(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-asm:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, res.ELF, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-asm:", err)
+		os.Exit(1)
+	}
+}

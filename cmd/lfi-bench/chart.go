@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"lfi/internal/bench"
+)
+
+// printChart renders an overhead table as horizontal ASCII bars, one group
+// per benchmark, mirroring the paper's grouped bar figures.
+func printChart(title string, systems []string, rows []bench.OverheadRow) {
+	fmt.Println(title)
+	maxVal := 1.0
+	for _, row := range rows {
+		for _, s := range systems {
+			if v := row.Overheads[s]; v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	const width = 50
+	nameW := 0
+	for _, s := range systems {
+		if len(s) > nameW {
+			nameW = len(s)
+		}
+	}
+	for _, row := range rows {
+		fmt.Printf("%s\n", row.Workload)
+		for _, s := range systems {
+			v := row.Overheads[s]
+			n := int(v / maxVal * width)
+			if n < 0 {
+				n = 0
+			}
+			fmt.Printf("  %-*s |%s %.1f%%\n", nameW, s, strings.Repeat("#", n), v)
+		}
+	}
+	fmt.Printf("geomean\n")
+	for _, s := range systems {
+		v := bench.Geomean(rows, s)
+		n := int(v / maxVal * width)
+		if n < 0 {
+			n = 0
+		}
+		fmt.Printf("  %-*s |%s %.1f%%\n", nameW, s, strings.Repeat("#", n), v)
+	}
+}

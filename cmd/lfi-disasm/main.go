@@ -1,0 +1,63 @@
+// lfi-disasm disassembles the text segment of a sandbox ELF executable,
+// annotating the LFI guard instructions. It is the inspection counterpart
+// of lfi-verify.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"lfi/internal/arm64"
+	"lfi/internal/core"
+	"lfi/internal/elfobj"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lfi-disasm binary.elf")
+		os.Exit(2)
+	}
+	b, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-disasm:", err)
+		os.Exit(1)
+	}
+	exe, err := elfobj.Unmarshal(b)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-disasm:", err)
+		os.Exit(1)
+	}
+	text, err := exe.TextSegment()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-disasm:", err)
+		os.Exit(1)
+	}
+	for off := 0; off+4 <= len(text.Data); off += 4 {
+		w := binary.LittleEndian.Uint32(text.Data[off:])
+		addr := text.Vaddr + uint64(off)
+		inst, err := arm64.Decode(w)
+		if err != nil {
+			fmt.Printf("%8x:\t%08x\t<undecodable>\n", addr, w)
+			continue
+		}
+		note := ""
+		switch {
+		case core.IsGuard(&inst, core.RegScratch),
+			core.IsGuard(&inst, core.RegHoist1),
+			core.IsGuard(&inst, core.RegHoist2):
+			note = "\t// LFI guard"
+		case core.IsGuard(&inst, arm64.X30):
+			note = "\t// LFI return-address guard"
+		case inst.Op == arm64.ADD && inst.Rd == arm64.SP && inst.Rn == core.RegBase:
+			note = "\t// LFI stack-pointer guard"
+		case inst.Op.IsMemory() && inst.Mem.Mode == arm64.AddrRegUXTW && inst.Mem.Base == core.RegBase:
+			note = "\t// LFI guarded addressing"
+		case inst.Op == arm64.LDR && inst.Rd == arm64.X30 && inst.Mem.Base == core.RegBase:
+			note = "\t// LFI runtime call"
+		}
+		fmt.Printf("%8x:\t%08x\t%s%s\n", addr, w, inst.String(), note)
+	}
+}

@@ -1,0 +1,63 @@
+// lfi-rewrite inserts LFI guards into GNU-syntax ARM64 assembly: the
+// assembly-to-assembly transformation of §5.1. It reads a .s file (or
+// stdin) and writes guarded assembly to stdout.
+//
+// Usage:
+//
+//	lfi-rewrite [-O 0|1|2] [-no-loads] [-stats] [input.s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lfi"
+)
+
+func main() {
+	opt := flag.Int("O", 2, "optimization level (0, 1, or 2)")
+	noLoads := flag.Bool("no-loads", false, "do not sandbox loads (store/jump isolation only)")
+	noSPOpts := flag.Bool("no-sp-opts", false, "disable stack pointer guard elisions")
+	stats := flag.Bool("stats", false, "print rewrite statistics to stderr")
+	flag.Parse()
+
+	var src []byte
+	var err error
+	switch flag.NArg() {
+	case 0:
+		src, err = io.ReadAll(os.Stdin)
+	case 1:
+		src, err = os.ReadFile(flag.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: lfi-rewrite [-O n] [input.s]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-rewrite:", err)
+		os.Exit(1)
+	}
+	if *opt < 0 || *opt > 2 {
+		fmt.Fprintln(os.Stderr, "lfi-rewrite: -O must be 0, 1, or 2")
+		os.Exit(2)
+	}
+
+	out, st, err := lfi.Rewrite(string(src), lfi.CompileOptions{
+		Opt:           lfi.OptLevel(*opt),
+		NoLoads:       *noLoads,
+		DisableSPOpts: *noSPOpts,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-rewrite:", err)
+		os.Exit(1)
+	}
+	os.Stdout.WriteString(out)
+	if *stats {
+		fmt.Fprintf(os.Stderr,
+			"lfi-rewrite: %d -> %d instructions; folded=%d staged=%d base=%d hoisted=%d sp-guards=%d (%d elided) ret-guards=%d branch-guards=%d\n",
+			st.InputInsts, st.OutputInsts, st.GuardsFolded, st.GuardsSingle,
+			st.GuardsBase, st.GuardsHoisted, st.SPGuards, st.SPElided,
+			st.RetGuards, st.BranchGuards)
+	}
+}

@@ -1,0 +1,94 @@
+// lfi-run loads one or more sandbox executables into the LFI runtime and
+// schedules them to completion, forwarding their stdout/stderr. The first
+// program's exit status becomes lfi-run's.
+//
+// Usage:
+//
+//	lfi-run [-machine m1|t2a] [-unverified] [-timeslice n] prog.elf...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lfi"
+)
+
+func main() {
+	machine := flag.String("machine", "", "timing model: m1 or t2a (default: none)")
+	unverified := flag.Bool("unverified", false, "skip verification (baselines only)")
+	timeslice := flag.Uint64("timeslice", 0, "preemption budget in instructions")
+	report := flag.Bool("report", false, "print cycle/instruction counts to stderr")
+	trace := flag.Uint64("trace", 0, "print the first N executed instructions to stderr")
+	profile := flag.Int("profile", 0, "print the N hottest instructions (requires -machine)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lfi-run prog.elf...")
+		os.Exit(2)
+	}
+
+	cfg := lfi.RuntimeConfig{
+		Timeslice:           *timeslice,
+		DisableVerification: *unverified,
+	}
+	switch *machine {
+	case "":
+	case "m1":
+		cfg.Machine = lfi.MachineM1
+	case "t2a":
+		cfg.Machine = lfi.MachineT2A
+	default:
+		fmt.Fprintln(os.Stderr, "lfi-run: unknown machine", *machine)
+		os.Exit(2)
+	}
+	rt := lfi.NewRuntime(cfg)
+	if *trace > 0 {
+		rt.TraceInstructions(os.Stderr, *trace)
+	}
+	if *profile > 0 {
+		if err := rt.EnableProfile(); err != nil {
+			fmt.Fprintln(os.Stderr, "lfi-run:", err)
+			os.Exit(2)
+		}
+	}
+
+	var first *lfi.Process
+	for _, path := range flag.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfi-run:", err)
+			os.Exit(1)
+		}
+		p, err := rt.Load(b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfi-run: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		if first == nil {
+			first = p
+		}
+	}
+	if err := rt.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-run:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(rt.Stdout())
+	os.Stderr.Write(rt.Stderr())
+	if *profile > 0 {
+		fmt.Fprintln(os.Stderr, "hottest instructions (attributed cycles):")
+		for _, line := range rt.Profile(*profile) {
+			fmt.Fprintln(os.Stderr, "  "+line)
+		}
+	}
+	if *report {
+		hostCalls, preempts, switches := rt.Stats()
+		fmt.Fprintf(os.Stderr, "lfi-run: %d instructions", rt.Instructions())
+		if cfg.Machine != lfi.MachineNone {
+			fmt.Fprintf(os.Stderr, ", %.0f cycles (%.0f ns)", rt.Cycles(), rt.Nanoseconds())
+		}
+		fmt.Fprintf(os.Stderr, ", %d runtime calls, %d preemptions, %d switches\n",
+			hostCalls, preempts, switches)
+	}
+	os.Exit(first.ExitStatus())
+}

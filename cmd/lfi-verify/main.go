@@ -1,0 +1,46 @@
+// lfi-verify runs the LFI static verifier (§5.2) over an ELF executable
+// and reports whether it is safe to load. Exit status 0 means verified.
+//
+// Usage:
+//
+//	lfi-verify binary.elf...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lfi"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "suppress per-file output")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: lfi-verify binary.elf...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfi-verify:", err)
+			failed = true
+			continue
+		}
+		st, err := lfi.Verify(b)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lfi-verify: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		if !*quiet {
+			fmt.Printf("%s: OK (%d instructions, %d bytes, %d guards)\n",
+				path, st.Insts, st.Bytes, st.Guards)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,67 @@
+// ipc-yield demonstrates the microkernel-style IPC of §5.3: two sandboxes
+// call each other directly with the fast yield runtime call, which
+// switches isolation domains without any hardware context switch. On the
+// simulated Apple M1 model this costs tens of nanoseconds — the Table 5
+// result — where a Linux pipe round trip costs microseconds.
+//
+//	go run ./examples/ipc-yield
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lfi"
+)
+
+const rounds = 2000
+
+// pinger yields to its peer `rounds` times. Each yield is a direct
+// cross-sandbox call; the peer's yield back returns control here.
+func peer(peerPID int) string {
+	return fmt.Sprintf(`
+.globl _start
+_start:
+	mov x25, #%d               // peer pid
+	movz x20, #%d
+	movk x20, #%d, lsl #16     // round count
+loop:
+	mov x0, x25
+%s	subs x20, x20, #1
+	b.ne loop
+	mov x0, #0
+%s`, peerPID, rounds&0xffff, (rounds>>16)&0xffff,
+		lfi.CallSequence(lfi.CallYield), lfi.CallSequence(lfi.CallExit))
+}
+
+func main() {
+	rt := lfi.NewRuntime(lfi.RuntimeConfig{Machine: lfi.MachineM1})
+
+	// The first loaded sandbox gets pid 1, the second pid 2.
+	a, err := lfi.Compile(peer(2), lfi.CompileOptions{Opt: lfi.O2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := lfi.Compile(peer(1), lfi.CompileOptions{Opt: lfi.O2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rt.Load(a.ELF); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := rt.Load(b.ELF); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := rt.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	calls := float64(2 * rounds)
+	fmt.Printf("%d cross-sandbox calls in %.0f simulated cycles\n",
+		2*rounds, rt.Cycles())
+	fmt.Printf("per yield: %.1f ns on the M1 model (paper, Table 5: 17ns)\n",
+		rt.Nanoseconds()/calls)
+	fmt.Printf("a Linux pipe round trip costs ~1.5us; hardware-protection\n" +
+		"IPC bottoms out around 400 cycles (~125ns) per the L4 literature\n")
+}

@@ -1,0 +1,64 @@
+// Quickstart: compile an assembly program into a sandboxed executable,
+// verify it, run it, and inspect what the rewriter did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lfi"
+)
+
+// A hosted "hello world": programs talk to the outside world only through
+// the runtime-call table at the bottom of their sandbox (x21).
+var program = `
+.globl _start
+_start:
+	mov x0, #1                 // fd 1 (stdout)
+	adrp x1, msg
+	add x1, x1, :lo12:msg      // buffer
+	mov x2, #21                // length
+` + lfi.CallSequence(lfi.CallWrite) + `
+	mov x0, #0
+` + lfi.CallSequence(lfi.CallExit) + `
+.rodata
+msg:
+	.ascii "hello from a sandbox\n"
+`
+
+func main() {
+	// 1. Compile: the rewriter inserts guards, the assembler produces a
+	// genuine AArch64 ELF executable.
+	res, err := lfi.Compile(program, lfi.CompileOptions{Opt: lfi.O2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled: %d bytes of machine code, %d bytes of ELF\n",
+		res.TextSize, res.FileSize)
+	fmt.Printf("rewriter: %d -> %d instructions (%d guards folded into addressing modes)\n",
+		res.Stats.InputInsts, res.Stats.OutputInsts, res.Stats.GuardsFolded)
+
+	// 2. Verify: a single linear pass over the machine code proves the
+	// program cannot escape its 4GiB sandbox. The compiler (step 1) is
+	// not trusted.
+	st, err := lfi.Verify(res.ELF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verified: %d instructions, %d guard instructions\n", st.Insts, st.Guards)
+
+	// 3. Run: the runtime loads the ELF into a sandbox slot and mediates
+	// its runtime calls.
+	rt := lfi.NewRuntime(lfi.RuntimeConfig{})
+	p, err := rt.Load(res.ELF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status, err := rt.RunProcess(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sandbox wrote: %q (exit status %d)\n", rt.Stdout(), status)
+}

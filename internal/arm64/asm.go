@@ -1,0 +1,575 @@
+package arm64
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ItemKind distinguishes the pieces of a parsed assembly file.
+type ItemKind uint8
+
+const (
+	ItemInst ItemKind = iota
+	ItemLabel
+	ItemDirective
+)
+
+// Item is one element of an assembly file: an instruction, a label
+// definition, or a directive.
+type Item struct {
+	Kind      ItemKind
+	Inst      Inst     // ItemInst
+	Label     string   // ItemLabel
+	Directive string   // ItemDirective, without the leading dot
+	Args      []string // directive arguments
+	LineNo    int      // 1-based source line
+}
+
+// File is a parsed assembly source file.
+type File struct {
+	Items []Item
+}
+
+// stripComment removes //, @ and ; comments (not inside string literals).
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '"' {
+			inStr = !inStr
+			continue
+		}
+		if inStr {
+			if c == '\\' {
+				i++
+			}
+			continue
+		}
+		if c == ';' || c == '@' {
+			return line[:i]
+		}
+		if c == '/' && i+1 < len(line) && line[i+1] == '/' {
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// stripBlockComments removes /* ... */ comments (which may span lines),
+// preserving newlines so line numbers in diagnostics stay accurate.
+// String literals are respected.
+func stripBlockComments(src string) string {
+	var b strings.Builder
+	b.Grow(len(src))
+	inStr, inComment := false, false
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case inComment:
+			if c == '\n' {
+				b.WriteByte('\n')
+			}
+			if c == '*' && i+1 < len(src) && src[i+1] == '/' {
+				inComment = false
+				i++
+			}
+		case inStr:
+			b.WriteByte(c)
+			if c == '\\' && i+1 < len(src) {
+				i++
+				b.WriteByte(src[i])
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+			b.WriteByte(c)
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			inComment = true
+			i++
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// ParseFile parses GNU-syntax assembly source into items.
+func ParseFile(src string) (*File, error) {
+	f := &File{}
+	src = stripBlockComments(src)
+	for no, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(stripComment(line))
+		if line == "" {
+			continue
+		}
+		// A line may start with one or more labels.
+		for {
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:colon])
+			if !isSymbolName(name) {
+				break
+			}
+			f.Items = append(f.Items, Item{Kind: ItemLabel, Label: name, LineNo: no + 1})
+			line = strings.TrimSpace(line[colon+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if line[0] == '.' {
+			sp := strings.IndexAny(line, " \t")
+			dir := line
+			rest := ""
+			if sp >= 0 {
+				dir = line[:sp]
+				rest = strings.TrimSpace(line[sp+1:])
+			}
+			var args []string
+			if rest != "" {
+				args = splitOperands(rest)
+			}
+			f.Items = append(f.Items, Item{
+				Kind:      ItemDirective,
+				Directive: strings.TrimPrefix(dir, "."),
+				Args:      args,
+				LineNo:    no + 1,
+			})
+			continue
+		}
+		inst, err := ParseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", no+1, err)
+		}
+		f.Items = append(f.Items, Item{Kind: ItemInst, Inst: inst, LineNo: no + 1})
+	}
+	return f, nil
+}
+
+func isSymbolName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == '.' || c == '$' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the file back to assembly text.
+func (f *File) String() string {
+	var b strings.Builder
+	for _, it := range f.Items {
+		switch it.Kind {
+		case ItemLabel:
+			b.WriteString(it.Label)
+			b.WriteString(":\n")
+		case ItemDirective:
+			b.WriteByte('.')
+			b.WriteString(it.Directive)
+			if len(it.Args) > 0 {
+				b.WriteByte(' ')
+				b.WriteString(strings.Join(it.Args, ", "))
+			}
+			b.WriteByte('\n')
+		case ItemInst:
+			b.WriteByte('\t')
+			b.WriteString(it.Inst.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Layout tells the assembler where each section will live in the target
+// address space.
+type Layout struct {
+	TextBase   uint64
+	RODataBase uint64 // 0: placed after text, page aligned
+	DataBase   uint64 // 0: placed after rodata, page aligned
+	PageSize   uint64 // 0: 16KiB
+}
+
+// Image is a fully resolved program image.
+type Image struct {
+	TextAddr   uint64
+	Text       []byte
+	RODataAddr uint64
+	ROData     []byte
+	DataAddr   uint64
+	Data       []byte
+	BSSAddr    uint64
+	BSSSize    uint64
+	Symbols    map[string]uint64
+	Globals    map[string]bool
+	Entry      uint64 // address of _start, main, or text base
+}
+
+type section int
+
+const (
+	secText section = iota
+	secROData
+	secData
+	secBSS
+	numSections
+)
+
+func alignUp(v, a uint64) uint64 {
+	if a == 0 {
+		return v
+	}
+	return (v + a - 1) &^ (a - 1)
+}
+
+// AssembleError decorates assembly failures with a line number.
+type AssembleError struct {
+	LineNo int
+	Err    error
+}
+
+func (e *AssembleError) Error() string {
+	return fmt.Sprintf("line %d: %v", e.LineNo, e.Err)
+}
+
+func (e *AssembleError) Unwrap() error { return e.Err }
+
+// Assemble lays out and encodes the file into a linked image.
+func Assemble(f *File, layout Layout) (*Image, error) {
+	if layout.PageSize == 0 {
+		layout.PageSize = 16 * 1024
+	}
+
+	// Pass 1: compute section sizes and symbol offsets.
+	cur := secText
+	var size [numSections]uint64
+	type symdef struct {
+		sec section
+		off uint64
+	}
+	syms := make(map[string]symdef)
+	globals := make(map[string]bool)
+
+	sizeOf := func(it *Item) (uint64, error) {
+		switch it.Directive {
+		case "quad", "xword", "dword", "8byte":
+			return uint64(8 * len(it.Args)), nil
+		case "word", "long", "4byte":
+			return uint64(4 * len(it.Args)), nil
+		case "hword", "short", "2byte":
+			return uint64(2 * len(it.Args)), nil
+		case "byte":
+			return uint64(len(it.Args)), nil
+		case "ascii", "asciz", "string":
+			n := uint64(0)
+			for _, a := range it.Args {
+				s, err := parseStringLit(a)
+				if err != nil {
+					return 0, err
+				}
+				n += uint64(len(s))
+				if it.Directive != "ascii" {
+					n++
+				}
+			}
+			return n, nil
+		case "space", "skip", "zero":
+			if len(it.Args) < 1 {
+				return 0, fmt.Errorf(".space needs a size")
+			}
+			v, ok := parseImmVal(it.Args[0])
+			if !ok || v < 0 {
+				return 0, fmt.Errorf("bad .space size %q", it.Args[0])
+			}
+			return uint64(v), nil
+		}
+		return 0, nil
+	}
+
+	for idx := range f.Items {
+		it := &f.Items[idx]
+		switch it.Kind {
+		case ItemLabel:
+			if _, dup := syms[it.Label]; dup {
+				return nil, &AssembleError{it.LineNo, fmt.Errorf("duplicate symbol %q", it.Label)}
+			}
+			syms[it.Label] = symdef{cur, size[cur]}
+		case ItemInst:
+			if cur != secText {
+				return nil, &AssembleError{it.LineNo, fmt.Errorf("instruction outside .text")}
+			}
+			size[cur] += 4
+		case ItemDirective:
+			switch it.Directive {
+			case "text":
+				cur = secText
+			case "data":
+				cur = secData
+			case "bss":
+				cur = secBSS
+			case "rodata":
+				cur = secROData
+			case "section":
+				if len(it.Args) > 0 {
+					switch {
+					case strings.HasPrefix(it.Args[0], ".text"):
+						cur = secText
+					case strings.HasPrefix(it.Args[0], ".rodata"):
+						cur = secROData
+					case strings.HasPrefix(it.Args[0], ".bss"):
+						cur = secBSS
+					default:
+						cur = secData
+					}
+				}
+			case "globl", "global":
+				for _, a := range it.Args {
+					globals[a] = true
+				}
+			case "align", "p2align":
+				if len(it.Args) >= 1 {
+					v, ok := parseImmVal(it.Args[0])
+					if !ok || v < 0 || v > 16 {
+						return nil, &AssembleError{it.LineNo, fmt.Errorf("bad alignment")}
+					}
+					size[cur] = alignUp(size[cur], 1<<uint(v))
+				}
+			case "balign":
+				if len(it.Args) >= 1 {
+					v, ok := parseImmVal(it.Args[0])
+					if !ok || v <= 0 {
+						return nil, &AssembleError{it.LineNo, fmt.Errorf("bad alignment")}
+					}
+					size[cur] = alignUp(size[cur], uint64(v))
+				}
+			default:
+				n, err := sizeOf(it)
+				if err != nil {
+					return nil, &AssembleError{it.LineNo, err}
+				}
+				size[cur] += n
+			}
+		}
+	}
+
+	// Section base addresses.
+	var base [numSections]uint64
+	base[secText] = layout.TextBase
+	base[secROData] = layout.RODataBase
+	if base[secROData] == 0 {
+		base[secROData] = alignUp(base[secText]+size[secText], layout.PageSize)
+	}
+	base[secData] = layout.DataBase
+	if base[secData] == 0 {
+		base[secData] = alignUp(base[secROData]+size[secROData], layout.PageSize)
+	}
+	base[secBSS] = alignUp(base[secData]+size[secData], layout.PageSize)
+
+	symAddr := make(map[string]uint64, len(syms))
+	for name, d := range syms {
+		symAddr[name] = base[d.sec] + d.off
+	}
+
+	resolve := func(label string, lineNo int) (uint64, error) {
+		a, ok := symAddr[label]
+		if !ok {
+			return 0, &AssembleError{lineNo, fmt.Errorf("undefined symbol %q", label)}
+		}
+		return a, nil
+	}
+
+	// Pass 2: emit bytes.
+	var buf [numSections][]byte
+	cur = secText
+	emit := func(sec section, b ...byte) { buf[sec] = append(buf[sec], b...) }
+
+	for idx := range f.Items {
+		it := &f.Items[idx]
+		switch it.Kind {
+		case ItemInst:
+			pc := base[secText] + uint64(len(buf[secText]))
+			inst := it.Inst
+			if inst.Label != "" {
+				if strings.HasPrefix(inst.Label, ":lo12:") {
+					a, err := resolve(inst.Label[len(":lo12:"):], it.LineNo)
+					if err != nil {
+						return nil, err
+					}
+					inst.Imm = int64(a & 0xfff)
+				} else {
+					a, err := resolve(inst.Label, it.LineNo)
+					if err != nil {
+						return nil, err
+					}
+					switch inst.Op {
+					case ADRP:
+						inst.Imm = int64(a&^0xfff) - int64(pc&^0xfff)
+					case ADR, B, BL, BCOND, CBZ, CBNZ, TBZ, TBNZ:
+						inst.Imm = int64(a) - int64(pc)
+					default:
+						if inst.Mem.Mode == AddrLiteral {
+							inst.Imm = int64(a) - int64(pc)
+						} else {
+							inst.Imm = int64(a)
+						}
+					}
+				}
+				inst.Label = ""
+			}
+			w, err := Encode(&inst)
+			if err != nil {
+				return nil, &AssembleError{it.LineNo, err}
+			}
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], w)
+			emit(secText, b[:]...)
+
+		case ItemDirective:
+			switch it.Directive {
+			case "text":
+				cur = secText
+			case "data":
+				cur = secData
+			case "bss":
+				cur = secBSS
+			case "rodata":
+				cur = secROData
+			case "section":
+				if len(it.Args) > 0 {
+					switch {
+					case strings.HasPrefix(it.Args[0], ".text"):
+						cur = secText
+					case strings.HasPrefix(it.Args[0], ".rodata"):
+						cur = secROData
+					case strings.HasPrefix(it.Args[0], ".bss"):
+						cur = secBSS
+					default:
+						cur = secData
+					}
+				}
+			case "align", "p2align", "balign":
+				if len(it.Args) >= 1 {
+					v, _ := parseImmVal(it.Args[0])
+					a := uint64(1) << uint(v)
+					if it.Directive == "balign" {
+						a = uint64(v)
+					}
+					for uint64(len(buf[cur]))%a != 0 {
+						if cur == secText {
+							var b [4]byte
+							binary.LittleEndian.PutUint32(b[:], 0xd503201f) // nop
+							if uint64(len(buf[cur]))%4 == 0 && a >= 4 {
+								emit(cur, b[:]...)
+								continue
+							}
+						}
+						emit(cur, 0)
+					}
+				}
+			case "quad", "xword", "dword", "8byte":
+				for _, a := range it.Args {
+					var v uint64
+					if isImm(a) {
+						sv, _ := parseImmVal(a)
+						v = uint64(sv)
+					} else {
+						addr, err := resolve(a, it.LineNo)
+						if err != nil {
+							return nil, err
+						}
+						v = addr
+					}
+					var b [8]byte
+					binary.LittleEndian.PutUint64(b[:], v)
+					emit(cur, b[:]...)
+				}
+			case "word", "long", "4byte":
+				for _, a := range it.Args {
+					var v uint64
+					if isImm(a) {
+						sv, _ := parseImmVal(a)
+						v = uint64(sv)
+					} else {
+						addr, err := resolve(a, it.LineNo)
+						if err != nil {
+							return nil, err
+						}
+						v = addr
+					}
+					var b [4]byte
+					binary.LittleEndian.PutUint32(b[:], uint32(v))
+					emit(cur, b[:]...)
+				}
+			case "hword", "short", "2byte":
+				for _, a := range it.Args {
+					sv, _ := parseImmVal(a)
+					emit(cur, byte(sv), byte(sv>>8))
+				}
+			case "byte":
+				for _, a := range it.Args {
+					sv, _ := parseImmVal(a)
+					emit(cur, byte(sv))
+				}
+			case "ascii", "asciz", "string":
+				for _, a := range it.Args {
+					s, err := parseStringLit(a)
+					if err != nil {
+						return nil, &AssembleError{it.LineNo, err}
+					}
+					emit(cur, []byte(s)...)
+					if it.Directive != "ascii" {
+						emit(cur, 0)
+					}
+				}
+			case "space", "skip", "zero":
+				v, _ := parseImmVal(it.Args[0])
+				emit(cur, make([]byte, v)...)
+			}
+		}
+	}
+
+	img := &Image{
+		TextAddr:   base[secText],
+		Text:       buf[secText],
+		RODataAddr: base[secROData],
+		ROData:     buf[secROData],
+		DataAddr:   base[secData],
+		Data:       buf[secData],
+		BSSAddr:    base[secBSS],
+		BSSSize:    size[secBSS],
+		Symbols:    symAddr,
+		Globals:    globals,
+		Entry:      base[secText],
+	}
+	if a, ok := symAddr["_start"]; ok {
+		img.Entry = a
+	} else if a, ok := symAddr["main"]; ok {
+		img.Entry = a
+	}
+	return img, nil
+}
+
+func parseStringLit(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("bad string literal %s", s)
+	}
+	out, err := strconv.Unquote(s)
+	if err != nil {
+		return "", fmt.Errorf("bad string literal %s: %v", s, err)
+	}
+	return out, nil
+}

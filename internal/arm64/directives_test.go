@@ -1,0 +1,152 @@
+package arm64
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Directive and layout edge cases for the file-level assembler.
+
+func mustAssemble(t *testing.T, src string) *Image {
+	t.Helper()
+	f, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Assemble(f, Layout{TextBase: 0x100000, PageSize: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestAlignPadsTextWithNops(t *testing.T) {
+	img := mustAssemble(t, `
+_start:
+	ret
+.p2align 4
+aligned:
+	nop
+`)
+	if img.Symbols["aligned"]%16 != 0 {
+		t.Fatalf("aligned at %#x", img.Symbols["aligned"])
+	}
+	// Padding between ret and aligned must be nops, not zeros.
+	for off := uint64(4); off < img.Symbols["aligned"]-img.TextAddr; off += 4 {
+		w := binary.LittleEndian.Uint32(img.Text[off:])
+		if w != 0xd503201f {
+			t.Fatalf("padding word at +%#x is %#08x, want nop", off, w)
+		}
+	}
+}
+
+func TestBalignBytes(t *testing.T) {
+	img := mustAssemble(t, `
+.data
+a:
+	.byte 1
+.balign 32
+b:
+	.byte 2
+`)
+	if img.Symbols["b"]%32 != 0 {
+		t.Errorf("b at %#x, want 32-byte alignment", img.Symbols["b"])
+	}
+}
+
+func TestLabelOnInstructionLine(t *testing.T) {
+	img := mustAssemble(t, "_start: ret\nsecond: nop\n")
+	if img.Symbols["_start"] != img.TextAddr || img.Symbols["second"] != img.TextAddr+4 {
+		t.Errorf("labels: %#x %#x", img.Symbols["_start"], img.Symbols["second"])
+	}
+}
+
+func TestDataDirectiveWidths(t *testing.T) {
+	img := mustAssemble(t, `
+_start:
+	ret
+.data
+v:
+	.byte 0x11, 0x22
+	.hword 0x3344
+	.word 0x55667788
+	.quad 0x99aabbccddeeff00
+`)
+	off := img.Symbols["v"] - img.DataAddr
+	d := img.Data[off:]
+	if d[0] != 0x11 || d[1] != 0x22 {
+		t.Error(".byte broken")
+	}
+	if binary.LittleEndian.Uint16(d[2:]) != 0x3344 {
+		t.Error(".hword broken")
+	}
+	if binary.LittleEndian.Uint32(d[4:]) != 0x55667788 {
+		t.Error(".word broken")
+	}
+	if binary.LittleEndian.Uint64(d[8:]) != 0x99aabbccddeeff00 {
+		t.Error(".quad broken")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	img := mustAssemble(t, `
+_start:
+	ret
+.rodata
+s:
+	.asciz "tab\there\nquote\"end"
+`)
+	off := img.Symbols["s"] - img.RODataAddr
+	want := "tab\there\nquote\"end\x00"
+	if got := string(img.ROData[off : off+uint64(len(want))]); got != want {
+		t.Errorf("string = %q, want %q", got, want)
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	img := mustAssemble(t, `
+// leading comment
+_start:            // trailing after label
+	mov x0, #1     // trailing after inst
+	/* no block comments needed; semicolons work too */ ; anyway
+	ret            @ arm-style
+`)
+	if len(img.Text) != 8+4 { // mov, ret, plus the ';'-introduced blank? no: 2 insts
+		// mov + ret = 8 bytes; the block-comment line parses as an inst? It
+		// must not: the line starts with '/', which is rejected unless the
+		// comment stripper removed it.
+		if len(img.Text) != 8 {
+			t.Errorf("text = %d bytes", len(img.Text))
+		}
+	}
+}
+
+func TestEmptySections(t *testing.T) {
+	img := mustAssemble(t, "_start:\n\tret\n.data\n.bss\n.text\nafter:\n\tnop\n")
+	if img.Symbols["after"] != img.TextAddr+4 {
+		t.Errorf("section round trip broke text layout: %#x", img.Symbols["after"])
+	}
+	if len(img.Data) != 0 || img.BSSSize != 0 {
+		t.Errorf("phantom data: %d/%d", len(img.Data), img.BSSSize)
+	}
+}
+
+func TestLiteralLoadResolvesLabel(t *testing.T) {
+	img := mustAssemble(t, `
+_start:
+	ldr x0, lit
+	ret
+.p2align 3
+lit:
+	.quad 0x1234
+`)
+	w := binary.LittleEndian.Uint32(img.Text[0:])
+	inst, err := Decode(w)
+	if err != nil || inst.Op != LDR || inst.Mem.Mode != AddrLiteral {
+		t.Fatalf("first word %#08x: %v %v", w, inst.Op, err)
+	}
+	target := img.TextAddr + uint64(inst.Imm)
+	if target != img.Symbols["lit"] {
+		t.Errorf("literal resolves to %#x, want %#x", target, img.Symbols["lit"])
+	}
+}

@@ -1,0 +1,146 @@
+package arm64
+
+import (
+	"fmt"
+	"math"
+)
+
+// printInst renders i in GNU assembly syntax that ParseInst accepts back.
+func printInst(i *Inst) string {
+	target := func() string {
+		if i.Label != "" {
+			return i.Label
+		}
+		return fmt.Sprintf("%d", i.Imm)
+	}
+	shiftSuffix := func() string {
+		if i.Ext == ExtNone {
+			return ""
+		}
+		if i.Amount < 0 {
+			return ", " + i.Ext.String()
+		}
+		return fmt.Sprintf(", %s #%d", i.Ext, i.Amount)
+	}
+
+	switch i.Op {
+	case BAD:
+		return "<bad>"
+	case BCOND:
+		return fmt.Sprintf("b.%s %s", i.Cond, target())
+	case NOP, ISB:
+		return i.Op.Name()
+	case SVC, BRK:
+		return fmt.Sprintf("%s #%d", i.Op, i.Imm)
+	case DMB, DSB:
+		opt := "sy"
+		for k, v := range barrierOpts {
+			if v == i.Imm {
+				opt = k
+				break
+			}
+		}
+		return fmt.Sprintf("%s %s", i.Op, opt)
+	case MRS:
+		return fmt.Sprintf("mrs %s, %s", i.Rd, sysRegName(i.Imm))
+	case MSR:
+		return fmt.Sprintf("msr %s, %s", sysRegName(i.Imm), i.Rd)
+	}
+
+	switch i.Op.shape() {
+	case shapeAdr:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, target())
+
+	case shapeAddSub:
+		if i.Rm == RegNone {
+			if i.Label != "" {
+				return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rn, i.Label)
+			}
+			s := fmt.Sprintf("%s %s, %s, #%d", i.Op, i.Rd, i.Rn, i.Imm)
+			if i.Ext == ExtLSL && i.Amount == 12 {
+				s += ", lsl #12"
+			}
+			return s
+		}
+		return fmt.Sprintf("%s %s, %s, %s%s", i.Op, i.Rd, i.Rn, i.Rm, shiftSuffix())
+
+	case shapeLogical:
+		if i.Rm == RegNone {
+			return fmt.Sprintf("%s %s, %s, #%#x", i.Op, i.Rd, i.Rn, uint64(i.Imm))
+		}
+		return fmt.Sprintf("%s %s, %s, %s%s", i.Op, i.Rd, i.Rn, i.Rm, shiftSuffix())
+
+	case shapeMovWide:
+		if i.Amount > 0 {
+			return fmt.Sprintf("%s %s, #%d, lsl #%d", i.Op, i.Rd, i.Imm, i.Amount)
+		}
+		return fmt.Sprintf("%s %s, #%d", i.Op, i.Rd, i.Imm)
+
+	case shapeBitfield:
+		return fmt.Sprintf("%s %s, %s, #%d, #%d", i.Op, i.Rd, i.Rn, i.Imm, i.Amount)
+
+	case shapeExtr:
+		return fmt.Sprintf("extr %s, %s, %s, #%d", i.Rd, i.Rn, i.Rm, i.Imm)
+
+	case shapeRRR:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rn, i.Rm)
+
+	case shapeRRRR:
+		return fmt.Sprintf("%s %s, %s, %s, %s", i.Op, i.Rd, i.Rn, i.Rm, i.Ra)
+
+	case shapeRR:
+		if i.Op == FMOV && i.Rn == RegNone {
+			return fmt.Sprintf("fmov %s, #%g", i.Rd, math.Float64frombits(uint64(i.Imm)))
+		}
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rn)
+
+	case shapeCSel:
+		return fmt.Sprintf("%s %s, %s, %s, %s", i.Op, i.Rd, i.Rn, i.Rm, i.Cond)
+
+	case shapeCCmp:
+		if i.Rm == RegNone {
+			return fmt.Sprintf("%s %s, #%d, #%d, %s", i.Op, i.Rn, i.Imm, i.Amount, i.Cond)
+		}
+		return fmt.Sprintf("%s %s, %s, #%d, %s", i.Op, i.Rn, i.Rm, i.Amount, i.Cond)
+
+	case shapeBranch:
+		return fmt.Sprintf("%s %s", i.Op, target())
+
+	case shapeCB:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, target())
+
+	case shapeTB:
+		return fmt.Sprintf("%s %s, #%d, %s", i.Op, i.Rd, i.Amount, target())
+
+	case shapeBReg:
+		return fmt.Sprintf("%s %s", i.Op, i.Rn)
+
+	case shapeRet:
+		if i.Rn == X30 || i.Rn == RegNone {
+			return "ret"
+		}
+		return fmt.Sprintf("ret %s", i.Rn)
+
+	case shapeMem:
+		if i.Mem.Mode == AddrLiteral {
+			return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, target())
+		}
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Mem)
+
+	case shapeMemPair:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rm, i.Mem)
+
+	case shapeMemEx:
+		if i.Op == STXR || i.Op == STLXR {
+			return fmt.Sprintf("%s %s, %s, [%s]", i.Op, i.Rm, i.Rd, i.Rn)
+		}
+		return fmt.Sprintf("%s %s, [%s]", i.Op, i.Rd, i.Rn)
+
+	case shapeFPCmp:
+		if i.Rm == RegNone {
+			return fmt.Sprintf("fcmp %s, #0.0", i.Rn)
+		}
+		return fmt.Sprintf("fcmp %s, %s", i.Rn, i.Rm)
+	}
+	return fmt.Sprintf("<unprintable %s>", i.Op)
+}

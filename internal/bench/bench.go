@@ -1,0 +1,477 @@
+// Package bench is the harness that regenerates every table and figure in
+// the paper's evaluation (§6): it builds each workload for each system,
+// runs it on the timed simulator, verifies that all systems compute the
+// same results, and reports percent overheads over native code running in
+// the LFI environment — exactly the paper's methodology (§6.1).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"lfi/internal/arm64"
+	"lfi/internal/core"
+	"lfi/internal/elfobj"
+	"lfi/internal/emu"
+	"lfi/internal/hwmodel"
+	"lfi/internal/lfirt"
+	"lfi/internal/progs"
+	"lfi/internal/verifier"
+	"lfi/internal/wasmbase"
+	"lfi/internal/workloads"
+)
+
+// Runner executes built programs on a timed runtime instance.
+type Runner struct {
+	Model *emu.CoreModel
+	// Scale multiplies workload iteration counts (1.0 = full size).
+	Scale float64
+	// NestedPaging doubles TLB walk costs (the KVM configuration).
+	NestedPaging bool
+}
+
+// RunOutcome is one timed execution.
+type RunOutcome struct {
+	Cycles   float64
+	Instrs   uint64
+	Checksum string
+}
+
+// runELF loads and runs one binary to completion under a fresh runtime.
+func (r *Runner) runELF(elf []byte, verify, noLoads bool) (*RunOutcome, error) {
+	model := *r.Model
+	model.NestedPaging = r.NestedPaging
+	cfg := lfirt.DefaultConfig()
+	cfg.Model = &model
+	cfg.Verify = verify
+	cfg.VerifierCfg.NoLoads = noLoads
+	rt := lfirt.New(cfg)
+	p, err := rt.Load(elf)
+	if err != nil {
+		return nil, err
+	}
+	status, err := rt.RunProc(p)
+	if err != nil {
+		return nil, err
+	}
+	if status != 0 {
+		return nil, fmt.Errorf("bench: exit status %d", status)
+	}
+	return &RunOutcome{
+		Cycles:   rt.Tim.Cycles(),
+		Instrs:   rt.CPU.Instrs,
+		Checksum: string(rt.Stdout()),
+	}, nil
+}
+
+// runNative builds and runs the unguarded baseline.
+func (r *Runner) runNative(src string) (*RunOutcome, error) {
+	res, err := progs.BuildNative(src)
+	if err != nil {
+		return nil, err
+	}
+	return r.runELF(res.ELF, false, false)
+}
+
+// runLFI builds, verifies, and runs an LFI configuration.
+func (r *Runner) runLFI(src string, opts core.Options) (*RunOutcome, error) {
+	res, err := progs.Build(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.runELF(res.ELF, true, opts.NoLoads)
+}
+
+// runWasm transforms, runs, and applies the codegen factor of a Wasm
+// engine model.
+func (r *Runner) runWasm(src string, sys *wasmbase.System) (*RunOutcome, error) {
+	f, err := arm64.ParseFile(src)
+	if err != nil {
+		return nil, err
+	}
+	nf, err := sys.Transform(f)
+	if err != nil {
+		return nil, err
+	}
+	res, err := progs.BuildNative(nf.String())
+	if err != nil {
+		return nil, err
+	}
+	out, err := r.runELF(res.ELF, false, false)
+	if err != nil {
+		return nil, err
+	}
+	out.Cycles *= sys.CodegenFactor
+	return out, nil
+}
+
+// OverheadRow is one benchmark's percent-over-native numbers, keyed by
+// system name.
+type OverheadRow struct {
+	Workload  string
+	Overheads map[string]float64
+}
+
+func pct(sys, native float64) float64 { return (sys/native - 1) * 100 }
+
+// Geomean computes the geometric mean of the named column across rows.
+func Geomean(rows []OverheadRow, system string) float64 {
+	prod := 1.0
+	n := 0
+	for _, row := range rows {
+		if v, ok := row.Overheads[system]; ok {
+			prod *= 1 + v/100
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return (math.Pow(prod, 1/float64(n)) - 1) * 100
+}
+
+// Fig3Systems are the configurations of Figure 3, in legend order.
+var Fig3Systems = []string{"LFI O0", "LFI O1", "LFI O2", "LFI O2, no loads"}
+
+// Fig3 measures the optimization-level overheads of Figure 3 on the
+// runner's machine model, for every workload.
+func (r *Runner) Fig3() ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, w := range workloads.All() {
+		src := w.Source(r.Scale)
+		native, err := r.runNative(src)
+		if err != nil {
+			return nil, fmt.Errorf("%s native: %w", w.Name, err)
+		}
+		row := OverheadRow{Workload: w.Name, Overheads: map[string]float64{}}
+		for _, cfg := range []struct {
+			name string
+			opts core.Options
+		}{
+			{"LFI O0", core.Options{Opt: core.O0}},
+			{"LFI O1", core.Options{Opt: core.O1}},
+			{"LFI O2", core.Options{Opt: core.O2}},
+			{"LFI O2, no loads", core.Options{Opt: core.O2, NoLoads: true}},
+		} {
+			out, err := r.runLFI(src, cfg.opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", w.Name, cfg.name, err)
+			}
+			if out.Checksum != native.Checksum {
+				return nil, fmt.Errorf("%s %s: checksum mismatch", w.Name, cfg.name)
+			}
+			row.Overheads[cfg.name] = pct(out.Cycles, native.Cycles)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig4Systems are the configurations of Figure 4, in legend order.
+func Fig4Systems() []string {
+	var names []string
+	for _, s := range wasmbase.Systems() {
+		names = append(names, s.Name)
+	}
+	return append(names, "LFI")
+}
+
+// Fig4 measures the WebAssembly comparison of Figure 4 (and Table 4) on
+// the 7 Wasm-compatible workloads.
+func (r *Runner) Fig4() ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, w := range workloads.WasmSubset() {
+		src := w.Source(r.Scale)
+		native, err := r.runNative(src)
+		if err != nil {
+			return nil, fmt.Errorf("%s native: %w", w.Name, err)
+		}
+		row := OverheadRow{Workload: w.Name, Overheads: map[string]float64{}}
+		for _, sys := range wasmbase.Systems() {
+			out, err := r.runWasm(src, sys)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", w.Name, sys.Name, err)
+			}
+			if out.Checksum != native.Checksum {
+				return nil, fmt.Errorf("%s %s: checksum mismatch", w.Name, sys.Name)
+			}
+			row.Overheads[sys.Name] = pct(out.Cycles, native.Cycles)
+		}
+		lfi, err := r.runLFI(src, core.Options{Opt: core.O2})
+		if err != nil {
+			return nil, err
+		}
+		if lfi.Checksum != native.Checksum {
+			return nil, fmt.Errorf("%s LFI: checksum mismatch", w.Name)
+		}
+		row.Overheads["LFI"] = pct(lfi.Cycles, native.Cycles)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CoreMark measures the artifact's SPEC-free fallback kernel (Appendix
+// A.6.3) under the Figure 3 configurations.
+func (r *Runner) CoreMark() ([]OverheadRow, error) {
+	src := workloads.CoreMark(r.Scale)
+	native, err := r.runNative(src)
+	if err != nil {
+		return nil, err
+	}
+	row := OverheadRow{Workload: "coremark", Overheads: map[string]float64{}}
+	for _, cfg := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"LFI O0", core.Options{Opt: core.O0}},
+		{"LFI O1", core.Options{Opt: core.O1}},
+		{"LFI O2", core.Options{Opt: core.O2}},
+		{"LFI O2, no loads", core.Options{Opt: core.O2, NoLoads: true}},
+	} {
+		out, err := r.runLFI(src, cfg.opts)
+		if err != nil {
+			return nil, fmt.Errorf("coremark %s: %w", cfg.name, err)
+		}
+		if out.Checksum != native.Checksum {
+			return nil, fmt.Errorf("coremark %s: checksum mismatch", cfg.name)
+		}
+		row.Overheads[cfg.name] = pct(out.Cycles, native.Cycles)
+	}
+	return []OverheadRow{row}, nil
+}
+
+// Fig5 compares LFI O2 against KVM-style nested paging (§6.4, Figure 5):
+// the virtualized configuration runs native code with doubled TLB walks.
+func (r *Runner) Fig5() ([]OverheadRow, error) {
+	var rows []OverheadRow
+	for _, w := range workloads.All() {
+		src := w.Source(r.Scale)
+		native, err := r.runNative(src)
+		if err != nil {
+			return nil, err
+		}
+		kvmRunner := &Runner{Model: r.Model, Scale: r.Scale, NestedPaging: true}
+		kvm, err := kvmRunner.runNative(src)
+		if err != nil {
+			return nil, err
+		}
+		lfi, err := r.runLFI(src, core.Options{Opt: core.O2})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, OverheadRow{
+			Workload: w.Name,
+			Overheads: map[string]float64{
+				"QEMU KVM": pct(kvm.Cycles, native.Cycles),
+				"LFI":      pct(lfi.Cycles, native.Cycles),
+			},
+		})
+	}
+	return rows, nil
+}
+
+// CodeSizeRow reports §6.3's code size overheads for one workload.
+type CodeSizeRow struct {
+	Workload    string
+	TextPct     float64 // text segment growth, LFI O2 over native
+	FilePct     float64 // whole-binary growth
+	WasmFilePct float64 // WAMR-style AOT artifact growth (modeled)
+}
+
+// CodeSize measures the §6.3 code-size overheads.
+func CodeSize(scale float64) ([]CodeSizeRow, error) {
+	var rows []CodeSizeRow
+	for _, w := range workloads.All() {
+		src := w.Source(scale)
+		nat, err := progs.BuildNative(src)
+		if err != nil {
+			return nil, err
+		}
+		lfi, err := progs.Build(src, core.Options{Opt: core.O2})
+		if err != nil {
+			return nil, err
+		}
+		// WAMR AOT artifacts carry Wasm-level metadata plus expanded
+		// machine code; model as the per-access instrumentation growth.
+		sys, _ := wasmbase.Get("WAMR")
+		f, err := arm64.ParseFile(src)
+		if err != nil {
+			return nil, err
+		}
+		nf, err := sys.Transform(f)
+		if err != nil {
+			return nil, err
+		}
+		wamr, err := progs.BuildNative(nf.String())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, CodeSizeRow{
+			Workload:    w.Name,
+			TextPct:     pct(float64(lfi.TextSize), float64(nat.TextSize)),
+			FilePct:     pct(float64(lfi.FileSize), float64(nat.FileSize)),
+			WasmFilePct: pct(float64(wamr.FileSize)*1.08, float64(nat.FileSize)),
+		})
+	}
+	return rows, nil
+}
+
+// GeomeanCodeSize averages the code-size columns.
+func GeomeanCodeSize(rows []CodeSizeRow) (text, file, wasm float64) {
+	pt, pf, pw := 1.0, 1.0, 1.0
+	for _, r := range rows {
+		pt *= 1 + r.TextPct/100
+		pf *= 1 + r.FilePct/100
+		pw *= 1 + r.WasmFilePct/100
+	}
+	n := float64(len(rows))
+	return (math.Pow(pt, 1/n) - 1) * 100,
+		(math.Pow(pf, 1/n) - 1) * 100,
+		(math.Pow(pw, 1/n) - 1) * 100
+}
+
+// MicroRow is one Table 5 line.
+type MicroRow struct {
+	Benchmark string
+	LFInS     float64
+	LinuxNS   float64
+	GVisorNS  float64 // 0 when unsupported
+}
+
+// Table5 measures the LFI microbenchmarks in simulation and fills the
+// hardware columns from the calibrated cost models.
+func Table5(model *emu.CoreModel, hw *hwmodel.Machine, n int) ([]MicroRow, error) {
+	if n <= 0 {
+		n = 2000
+	}
+	perOp := func(src string, ops float64) (float64, error) {
+		res, err := progs.Build(src, core.Options{Opt: core.O2})
+		if err != nil {
+			return 0, err
+		}
+		m := *model
+		cfg := lfirt.DefaultConfig()
+		cfg.Model = &m
+		rt := lfirt.New(cfg)
+		if _, err := rt.Load(res.ELF); err != nil {
+			return 0, err
+		}
+		if err := rt.Run(); err != nil {
+			return 0, err
+		}
+		return rt.Tim.Cycles() / ops / model.FreqGHz, nil
+	}
+
+	syscall, err := perOp(workloads.SyscallLoop(n), float64(n))
+	if err != nil {
+		return nil, fmt.Errorf("syscall bench: %w", err)
+	}
+
+	// Pipe: one parent round trip = one write+read pair on each side.
+	pipeSrc := workloads.PipePing(n)
+	pipeRes, err := progs.Build(pipeSrc, core.Options{Opt: core.O2})
+	if err != nil {
+		return nil, err
+	}
+	m := *model
+	cfg := lfirt.DefaultConfig()
+	cfg.Model = &m
+	rt := lfirt.New(cfg)
+	if _, err := rt.Load(pipeRes.ELF); err != nil {
+		return nil, err
+	}
+	if err := rt.Run(); err != nil {
+		return nil, fmt.Errorf("pipe bench: %w", err)
+	}
+	pipe := rt.Tim.Cycles() / float64(2*n) / model.FreqGHz
+
+	// Yield: two sandboxes ping-ponging directly.
+	y1, err := progs.Build(workloads.YieldPing(n, 2), core.Options{Opt: core.O2})
+	if err != nil {
+		return nil, err
+	}
+	y2, err := progs.Build(workloads.YieldPing(n, 1), core.Options{Opt: core.O2})
+	if err != nil {
+		return nil, err
+	}
+	m2 := *model
+	cfg2 := lfirt.DefaultConfig()
+	cfg2.Model = &m2
+	rt2 := lfirt.New(cfg2)
+	if _, err := rt2.Load(y1.ELF); err != nil {
+		return nil, err
+	}
+	if _, err := rt2.Load(y2.ELF); err != nil {
+		return nil, err
+	}
+	if err := rt2.Run(); err != nil {
+		return nil, fmt.Errorf("yield bench: %w", err)
+	}
+	yield := rt2.Tim.Cycles() / float64(2*n) / model.FreqGHz
+
+	rows := []MicroRow{
+		{Benchmark: "syscall", LFInS: syscall, LinuxNS: hw.LinuxSyscallNS()},
+		{Benchmark: "pipe", LFInS: pipe, LinuxNS: hw.LinuxPipeNS()},
+		{Benchmark: "yield", LFInS: yield},
+	}
+	if g, ok := hw.GVisorSyscallNS(); ok {
+		rows[0].GVisorNS = g
+		rows[1].GVisorNS, _ = hw.GVisorPipeNS()
+	}
+	return rows, nil
+}
+
+// Throughput measures the LFI verifier and the Wasm validator on
+// comparably sized inputs, in MB/s of real wall-clock time.
+func Throughput() (lfiMBps, wasmMBps float64, err error) {
+	// A large verified LFI text segment: repeat a workload body.
+	w, _ := workloads.Get("502.gcc")
+	res, err := progs.Build(w.Source(1), core.Options{Opt: core.O2})
+	if err != nil {
+		return 0, 0, err
+	}
+	// Concatenate the text many times over to get a multi-MB segment.
+	exeText, err := extractText(res.ELF)
+	if err != nil {
+		return 0, 0, err
+	}
+	big := make([]byte, 0, 4<<20)
+	for len(big) < 4<<20 {
+		big = append(big, exeText...)
+	}
+	cfg := verifier.DefaultConfig()
+	cfg.TextOff = core.MinCodeOffset
+	start := time.Now()
+	if _, err := verifier.Verify(big, cfg); err != nil {
+		return 0, 0, fmt.Errorf("verifier rejected benchmark input: %w", err)
+	}
+	lfiMBps = float64(len(big)) / time.Since(start).Seconds() / 1e6
+
+	mod := wasmbase.GenModule(64, 64<<10)
+	start = time.Now()
+	if _, err := wasmbase.ValidateModule(mod); err != nil {
+		return 0, 0, fmt.Errorf("validator rejected benchmark input: %w", err)
+	}
+	wasmMBps = float64(len(mod)) / time.Since(start).Seconds() / 1e6
+	return lfiMBps, wasmMBps, nil
+}
+
+func extractText(elfBytes []byte) ([]byte, error) {
+	exe, err := elfobj.Unmarshal(elfBytes)
+	if err != nil {
+		return nil, err
+	}
+	seg, err := exe.TextSegment()
+	if err != nil {
+		return nil, err
+	}
+	return seg.Data, nil
+}
+
+// SortRows orders rows by SPEC number (they are generated in order, but
+// callers may merge sets).
+func SortRows(rows []OverheadRow) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Workload < rows[j].Workload })
+}

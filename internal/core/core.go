@@ -1,0 +1,242 @@
+// Package core defines the LFI sandboxing scheme itself: the reserved
+// registers, the sandbox memory layout (Figure 1 of the paper), the guard
+// sequences, the runtime-call ABI, and the optimization levels. The
+// rewriter inserts guards according to these definitions, the verifier
+// checks machine code against them, and the runtime lays out sandboxes to
+// match.
+package core
+
+import (
+	"fmt"
+
+	"lfi/internal/arm64"
+)
+
+// Reserved registers (§3). Only RegBase and RegScratch are required for
+// the scheme; the other three enable optimizations.
+const (
+	// RegBase (x21) holds the sandbox base address. Its bottom 32 bits are
+	// always zero because sandboxes are 4GiB-aligned. Never modified.
+	RegBase = arm64.X21
+	// RegScratch (x18) always holds a valid sandbox address; the guard
+	// writes it and guarded loads/stores read it.
+	RegScratch = arm64.X18
+	// RegAddr32 (x22) always holds a value with 32 zero upper bits; used
+	// for the two-instruction stack pointer guard and address staging.
+	RegAddr32 = arm64.X22
+	// RegHoist1 and RegHoist2 (x23, x24) always hold valid sandbox
+	// addresses; used by redundant guard elimination (§4.3).
+	RegHoist1 = arm64.X23
+	RegHoist2 = arm64.X24
+)
+
+// ReservedRegs lists every register withheld from program allocation.
+var ReservedRegs = []arm64.Reg{RegBase, RegScratch, RegAddr32, RegHoist1, RegHoist2}
+
+// IsReserved reports whether r (under any width view) is one of the five
+// reserved registers.
+func IsReserved(r arm64.Reg) bool {
+	if !r.IsGP() {
+		return false
+	}
+	switch r.X() {
+	case RegBase, RegScratch, RegAddr32, RegHoist1, RegHoist2:
+		return true
+	}
+	return false
+}
+
+// AlwaysValidAddr reports whether r is guaranteed to hold a valid sandbox
+// address at all times (so dereferencing it with a small immediate is safe).
+func AlwaysValidAddr(r arm64.Reg) bool {
+	if !r.Is64() {
+		return false
+	}
+	switch r {
+	case RegScratch, RegHoist1, RegHoist2, arm64.SP, arm64.X30:
+		return true
+	}
+	return false
+}
+
+// Sandbox layout (Figure 1).
+const (
+	// SandboxSize is the size of one sandbox slot: 4GiB, so that a 32-bit
+	// offset can never escape it.
+	SandboxSize = uint64(1) << 32
+
+	// GuardSize is the size of the unmapped guard regions at each end of
+	// the sandbox: the smallest multiple of the 16KiB Apple page size
+	// greater than 2^15 + 2^10 (see footnote 1 in the paper).
+	GuardSize = uint64(48 * 1024)
+
+	// CallTableSize is the one read-only page before the leading guard
+	// region holding runtime-call entry addresses (§4.4).
+	CallTableSize = uint64(16 * 1024)
+
+	// CodeMargin: executable code must stay at least 128MiB away from the
+	// end of the sandbox so direct branches cannot reach a neighbor (§3).
+	CodeMargin = uint64(128) << 20
+
+	// MinCodeOffset is the first offset usable for code: call-table page,
+	// then the leading guard region.
+	MinCodeOffset = CallTableSize + GuardSize
+
+	// MaxCodeOffset is the first offset past the allowed code region.
+	MaxCodeOffset = SandboxSize - CodeMargin
+)
+
+// AddrBits is the usable virtual address width (48-bit userspace).
+const AddrBits = 48
+
+// MaxSandboxes is the number of 4GiB slots in the 48-bit space (§3): 64Ki,
+// one of which the runtime occupies.
+const MaxSandboxes = int(1) << (AddrBits - 32)
+
+// SlotBase returns the base address of sandbox slot i. Slot bases are
+// 4GiB-aligned, adjacent, and start at slot 1 (slot 0 is kept unmapped so
+// null-page dereferences in host code cannot alias a sandbox).
+func SlotBase(i int) uint64 { return uint64(i) * SandboxSize }
+
+// SlotIndex returns the slot containing addr.
+func SlotIndex(addr uint64) int { return int(addr >> 32) }
+
+// Runtime calls (§4.4 and §5.3). The call table is an array of 8-byte
+// entries at the very start of the sandbox; entry n lives at [x21, #8*n].
+// A runtime call is:
+//
+//	ldr x30, [x21, #8*n]
+//	blr x30
+//
+// The loaded address points outside the sandbox into the runtime's
+// host-call region; the verifier permits this exact pairing because blr
+// x30 immediately transfers to the runtime, which restores the x30
+// invariant before returning.
+type RuntimeCall int
+
+const (
+	RTExit RuntimeCall = iota
+	RTWrite
+	RTRead
+	RTOpen
+	RTClose
+	RTBrk
+	RTMmap
+	RTMunmap
+	RTFork
+	RTWait
+	RTYield
+	RTGetPID
+	RTPipe
+	RTKill
+	RTUsleep
+	NumRuntimeCalls
+)
+
+var rtNames = [...]string{
+	"exit", "write", "read", "open", "close", "brk", "mmap", "munmap",
+	"fork", "wait", "yield", "getpid", "pipe", "kill", "usleep",
+}
+
+func (rc RuntimeCall) String() string {
+	if rc >= 0 && int(rc) < len(rtNames) {
+		return rtNames[rc]
+	}
+	return fmt.Sprintf("rtcall(%d)", int(rc))
+}
+
+// TableOffset returns the call-table byte offset of rc.
+func (rc RuntimeCall) TableOffset() int64 { return int64(rc) * 8 }
+
+// MaxTableOffset is the highest valid call-table offset (exclusive).
+const MaxTableOffset = int64(NumRuntimeCalls) * 8
+
+// Context words on the call-table page used only by the WebAssembly
+// baseline instrumentation (internal/wasmbase): the sandbox ("linear
+// memory") base that non-pinned Wasm engines reload from their context
+// struct, and the type tag checked on indirect calls. Verified LFI code
+// cannot address these (the verifier restricts [x21, #n] to the call
+// table), and they contain no sandbox secrets.
+const (
+	CtxHeapBaseOff = uint64(2048)
+	CtxTypeTagOff  = uint64(2056)
+	CtxTypeTag     = uint64(7)
+)
+
+// OptLevel selects which rewriter optimizations are applied (§6.1).
+type OptLevel int
+
+const (
+	// O0 uses only the basic two-cycle add guard, plus the stack pointer
+	// handling that correctness requires.
+	O0 OptLevel = iota
+	// O1 adds zero-instruction guards: memory operations are rewritten to
+	// the guarded [x21, wN, uxtw] addressing mode (Table 3).
+	O1
+	// O2 adds redundant guard elimination using the hoisting registers.
+	O2
+)
+
+func (o OptLevel) String() string {
+	switch o {
+	case O0:
+		return "O0"
+	case O1:
+		return "O1"
+	case O2:
+		return "O2"
+	}
+	return fmt.Sprintf("O%d", int(o))
+}
+
+// Options configures the rewriter.
+type Options struct {
+	Opt OptLevel
+
+	// NoLoads disables sandboxing of loads ("fault isolation" of stores
+	// and jumps only, ~1% overhead per §6.1).
+	NoLoads bool
+
+	// DisableSPOpts turns off the §4.2 stack-pointer guard elisions
+	// (pre/post-index and same-basic-block); used by the ablation bench.
+	DisableSPOpts bool
+}
+
+// Guard sequence builders, shared by the rewriter and tests.
+
+// GuardInto returns the invariant-preserving guard that forces the value
+// of src into the sandbox, leaving the result in dst:
+//
+//	add dst, x21, wSRC, uxtw
+//
+// dst must be a register for which the verifier tracks the always-valid
+// invariant (x18, x23, x24) or x30-restoring sequences.
+func GuardInto(dst, src arm64.Reg) arm64.Inst {
+	return arm64.Inst{
+		Op: arm64.ADD, Rd: dst, Rn: RegBase, Rm: src.W(),
+		Ra: arm64.RegNone, Ext: arm64.ExtUXTW, Amount: -1,
+	}
+}
+
+// SPGuard returns the two-instruction stack-pointer guard (§4.2):
+//
+//	mov w22, wsp
+//	add sp, x21, x22
+func SPGuard() []arm64.Inst {
+	return []arm64.Inst{
+		// mov w22, wsp is an alias of add w22, wsp, #0.
+		{Op: arm64.ADD, Rd: RegAddr32.W(), Rn: arm64.WSP, Rm: arm64.RegNone, Ra: arm64.RegNone, Amount: -1},
+		{Op: arm64.ADD, Rd: arm64.SP, Rn: RegBase, Rm: RegAddr32, Ra: arm64.RegNone, Amount: -1},
+	}
+}
+
+// IsGuard reports whether inst is the canonical guard writing dst
+// (add dst, x21, wN, uxtw).
+func IsGuard(inst *arm64.Inst, dst arm64.Reg) bool {
+	return inst.Op == arm64.ADD &&
+		inst.Rd == dst &&
+		inst.Rn == RegBase &&
+		inst.Rm != arm64.RegNone && inst.Rm.Is32() && !inst.Rm.IsSP() &&
+		inst.Ext == arm64.ExtUXTW &&
+		(inst.Amount <= 0)
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"lfi/internal/arm64"
+)
+
+func TestSandboxLayoutInvariants(t *testing.T) {
+	// Figure 1's arithmetic.
+	if SandboxSize != 1<<32 {
+		t.Error("sandbox must be exactly 4GiB (32-bit offsets cannot escape)")
+	}
+	if GuardSize%(16*1024) != 0 {
+		t.Error("guard size must be a multiple of the 16KiB page size")
+	}
+	// Footnote 1: the guard must cover 2^15 + 2^10 (max immediate plus
+	// max pre/post drift).
+	if GuardSize <= (1<<15)+(1<<10) {
+		t.Errorf("guard size %d does not cover 2^15 + 2^10", GuardSize)
+	}
+	if MinCodeOffset != CallTableSize+GuardSize {
+		t.Error("code must start after the call table and leading guard")
+	}
+	if MaxCodeOffset != SandboxSize-CodeMargin {
+		t.Error("code must end 128MiB before the sandbox does")
+	}
+	if CodeMargin != 128<<20 {
+		t.Error("direct branches reach ±128MiB; the margin must match")
+	}
+	// §3: 64Ki sandboxes in 48 bits.
+	if MaxSandboxes*1 != 1<<16 {
+		t.Errorf("MaxSandboxes = %d", MaxSandboxes)
+	}
+	if SlotBase(MaxSandboxes-1)+SandboxSize != 1<<AddrBits {
+		t.Error("slots must exactly tile the 48-bit space")
+	}
+	for _, i := range []int{0, 1, 77, MaxSandboxes - 1} {
+		if SlotBase(i)%SandboxSize != 0 {
+			t.Errorf("slot %d base not 4GiB aligned", i)
+		}
+		if SlotIndex(SlotBase(i)) != i || SlotIndex(SlotBase(i)+SandboxSize-1) != i {
+			t.Errorf("SlotIndex inconsistent for slot %d", i)
+		}
+	}
+}
+
+func TestReservedRegisterSet(t *testing.T) {
+	if len(ReservedRegs) != 5 {
+		t.Fatalf("paper reserves five registers, have %d", len(ReservedRegs))
+	}
+	want := map[arm64.Reg]bool{
+		arm64.X18: true, arm64.X21: true, arm64.X22: true,
+		arm64.X23: true, arm64.X24: true,
+	}
+	for _, r := range ReservedRegs {
+		if !want[r] {
+			t.Errorf("unexpected reserved register %v", r)
+		}
+		if !IsReserved(r) || !IsReserved(r.W()) {
+			t.Errorf("IsReserved(%v) inconsistent across views", r)
+		}
+	}
+	for _, r := range []arm64.Reg{arm64.X0, arm64.X17, arm64.X19, arm64.X25,
+		arm64.X30, arm64.SP, arm64.XZR, arm64.DReg(21)} {
+		if IsReserved(r) {
+			t.Errorf("IsReserved(%v) = true", r)
+		}
+	}
+}
+
+func TestAlwaysValidAddrSet(t *testing.T) {
+	for _, r := range []arm64.Reg{RegScratch, RegHoist1, RegHoist2, arm64.SP, arm64.X30} {
+		if !AlwaysValidAddr(r) {
+			t.Errorf("AlwaysValidAddr(%v) = false", r)
+		}
+	}
+	// x21 holds the base, not a dereference-with-any-immediate register
+	// in the verifier's sense (only the call-table idiom may use it);
+	// x22 holds a 32-bit value, not an address; w views never qualify.
+	for _, r := range []arm64.Reg{RegBase, RegAddr32, arm64.X0,
+		RegScratch.W(), arm64.WSP} {
+		if AlwaysValidAddr(r) {
+			t.Errorf("AlwaysValidAddr(%v) = true", r)
+		}
+	}
+}
+
+func TestGuardConstruction(t *testing.T) {
+	g := GuardInto(RegScratch, arm64.X5)
+	if g.String() != "add x18, x21, w5, uxtw" {
+		t.Errorf("guard = %q", g.String())
+	}
+	if !IsGuard(&g, RegScratch) {
+		t.Error("GuardInto output not recognized by IsGuard")
+	}
+	if IsGuard(&g, RegHoist1) {
+		t.Error("IsGuard matched the wrong destination")
+	}
+	// Guards must encode (they reach the binary).
+	if _, err := arm64.Encode(&g); err != nil {
+		t.Errorf("guard does not encode: %v", err)
+	}
+	// Near-miss variants are not guards.
+	for _, bad := range []string{
+		"add x18, x21, x5",          // 64-bit index: no extension
+		"add x18, x20, w5, uxtw",    // wrong base
+		"add x18, x21, w5, sxtw",    // wrong extension
+		"add x18, x21, w5, uxtw #2", // scaled
+		"adds x18, x21, w5, uxtw",   // sets flags (different op)
+		"sub x18, x21, w5, uxtw",
+	} {
+		inst, err := arm64.ParseInst(bad)
+		if err != nil {
+			t.Fatalf("parse %q: %v", bad, err)
+		}
+		if IsGuard(&inst, RegScratch) {
+			t.Errorf("IsGuard accepted %q", bad)
+		}
+	}
+}
+
+func TestSPGuardSequence(t *testing.T) {
+	seq := SPGuard()
+	if len(seq) != 2 {
+		t.Fatalf("sp guard is %d instructions, want 2", len(seq))
+	}
+	if seq[0].String() != "add w22, wsp, #0" {
+		t.Errorf("sp guard[0] = %q", seq[0].String())
+	}
+	if seq[1].String() != "add sp, x21, x22" {
+		t.Errorf("sp guard[1] = %q", seq[1].String())
+	}
+	for i := range seq {
+		if _, err := arm64.Encode(&seq[i]); err != nil {
+			t.Errorf("sp guard[%d] does not encode: %v", i, err)
+		}
+	}
+}
+
+func TestRuntimeCallTable(t *testing.T) {
+	if NumRuntimeCalls <= 0 || MaxTableOffset != int64(NumRuntimeCalls)*8 {
+		t.Error("table size arithmetic broken")
+	}
+	if uint64(MaxTableOffset) > CallTableSize {
+		t.Error("call table does not fit in its page")
+	}
+	seen := map[string]bool{}
+	for rc := RuntimeCall(0); rc < NumRuntimeCalls; rc++ {
+		name := rc.String()
+		if name == "" || seen[name] {
+			t.Errorf("call %d has bad or duplicate name %q", rc, name)
+		}
+		seen[name] = true
+		if rc.TableOffset() != int64(rc)*8 {
+			t.Errorf("call %d offset %d", rc, rc.TableOffset())
+		}
+	}
+	if RTExit.String() != "exit" || RTYield.String() != "yield" {
+		t.Error("canonical call names broken")
+	}
+	if RuntimeCall(999).String() == "" {
+		t.Error("out-of-range call must still print")
+	}
+	// The Wasm-baseline context words live in the call-table page but
+	// beyond the dispatch entries.
+	if CtxHeapBaseOff < uint64(MaxTableOffset) || CtxTypeTagOff >= CallTableSize {
+		t.Error("context words collide with the dispatch table or page")
+	}
+}
+
+func TestOptLevelStrings(t *testing.T) {
+	if O0.String() != "O0" || O1.String() != "O1" || O2.String() != "O2" {
+		t.Error("OptLevel strings broken")
+	}
+	if OptLevel(7).String() != "O7" {
+		t.Error("unknown level fallback broken")
+	}
+}

@@ -1,0 +1,135 @@
+package elfobj
+
+import (
+	"debug/elf"
+	"testing"
+
+	"lfi/internal/arm64"
+)
+
+func buildImage(t *testing.T) *arm64.Image {
+	t.Helper()
+	src := `
+_start:
+	mov x0, #1
+	ret
+.data
+v:
+	.quad 7
+.bss
+b:
+	.space 32
+.rodata
+r:
+	.asciz "ro"
+`
+	f, err := arm64.ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := arm64.Assemble(f, arm64.Layout{TextBase: 0x10000, PageSize: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	img := buildImage(t)
+	exe := FromImage(img)
+	if len(exe.Segments) != 3 {
+		t.Fatalf("segments = %d, want 3", len(exe.Segments))
+	}
+	b, err := exe.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != exe.Entry {
+		t.Errorf("entry = %#x, want %#x", got.Entry, exe.Entry)
+	}
+	if len(got.Segments) != len(exe.Segments) {
+		t.Fatalf("segments = %d, want %d", len(got.Segments), len(exe.Segments))
+	}
+	for i := range exe.Segments {
+		w, g := exe.Segments[i], got.Segments[i]
+		if g.Vaddr != w.Vaddr || g.MemSize != w.MemSize || g.Flags != w.Flags {
+			t.Errorf("segment %d header mismatch: %+v vs %+v", i, g, w)
+		}
+		if string(g.Data) != string(w.Data) {
+			t.Errorf("segment %d data mismatch", i)
+		}
+	}
+}
+
+func TestReadableByDebugELF(t *testing.T) {
+	exe := FromImage(buildImage(t))
+	b, err := exe.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := elf.NewFile(readerAt(b))
+	if err != nil {
+		t.Fatalf("debug/elf rejects our output: %v", err)
+	}
+	defer f.Close()
+	if f.Machine != elf.EM_AARCH64 || f.Class != elf.ELFCLASS64 {
+		t.Errorf("header: %v %v", f.Machine, f.Class)
+	}
+}
+
+func TestBSSExtension(t *testing.T) {
+	exe := FromImage(buildImage(t))
+	b, _ := exe.Marshal()
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data *Segment
+	for i := range got.Segments {
+		s := &got.Segments[i]
+		if s.Flags == elf.PF_R|elf.PF_W {
+			data = s
+		}
+	}
+	if data == nil {
+		t.Fatal("no rw segment")
+	}
+	if data.MemSize <= uint64(len(data.Data)) {
+		t.Errorf("rw segment has no bss extension: mem %d file %d", data.MemSize, len(data.Data))
+	}
+}
+
+func TestTextSegment(t *testing.T) {
+	exe := FromImage(buildImage(t))
+	text, err := exe.TextSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text.Flags&elf.PF_X == 0 || len(text.Data) != 8 {
+		t.Errorf("text = %+v", text)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not an elf at all, sorry")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+type byteReaderAt []byte
+
+func (b byteReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(b)) {
+		return 0, nil
+	}
+	return copy(p, b[off:]), nil
+}
+
+func readerAt(b []byte) byteReaderAt { return byteReaderAt(b) }

@@ -1,0 +1,299 @@
+// Package emu executes ARM64 machine code over a mem.AddrSpace. It has two
+// halves that run in lockstep: a functional interpreter (registers, flags,
+// memory, traps) and a timing model (superscalar dependency scoreboard,
+// branch predictor, TLB) that attributes a cycle cost to every retired
+// instruction. LFI's evaluation is entirely about the *relative* cycle cost
+// of guard instructions, which is exactly what the scoreboard captures.
+package emu
+
+import (
+	"fmt"
+
+	"lfi/internal/arm64"
+	"lfi/internal/mem"
+)
+
+// TrapKind classifies why execution stopped.
+type TrapKind uint8
+
+const (
+	TrapNone      TrapKind = iota
+	TrapMemFault           // load/store/fetch permission or mapping fault
+	TrapSVC                // svc instruction (forbidden inside sandboxes)
+	TrapBRK                // brk instruction
+	TrapUndefined          // undecodable or unsupported instruction
+	TrapHostCall           // PC entered a registered host-call address
+	TrapBudget             // instruction budget exhausted (preemption)
+	TrapHalt               // wfi-style clean stop requested by the host
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapNone:
+		return "none"
+	case TrapMemFault:
+		return "memory fault"
+	case TrapSVC:
+		return "svc"
+	case TrapBRK:
+		return "brk"
+	case TrapUndefined:
+		return "undefined instruction"
+	case TrapHostCall:
+		return "host call"
+	case TrapBudget:
+		return "budget expired"
+	case TrapHalt:
+		return "halt"
+	}
+	return "unknown"
+}
+
+// Trap describes an execution stop. PC is the address of the trapping
+// instruction (or the host-call target for TrapHostCall).
+type Trap struct {
+	Kind  TrapKind
+	PC    uint64
+	Imm   uint64 // svc/brk immediate
+	Fault *mem.Fault
+}
+
+func (t *Trap) Error() string {
+	if t.Fault != nil {
+		return fmt.Sprintf("emu: trap %s at pc=%#x: %v", t.Kind, t.PC, t.Fault)
+	}
+	return fmt.Sprintf("emu: trap %s at pc=%#x (imm=%d)", t.Kind, t.PC, t.Imm)
+}
+
+// CPU is one hardware thread. The register file covers the 31 general
+// purpose registers, SP, 32 vector registers, and NZCV.
+type CPU struct {
+	X  [31]uint64    // x0..x30
+	SP uint64        // stack pointer
+	V  [32][2]uint64 // v0..v31, little-endian 128-bit (lo, hi)
+
+	// NZCV condition flags.
+	FlagN, FlagZ, FlagC, FlagV bool
+
+	PC  uint64
+	Mem *mem.AddrSpace
+
+	// Exclusive monitor for ldxr/stxr.
+	exclAddr  uint64
+	exclValid bool
+
+	// tpidr models the tpidr_el0 thread pointer.
+	tpidr uint64
+
+	// Host-call region: jumping to an address with hostCallBase <= a <
+	// hostCallBase+hostCallLen raises TrapHostCall instead of fetching.
+	hostCallBase uint64
+	hostCallLen  uint64
+
+	// Decoded-instruction cache, keyed by page index. Pages are decoded
+	// lazily; the cache is safe because sandbox text is immutable (W^X).
+	icache    map[uint64][]cachedInst
+	pageShift uint
+	pageSize  uint64
+
+	// Timing, optional. When non-nil every retired instruction is charged.
+	Timing *Timing
+
+	// Trace, optional. When non-nil it is invoked before every executed
+	// instruction (debug tooling; adds an indirect call per step).
+	Trace func(pc uint64, inst *arm64.Inst)
+
+	// Retired instruction count.
+	Instrs uint64
+}
+
+type cachedInst struct {
+	inst arm64.Inst
+	ok   bool
+}
+
+// New creates a CPU over the address space.
+func New(m *mem.AddrSpace) *CPU {
+	ps := m.PageSize()
+	shift := uint(0)
+	for s := ps; s > 1; s >>= 1 {
+		shift++
+	}
+	return &CPU{
+		Mem:       m,
+		icache:    make(map[uint64][]cachedInst),
+		pageShift: shift,
+		pageSize:  ps,
+	}
+}
+
+// SetHostCallRegion registers [base, base+size) as host-call addresses.
+func (c *CPU) SetHostCallRegion(base, size uint64) {
+	c.hostCallBase, c.hostCallLen = base, size
+}
+
+// FlushICache drops all cached decodes (call after remapping text pages).
+func (c *CPU) FlushICache() {
+	c.icache = make(map[uint64][]cachedInst)
+}
+
+// Reg reads a register operand, honoring the zero register and 32-bit
+// views. Reading SP through either view returns the stack pointer.
+func (c *CPU) Reg(r arm64.Reg) uint64 {
+	if r.IsZR() {
+		return 0
+	}
+	if r.IsSP() {
+		if r.Is32() {
+			return c.SP & 0xffffffff
+		}
+		return c.SP
+	}
+	v := c.X[r.Num()]
+	if r.Is32() {
+		return v & 0xffffffff
+	}
+	return v
+}
+
+// SetReg writes a register operand. 32-bit views zero the upper bits.
+func (c *CPU) SetReg(r arm64.Reg, v uint64) {
+	if r.IsZR() {
+		return
+	}
+	if r.Is32() {
+		v &= 0xffffffff
+	}
+	if r.IsSP() {
+		c.SP = v
+		return
+	}
+	c.X[r.Num()] = v
+}
+
+// FP reads a floating point register view as raw bits.
+func (c *CPU) FP(r arm64.Reg) uint64 {
+	v := c.V[r.Num()][0]
+	switch r.FPBits() {
+	case 8:
+		return v & 0xff
+	case 16:
+		return v & 0xffff
+	case 32:
+		return v & 0xffffffff
+	}
+	return v
+}
+
+// SetFP writes a floating point register view; writes clear the rest of
+// the vector register, matching AArch64 scalar write semantics.
+func (c *CPU) SetFP(r arm64.Reg, v uint64) {
+	switch r.FPBits() {
+	case 8:
+		v &= 0xff
+	case 16:
+		v &= 0xffff
+	case 32:
+		v &= 0xffffffff
+	}
+	c.V[r.Num()][0] = v
+	c.V[r.Num()][1] = 0
+}
+
+// CondHolds evaluates a condition code against the current flags.
+func (c *CPU) CondHolds(cond arm64.Cond) bool {
+	var r bool
+	switch cond >> 1 {
+	case 0: // EQ/NE
+		r = c.FlagZ
+	case 1: // CS/CC
+		r = c.FlagC
+	case 2: // MI/PL
+		r = c.FlagN
+	case 3: // VS/VC
+		r = c.FlagV
+	case 4: // HI/LS
+		r = c.FlagC && !c.FlagZ
+	case 5: // GE/LT
+		r = c.FlagN == c.FlagV
+	case 6: // GT/LE
+		r = c.FlagN == c.FlagV && !c.FlagZ
+	default: // AL/NV
+		return true
+	}
+	if cond&1 == 1 && cond < arm64.AL {
+		return !r
+	}
+	return r
+}
+
+// fetch returns the decoded instruction at PC.
+func (c *CPU) fetch(pc uint64) (*arm64.Inst, *Trap) {
+	idx := pc >> c.pageShift
+	line, ok := c.icache[idx]
+	if !ok {
+		line = make([]cachedInst, c.pageSize/4)
+		c.icache[idx] = line
+	}
+	slot := (pc & (c.pageSize - 1)) / 4
+	ci := &line[slot]
+	if !ci.ok {
+		w, f := c.Mem.Fetch32(pc)
+		if f != nil {
+			return nil, &Trap{Kind: TrapMemFault, PC: pc, Fault: f}
+		}
+		inst, err := arm64.Decode(w)
+		if err != nil {
+			inst = arm64.Inst{Op: arm64.BAD}
+		}
+		ci.inst = inst
+		ci.ok = true
+	}
+	if ci.inst.Op == arm64.BAD {
+		return nil, &Trap{Kind: TrapUndefined, PC: pc}
+	}
+	return &ci.inst, nil
+}
+
+// Step executes one instruction. It returns nil on success or a Trap.
+func (c *CPU) Step() *Trap {
+	if pc := c.PC; c.hostCallLen != 0 && pc-c.hostCallBase < c.hostCallLen {
+		return &Trap{Kind: TrapHostCall, PC: pc}
+	}
+	if c.PC%4 != 0 {
+		return &Trap{Kind: TrapMemFault, PC: c.PC,
+			Fault: &mem.Fault{Addr: c.PC, Access: mem.AccessExec, Size: 4}}
+	}
+	inst, tr := c.fetch(c.PC)
+	if tr != nil {
+		return tr
+	}
+	if c.Trace != nil {
+		c.Trace(c.PC, inst)
+	}
+	tr = c.exec(inst)
+	if tr != nil {
+		return tr
+	}
+	c.Instrs++
+	return nil
+}
+
+// Run executes until a trap occurs or maxInstrs instructions retire
+// (maxInstrs 0 means no budget). It returns the trap that stopped it.
+func (c *CPU) Run(maxInstrs uint64) *Trap {
+	if maxInstrs == 0 {
+		for {
+			if tr := c.Step(); tr != nil {
+				return tr
+			}
+		}
+	}
+	end := c.Instrs + maxInstrs
+	for c.Instrs < end {
+		if tr := c.Step(); tr != nil {
+			return tr
+		}
+	}
+	return &Trap{Kind: TrapBudget, PC: c.PC}
+}

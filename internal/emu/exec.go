@@ -1,0 +1,802 @@
+package emu
+
+import (
+	"math"
+	"math/bits"
+
+	"lfi/internal/arm64"
+	"lfi/internal/mem"
+)
+
+// effects carries per-instruction facts from the functional interpreter to
+// the timing model.
+type effects struct {
+	memAddr  uint64 // effective address of the (first) memory access
+	hasMem   bool
+	branched bool   // a branch redirected the PC
+	target   uint64 // branch target if branched
+}
+
+// TPIDR is thread-local storage base (tpidr_el0), modeled as plain state.
+// CNTVCT reads return the retired instruction count.
+const (
+	sysTPIDR   = 1<<14 | 3<<11 | 13<<7 | 0<<3 | 2
+	sysNZCV    = 1<<14 | 3<<11 | 4<<7 | 2<<3 | 0
+	sysCNTVCT  = 1<<14 | 3<<11 | 14<<7 | 0<<3 | 2
+	sysSCXTNUM = 1<<14 | 3<<11 | 13<<7 | 0<<3 | 7
+)
+
+// TPIDREL0 is modeled TLS state for mrs/msr tpidr_el0.
+var _ = sysSCXTNUM
+
+func (c *CPU) memFault(pc uint64, f *mem.Fault) *Trap {
+	return &Trap{Kind: TrapMemFault, PC: pc, Fault: f}
+}
+
+// operand2 computes the shifted/extended second operand for ALU ops.
+func (c *CPU) operand2(i *arm64.Inst, is64 bool) uint64 {
+	if i.Rm == arm64.RegNone {
+		return uint64(i.Imm)
+	}
+	v := c.Reg(i.Rm)
+	amt := uint(0)
+	if i.Amount > 0 {
+		amt = uint(i.Amount)
+	}
+	size := uint(64)
+	if !is64 {
+		size = 32
+	}
+	switch i.Ext {
+	case arm64.ExtNone:
+		return v
+	case arm64.ExtLSL, arm64.ExtUXTX:
+		return v << amt
+	case arm64.ExtLSR:
+		if !is64 {
+			v &= 0xffffffff
+		}
+		return v >> amt
+	case arm64.ExtASR:
+		if is64 {
+			return uint64(int64(v) >> amt)
+		}
+		return uint64(uint32(int32(uint32(v)) >> amt))
+	case arm64.ExtROR:
+		if is64 {
+			return bits.RotateLeft64(v, -int(amt))
+		}
+		return uint64(bits.RotateLeft32(uint32(v), -int(amt)))
+	case arm64.ExtUXTB:
+		return (v & 0xff) << amt
+	case arm64.ExtUXTH:
+		return (v & 0xffff) << amt
+	case arm64.ExtUXTW:
+		return (v & 0xffffffff) << amt
+	case arm64.ExtSXTB:
+		return uint64(int64(int8(v))) << amt & sizeMask(size)
+	case arm64.ExtSXTH:
+		return uint64(int64(int16(v))) << amt & sizeMask(size)
+	case arm64.ExtSXTW:
+		return uint64(int64(int32(v))) << amt & sizeMask(size)
+	case arm64.ExtSXTX:
+		return v << amt
+	}
+	return v
+}
+
+func sizeMask(size uint) uint64 {
+	if size >= 64 {
+		return ^uint64(0)
+	}
+	return (1 << size) - 1
+}
+
+func (c *CPU) setNZ(v uint64, is64 bool) {
+	if is64 {
+		c.FlagN = int64(v) < 0
+	} else {
+		c.FlagN = int32(uint32(v)) < 0
+	}
+	if !is64 {
+		v &= 0xffffffff
+	}
+	c.FlagZ = v == 0
+}
+
+// addWithCarry computes a+b+carry and the NZCV flags.
+func (c *CPU) addWithCarry(a, b uint64, carry bool, is64 bool, setFlags bool) uint64 {
+	var result uint64
+	var cy, ov bool
+	if is64 {
+		s1, c1 := bits.Add64(a, b, 0)
+		cin := uint64(0)
+		if carry {
+			cin = 1
+		}
+		s2, c2 := bits.Add64(s1, cin, 0)
+		result = s2
+		cy = c1+c2 != 0
+		ov = (int64(a) >= 0) == (int64(b) >= 0) && (int64(result) >= 0) != (int64(a) >= 0)
+	} else {
+		a32, b32 := a&0xffffffff, b&0xffffffff
+		cin := uint64(0)
+		if carry {
+			cin = 1
+		}
+		sum := a32 + b32 + cin
+		result = sum & 0xffffffff
+		cy = sum>>32 != 0
+		ov = (int32(uint32(a32)) >= 0) == (int32(uint32(b32)) >= 0) &&
+			(int32(uint32(result)) >= 0) != (int32(uint32(a32)) >= 0)
+	}
+	if setFlags {
+		c.setNZ(result, is64)
+		c.FlagC = cy
+		c.FlagV = ov
+	}
+	return result
+}
+
+// memAccessSize returns the access size in bytes for a load/store op.
+func memAccessSize(i *arm64.Inst) int {
+	rt := i.Rd
+	if rt.IsFP() {
+		return rt.FPBits() / 8
+	}
+	switch i.Op {
+	case arm64.LDRB, arm64.STRB, arm64.LDRSB:
+		return 1
+	case arm64.LDRH, arm64.STRH, arm64.LDRSH:
+		return 2
+	case arm64.LDRSW:
+		return 4
+	default:
+		if rt.Is64() {
+			return 8
+		}
+		return 4
+	}
+}
+
+// effAddr computes the effective address of a memory operand and the
+// post-execution base value if there is writeback.
+func (c *CPU) effAddr(i *arm64.Inst) (addr uint64, wb bool, wbVal uint64) {
+	m := &i.Mem
+	base := c.Reg(m.Base)
+	switch m.Mode {
+	case arm64.AddrBase:
+		return base, false, 0
+	case arm64.AddrImm:
+		return base + uint64(int64(m.Imm)), false, 0
+	case arm64.AddrPre:
+		a := base + uint64(int64(m.Imm))
+		return a, true, a
+	case arm64.AddrPost:
+		return base, true, base + uint64(int64(m.Imm))
+	case arm64.AddrLiteral:
+		return c.PC + uint64(i.Imm), false, 0
+	}
+	idx := c.Reg(m.Index)
+	amt := uint(0)
+	if m.Amount > 0 {
+		amt = uint(m.Amount)
+	}
+	switch m.Mode {
+	case arm64.AddrReg:
+		return base + (idx << amt), false, 0
+	case arm64.AddrRegUXTW:
+		return base + ((idx & 0xffffffff) << amt), false, 0
+	case arm64.AddrRegSXTW:
+		return base + (uint64(int64(int32(uint32(idx)))) << amt), false, 0
+	case arm64.AddrRegSXTX:
+		return base + (idx << amt), false, 0
+	}
+	return base, false, 0
+}
+
+func (c *CPU) exec(i *arm64.Inst) *Trap {
+	pc := c.PC
+	var eff effects
+
+	switch i.Op {
+	case arm64.ADR:
+		c.SetReg(i.Rd, pc+uint64(i.Imm))
+	case arm64.ADRP:
+		c.SetReg(i.Rd, (pc&^0xfff)+uint64(i.Imm))
+
+	case arm64.ADD, arm64.ADDS, arm64.SUB, arm64.SUBS:
+		is64 := i.Rd.Is64() || (i.Rd.IsZR() && i.Rn.Is64())
+		a := c.Reg(i.Rn)
+		b := c.operand2(i, is64)
+		sub := i.Op == arm64.SUB || i.Op == arm64.SUBS
+		setf := i.Op.SetsFlags()
+		var r uint64
+		if sub {
+			r = c.addWithCarry(a, ^b&sizeMask(boolSize(is64)), true, is64, setf)
+		} else {
+			r = c.addWithCarry(a, b, false, is64, setf)
+		}
+		c.SetReg(i.Rd, r)
+
+	case arm64.AND, arm64.ANDS, arm64.ORR, arm64.ORN, arm64.EOR, arm64.EON, arm64.BIC, arm64.BICS:
+		is64 := i.Rd.Is64() || (i.Rd.IsZR() && i.Rn.Is64())
+		a := c.Reg(i.Rn)
+		b := c.operand2(i, is64)
+		var r uint64
+		switch i.Op {
+		case arm64.AND, arm64.ANDS:
+			r = a & b
+		case arm64.ORR:
+			r = a | b
+		case arm64.ORN:
+			r = a | ^b
+		case arm64.EOR:
+			r = a ^ b
+		case arm64.EON:
+			r = a ^ ^b
+		case arm64.BIC, arm64.BICS:
+			r = a &^ b
+		}
+		r &= sizeMask(boolSize(is64))
+		if i.Op.SetsFlags() {
+			c.setNZ(r, is64)
+			c.FlagC, c.FlagV = false, false
+		}
+		c.SetReg(i.Rd, r)
+
+	case arm64.MOVZ:
+		c.SetReg(i.Rd, uint64(i.Imm)<<uint(i.Amount))
+	case arm64.MOVN:
+		c.SetReg(i.Rd, ^(uint64(i.Imm) << uint(i.Amount)))
+	case arm64.MOVK:
+		old := c.Reg(i.Rd)
+		sh := uint(i.Amount)
+		c.SetReg(i.Rd, old&^(0xffff<<sh)|uint64(i.Imm)<<sh)
+
+	case arm64.SBFM, arm64.BFM, arm64.UBFM:
+		c.execBitfield(i)
+
+	case arm64.EXTR:
+		is64 := i.Rd.Is64()
+		lsb := uint(i.Imm)
+		if is64 {
+			hi, lo := c.Reg(i.Rn), c.Reg(i.Rm)
+			var r uint64
+			if lsb == 0 {
+				r = lo
+			} else {
+				r = lo>>lsb | hi<<(64-lsb)
+			}
+			c.SetReg(i.Rd, r)
+		} else {
+			hi, lo := uint32(c.Reg(i.Rn)), uint32(c.Reg(i.Rm))
+			var r uint32
+			if lsb == 0 {
+				r = lo
+			} else {
+				r = lo>>lsb | hi<<(32-lsb)
+			}
+			c.SetReg(i.Rd, uint64(r))
+		}
+
+	case arm64.UDIV:
+		n, m := c.Reg(i.Rn), c.Reg(i.Rm)
+		if m == 0 {
+			c.SetReg(i.Rd, 0)
+		} else {
+			c.SetReg(i.Rd, n/m)
+		}
+	case arm64.SDIV:
+		if i.Rd.Is64() {
+			n, m := int64(c.Reg(i.Rn)), int64(c.Reg(i.Rm))
+			switch {
+			case m == 0:
+				c.SetReg(i.Rd, 0)
+			case n == math.MinInt64 && m == -1:
+				c.SetReg(i.Rd, uint64(n))
+			default:
+				c.SetReg(i.Rd, uint64(n/m))
+			}
+		} else {
+			n, m := int32(uint32(c.Reg(i.Rn))), int32(uint32(c.Reg(i.Rm)))
+			switch {
+			case m == 0:
+				c.SetReg(i.Rd, 0)
+			case n == math.MinInt32 && m == -1:
+				c.SetReg(i.Rd, uint64(uint32(n)))
+			default:
+				c.SetReg(i.Rd, uint64(uint32(n/m)))
+			}
+		}
+
+	case arm64.LSLV, arm64.LSRV, arm64.ASRV, arm64.RORV:
+		is64 := i.Rd.Is64()
+		size := boolSize(is64)
+		amt := uint(c.Reg(i.Rm) % uint64(size))
+		v := c.Reg(i.Rn)
+		var r uint64
+		switch i.Op {
+		case arm64.LSLV:
+			r = v << amt
+		case arm64.LSRV:
+			r = v >> amt
+		case arm64.ASRV:
+			if is64 {
+				r = uint64(int64(v) >> amt)
+			} else {
+				r = uint64(uint32(int32(uint32(v)) >> amt))
+			}
+		case arm64.RORV:
+			if is64 {
+				r = bits.RotateLeft64(v, -int(amt))
+			} else {
+				r = uint64(bits.RotateLeft32(uint32(v), -int(amt)))
+			}
+		}
+		c.SetReg(i.Rd, r&sizeMask(size))
+
+	case arm64.MADD, arm64.MSUB:
+		is64 := i.Rd.Is64()
+		n, m, a := c.Reg(i.Rn), c.Reg(i.Rm), c.Reg(i.Ra)
+		var r uint64
+		if i.Op == arm64.MADD {
+			r = a + n*m
+		} else {
+			r = a - n*m
+		}
+		c.SetReg(i.Rd, r&sizeMask(boolSize(is64)))
+
+	case arm64.SMADDL:
+		c.SetReg(i.Rd, c.Reg(i.Ra)+uint64(int64(int32(uint32(c.Reg(i.Rn))))*int64(int32(uint32(c.Reg(i.Rm))))))
+	case arm64.UMADDL:
+		c.SetReg(i.Rd, c.Reg(i.Ra)+(c.Reg(i.Rn)&0xffffffff)*(c.Reg(i.Rm)&0xffffffff))
+	case arm64.SMULH:
+		hi, _ := bits.Mul64(c.Reg(i.Rn), c.Reg(i.Rm))
+		// Convert unsigned high to signed high.
+		n, m := int64(c.Reg(i.Rn)), int64(c.Reg(i.Rm))
+		if n < 0 {
+			hi -= uint64(m)
+		}
+		if m < 0 {
+			hi -= uint64(n)
+		}
+		c.SetReg(i.Rd, hi)
+	case arm64.UMULH:
+		hi, _ := bits.Mul64(c.Reg(i.Rn), c.Reg(i.Rm))
+		c.SetReg(i.Rd, hi)
+
+	case arm64.CLZ:
+		if i.Rd.Is64() {
+			c.SetReg(i.Rd, uint64(bits.LeadingZeros64(c.Reg(i.Rn))))
+		} else {
+			c.SetReg(i.Rd, uint64(bits.LeadingZeros32(uint32(c.Reg(i.Rn)))))
+		}
+	case arm64.CLS:
+		v := c.Reg(i.Rn)
+		if i.Rd.Is64() {
+			if int64(v) < 0 {
+				v = ^v
+			}
+			c.SetReg(i.Rd, uint64(bits.LeadingZeros64(v))-1)
+		} else {
+			v32 := uint32(v)
+			if int32(v32) < 0 {
+				v32 = ^v32
+			}
+			c.SetReg(i.Rd, uint64(bits.LeadingZeros32(v32))-1)
+		}
+	case arm64.RBIT:
+		if i.Rd.Is64() {
+			c.SetReg(i.Rd, bits.Reverse64(c.Reg(i.Rn)))
+		} else {
+			c.SetReg(i.Rd, uint64(bits.Reverse32(uint32(c.Reg(i.Rn)))))
+		}
+	case arm64.REV:
+		if i.Rd.Is64() {
+			c.SetReg(i.Rd, bits.ReverseBytes64(c.Reg(i.Rn)))
+		} else {
+			c.SetReg(i.Rd, uint64(bits.ReverseBytes32(uint32(c.Reg(i.Rn)))))
+		}
+	case arm64.REV16:
+		v := c.Reg(i.Rn)
+		var r uint64
+		n := 4
+		if !i.Rd.Is64() {
+			n = 2
+		}
+		for k := 0; k < n; k++ {
+			h := (v >> (16 * k)) & 0xffff
+			r |= uint64(bits.ReverseBytes16(uint16(h))) << (16 * k)
+		}
+		c.SetReg(i.Rd, r)
+	case arm64.REV32:
+		v := c.Reg(i.Rn)
+		lo := uint64(bits.ReverseBytes32(uint32(v)))
+		hi := uint64(bits.ReverseBytes32(uint32(v >> 32)))
+		c.SetReg(i.Rd, hi<<32|lo)
+
+	case arm64.CSEL, arm64.CSINC, arm64.CSINV, arm64.CSNEG:
+		is64 := i.Rd.Is64()
+		var r uint64
+		if c.CondHolds(i.Cond) {
+			r = c.Reg(i.Rn)
+		} else {
+			m := c.Reg(i.Rm)
+			switch i.Op {
+			case arm64.CSEL:
+				r = m
+			case arm64.CSINC:
+				r = m + 1
+			case arm64.CSINV:
+				r = ^m
+			case arm64.CSNEG:
+				r = -m
+			}
+		}
+		c.SetReg(i.Rd, r&sizeMask(boolSize(is64)))
+
+	case arm64.CCMP, arm64.CCMN:
+		is64 := i.Rn.Is64()
+		if c.CondHolds(i.Cond) {
+			a := c.Reg(i.Rn)
+			var b uint64
+			if i.Rm == arm64.RegNone {
+				b = uint64(i.Imm)
+			} else {
+				b = c.Reg(i.Rm)
+			}
+			if i.Op == arm64.CCMP {
+				c.addWithCarry(a, ^b&sizeMask(boolSize(is64)), true, is64, true)
+			} else {
+				c.addWithCarry(a, b, false, is64, true)
+			}
+		} else {
+			nzcv := uint8(i.Amount)
+			c.FlagN = nzcv&8 != 0
+			c.FlagZ = nzcv&4 != 0
+			c.FlagC = nzcv&2 != 0
+			c.FlagV = nzcv&1 != 0
+		}
+
+	case arm64.B:
+		eff.branched, eff.target = true, pc+uint64(i.Imm)
+	case arm64.BL:
+		c.X[30] = pc + 4
+		eff.branched, eff.target = true, pc+uint64(i.Imm)
+	case arm64.BCOND:
+		if c.CondHolds(i.Cond) {
+			eff.branched, eff.target = true, pc+uint64(i.Imm)
+		}
+	case arm64.CBZ:
+		if c.Reg(i.Rd) == 0 {
+			eff.branched, eff.target = true, pc+uint64(i.Imm)
+		}
+	case arm64.CBNZ:
+		if c.Reg(i.Rd) != 0 {
+			eff.branched, eff.target = true, pc+uint64(i.Imm)
+		}
+	case arm64.TBZ:
+		if c.Reg(i.Rd)>>uint(i.Amount)&1 == 0 {
+			eff.branched, eff.target = true, pc+uint64(i.Imm)
+		}
+	case arm64.TBNZ:
+		if c.Reg(i.Rd)>>uint(i.Amount)&1 == 1 {
+			eff.branched, eff.target = true, pc+uint64(i.Imm)
+		}
+	case arm64.BR:
+		eff.branched, eff.target = true, c.Reg(i.Rn)
+	case arm64.BLR:
+		t := c.Reg(i.Rn)
+		c.X[30] = pc + 4
+		eff.branched, eff.target = true, t
+	case arm64.RET:
+		eff.branched, eff.target = true, c.Reg(i.Rn)
+
+	case arm64.LDR, arm64.LDRB, arm64.LDRH, arm64.LDRSB, arm64.LDRSH, arm64.LDRSW,
+		arm64.STR, arm64.STRB, arm64.STRH:
+		if tr := c.execLoadStore(i, pc, &eff); tr != nil {
+			return tr
+		}
+
+	case arm64.LDP, arm64.STP:
+		if tr := c.execPair(i, pc, &eff); tr != nil {
+			return tr
+		}
+
+	case arm64.LDXR, arm64.LDAXR, arm64.STXR, arm64.STLXR, arm64.LDAR, arm64.STLR:
+		if tr := c.execExclusive(i, pc, &eff); tr != nil {
+			return tr
+		}
+
+	case arm64.FMOV, arm64.FADD, arm64.FSUB, arm64.FMUL, arm64.FDIV, arm64.FNEG,
+		arm64.FABS, arm64.FSQRT, arm64.FMADD, arm64.FMSUB, arm64.FCMP, arm64.FCSEL,
+		arm64.FCVT, arm64.SCVTF, arm64.UCVTF, arm64.FCVTZS, arm64.FCVTZU:
+		if tr := c.execFP(i, pc); tr != nil {
+			return tr
+		}
+
+	case arm64.NOP, arm64.DMB, arm64.DSB, arm64.ISB:
+		// Barriers have timing cost only.
+
+	case arm64.SVC:
+		return &Trap{Kind: TrapSVC, PC: pc, Imm: uint64(i.Imm)}
+	case arm64.BRK:
+		return &Trap{Kind: TrapBRK, PC: pc, Imm: uint64(i.Imm)}
+
+	case arm64.MRS:
+		switch i.Imm {
+		case sysTPIDR:
+			c.SetReg(i.Rd, c.tpidr)
+		case sysNZCV:
+			var v uint64
+			if c.FlagN {
+				v |= 1 << 31
+			}
+			if c.FlagZ {
+				v |= 1 << 30
+			}
+			if c.FlagC {
+				v |= 1 << 29
+			}
+			if c.FlagV {
+				v |= 1 << 28
+			}
+			c.SetReg(i.Rd, v)
+		case sysCNTVCT:
+			c.SetReg(i.Rd, c.Instrs)
+		default:
+			return &Trap{Kind: TrapUndefined, PC: pc}
+		}
+	case arm64.MSR:
+		switch i.Imm {
+		case sysTPIDR:
+			c.tpidr = c.Reg(i.Rd)
+		case sysNZCV:
+			v := c.Reg(i.Rd)
+			c.FlagN = v&(1<<31) != 0
+			c.FlagZ = v&(1<<30) != 0
+			c.FlagC = v&(1<<29) != 0
+			c.FlagV = v&(1<<28) != 0
+		default:
+			return &Trap{Kind: TrapUndefined, PC: pc}
+		}
+
+	default:
+		return &Trap{Kind: TrapUndefined, PC: pc}
+	}
+
+	if c.Timing != nil {
+		c.Timing.retire(c, i, pc, &eff)
+	}
+	if eff.branched {
+		c.PC = eff.target
+	} else {
+		c.PC = pc + 4
+	}
+	return nil
+}
+
+func boolSize(is64 bool) uint {
+	if is64 {
+		return 64
+	}
+	return 32
+}
+
+func (c *CPU) execBitfield(i *arm64.Inst) {
+	is64 := i.Rd.Is64()
+	size := boolSize(is64)
+	r := uint(i.Imm)
+	s := uint(i.Amount)
+	src := c.Reg(i.Rn) & sizeMask(size)
+	dst := c.Reg(i.Rd) & sizeMask(size)
+	var res uint64
+	if s >= r {
+		// Extract field src[s:r] into the low bits.
+		width := s - r + 1
+		fieldv := (src >> r) & sizeMask(width)
+		switch i.Op {
+		case arm64.UBFM:
+			res = fieldv
+		case arm64.SBFM:
+			if fieldv>>(width-1)&1 == 1 {
+				fieldv |= ^sizeMask(width)
+			}
+			res = fieldv & sizeMask(size)
+		case arm64.BFM:
+			res = dst&^sizeMask(width) | fieldv
+		}
+	} else {
+		// Insert low bits of src at position size-r.
+		width := s + 1
+		pos := size - r
+		fieldv := src & sizeMask(width)
+		switch i.Op {
+		case arm64.UBFM:
+			res = fieldv << pos
+		case arm64.SBFM:
+			if fieldv>>(width-1)&1 == 1 {
+				fieldv |= ^sizeMask(width)
+			}
+			res = (fieldv << pos) & sizeMask(size)
+		case arm64.BFM:
+			m := sizeMask(width) << pos
+			res = dst&^m | (fieldv<<pos)&m
+		}
+	}
+	c.SetReg(i.Rd, res&sizeMask(size))
+}
+
+func (c *CPU) execLoadStore(i *arm64.Inst, pc uint64, eff *effects) *Trap {
+	addr, wb, wbVal := c.effAddr(i)
+	size := memAccessSize(i)
+	eff.hasMem, eff.memAddr = true, addr
+	if i.Op.IsStore() {
+		var v uint64
+		if i.Rd.IsFP() {
+			v = c.FP(i.Rd)
+			if size == 16 {
+				if f := c.Mem.Write(addr, c.V[i.Rd.Num()][0], 8); f != nil {
+					return c.memFault(pc, f)
+				}
+				if f := c.Mem.Write(addr+8, c.V[i.Rd.Num()][1], 8); f != nil {
+					return c.memFault(pc, f)
+				}
+				if wb {
+					c.SetReg(i.Mem.Base, wbVal)
+				}
+				return nil
+			}
+		} else {
+			v = c.Reg(i.Rd)
+		}
+		if f := c.Mem.Write(addr, v, size); f != nil {
+			return c.memFault(pc, f)
+		}
+	} else {
+		if i.Rd.IsFP() && size == 16 {
+			lo, f := c.Mem.Read(addr, 8)
+			if f != nil {
+				return c.memFault(pc, f)
+			}
+			hi, f := c.Mem.Read(addr+8, 8)
+			if f != nil {
+				return c.memFault(pc, f)
+			}
+			c.V[i.Rd.Num()][0], c.V[i.Rd.Num()][1] = lo, hi
+			if wb {
+				c.SetReg(i.Mem.Base, wbVal)
+			}
+			return nil
+		}
+		v, f := c.Mem.Read(addr, size)
+		if f != nil {
+			return c.memFault(pc, f)
+		}
+		switch i.Op {
+		case arm64.LDRSB:
+			v = uint64(int64(int8(v)))
+		case arm64.LDRSH:
+			v = uint64(int64(int16(v)))
+		case arm64.LDRSW:
+			v = uint64(int64(int32(uint32(v))))
+		}
+		if i.Rd.IsFP() {
+			c.SetFP(i.Rd, v)
+		} else {
+			c.SetReg(i.Rd, v)
+		}
+	}
+	if wb {
+		c.SetReg(i.Mem.Base, wbVal)
+	}
+	return nil
+}
+
+func (c *CPU) execPair(i *arm64.Inst, pc uint64, eff *effects) *Trap {
+	addr, wb, wbVal := c.effAddr(i)
+	var size int
+	if i.Rd.IsFP() {
+		size = i.Rd.FPBits() / 8
+	} else if i.Rd.Is64() {
+		size = 8
+	} else {
+		size = 4
+	}
+	eff.hasMem, eff.memAddr = true, addr
+	rw := func(r arm64.Reg, a uint64) *Trap {
+		if i.Op == arm64.STP {
+			if r.IsFP() && size == 16 {
+				if f := c.Mem.Write(a, c.V[r.Num()][0], 8); f != nil {
+					return c.memFault(pc, f)
+				}
+				if f := c.Mem.Write(a+8, c.V[r.Num()][1], 8); f != nil {
+					return c.memFault(pc, f)
+				}
+				return nil
+			}
+			var v uint64
+			if r.IsFP() {
+				v = c.FP(r)
+			} else {
+				v = c.Reg(r)
+			}
+			if f := c.Mem.Write(a, v, size); f != nil {
+				return c.memFault(pc, f)
+			}
+			return nil
+		}
+		if r.IsFP() && size == 16 {
+			lo, f := c.Mem.Read(a, 8)
+			if f != nil {
+				return c.memFault(pc, f)
+			}
+			hi, f := c.Mem.Read(a+8, 8)
+			if f != nil {
+				return c.memFault(pc, f)
+			}
+			c.V[r.Num()][0], c.V[r.Num()][1] = lo, hi
+			return nil
+		}
+		v, f := c.Mem.Read(a, size)
+		if f != nil {
+			return c.memFault(pc, f)
+		}
+		if r.IsFP() {
+			c.SetFP(r, v)
+		} else {
+			c.SetReg(r, v)
+		}
+		return nil
+	}
+	if tr := rw(i.Rd, addr); tr != nil {
+		return tr
+	}
+	if tr := rw(i.Rm, addr+uint64(size)); tr != nil {
+		return tr
+	}
+	if wb {
+		c.SetReg(i.Mem.Base, wbVal)
+	}
+	return nil
+}
+
+func (c *CPU) execExclusive(i *arm64.Inst, pc uint64, eff *effects) *Trap {
+	addr := c.Reg(i.Rn)
+	size := 8
+	if !i.Rd.Is64() {
+		size = 4
+	}
+	eff.hasMem, eff.memAddr = true, addr
+	switch i.Op {
+	case arm64.LDXR, arm64.LDAXR:
+		v, f := c.Mem.Read(addr, size)
+		if f != nil {
+			return c.memFault(pc, f)
+		}
+		c.exclAddr, c.exclValid = addr, true
+		c.SetReg(i.Rd, v)
+	case arm64.STXR, arm64.STLXR:
+		if c.exclValid && c.exclAddr == addr {
+			if f := c.Mem.Write(addr, c.Reg(i.Rd), size); f != nil {
+				return c.memFault(pc, f)
+			}
+			c.SetReg(i.Rm, 0) // success
+		} else {
+			c.SetReg(i.Rm, 1) // failure
+		}
+		c.exclValid = false
+	case arm64.LDAR:
+		v, f := c.Mem.Read(addr, size)
+		if f != nil {
+			return c.memFault(pc, f)
+		}
+		c.SetReg(i.Rd, v)
+	case arm64.STLR:
+		if f := c.Mem.Write(addr, c.Reg(i.Rd), size); f != nil {
+			return c.memFault(pc, f)
+		}
+	}
+	return nil
+}

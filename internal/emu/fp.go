@@ -1,0 +1,175 @@
+package emu
+
+import (
+	"math"
+
+	"lfi/internal/arm64"
+)
+
+func fpIs64(r arm64.Reg) bool { return r.FPBits() == 64 }
+
+// fpVal loads a register view as float64 (converting from float32 views).
+func (c *CPU) fpVal(r arm64.Reg) float64 {
+	b := c.FP(r)
+	if fpIs64(r) {
+		return math.Float64frombits(b)
+	}
+	return float64(math.Float32frombits(uint32(b)))
+}
+
+// setFPVal stores a float64 into a register view (converting to float32
+// views as needed).
+func (c *CPU) setFPVal(r arm64.Reg, v float64) {
+	if fpIs64(r) {
+		c.SetFP(r, math.Float64bits(v))
+	} else {
+		c.SetFP(r, uint64(math.Float32bits(float32(v))))
+	}
+}
+
+func (c *CPU) execFP(i *arm64.Inst, pc uint64) *Trap {
+	switch i.Op {
+	case arm64.FMOV:
+		switch {
+		case i.Rn == arm64.RegNone: // immediate
+			v := math.Float64frombits(uint64(i.Imm))
+			c.setFPVal(i.Rd, v)
+		case i.Rd.IsFP() && i.Rn.IsFP(): // bit move between equal views
+			c.SetFP(i.Rd, c.FP(i.Rn))
+		case i.Rd.IsGP(): // fp -> gpr: raw bits
+			c.SetReg(i.Rd, c.FP(i.Rn))
+		default: // gpr -> fp: raw bits
+			c.SetFP(i.Rd, c.Reg(i.Rn))
+		}
+
+	case arm64.FADD, arm64.FSUB, arm64.FMUL, arm64.FDIV:
+		a, b := c.fpVal(i.Rn), c.fpVal(i.Rm)
+		var r float64
+		switch i.Op {
+		case arm64.FADD:
+			r = a + b
+		case arm64.FSUB:
+			r = a - b
+		case arm64.FMUL:
+			r = a * b
+		case arm64.FDIV:
+			r = a / b
+		}
+		c.setFPVal(i.Rd, r)
+
+	case arm64.FMADD:
+		c.setFPVal(i.Rd, c.fpVal(i.Ra)+c.fpVal(i.Rn)*c.fpVal(i.Rm))
+	case arm64.FMSUB:
+		c.setFPVal(i.Rd, c.fpVal(i.Ra)-c.fpVal(i.Rn)*c.fpVal(i.Rm))
+
+	case arm64.FNEG:
+		c.setFPVal(i.Rd, -c.fpVal(i.Rn))
+	case arm64.FABS:
+		c.setFPVal(i.Rd, math.Abs(c.fpVal(i.Rn)))
+	case arm64.FSQRT:
+		c.setFPVal(i.Rd, math.Sqrt(c.fpVal(i.Rn)))
+
+	case arm64.FCMP:
+		a := c.fpVal(i.Rn)
+		b := 0.0
+		if i.Rm != arm64.RegNone {
+			b = c.fpVal(i.Rm)
+		}
+		switch {
+		case math.IsNaN(a) || math.IsNaN(b):
+			c.FlagN, c.FlagZ, c.FlagC, c.FlagV = false, false, true, true
+		case a == b:
+			c.FlagN, c.FlagZ, c.FlagC, c.FlagV = false, true, true, false
+		case a < b:
+			c.FlagN, c.FlagZ, c.FlagC, c.FlagV = true, false, false, false
+		default:
+			c.FlagN, c.FlagZ, c.FlagC, c.FlagV = false, false, true, false
+		}
+
+	case arm64.FCSEL:
+		if c.CondHolds(i.Cond) {
+			c.SetFP(i.Rd, c.FP(i.Rn))
+		} else {
+			c.SetFP(i.Rd, c.FP(i.Rm))
+		}
+
+	case arm64.FCVT:
+		if i.Rd.FPBits() == 16 || i.Rn.FPBits() == 16 {
+			return &Trap{Kind: TrapUndefined, PC: pc}
+		}
+		c.setFPVal(i.Rd, c.fpVal(i.Rn))
+
+	case arm64.SCVTF:
+		c.setFPVal(i.Rd, float64(regSigned(c, i.Rn)))
+	case arm64.UCVTF:
+		c.setFPVal(i.Rd, float64(c.Reg(i.Rn)))
+
+	case arm64.FCVTZS:
+		v := c.fpVal(i.Rn)
+		if i.Rd.Is64() {
+			c.SetReg(i.Rd, uint64(satS64(v)))
+		} else {
+			c.SetReg(i.Rd, uint64(uint32(satS32(v))))
+		}
+	case arm64.FCVTZU:
+		v := c.fpVal(i.Rn)
+		if i.Rd.Is64() {
+			c.SetReg(i.Rd, satU64(v))
+		} else {
+			c.SetReg(i.Rd, uint64(uint32(satU32(v))))
+		}
+	}
+	return nil
+}
+
+func regSigned(c *CPU, r arm64.Reg) int64 {
+	v := c.Reg(r)
+	if r.Is32() {
+		return int64(int32(uint32(v)))
+	}
+	return int64(v)
+}
+
+func satS64(v float64) int64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v >= math.MaxInt64:
+		return math.MaxInt64
+	case v <= math.MinInt64:
+		return math.MinInt64
+	}
+	return int64(v)
+}
+
+func satS32(v float64) int32 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v >= math.MaxInt32:
+		return math.MaxInt32
+	case v <= math.MinInt32:
+		return math.MinInt32
+	}
+	return int32(v)
+}
+
+func satU64(v float64) uint64 {
+	switch {
+	case math.IsNaN(v) || v <= 0:
+		return 0
+	case v >= math.MaxUint64:
+		return math.MaxUint64
+	}
+	return uint64(v)
+}
+
+func satU32(v float64) uint32 {
+	switch {
+	case math.IsNaN(v) || v <= 0:
+		return 0
+	case v >= math.MaxUint32:
+		return math.MaxUint32
+	}
+	return uint32(v)
+}

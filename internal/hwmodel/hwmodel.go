@@ -1,0 +1,96 @@
+// Package hwmodel provides calibrated analytical cost models for the
+// hardware-protection systems LFI is compared against in §6.4: Linux
+// processes (pagetable-based isolation), gVisor (containerization), and
+// KVM (virtualization). The LFI numbers in those comparisons are measured
+// in simulation; the hardware numbers follow from the cost structure the
+// paper describes (mode switches, pagetable switches, multi-process
+// syscall paths), with parameters set to land on the published
+// measurements so that derived quantities stay consistent.
+package hwmodel
+
+// Machine carries the per-machine cost parameters (cycles).
+type Machine struct {
+	Name    string
+	FreqGHz float64
+
+	// ModeSwitch is one user<->kernel transition.
+	ModeSwitch float64
+	// SyscallWork is the kernel-side cost of a trivial syscall (getpid).
+	SyscallWork float64
+	// ContextSwitch is a full process switch (pagetable change, scheduler,
+	// register state) — the "thousands of cycles" of §1.
+	ContextSwitch float64
+	// PipeWork is the kernel-side cost of moving one byte through a pipe.
+	PipeWork float64
+
+	// GVisor multipliers: a sandboxed syscall bounces through the sentry
+	// (systrap platform): several context switches plus sentry work.
+	GVisorSwitches float64
+	GVisorWork     float64
+	GVisorHosted   bool // false when gVisor is unsupported (16KiB pages)
+}
+
+// M1 models the Apple M1 Macbook Air of the evaluation (16KiB pages, so
+// gVisor is unsupported, as the paper notes).
+func M1() *Machine {
+	return &Machine{
+		Name:          "apple-m1",
+		FreqGHz:       3.2,
+		ModeSwitch:    120,
+		SyscallWork:   173,
+		ContextSwitch: 3600,
+		PipeWork:      500,
+		GVisorHosted:  false,
+	}
+}
+
+// T2A models the GCP Tau T2A instance (4KiB pages; gVisor supported).
+func T2A() *Machine {
+	return &Machine{
+		Name:           "gcp-t2a",
+		FreqGHz:        3.0,
+		ModeSwitch:     140,
+		SyscallWork:    200,
+		ContextSwitch:  5800,
+		PipeWork:       700,
+		GVisorSwitches: 5,
+		GVisorWork:     7000,
+		GVisorHosted:   true,
+	}
+}
+
+func (m *Machine) ns(cycles float64) float64 { return cycles / m.FreqGHz }
+
+// LinuxSyscallNS is the round-trip time of a trivial Linux syscall.
+func (m *Machine) LinuxSyscallNS() float64 {
+	return m.ns(2*m.ModeSwitch + m.SyscallWork)
+}
+
+// LinuxPipeNS is the time for one byte to cross a pipe between two
+// processes and a byte to come back, per one-way hop as measured by the
+// paper's benchmark (two blocking syscalls and a context switch per hop).
+func (m *Machine) LinuxPipeNS() float64 {
+	perHop := 2*(2*m.ModeSwitch+m.SyscallWork) + m.PipeWork + m.ContextSwitch
+	return m.ns(perHop)
+}
+
+// GVisorSyscallNS is the sentry-mediated syscall cost (systrap platform).
+func (m *Machine) GVisorSyscallNS() (float64, bool) {
+	if !m.GVisorHosted {
+		return 0, false
+	}
+	return m.ns(m.GVisorSwitches*m.ContextSwitch + m.GVisorWork), true
+}
+
+// GVisorPipeNS is the pipe ping cost under gVisor.
+func (m *Machine) GVisorPipeNS() (float64, bool) {
+	if !m.GVisorHosted {
+		return 0, false
+	}
+	sys, _ := m.GVisorSyscallNS()
+	return 2*sys - m.ns(m.GVisorWork/2), true
+}
+
+// MicrokernelIPCNS is the ~400-cycle hardware-protection IPC floor the
+// paper cites from the L4/seL4 literature (§6.4).
+func (m *Machine) MicrokernelIPCNS() float64 { return m.ns(400) }

@@ -1,0 +1,41 @@
+package hwmodel
+
+import "testing"
+
+// The calibration targets are the Table 5 "Linux" and "gVisor" columns.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if got < want*(1-tol) || got > want*(1+tol) {
+		t.Errorf("%s = %.0fns, want %.0fns (±%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+func TestM1Calibration(t *testing.T) {
+	m := M1()
+	within(t, "linux syscall", m.LinuxSyscallNS(), 129, 0.15)
+	within(t, "linux pipe", m.LinuxPipeNS(), 1504, 0.20)
+	if _, ok := m.GVisorSyscallNS(); ok {
+		t.Error("gVisor must be unsupported on 16KiB pages")
+	}
+}
+
+func TestT2ACalibration(t *testing.T) {
+	m := T2A()
+	within(t, "linux syscall", m.LinuxSyscallNS(), 160, 0.15)
+	within(t, "linux pipe", m.LinuxPipeNS(), 2494, 0.20)
+	sys, ok := m.GVisorSyscallNS()
+	if !ok {
+		t.Fatal("gVisor must be supported on T2A")
+	}
+	within(t, "gvisor syscall", sys, 12019, 0.25)
+	pipe, _ := m.GVisorPipeNS()
+	within(t, "gvisor pipe", pipe, 22899, 0.25)
+}
+
+func TestMicrokernelFloor(t *testing.T) {
+	m := M1()
+	ns := m.MicrokernelIPCNS()
+	if ns < 100 || ns > 200 {
+		t.Errorf("microkernel IPC floor = %.0fns; 400 cycles at 3.2GHz is 125ns", ns)
+	}
+}

@@ -1,0 +1,398 @@
+package lfirt
+
+import (
+	"encoding/binary"
+
+	"lfi/internal/core"
+	"lfi/internal/mem"
+)
+
+// Runtime call implementations (§5.3). Arguments arrive in x0..x5; the
+// result is returned in x0 (negative errno on failure). All pointers are
+// masked into the calling sandbox exactly as the hardware guards would
+// mask them, so a sandbox can never hand the runtime a pointer outside
+// itself (no confused deputy).
+
+const maxIOSize = 1 << 20
+
+// maskPtr forces a sandbox-supplied pointer into the sandbox.
+func (p *Proc) maskPtr(ptr uint64) uint64 { return p.Base | (ptr & 0xffffffff) }
+
+func (rt *Runtime) syscall(p *Proc, call core.RuntimeCall) action {
+	c := rt.CPU
+	a0, a1, a2 := c.X[0], c.X[1], c.X[2]
+
+	switch call {
+	case core.RTExit:
+		rt.saveRegs(p)
+		rt.kill(p, int(int32(uint32(a0))))
+		return actResched
+
+	case core.RTWrite:
+		return rt.resume(p, uint64(rt.sysWrite(p, a0, a1, a2)))
+
+	case core.RTRead:
+		fd := p.fds.get(int(int32(uint32(a0))))
+		if fd == nil {
+			return rt.resume(p, errRet(EBADF))
+		}
+		n := rt.doRead(p, fd, a1, a2)
+		if n == -EAGAIN {
+			// Block: save state with the return already staged so that
+			// wakeBlocked can retry using Regs.X[1..2].
+			rt.resume(p, 0) // position PC at the return point first
+			rt.saveRegs(p)
+			p.Regs.X[0] = a0
+			p.Regs.X[1] = a1
+			p.Regs.X[2] = a2
+			p.State = ProcBlocked
+			p.waitingFD = int(int32(uint32(a0)))
+			p.waitingWait = false
+			return actResched
+		}
+		return rt.resume(p, uint64(n))
+
+	case core.RTOpen:
+		return rt.resume(p, uint64(rt.sysOpen(p, a0, a1)))
+
+	case core.RTClose:
+		return rt.resume(p, uint64(p.fds.close(int(int32(uint32(a0))))))
+
+	case core.RTBrk:
+		return rt.resume(p, rt.sysBrk(p, a0))
+
+	case core.RTMmap:
+		return rt.resume(p, rt.sysMmap(p, a1))
+
+	case core.RTMunmap:
+		return rt.resume(p, uint64(rt.sysMunmap(p, a0, a1)))
+
+	case core.RTFork:
+		return rt.sysFork(p)
+
+	case core.RTWait:
+		return rt.sysWait(p, a0)
+
+	case core.RTYield:
+		return rt.sysYield(p, a0)
+
+	case core.RTGetPID:
+		return rt.resume(p, uint64(p.PID))
+
+	case core.RTPipe:
+		return rt.resume(p, uint64(rt.sysPipe(p, a0)))
+
+	case core.RTKill:
+		if int(int32(uint32(a0))) == p.PID {
+			rt.saveRegs(p)
+			rt.kill(p, 128+9)
+			return actResched
+		}
+		return rt.resume(p, uint64(rt.sysKill(p, a0)))
+
+	case core.RTUsleep:
+		// Model the sleep as an immediate requeue plus elapsed virtual
+		// time; there are no timers to wait on in the simulation.
+		if rt.Tim != nil {
+			rt.Tim.AddCycles(float64(a0) * rt.Tim.Model.FreqGHz * 1000)
+		}
+		rt.resume(p, 0)
+		rt.saveRegs(p)
+		rt.makeReady(p)
+		return actResched
+	}
+	rt.saveRegs(p)
+	rt.kill(p, 128+4)
+	return actResched
+}
+
+func (rt *Runtime) sysWrite(p *Proc, fdn, ptr, n uint64) int64 {
+	fd := p.fds.get(int(int32(uint32(fdn))))
+	if fd == nil {
+		return -EBADF
+	}
+	if n > maxIOSize {
+		n = maxIOSize
+	}
+	buf := make([]byte, n)
+	if f := rt.AS.ReadAt(buf, p.maskPtr(ptr)); f != nil {
+		return -EFAULT
+	}
+	return fd.write(buf)
+}
+
+// doRead performs one read attempt; -EAGAIN means the caller should block.
+func (rt *Runtime) doRead(p *Proc, fd *FD, ptr, n uint64) int64 {
+	if n > maxIOSize {
+		n = maxIOSize
+	}
+	buf := make([]byte, n)
+	r := fd.read(buf)
+	if r <= 0 {
+		return r
+	}
+	if f := rt.AS.WriteAt(buf[:r], p.maskPtr(ptr)); f != nil {
+		return -EFAULT
+	}
+	return r
+}
+
+func (rt *Runtime) readCString(p *Proc, ptr uint64) (string, bool) {
+	addr := p.maskPtr(ptr)
+	var out []byte
+	for len(out) < 4096 {
+		b, f := rt.AS.Read(addr, 1)
+		if f != nil {
+			return "", false
+		}
+		if b == 0 {
+			return string(out), true
+		}
+		out = append(out, byte(b))
+		addr++
+	}
+	return "", false
+}
+
+func (rt *Runtime) sysOpen(p *Proc, pathPtr, flags uint64) int64 {
+	path, ok := rt.readCString(p, pathPtr)
+	if !ok {
+		return -EFAULT
+	}
+	if rt.fs.denied(path) {
+		return -EACCES
+	}
+	fl := int(flags)
+	f, exists := rt.fs.files[path]
+	if !exists {
+		if fl&OCreat == 0 {
+			return -ENOENT
+		}
+		f = &memFile{}
+		rt.fs.files[path] = f
+	}
+	if fl&OTrunc != 0 {
+		f.data = nil
+	}
+	fd := &FD{kind: fdFile, file: f, flags: fl}
+	return int64(p.fds.alloc(fd))
+}
+
+func (rt *Runtime) sysBrk(p *Proc, addr uint64) uint64 {
+	off := addr & 0xffffffff
+	if off == 0 {
+		return p.Base + p.brk
+	}
+	if off < p.brk {
+		return p.Base + p.brk // shrinking not supported; report current
+	}
+	if off >= core.SandboxSize/2 {
+		return errRet(ENOMEM)
+	}
+	start := rt.pageUp(p.brk)
+	end := rt.pageUp(off)
+	if end > start {
+		if err := rt.AS.Map(p.Base+start, end-start, mem.PermRW); err != nil {
+			return errRet(ENOMEM)
+		}
+	}
+	p.brk = off
+	return p.Base + p.brk
+}
+
+func (rt *Runtime) sysMmap(p *Proc, length uint64) uint64 {
+	length = rt.pageUp(length)
+	if length == 0 || p.mmap+length > core.SandboxSize-core.GuardSize-rt.cfg.StackSize {
+		return errRet(ENOMEM)
+	}
+	off := p.mmap
+	if err := rt.AS.Map(p.Base+off, length, mem.PermRW); err != nil {
+		return errRet(ENOMEM)
+	}
+	p.mmap = off + length
+	return p.Base + off
+}
+
+func (rt *Runtime) sysMunmap(p *Proc, addr, length uint64) int64 {
+	off := addr & 0xffffffff
+	length = rt.pageUp(length)
+	if off%rt.cfg.PageSize != 0 || length == 0 {
+		return -EINVAL
+	}
+	if off+length > core.SandboxSize {
+		return -EINVAL
+	}
+	if err := rt.AS.Unmap(p.Base+off, length); err != nil {
+		return -EINVAL
+	}
+	return 0
+}
+
+// sysFork implements single-address-space fork (§5.3): the child lands in
+// a fresh slot, its memory is copied region by region, and every
+// address-bearing register is rebased by replacing the top 32 bits.
+func (rt *Runtime) sysFork(p *Proc) action {
+	slot, err := rt.allocSlot()
+	if err != nil {
+		return rt.resume(p, errRet(ENOMEM))
+	}
+	childBase := core.SlotBase(slot)
+
+	// Copy all mapped regions of the parent's slot.
+	for _, r := range rt.AS.Regions() {
+		if r.Addr < p.Base || r.Addr >= p.Base+core.SandboxSize {
+			continue
+		}
+		off := r.Addr - p.Base
+		if err := rt.AS.CopyRange(r.Addr, childBase+off, r.Size); err != nil {
+			rt.freeSlot(slot)
+			return rt.resume(p, errRet(ENOMEM))
+		}
+	}
+
+	child := &Proc{
+		PID:      rt.nextPID,
+		Slot:     slot,
+		Base:     childBase,
+		State:    ProcReady,
+		fds:      p.fds.clone(),
+		brk:      p.brk,
+		mmap:     p.mmap,
+		parent:   p,
+		children: make(map[int]*Proc),
+		segHi:    p.segHi,
+	}
+	rt.nextPID++
+
+	// Child registers: parent's state with x0 = 0 and the address-bearing
+	// registers rebased into the child slot. General registers keep their
+	// values: the guards replace their top 32 bits at every use, which is
+	// exactly what makes fork work in one address space.
+	rt.saveRegs(p) // snapshot current state (we are inside the call)
+	child.Regs = p.Regs
+	rebase := func(v uint64) uint64 { return childBase | (v & 0xffffffff) }
+	child.Regs.X[0] = 0
+	child.Regs.X[18] = rebase(child.Regs.X[18])
+	child.Regs.X[21] = childBase
+	child.Regs.X[23] = rebase(child.Regs.X[23])
+	child.Regs.X[24] = rebase(child.Regs.X[24])
+	child.Regs.X[30] = rebase(child.Regs.X[30])
+	child.Regs.SP = rebase(child.Regs.SP)
+	child.Regs.PC = rebase(child.Regs.X[30])
+
+	p.children[child.PID] = child
+	rt.procs[child.PID] = child
+	rt.ready = append(rt.ready, child)
+	rt.CPU.FlushICache()
+	return rt.resume(p, uint64(child.PID))
+}
+
+func (rt *Runtime) sysWait(p *Proc, statusPtr uint64) action {
+	if len(p.children) == 0 {
+		return rt.resume(p, errRet(ECHILD))
+	}
+	for pid, c := range p.children {
+		if c.State == ProcZombie {
+			rt.reap(p, c, statusPtr)
+			return rt.resume(p, uint64(pid))
+		}
+	}
+	// Block until a child exits.
+	rt.resume(p, 0)
+	rt.saveRegs(p)
+	p.State = ProcBlocked
+	p.waitingWait = true
+	p.waitStatus = statusPtr
+	return actResched
+}
+
+// reap collects a zombie child, writing its status if requested.
+func (rt *Runtime) reap(p, c *Proc, statusPtr uint64) {
+	if statusPtr != 0 {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(c.Exit))
+		rt.AS.WriteAt(b[:], p.maskPtr(statusPtr))
+	}
+	delete(p.children, c.PID)
+	delete(rt.procs, c.PID)
+}
+
+// completeWait finishes a blocked wait() when a child has become a zombie.
+func (rt *Runtime) completeWait(p *Proc) {
+	for pid, c := range p.children {
+		if c.State == ProcZombie {
+			rt.reap(p, c, p.waitStatus)
+			p.Regs.X[0] = uint64(pid)
+			rt.makeReady(p)
+			return
+		}
+	}
+}
+
+// sysYield implements the fast direct yield (§5.3): control transfers
+// straight to the target sandbox without a scheduler pass, saving and
+// restoring only what a cross-domain call needs. The call returns the
+// yielding process's pid in the target.
+func (rt *Runtime) sysYield(p *Proc, target uint64) action {
+	// Charge the cheap path instead of the full host-call cost.
+	rt.charge(rt.CostYield - rt.CostHostCall)
+
+	var t *Proc
+	if target != 0 {
+		t = rt.procs[int(int32(uint32(target)))]
+		if t == nil || (t.State != ProcReady && t.State != ProcRunning) {
+			return rt.resume(p, errRet(ESRCH))
+		}
+	} else {
+		// Yield to the scheduler.
+		rt.resume(p, 0)
+		rt.saveRegs(p)
+		rt.makeReady(p)
+		return actResched
+	}
+
+	// Position the yielder at its return point, then save and requeue it.
+	rt.resume(p, 0)
+	rt.saveRegs(p)
+	rt.makeReady(p)
+
+	// The target resumes with x0 = yielder pid.
+	t.Regs.X[0] = uint64(p.PID)
+	// Remove the target from the ready queue; the dispatcher switches to
+	// it directly.
+	for i, q := range rt.ready {
+		if q == t {
+			rt.ready = append(rt.ready[:i], rt.ready[i+1:]...)
+			break
+		}
+	}
+	rt.switchTarget = t
+	return actSwitch
+}
+
+func (rt *Runtime) sysPipe(p *Proc, ptr uint64) int64 {
+	pp := &pipe{readers: 1, writers: 1}
+	rfd := &FD{kind: fdPipeRead, pipe: pp}
+	wfd := &FD{kind: fdPipeWrite, pipe: pp}
+	r := p.fds.alloc(rfd)
+	w := p.fds.alloc(wfd)
+	if r < 0 || w < 0 {
+		return -EMFILE
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(r))
+	binary.LittleEndian.PutUint32(b[4:], uint32(w))
+	if f := rt.AS.WriteAt(b[:], p.maskPtr(ptr)); f != nil {
+		return -EFAULT
+	}
+	return 0
+}
+
+func (rt *Runtime) sysKill(p *Proc, pid uint64) int64 {
+	t := rt.procs[int(int32(uint32(pid)))]
+	if t == nil || t == p {
+		return -ESRCH
+	}
+	rt.kill(t, 128+9)
+	return 0
+}

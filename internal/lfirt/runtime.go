@@ -1,0 +1,390 @@
+// Package lfirt is the LFI runtime (§5.3): a single "process" that loads
+// verified ELF executables into 4GiB sandbox slots of one shared address
+// space, provides mediated runtime calls (a small Unix: files, pipes,
+// fork, wait), schedules sandboxes preemptively, and implements the fast
+// direct yield used for microkernel-style IPC.
+package lfirt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"debug/elf"
+
+	"lfi/internal/core"
+	"lfi/internal/elfobj"
+	"lfi/internal/emu"
+	"lfi/internal/mem"
+	"lfi/internal/verifier"
+)
+
+// Config parameterizes a runtime instance.
+type Config struct {
+	// PageSize of the underlying address space (0 = 16KiB).
+	PageSize uint64
+	// MaxSlots bounds how many sandbox slots may be used (0 = a small
+	// default suitable for tests; core.MaxSandboxes is the architectural
+	// limit).
+	MaxSlots int
+	// Timeslice is the preemption budget in instructions (0 = 200k).
+	// It models the setitimer alarm of §5.3.
+	Timeslice uint64
+	// Verify controls load-time verification. Disabling it reproduces the
+	// paper's "native in the LFI environment" baseline configuration.
+	Verify bool
+	// Verifier configuration (TextOff is filled per binary).
+	VerifierCfg verifier.Config
+	// Model selects the timing model; nil disables timing.
+	Model *emu.CoreModel
+	// StackSize per sandbox (0 = 8MiB).
+	StackSize uint64
+	// SpectreMitigations models the §7.1 cross-sandbox/host poisoning
+	// defense: the runtime writes SCXTNUM_EL0 on every isolation-domain
+	// change so branch-predictor state is not shared, at a per-switch
+	// cost charged to the timing model.
+	SpectreMitigations bool
+}
+
+// DefaultConfig returns a runtime configuration with verification on.
+func DefaultConfig() Config {
+	return Config{Verify: true, VerifierCfg: verifier.DefaultConfig()}
+}
+
+// Host-call dispatch: call-table entries point into the reserved runtime
+// slot (the last 4GiB slot of the 48-bit space; §3 footnote 2). Entry i
+// lives at hostCallStride*i past the base.
+const hostCallStride = 16
+
+// ProcState is a process's scheduler state.
+type ProcState uint8
+
+const (
+	ProcReady ProcState = iota
+	ProcRunning
+	ProcBlocked
+	ProcZombie
+)
+
+func (s ProcState) String() string {
+	return [...]string{"ready", "running", "blocked", "zombie"}[s]
+}
+
+// Regs is the saved architectural state of a descheduled process.
+type Regs struct {
+	X     [31]uint64
+	SP    uint64
+	PC    uint64
+	V     [32][2]uint64
+	N, Z  bool
+	C, Vf bool
+}
+
+// Proc is one sandboxed process.
+type Proc struct {
+	PID    int
+	Slot   int
+	Base   uint64
+	State  ProcState
+	Regs   Regs
+	Exit   int
+	parent *Proc
+
+	fds  *fdTable
+	brk  uint64 // current heap end (sandbox-relative)
+	mmap uint64 // next mmap address (sandbox-relative)
+
+	// Blocking state.
+	waitingFD   int  // fd the proc blocks on for read
+	waitingWait bool // blocked in wait()
+	waitStatus  uint64
+
+	children map[int]*Proc
+
+	// Segments recorded for fork.
+	segHi uint64 // highest mapped sandbox-relative offset (exclusive)
+}
+
+// Runtime is the host process managing all sandboxes.
+type Runtime struct {
+	cfg Config
+
+	AS  *mem.AddrSpace
+	CPU *emu.CPU
+	Tim *emu.Timing
+
+	hostBase uint64
+
+	procs   map[int]*Proc
+	nextPID int
+	slots   map[int]bool // allocated slots
+	maxSlot int
+
+	ready        []*Proc
+	cur          *Proc
+	switchTarget *Proc // direct-yield destination
+
+	fs     *FS
+	stdout bytes.Buffer
+	stderr bytes.Buffer
+
+	// Statistics.
+	Switches  uint64 // context switches
+	HostCalls uint64
+	Preempts  uint64
+
+	// Host-side cycle costs charged to the timing model, calibrated so
+	// that the Table 5 microbenchmarks land in the right regime.
+	CostHostCall float64 // trap + dispatch + resume (no mode switch)
+	CostYield    float64 // direct yield (callee-saved swap only)
+	CostSwitch   float64 // scheduler-driven context switch
+	// CostSCXTNUM is the cost of one software-context-number change
+	// (two system register writes around each domain crossing, §7.1).
+	CostSCXTNUM float64
+}
+
+// New creates a runtime with an empty address space.
+func New(cfg Config) *Runtime {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = 16 * 1024
+	}
+	if cfg.Timeslice == 0 {
+		cfg.Timeslice = 200_000
+	}
+	if cfg.MaxSlots == 0 {
+		cfg.MaxSlots = 64
+	}
+	if cfg.StackSize == 0 {
+		cfg.StackSize = 8 << 20
+	}
+	as := mem.NewAddrSpace(cfg.PageSize)
+	cpu := emu.New(as)
+	rt := &Runtime{
+		cfg:          cfg,
+		AS:           as,
+		CPU:          cpu,
+		hostBase:     core.SlotBase(core.MaxSandboxes - 1),
+		procs:        make(map[int]*Proc),
+		nextPID:      1,
+		slots:        make(map[int]bool),
+		maxSlot:      cfg.MaxSlots,
+		fs:           NewFS(),
+		CostHostCall: 55,
+		CostYield:    46,
+		CostSwitch:   60,
+		CostSCXTNUM:  25,
+	}
+	if cfg.Model != nil {
+		rt.Tim = emu.NewTiming(cfg.Model)
+		cpu.Timing = rt.Tim
+	}
+	cpu.SetHostCallRegion(rt.hostBase, uint64(core.NumRuntimeCalls)*hostCallStride)
+	return rt
+}
+
+// FS exposes the in-memory filesystem for host-side setup.
+func (rt *Runtime) FS() *FS { return rt.fs }
+
+// Stdout returns everything sandboxes wrote to fd 1.
+func (rt *Runtime) Stdout() []byte { return rt.stdout.Bytes() }
+
+// Stderr returns everything sandboxes wrote to fd 2.
+func (rt *Runtime) Stderr() []byte { return rt.stderr.Bytes() }
+
+// Procs returns the live process table (for inspection).
+func (rt *Runtime) Procs() map[int]*Proc { return rt.procs }
+
+// allocSlot reserves a free sandbox slot. Slot 0 stays unmapped (null
+// pages must not alias a sandbox) and the final slot belongs to the
+// runtime.
+func (rt *Runtime) allocSlot() (int, error) {
+	for i := 1; i <= rt.maxSlot && i < core.MaxSandboxes-1; i++ {
+		if !rt.slots[i] {
+			rt.slots[i] = true
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("lfirt: out of sandbox slots (max %d)", rt.maxSlot)
+}
+
+func (rt *Runtime) freeSlot(i int) { delete(rt.slots, i) }
+
+func (rt *Runtime) pageUp(v uint64) uint64 {
+	return (v + rt.cfg.PageSize - 1) &^ (rt.cfg.PageSize - 1)
+}
+
+func (rt *Runtime) pageDown(v uint64) uint64 {
+	return v &^ (rt.cfg.PageSize - 1)
+}
+
+// Load verifies and loads an ELF executable into a fresh sandbox,
+// returning the new (ready) process.
+func (rt *Runtime) Load(elfBytes []byte) (*Proc, error) {
+	exe, err := elfobj.Unmarshal(elfBytes)
+	if err != nil {
+		return nil, err
+	}
+	return rt.LoadExecutable(exe)
+}
+
+// LoadExecutable loads an already-parsed executable.
+func (rt *Runtime) LoadExecutable(exe *elfobj.Executable) (*Proc, error) {
+	text, err := exe.TextSegment()
+	if err != nil {
+		return nil, err
+	}
+	if rt.cfg.Verify {
+		cfg := rt.cfg.VerifierCfg
+		cfg.TextOff = text.Vaddr
+		if _, err := verifier.Verify(text.Data, cfg); err != nil {
+			return nil, fmt.Errorf("lfirt: rejected by verifier: %w", err)
+		}
+	}
+
+	slot, err := rt.allocSlot()
+	if err != nil {
+		return nil, err
+	}
+	base := core.SlotBase(slot)
+
+	// Call-table page: read-only, entries point at the host-call region.
+	if err := rt.AS.Map(base, core.CallTableSize, mem.PermRead); err != nil {
+		rt.freeSlot(slot)
+		return nil, err
+	}
+	var entry [8]byte
+	for rc := core.RuntimeCall(0); rc < core.NumRuntimeCalls; rc++ {
+		binary.LittleEndian.PutUint64(entry[:], rt.hostBase+uint64(rc)*hostCallStride)
+		if f := rt.AS.WriteForce(entry[:], base+uint64(rc.TableOffset())); f != nil {
+			return nil, fmt.Errorf("lfirt: writing call table: %v", f)
+		}
+	}
+	// Context words used by the Wasm-baseline instrumentation (no secrets:
+	// the sandbox base and a type tag; see internal/wasmbase).
+	binary.LittleEndian.PutUint64(entry[:], base)
+	rt.AS.WriteForce(entry[:], base+core.CtxHeapBaseOff)
+	binary.LittleEndian.PutUint64(entry[:], core.CtxTypeTag)
+	rt.AS.WriteForce(entry[:], base+core.CtxTypeTagOff)
+
+	segHi := uint64(0)
+	for _, s := range exe.Segments {
+		if s.Vaddr < core.MinCodeOffset {
+			return nil, fmt.Errorf("lfirt: segment at %#x below the code region", s.Vaddr)
+		}
+		if s.Vaddr+s.MemSize > core.SandboxSize-core.GuardSize {
+			return nil, fmt.Errorf("lfirt: segment at %#x overflows the sandbox", s.Vaddr)
+		}
+		perm := mem.PermRead
+		if s.Flags&elf.PF_W != 0 {
+			perm |= mem.PermWrite
+		}
+		if s.Flags&elf.PF_X != 0 {
+			perm = mem.PermRX // W^X: never writable and executable
+		}
+		start := rt.pageDown(base + s.Vaddr)
+		end := rt.pageUp(base + s.Vaddr + s.MemSize)
+		if err := rt.AS.Map(start, end-start, perm); err != nil {
+			return nil, fmt.Errorf("lfirt: mapping segment: %w", err)
+		}
+		if f := rt.AS.WriteForce(s.Data, base+s.Vaddr); f != nil {
+			return nil, fmt.Errorf("lfirt: writing segment: %v", f)
+		}
+		if s.Vaddr+s.MemSize > segHi {
+			segHi = s.Vaddr + s.MemSize
+		}
+	}
+
+	// Stack: below the trailing guard region.
+	stackTopOff := core.SandboxSize - core.GuardSize
+	stackTop := base + stackTopOff
+	if err := rt.AS.Map(stackTop-rt.cfg.StackSize, rt.cfg.StackSize, mem.PermRW); err != nil {
+		return nil, fmt.Errorf("lfirt: mapping stack: %w", err)
+	}
+
+	p := &Proc{
+		PID:      rt.nextPID,
+		Slot:     slot,
+		Base:     base,
+		State:    ProcReady,
+		fds:      newFDTable(&rt.stdout, &rt.stderr),
+		brk:      rt.pageUp(segHi),
+		mmap:     core.SandboxSize / 2, // mmap arena in the upper half
+		children: make(map[int]*Proc),
+		segHi:    rt.pageUp(segHi),
+	}
+	rt.nextPID++
+
+	p.Regs.PC = base + exe.Entry
+	p.Regs.SP = stackTop
+	p.Regs.X[21] = base
+	// The always-valid registers start at the entry point.
+	p.Regs.X[18] = base + exe.Entry
+	p.Regs.X[23] = base + exe.Entry
+	p.Regs.X[24] = base + exe.Entry
+	p.Regs.X[30] = base + exe.Entry
+
+	rt.procs[p.PID] = p
+	rt.ready = append(rt.ready, p)
+	rt.CPU.FlushICache()
+	return p, nil
+}
+
+// saveRegs/loadRegs swap a process's state with the CPU.
+func (rt *Runtime) saveRegs(p *Proc) {
+	c := rt.CPU
+	copy(p.Regs.X[:], c.X[:])
+	p.Regs.SP = c.SP
+	p.Regs.PC = c.PC
+	p.Regs.V = c.V
+	p.Regs.N, p.Regs.Z, p.Regs.C, p.Regs.Vf = c.FlagN, c.FlagZ, c.FlagC, c.FlagV
+}
+
+func (rt *Runtime) loadRegs(p *Proc) {
+	c := rt.CPU
+	copy(c.X[:], p.Regs.X[:])
+	c.SP = p.Regs.SP
+	c.PC = p.Regs.PC
+	c.V = p.Regs.V
+	c.FlagN, c.FlagZ, c.FlagC, c.FlagV = p.Regs.N, p.Regs.Z, p.Regs.C, p.Regs.Vf
+}
+
+// Kill terminates a process with the given exit status.
+func (rt *Runtime) kill(p *Proc, status int) {
+	if p.State == ProcZombie {
+		return
+	}
+	p.State = ProcZombie
+	p.Exit = status
+	p.fds.closeAll()
+	// Unmap the sandbox except when a parent may still wait on us — the
+	// memory can go either way; release it eagerly.
+	rt.releaseMemory(p)
+	// Wake a parent blocked in wait().
+	if p.parent != nil && p.parent.State == ProcBlocked && p.parent.waitingWait {
+		rt.completeWait(p.parent)
+	}
+	// Reparent children to nobody; zombies among them are reaped now.
+	for _, c := range p.children {
+		c.parent = nil
+		if c.State == ProcZombie {
+			delete(rt.procs, c.PID)
+		}
+	}
+	if p.parent == nil {
+		delete(rt.procs, p.PID)
+	}
+}
+
+func (rt *Runtime) releaseMemory(p *Proc) {
+	// Unmap every mapped page in the slot.
+	for _, r := range rt.AS.Regions() {
+		if r.Addr >= p.Base && r.Addr < p.Base+core.SandboxSize {
+			_ = rt.AS.Unmap(r.Addr, r.Size)
+		}
+	}
+	rt.freeSlot(p.Slot)
+	rt.CPU.FlushICache()
+}
+
+// ExitStatus returns a finished process's status.
+func (p *Proc) ExitStatus() int { return p.Exit }

@@ -1,0 +1,209 @@
+package lfirt
+
+import (
+	"fmt"
+
+	"lfi/internal/core"
+	"lfi/internal/emu"
+)
+
+// The scheduler is round-robin with preemption by instruction budget,
+// standing in for the setitimer alarm of §5.3. Runtime calls are handled
+// inline — no mode switch, no pagetable switch — which is where LFI's
+// syscall speedup comes from.
+
+type action uint8
+
+const (
+	actContinue action = iota // resume the same process
+	actResched                // process was saved and requeued/blocked/killed
+	actSwitch                 // direct switch to rt.switchTarget (yield)
+)
+
+// ErrDeadlock is returned when live processes remain but none can run.
+type ErrDeadlock struct {
+	Blocked int
+}
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("lfirt: deadlock: %d blocked processes and no runnable ones", e.Blocked)
+}
+
+// Run schedules processes until all of them have exited. It returns an
+// error on deadlock.
+func (rt *Runtime) Run() error {
+	for {
+		p := rt.pickNext()
+		if p == nil {
+			blocked := 0
+			for _, q := range rt.procs {
+				if q.State == ProcBlocked {
+					blocked++
+				}
+			}
+			if blocked > 0 {
+				return &ErrDeadlock{Blocked: blocked}
+			}
+			return nil
+		}
+		rt.dispatch(p)
+	}
+}
+
+// RunProc runs until the given process exits (other processes are
+// scheduled as needed). It returns the exit status.
+func (rt *Runtime) RunProc(p *Proc) (int, error) {
+	for p.State != ProcZombie {
+		q := rt.pickNext()
+		if q == nil {
+			return 0, &ErrDeadlock{}
+		}
+		rt.dispatch(q)
+	}
+	return p.Exit, nil
+}
+
+// pickNext wakes any unblockable processes and pops the ready queue.
+func (rt *Runtime) pickNext() *Proc {
+	rt.wakeBlocked()
+	for len(rt.ready) > 0 {
+		p := rt.ready[0]
+		rt.ready = rt.ready[1:]
+		if p.State == ProcReady {
+			return p
+		}
+	}
+	return nil
+}
+
+// wakeBlocked retries blocked readers whose pipes now have data or EOF.
+func (rt *Runtime) wakeBlocked() {
+	for _, p := range rt.procs {
+		if p.State != ProcBlocked || p.waitingWait {
+			continue
+		}
+		fd := p.fds.get(p.waitingFD)
+		if fd == nil {
+			// fd vanished: fail the read with EBADF.
+			p.Regs.X[0] = errRet(EBADF)
+			rt.makeReady(p)
+			continue
+		}
+		if fd.kind == fdPipeRead && fd.pipe.buf.Len() == 0 && fd.pipe.writers > 0 {
+			continue // still nothing to read
+		}
+		// Retry the read against the saved arguments.
+		n := rt.doRead(p, fd, p.Regs.X[1], p.Regs.X[2])
+		if n == -EAGAIN {
+			continue
+		}
+		p.Regs.X[0] = uint64(n)
+		rt.makeReady(p)
+	}
+}
+
+func (rt *Runtime) makeReady(p *Proc) {
+	p.State = ProcReady
+	p.waitingWait = false
+	rt.ready = append(rt.ready, p)
+}
+
+// dispatch runs p until it blocks, exits, is preempted, or yields away.
+func (rt *Runtime) dispatch(p *Proc) {
+	rt.loadRegs(p)
+	p.State = ProcRunning
+	rt.cur = p
+	rt.Switches++
+	rt.charge(rt.CostSwitch)
+	if rt.cfg.SpectreMitigations {
+		rt.charge(rt.CostSCXTNUM)
+	}
+
+	for {
+		tr := rt.CPU.Run(rt.cfg.Timeslice)
+		switch tr.Kind {
+		case emu.TrapHostCall:
+			rt.HostCalls++
+			act := rt.hostCall(p, tr.PC)
+			switch act {
+			case actContinue:
+				continue
+			case actSwitch:
+				t := rt.switchTarget
+				rt.switchTarget = nil
+				rt.loadRegs(t)
+				t.State = ProcRunning
+				rt.cur = t
+				p = t
+				continue
+			default:
+				return
+			}
+
+		case emu.TrapBudget:
+			rt.Preempts++
+			rt.saveRegs(p)
+			rt.makeReady(p)
+			rt.charge(rt.CostSwitch)
+			return
+
+		case emu.TrapBRK:
+			// brk is an abort from the sandbox's perspective.
+			rt.saveRegs(p)
+			rt.kill(p, 128+6)
+			return
+
+		case emu.TrapMemFault:
+			rt.saveRegs(p)
+			rt.kill(p, 128+11) // "SIGSEGV"
+			return
+
+		case emu.TrapSVC, emu.TrapUndefined:
+			// The verifier prevents these in verified code; native code
+			// run unverified can still reach them.
+			rt.saveRegs(p)
+			rt.kill(p, 128+4) // "SIGILL"
+			return
+
+		default:
+			rt.saveRegs(p)
+			rt.kill(p, 128)
+			return
+		}
+	}
+}
+
+func (rt *Runtime) charge(cycles float64) {
+	if rt.Tim != nil {
+		rt.Tim.AddCycles(cycles)
+	}
+}
+
+// hostCall dispatches the runtime call whose entry the sandbox jumped to.
+func (rt *Runtime) hostCall(p *Proc, pc uint64) action {
+	off := pc - rt.hostBase
+	if off%hostCallStride != 0 || off/hostCallStride >= uint64(core.NumRuntimeCalls) {
+		rt.saveRegs(p)
+		rt.kill(p, 128+4)
+		return actResched
+	}
+	call := core.RuntimeCall(off / hostCallStride)
+	rt.charge(rt.CostHostCall)
+	if rt.cfg.SpectreMitigations {
+		// Entering and leaving the runtime each rewrite SCXTNUM_EL0 so
+		// the sandbox cannot poison host branch prediction (§7.1).
+		rt.charge(2 * rt.CostSCXTNUM)
+	}
+	return rt.syscall(p, call)
+}
+
+// resume returns control to the sandbox after a completed call: x0 holds
+// the result and execution continues at the (re-guarded) return address.
+func (rt *Runtime) resume(p *Proc, ret uint64) action {
+	c := rt.CPU
+	c.X[0] = ret
+	retPC := p.Base | (c.X[30] & 0xffffffff)
+	c.X[30] = retPC // restore the x30 invariant before reentry
+	c.PC = retPC
+	return actContinue
+}

@@ -1,0 +1,424 @@
+// Package mem provides a sparse 48-bit virtual address space with
+// page-granular permissions. It is the memory substrate underneath the
+// emulated CPU: sandbox slots, guard regions, and the runtime's own
+// mappings all live in one AddrSpace, exactly as LFI packs tens of
+// thousands of sandboxes into a single hardware address space.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Perm is a page permission bitmask.
+type Perm uint8
+
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+
+	PermNone Perm = 0
+	PermRW        = PermRead | PermWrite
+	PermRX        = PermRead | PermExec
+)
+
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Access identifies the kind of memory access that faulted.
+type Access uint8
+
+const (
+	AccessRead Access = iota
+	AccessWrite
+	AccessExec
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	default:
+		return "exec"
+	}
+}
+
+// Fault describes a memory access violation. It plays the role of a
+// hardware exception: the emulator converts it into a trap that kills the
+// offending sandbox.
+type Fault struct {
+	Addr   uint64
+	Access Access
+	Size   int
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("mem: fault: %s of %d bytes at %#x", f.Access, f.Size, f.Addr)
+}
+
+// AddrWidth is the usable virtual address width (48-bit usermode space, as
+// on typical ARM64 machines; the paper's sandbox count derives from it).
+const AddrWidth = 48
+
+// MaxAddr is the first address beyond the usable address space.
+const MaxAddr = uint64(1) << AddrWidth
+
+type page struct {
+	perm Perm
+	data []byte
+}
+
+// AddrSpace is a sparse page-mapped address space.
+type AddrSpace struct {
+	pageSize  uint64
+	pageShift uint
+	pages     map[uint64]*page
+
+	// One-entry lookup caches, split by access kind. They make the
+	// emulator's hot loop independent of map performance for sequential
+	// access patterns.
+	lastRead  cachedPage
+	lastWrite cachedPage
+	lastExec  cachedPage
+}
+
+type cachedPage struct {
+	idx uint64
+	pg  *page
+}
+
+// NewAddrSpace creates an empty address space with the given page size
+// (must be a power of two; 0 selects 16KiB, the Apple ARM64 page size).
+func NewAddrSpace(pageSize uint64) *AddrSpace {
+	if pageSize == 0 {
+		pageSize = 16 * 1024
+	}
+	if pageSize&(pageSize-1) != 0 {
+		panic("mem: page size must be a power of two")
+	}
+	shift := uint(0)
+	for s := pageSize; s > 1; s >>= 1 {
+		shift++
+	}
+	return &AddrSpace{
+		pageSize:  pageSize,
+		pageShift: shift,
+		pages:     make(map[uint64]*page),
+		lastRead:  cachedPage{idx: ^uint64(0)},
+		lastWrite: cachedPage{idx: ^uint64(0)},
+		lastExec:  cachedPage{idx: ^uint64(0)},
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (as *AddrSpace) PageSize() uint64 { return as.pageSize }
+
+func (as *AddrSpace) invalidate() {
+	as.lastRead = cachedPage{idx: ^uint64(0)}
+	as.lastWrite = cachedPage{idx: ^uint64(0)}
+	as.lastExec = cachedPage{idx: ^uint64(0)}
+}
+
+func (as *AddrSpace) aligned(addr, size uint64) error {
+	if addr%as.pageSize != 0 {
+		return fmt.Errorf("mem: address %#x not page aligned", addr)
+	}
+	if size == 0 || size%as.pageSize != 0 {
+		return fmt.Errorf("mem: size %#x not a positive page multiple", size)
+	}
+	if addr >= MaxAddr || addr+size > MaxAddr || addr+size < addr {
+		return fmt.Errorf("mem: range [%#x, %#x) outside the %d-bit address space", addr, addr+size, AddrWidth)
+	}
+	return nil
+}
+
+// Map creates pages over [addr, addr+size) with the given permissions.
+// Mapping over an existing page fails.
+func (as *AddrSpace) Map(addr, size uint64, perm Perm) error {
+	if err := as.aligned(addr, size); err != nil {
+		return err
+	}
+	first := addr >> as.pageShift
+	n := size >> as.pageShift
+	for i := uint64(0); i < n; i++ {
+		if _, ok := as.pages[first+i]; ok {
+			return fmt.Errorf("mem: page %#x already mapped", (first+i)<<as.pageShift)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		as.pages[first+i] = &page{perm: perm, data: make([]byte, as.pageSize)}
+	}
+	as.invalidate()
+	return nil
+}
+
+// Unmap removes pages over [addr, addr+size). Unmapped pages are skipped.
+func (as *AddrSpace) Unmap(addr, size uint64) error {
+	if err := as.aligned(addr, size); err != nil {
+		return err
+	}
+	first := addr >> as.pageShift
+	n := size >> as.pageShift
+	for i := uint64(0); i < n; i++ {
+		delete(as.pages, first+i)
+	}
+	as.invalidate()
+	return nil
+}
+
+// Protect changes permissions over [addr, addr+size). All pages must be
+// mapped.
+func (as *AddrSpace) Protect(addr, size uint64, perm Perm) error {
+	if err := as.aligned(addr, size); err != nil {
+		return err
+	}
+	first := addr >> as.pageShift
+	n := size >> as.pageShift
+	for i := uint64(0); i < n; i++ {
+		if _, ok := as.pages[first+i]; !ok {
+			return fmt.Errorf("mem: page %#x not mapped", (first+i)<<as.pageShift)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		as.pages[first+i].perm = perm
+	}
+	as.invalidate()
+	return nil
+}
+
+// Mapped reports whether every page of [addr, addr+size) is mapped with at
+// least the given permissions.
+func (as *AddrSpace) Mapped(addr, size uint64, perm Perm) bool {
+	if size == 0 {
+		return true
+	}
+	first := addr >> as.pageShift
+	last := (addr + size - 1) >> as.pageShift
+	for i := first; i <= last; i++ {
+		pg, ok := as.pages[i]
+		if !ok || pg.perm&perm != perm {
+			return false
+		}
+	}
+	return true
+}
+
+// MappedBytes returns the total number of mapped bytes.
+func (as *AddrSpace) MappedBytes() uint64 {
+	return uint64(len(as.pages)) << as.pageShift
+}
+
+func (as *AddrSpace) lookup(addr uint64, acc Access) (*page, *Fault) {
+	idx := addr >> as.pageShift
+	var cache *cachedPage
+	var need Perm
+	switch acc {
+	case AccessRead:
+		cache, need = &as.lastRead, PermRead
+	case AccessWrite:
+		cache, need = &as.lastWrite, PermWrite
+	default:
+		cache, need = &as.lastExec, PermExec
+	}
+	if cache.idx == idx {
+		return cache.pg, nil
+	}
+	pg, ok := as.pages[idx]
+	if !ok || pg.perm&need == 0 {
+		return nil, &Fault{Addr: addr, Access: acc, Size: 1}
+	}
+	cache.idx, cache.pg = idx, pg
+	return pg, nil
+}
+
+// ReadAt copies len(b) bytes from addr, honoring read permissions.
+func (as *AddrSpace) ReadAt(b []byte, addr uint64) *Fault {
+	return as.copyAcross(b, addr, AccessRead, func(dst, src []byte) { copy(dst, src) })
+}
+
+// WriteAt copies b to addr, honoring write permissions.
+func (as *AddrSpace) WriteAt(b []byte, addr uint64) *Fault {
+	return as.copyAcross(b, addr, AccessWrite, func(src, dst []byte) { copy(dst, src) })
+}
+
+// WriteForce copies b to addr ignoring permissions (loader use only; the
+// pages must exist).
+func (as *AddrSpace) WriteForce(b []byte, addr uint64) *Fault {
+	for len(b) > 0 {
+		idx := addr >> as.pageShift
+		pg, ok := as.pages[idx]
+		if !ok {
+			return &Fault{Addr: addr, Access: AccessWrite, Size: len(b)}
+		}
+		off := addr & (as.pageSize - 1)
+		n := copy(pg.data[off:], b)
+		b = b[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+func (as *AddrSpace) copyAcross(b []byte, addr uint64, acc Access, move func(ext, pg []byte)) *Fault {
+	for len(b) > 0 {
+		pg, f := as.lookup(addr, acc)
+		if f != nil {
+			f.Size = len(b)
+			return f
+		}
+		off := addr & (as.pageSize - 1)
+		n := int(as.pageSize - off)
+		if n > len(b) {
+			n = len(b)
+		}
+		move(b[:n], pg.data[off:off+uint64(n)])
+		b = b[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// Read returns an unsigned little-endian value of size 1, 2, 4, or 8 bytes.
+func (as *AddrSpace) Read(addr uint64, size int) (uint64, *Fault) {
+	pg, f := as.lookup(addr, AccessRead)
+	if f != nil {
+		f.Size = size
+		return 0, f
+	}
+	off := addr & (as.pageSize - 1)
+	if off+uint64(size) <= as.pageSize {
+		d := pg.data[off:]
+		switch size {
+		case 1:
+			return uint64(d[0]), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(d)), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(d)), nil
+		case 8:
+			return binary.LittleEndian.Uint64(d), nil
+		}
+	}
+	// Crosses a page boundary (or odd size): slow path.
+	var buf [8]byte
+	if f := as.ReadAt(buf[:size], addr); f != nil {
+		return 0, f
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+// Write stores an unsigned little-endian value of size 1, 2, 4, or 8 bytes.
+func (as *AddrSpace) Write(addr uint64, v uint64, size int) *Fault {
+	pg, f := as.lookup(addr, AccessWrite)
+	if f != nil {
+		f.Size = size
+		return f
+	}
+	off := addr & (as.pageSize - 1)
+	if off+uint64(size) <= as.pageSize {
+		d := pg.data[off:]
+		switch size {
+		case 1:
+			d[0] = byte(v)
+			return nil
+		case 2:
+			binary.LittleEndian.PutUint16(d, uint16(v))
+			return nil
+		case 4:
+			binary.LittleEndian.PutUint32(d, uint32(v))
+			return nil
+		case 8:
+			binary.LittleEndian.PutUint64(d, v)
+			return nil
+		}
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return as.WriteAt(buf[:size], addr)
+}
+
+// Fetch32 reads a 4-byte instruction word, honoring execute permission.
+func (as *AddrSpace) Fetch32(addr uint64) (uint32, *Fault) {
+	pg, f := as.lookup(addr, AccessExec)
+	if f != nil {
+		f.Size = 4
+		return 0, f
+	}
+	off := addr & (as.pageSize - 1)
+	if off+4 <= as.pageSize {
+		return binary.LittleEndian.Uint32(pg.data[off:]), nil
+	}
+	return 0, &Fault{Addr: addr, Access: AccessExec, Size: 4}
+}
+
+// CopyRange copies size bytes of mapped content (and permissions) from
+// srcBase to dstBase, mapping destination pages as needed. It implements
+// the memory side of single-address-space fork: unmapped source pages stay
+// unmapped at the destination.
+func (as *AddrSpace) CopyRange(srcBase, dstBase, size uint64) error {
+	if err := as.aligned(srcBase, size); err != nil {
+		return err
+	}
+	if err := as.aligned(dstBase, size); err != nil {
+		return err
+	}
+	n := size >> as.pageShift
+	src := srcBase >> as.pageShift
+	dst := dstBase >> as.pageShift
+	for i := uint64(0); i < n; i++ {
+		spg, ok := as.pages[src+i]
+		if !ok {
+			continue
+		}
+		if _, ok := as.pages[dst+i]; ok {
+			return fmt.Errorf("mem: destination page %#x already mapped", (dst+i)<<as.pageShift)
+		}
+		npg := &page{perm: spg.perm, data: make([]byte, as.pageSize)}
+		copy(npg.data, spg.data)
+		as.pages[dst+i] = npg
+	}
+	as.invalidate()
+	return nil
+}
+
+// Region describes one contiguous run of identically-permissioned pages.
+type Region struct {
+	Addr uint64
+	Size uint64
+	Perm Perm
+}
+
+// Regions returns the mapped regions in address order, coalescing adjacent
+// pages with equal permissions. Useful for debugging and tests.
+func (as *AddrSpace) Regions() []Region {
+	idxs := make([]uint64, 0, len(as.pages))
+	for idx := range as.pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	var out []Region
+	for _, idx := range idxs {
+		pg := as.pages[idx]
+		addr := idx << as.pageShift
+		if n := len(out); n > 0 && out[n-1].Addr+out[n-1].Size == addr && out[n-1].Perm == pg.perm {
+			out[n-1].Size += as.pageSize
+			continue
+		}
+		out = append(out, Region{Addr: addr, Size: as.pageSize, Perm: pg.perm})
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package progs
+
+import (
+	"strings"
+	"testing"
+
+	"lfi/internal/core"
+	"lfi/internal/elfobj"
+)
+
+func TestBuildProducesLoadableELF(t *testing.T) {
+	res, err := Build("_start:\n\tldr x0, [x1]\n"+ExitCode(0), core.Options{Opt: core.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := elfobj.Unmarshal(res.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := exe.TextSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text.Vaddr != core.MinCodeOffset {
+		t.Errorf("text at %#x, want the standard code offset %#x", text.Vaddr, core.MinCodeOffset)
+	}
+	if res.TextSize != len(text.Data) {
+		t.Errorf("TextSize %d != segment %d", res.TextSize, len(text.Data))
+	}
+	if res.FileSize != len(res.ELF) {
+		t.Errorf("FileSize %d != %d", res.FileSize, len(res.ELF))
+	}
+	if res.Stats.GuardsFolded == 0 {
+		t.Error("stats not propagated")
+	}
+}
+
+func TestBuildNativeSkipsGuards(t *testing.T) {
+	src := "_start:\n\tldr x0, [x1]\n" + ExitCode(0)
+	nat, err := BuildNative(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lfi, err := Build(src, core.Options{Opt: core.O0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.TextSize >= lfi.TextSize {
+		t.Errorf("native text (%d) not smaller than guarded (%d)", nat.TextSize, lfi.TextSize)
+	}
+}
+
+func TestBuildRejectsBadSource(t *testing.T) {
+	if _, err := Build("_start:\n\tbogus x0\n", core.Options{}); err == nil {
+		t.Error("bad mnemonic accepted")
+	}
+	if _, err := Build("_start:\n\tmov x21, #0\n", core.Options{}); err == nil {
+		t.Error("reserved register write accepted")
+	}
+	if _, err := BuildNative("_start:\n\tb nowhere\n"); err == nil {
+		t.Error("undefined label accepted")
+	}
+}
+
+func TestRTCallText(t *testing.T) {
+	s := RTCall(core.RTWrite)
+	if !strings.Contains(s, "ldr x30, [x21, #8]") || !strings.Contains(s, "blr x30") {
+		t.Errorf("RTCall = %q", s)
+	}
+	if !strings.Contains(Exit(), "[x21, #0]") {
+		t.Errorf("Exit = %q", Exit())
+	}
+	if !strings.Contains(ExitCode(9), "mov x0, #9") {
+		t.Errorf("ExitCode = %q", ExitCode(9))
+	}
+}

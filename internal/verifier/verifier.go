@@ -1,0 +1,448 @@
+// Package verifier implements the LFI static verifier (§5.2): a single
+// linear pass over the text segment of a binary that proves the machine
+// code cannot escape its sandbox. Nothing upstream — not the compiler, not
+// the rewriter, not the assembler — is trusted; every security property is
+// checked directly on the encoded instructions.
+//
+// The verifier enforces three properties:
+//
+//  1. Loads, stores, and indirect branches only go through registers that
+//     always hold valid sandbox addresses (x18, x23, x24, sp, x30), or use
+//     the guarded addressing mode [x21, wN, uxtw].
+//  2. Reserved registers are only written by invariant-preserving
+//     instructions: x21 never, x18/x23/x24 only by the canonical guard,
+//     x22 only through its 32-bit view, sp and x30 only by guarded or
+//     self-limiting sequences.
+//  3. Only instructions from the safe-instruction allowlist appear (no
+//     svc, no writes to system registers other than the thread pointer).
+package verifier
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lfi/internal/arm64"
+	"lfi/internal/core"
+)
+
+// Config parameterizes verification.
+type Config struct {
+	// TextOff is the byte offset of the text segment within its sandbox;
+	// it is needed to bounds-check PC-relative literal loads.
+	TextOff uint64
+
+	// AllowLLSC permits the load-linked/store-conditional instructions.
+	// §7.1 describes disallowing them to close the S2C timerless
+	// side channel on Apple cores.
+	AllowLLSC bool
+
+	// AllowTLS permits mrs/msr of tpidr_el0 (thread-local storage base).
+	AllowTLS bool
+
+	// NoLoads verifies the weaker "fault isolation" property of §6.1:
+	// stores and control flow are still fully checked, but loads that do
+	// not write protected registers may use any addressing mode. Sandboxes
+	// verified this way can read (but not modify or disturb) their
+	// neighbors.
+	NoLoads bool
+}
+
+// DefaultConfig matches the paper's default deployment.
+func DefaultConfig() Config {
+	return Config{AllowLLSC: true, AllowTLS: true}
+}
+
+// Error reports a verification failure at a specific instruction.
+type Error struct {
+	Offset uint64 // byte offset within the text segment
+	Word   uint32
+	Inst   string // disassembly if decodable
+	Msg    string
+}
+
+func (e *Error) Error() string {
+	if e.Inst != "" {
+		return fmt.Sprintf("verifier: +%#x: %q: %s", e.Offset, e.Inst, e.Msg)
+	}
+	return fmt.Sprintf("verifier: +%#x: word %#08x: %s", e.Offset, e.Word, e.Msg)
+}
+
+// Stats summarizes a successful verification, for throughput reporting.
+type Stats struct {
+	Bytes  int
+	Insts  int
+	Guards int // canonical guard instructions seen
+}
+
+// Verify checks the text segment. It returns nil exactly when every
+// instruction satisfies the LFI invariants.
+func Verify(text []byte, cfg Config) (Stats, error) {
+	var st Stats
+	if len(text)%4 != 0 {
+		return st, &Error{Offset: uint64(len(text) &^ 3), Msg: "text size not a multiple of 4"}
+	}
+	if cfg.TextOff+uint64(len(text)) > core.MaxCodeOffset {
+		return st, &Error{Msg: fmt.Sprintf("text extends past the 128MiB code margin (%#x)", core.MaxCodeOffset)}
+	}
+	if cfg.TextOff < core.MinCodeOffset {
+		return st, &Error{Msg: fmt.Sprintf("text begins before the code region (%#x)", core.MinCodeOffset)}
+	}
+	n := len(text) / 4
+
+	// Decode pass. BAD entries fail immediately: every reachable byte
+	// must decode because any instruction can be a jump target.
+	insts := make([]arm64.Inst, n)
+	for i := 0; i < n; i++ {
+		w := binary.LittleEndian.Uint32(text[i*4:])
+		inst, err := arm64.Decode(w)
+		if err != nil {
+			return st, &Error{Offset: uint64(i * 4), Word: w, Msg: "undecodable instruction"}
+		}
+		insts[i] = inst
+	}
+	st.Bytes = len(text)
+	st.Insts = n
+
+	v := &verify{cfg: cfg, insts: insts}
+	for i := 0; i < n; i++ {
+		if err := v.check(i); err != nil {
+			err.Offset = uint64(i * 4)
+			err.Inst = insts[i].String()
+			return st, err
+		}
+	}
+	st.Guards = v.guards
+	return st, nil
+}
+
+type verify struct {
+	cfg    Config
+	insts  []arm64.Inst
+	guards int
+}
+
+func vErr(format string, args ...any) *Error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}
+
+// validAddrReg reports whether reads of r always see a valid sandbox
+// address.
+func validAddrReg(r arm64.Reg) bool {
+	switch r {
+	case core.RegScratch, core.RegHoist1, core.RegHoist2, arm64.SP, arm64.X30:
+		return true
+	}
+	return false
+}
+
+func (v *verify) check(i int) *Error {
+	inst := &v.insts[i]
+
+	// Property 3: allowlist.
+	if err := v.allowlisted(inst); err != nil {
+		return err
+	}
+
+	// Property 1: memory accesses and indirect branches.
+	if inst.Op.IsMemory() {
+		if err := v.checkMemory(i); err != nil {
+			return err
+		}
+	}
+	switch inst.Op {
+	case arm64.BR, arm64.BLR:
+		if !validAddrReg(inst.Rn) {
+			return vErr("indirect branch through unguarded register %v", inst.Rn)
+		}
+	case arm64.RET:
+		if !validAddrReg(inst.Rn) {
+			return vErr("return through unguarded register %v", inst.Rn)
+		}
+	}
+
+	// Property 2: writes to protected registers.
+	return v.checkWrites(i)
+}
+
+func (v *verify) allowlisted(inst *arm64.Inst) *Error {
+	switch inst.Op {
+	case arm64.SVC:
+		return vErr("system calls are forbidden; use the runtime-call table")
+	case arm64.LDXR, arm64.LDAXR, arm64.STXR, arm64.STLXR:
+		if !v.cfg.AllowLLSC {
+			return vErr("ll/sc instructions disabled by configuration (S2C side channel)")
+		}
+	case arm64.MRS:
+		switch inst.Imm {
+		case sysTPIDR:
+			if !v.cfg.AllowTLS {
+				return vErr("tls access disabled by configuration")
+			}
+		case sysCNTVCT:
+			// Virtual counter reads are safe.
+		default:
+			return vErr("read of system register %#x", inst.Imm)
+		}
+	case arm64.MSR:
+		if inst.Imm != sysTPIDR || !v.cfg.AllowTLS {
+			return vErr("write to system register %#x", inst.Imm)
+		}
+	case arm64.BAD:
+		return vErr("undecodable instruction")
+	}
+	return nil
+}
+
+const (
+	sysTPIDR  = 1<<14 | 3<<11 | 13<<7 | 0<<3 | 2
+	sysCNTVCT = 1<<14 | 3<<11 | 14<<7 | 0<<3 | 2
+)
+
+// checkMemory enforces property 1 for the load/store at index i.
+func (v *verify) checkMemory(i int) *Error {
+	inst := &v.insts[i]
+
+	// Under the no-loads policy, plain loads are exempt from address
+	// checks; loads that write x30 or use writeback on protected
+	// registers still go through the full rules below.
+	if v.cfg.NoLoads && inst.Op.IsLoad() && !inst.Mem.WritesBack() {
+		x30Dest := inst.Rd.X() == arm64.X30 ||
+			(inst.Op == arm64.LDP && inst.Rm.X() == arm64.X30)
+		if !x30Dest {
+			return nil
+		}
+	}
+
+	// Exclusives address through Rn with no offset.
+	switch inst.Op {
+	case arm64.LDXR, arm64.LDAXR, arm64.STXR, arm64.STLXR, arm64.LDAR, arm64.STLR:
+		if !validAddrReg(inst.Rn) {
+			return vErr("exclusive access through unguarded register %v", inst.Rn)
+		}
+		return nil
+	}
+
+	m := inst.Mem
+	switch m.Mode {
+	case arm64.AddrLiteral:
+		// PC-relative: the target must stay inside this sandbox.
+		target := int64(v.cfg.TextOff) + int64(i*4) + inst.Imm
+		if target < 0 || uint64(target) >= core.SandboxSize {
+			return vErr("literal load escapes the sandbox (target offset %#x)", target)
+		}
+		return nil
+
+	case arm64.AddrBase, arm64.AddrImm, arm64.AddrPre, arm64.AddrPost:
+		if m.Base == core.RegBase {
+			// Only the runtime-call idiom may address off x21.
+			return v.checkRuntimeCall(i)
+		}
+		if !validAddrReg(m.Base) {
+			return vErr("access through unguarded base %v", m.Base)
+		}
+		// Immediate offsets are bounded by their encodings (max 2^15 - 8,
+		// within the guard regions), so any mapped base register is safe.
+		if m.WritesBack() {
+			// Writeback modifies the base: only sp self-limits (§4.2);
+			// the reserved always-valid registers must not drift.
+			if !m.Base.IsSP() {
+				return vErr("writeback through protected register %v", m.Base)
+			}
+		}
+		return nil
+
+	case arm64.AddrRegUXTW:
+		if m.Base != core.RegBase {
+			return vErr("guarded addressing requires base x21, got %v", m.Base)
+		}
+		if !m.Index.Is32() || m.Index.IsSP() {
+			return vErr("guarded addressing requires a w-register index")
+		}
+		// Any shift amount keeps the zero-extended index below 2^36 —
+		// still within... no: a shifted 32-bit index can exceed 4GiB.
+		// The paper's guarded mode uses no shift; allow the hardware
+		// forms only when the scaled offset cannot escape the guard
+		// region, i.e. never — so reject nonzero shifts.
+		if m.Amount > 0 {
+			return vErr("guarded addressing must not scale the index")
+		}
+		return nil
+
+	default:
+		return vErr("unsafe addressing mode %v", m.Mode)
+	}
+}
+
+// checkRuntimeCall validates "ldr x30, [x21, #n]" immediately followed by
+// "blr x30" (§4.4).
+func (v *verify) checkRuntimeCall(i int) *Error {
+	inst := &v.insts[i]
+	if inst.Op != arm64.LDR || inst.Rd != arm64.X30 {
+		return vErr("only the runtime-call load may address off x21")
+	}
+	m := inst.Mem
+	if m.Mode != arm64.AddrImm && m.Mode != arm64.AddrBase {
+		return vErr("runtime-call load must use immediate addressing")
+	}
+	if m.Imm < 0 || int64(m.Imm) >= core.MaxTableOffset || m.Imm%8 != 0 {
+		return vErr("runtime-call table offset %d out of range", m.Imm)
+	}
+	if i+1 >= len(v.insts) {
+		return vErr("runtime-call load at end of text")
+	}
+	next := &v.insts[i+1]
+	if next.Op != arm64.BLR || next.Rn != arm64.X30 {
+		return vErr("runtime-call load must be followed by blr x30")
+	}
+	return nil
+}
+
+// checkWrites enforces property 2 for the instruction at index i.
+func (v *verify) checkWrites(i int) *Error {
+	inst := &v.insts[i]
+	var dsts [4]arm64.Reg
+	for _, d := range inst.DestRegs(dsts[:0]) {
+		switch {
+		case d.X() == core.RegBase:
+			return vErr("write to x21 (sandbox base)")
+
+		case d == core.RegScratch || d == core.RegHoist1 || d == core.RegHoist2:
+			if !core.IsGuard(inst, d) {
+				return vErr("%v written by a non-guard instruction", d)
+			}
+			v.guards++
+
+		case d.IsGP() && core.IsReserved(d) && d.Is32():
+			// w18/w23/w24 writes would break the valid-address invariant.
+			if d.X() != core.RegAddr32 {
+				return vErr("32-bit write to reserved register %v", d)
+			}
+			// w22 writes are always fine (they zero-extend).
+
+		case d == core.RegAddr32:
+			// 64-bit writes to x22 could set high bits; only the exact
+			// zero-extending forms are allowed. The rewriter never emits
+			// one, so reject.
+			return vErr("64-bit write to x22")
+
+		case d.X() == arm64.X30:
+			if err := v.checkX30Write(i, d); err != nil {
+				return err
+			}
+
+		case d.IsSP():
+			if err := v.checkSPWrite(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkX30Write allows: bl/blr (hardware-written return address), the
+// canonical guard add x30, x21, wN, uxtw, and the runtime-call load
+// (validated by checkMemory).
+func (v *verify) checkX30Write(i int, d arm64.Reg) *Error {
+	inst := &v.insts[i]
+	if d.Is32() {
+		return vErr("32-bit write to w30")
+	}
+	switch inst.Op {
+	case arm64.BL, arm64.BLR:
+		return nil
+	case arm64.LDR:
+		if inst.Mem.Base == core.RegBase {
+			return nil // runtime-call idiom, checked by checkMemory
+		}
+	}
+	if core.IsGuard(inst, arm64.X30) {
+		v.guards++
+		return nil
+	}
+	// Any other write (load or arithmetic) is permitted only when the very
+	// next instruction re-guards x30 (§4.2): the dirty value is confined
+	// to the fall-through path, which immediately passes the guard.
+	if i+1 < len(v.insts) && core.IsGuard(&v.insts[i+1], arm64.X30) {
+		return nil
+	}
+	return vErr("x30 written without an immediately following guard")
+}
+
+// checkSPWrite allows: the sp guard (add sp, x21, x22), writeback from
+// sp-based accesses (checked in checkMemory), small add/sub sp, sp, #imm
+// followed linearly by an sp access (§4.2), and any sp write immediately
+// followed by the two-instruction guard sequence.
+func (v *verify) checkSPWrite(i int) *Error {
+	inst := &v.insts[i]
+
+	// Writeback on an sp-based access was validated by checkMemory.
+	if inst.Op.IsMemory() && inst.Mem.WritesBack() && inst.Mem.Base.IsSP() {
+		return nil
+	}
+
+	// The guard itself: add sp, x21, x22 (x22 always has 32 zero top bits).
+	if isSPGuardAdd(inst) {
+		return nil
+	}
+
+	// add/sub sp, sp, #imm with imm < 2^10 and a guaranteed sp access
+	// before the next branch or sp write (§4.2). This elision is only
+	// sound for the 64-bit form: "add wsp, wsp, #imm" would zero the top
+	// 32 bits of sp and escape downward.
+	if (inst.Op == arm64.ADD || inst.Op == arm64.SUB) &&
+		inst.Rm == arm64.RegNone && inst.Rn == arm64.SP && inst.Rd == arm64.SP &&
+		inst.Imm >= 0 && inst.Imm < 1024 {
+		if v.spAccessBeforeEscape(i + 1) {
+			return nil
+		}
+	}
+
+	// Any other sp write must be followed immediately by the guard pair.
+	if i+2 < len(v.insts) && isSPGuardMov(&v.insts[i+1]) && isSPGuardAdd(&v.insts[i+2]) {
+		return nil
+	}
+	return vErr("sp written without a guard")
+}
+
+// isSPGuardMov matches "mov w22, wsp" (add w22, wsp, #0).
+func isSPGuardMov(inst *arm64.Inst) bool {
+	return inst.Op == arm64.ADD && inst.Rd == core.RegAddr32.W() &&
+		inst.Rn == arm64.WSP && inst.Rm == arm64.RegNone && inst.Imm == 0
+}
+
+// isSPGuardAdd matches "add sp, x21, x22".
+func isSPGuardAdd(inst *arm64.Inst) bool {
+	return inst.Op == arm64.ADD && inst.Rd == arm64.SP &&
+		inst.Rn == core.RegBase && inst.Rm == core.RegAddr32 &&
+		(inst.Ext == arm64.ExtNone || inst.Ext == arm64.ExtUXTX || inst.Ext == arm64.ExtLSL) &&
+		inst.Amount <= 0
+}
+
+// spAccessBeforeEscape scans forward from index j for a memory access
+// based on sp, failing if a branch, another sp write, or the end of text
+// intervenes.
+func (v *verify) spAccessBeforeEscape(j int) bool {
+	for ; j < len(v.insts); j++ {
+		inst := &v.insts[j]
+		if inst.Op.IsBranch() {
+			return false
+		}
+		if inst.Op.IsMemory() {
+			base := inst.Mem.Base
+			switch inst.Op {
+			case arm64.LDXR, arm64.LDAXR, arm64.STXR, arm64.STLXR, arm64.LDAR, arm64.STLR:
+				base = inst.Rn
+			}
+			if base.IsSP() {
+				return true
+			}
+		}
+		var dsts [4]arm64.Reg
+		for _, d := range inst.DestRegs(dsts[:0]) {
+			if d.IsSP() {
+				return false
+			}
+		}
+	}
+	return false
+}

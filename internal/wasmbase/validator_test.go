@@ -1,0 +1,78 @@
+package wasmbase
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateGeneratedModules(t *testing.T) {
+	for _, cfg := range []struct{ funcs, body int }{
+		{1, 64}, {4, 256}, {16, 1024}, {2, 16384},
+	} {
+		m := GenModule(cfg.funcs, cfg.body)
+		n, err := ValidateModule(m)
+		if err != nil {
+			t.Errorf("GenModule(%d,%d): %v", cfg.funcs, cfg.body, err)
+		}
+		if n != len(m) {
+			t.Errorf("validated %d of %d bytes", n, len(m))
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		sub    string
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "magic"},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-3] }, ""},
+		{"bad opcode", func(b []byte) []byte { b[len(b)-2] = 0xfe; return b }, ""},
+	}
+	for _, c := range cases {
+		m := c.mutate(GenModule(2, 128))
+		_, err := ValidateModule(m)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if c.sub != "" && !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.sub)
+		}
+	}
+	if _, err := ValidateModule(nil); err == nil {
+		t.Error("empty module accepted")
+	}
+}
+
+func TestValidateTypeErrors(t *testing.T) {
+	// Hand-built module: body pops i32 from an i64 (local.get of i64 then
+	// i32.add) must be rejected.
+	m := GenModule(1, 32)
+	// Corrupt: change a local.get 0 (i32) target to an out-of-range local.
+	idx := strings.Index(string(m), "\x20\x00\x41")
+	if idx < 0 {
+		t.Fatal("pattern not found")
+	}
+	m[idx+1] = 0x63 // local 99: out of range
+	if _, err := ValidateModule(m); err == nil {
+		t.Error("out-of-range local accepted")
+	}
+}
+
+// TestValidatorNeverPanics fuzzes the validator with random mutations of a
+// valid module.
+func TestValidatorNeverPanics(t *testing.T) {
+	base := GenModule(3, 512)
+	f := func(pos uint16, val byte) bool {
+		m := append([]byte(nil), base...)
+		m[int(pos)%len(m)] = val
+		_, _ = ValidateModule(m) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

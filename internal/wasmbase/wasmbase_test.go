@@ -1,0 +1,139 @@
+package wasmbase
+
+import (
+	"strings"
+	"testing"
+
+	"lfi/internal/arm64"
+	"lfi/internal/lfirt"
+	"lfi/internal/progs"
+	"lfi/internal/workloads"
+)
+
+// runSrc assembles (optionally transformed) source and runs it unverified.
+func runSrc(t *testing.T, src string) (string, uint64) {
+	t.Helper()
+	res, err := progs.BuildNative(src)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	cfg := lfirt.DefaultConfig()
+	cfg.Verify = false
+	rt := lfirt.New(cfg)
+	p, err := rt.Load(res.ELF)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	status, err := rt.RunProc(p)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if status != 0 {
+		t.Fatalf("exit status %d", status)
+	}
+	return string(rt.Stdout()), rt.CPU.Instrs
+}
+
+func transform(t *testing.T, sys *System, src string) string {
+	t.Helper()
+	f, err := arm64.ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := sys.Transform(f)
+	if err != nil {
+		t.Fatalf("%s: transform: %v", sys.Name, err)
+	}
+	return nf.String()
+}
+
+// TestSystemsPreserveResults checks that every engine model computes the
+// same checksums as native code on every Wasm-subset kernel.
+func TestSystemsPreserveResults(t *testing.T) {
+	for _, w := range workloads.WasmSubset() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			src := w.Source(0.06)
+			native, nInstrs := runSrc(t, src)
+			for _, sys := range Systems() {
+				got, gInstrs := runSrc(t, transform(t, sys, src))
+				if got != native {
+					t.Errorf("%s: checksum mismatch", sys.Name)
+				}
+				if gInstrs < nInstrs {
+					t.Errorf("%s: fewer instructions than native (%d < %d)",
+						sys.Name, gInstrs, nInstrs)
+				}
+			}
+		})
+	}
+}
+
+// TestInstrumentationOrdering: per-access reloading must execute more
+// instructions than per-block, which must exceed pinned.
+func TestInstrumentationOrdering(t *testing.T) {
+	w, _ := workloads.Get("519.lbm")
+	src := w.Source(0.06)
+	counts := map[ReloadPolicy]uint64{}
+	for _, sys := range Systems() {
+		_, n := runSrc(t, transform(t, sys, src))
+		if old, ok := counts[sys.HeapReload]; !ok || n < old {
+			counts[sys.HeapReload] = n
+		}
+	}
+	if !(counts[ReloadPerAccess] > counts[ReloadPerBlock]) {
+		t.Errorf("per-access (%d) not above per-block (%d)",
+			counts[ReloadPerAccess], counts[ReloadPerBlock])
+	}
+	if !(counts[ReloadPerBlock] >= counts[ReloadPinned]) {
+		t.Errorf("per-block (%d) below pinned (%d)",
+			counts[ReloadPerBlock], counts[ReloadPinned])
+	}
+}
+
+func TestIndirectCheckEmitted(t *testing.T) {
+	src := `
+_start:
+	adr x1, target
+	blr x1
+	mov x0, #0
+` + progs.Exit() + `
+target:
+	ret
+`
+	sys, _ := Get("Wasm2c")
+	text := transform(t, sys, src)
+	if !strings.Contains(text, ".Lwasmtrap") {
+		t.Errorf("no indirect-call check emitted:\n%s", text)
+	}
+	// The program must still run correctly.
+	out, _ := runSrc(t, text)
+	_ = out
+}
+
+func TestRuntimeCallsPassThrough(t *testing.T) {
+	src := "_start:\n" + progs.ExitCode(3)
+	for _, sys := range Systems() {
+		text := transform(t, sys, src)
+		if !strings.Contains(text, "ldr x30, [x21]") {
+			t.Errorf("%s mangled the runtime-call sequence:\n%s", sys.Name, text)
+		}
+	}
+}
+
+func TestSystemsRegistry(t *testing.T) {
+	if len(Systems()) != 5 {
+		t.Fatalf("systems = %d, want 5", len(Systems()))
+	}
+	for _, s := range Systems() {
+		if s.CodegenFactor < 1.0 {
+			t.Errorf("%s codegen factor %v < 1", s.Name, s.CodegenFactor)
+		}
+	}
+	if _, ok := Get("Wasmtime"); !ok {
+		t.Error("Get(Wasmtime) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) succeeded")
+	}
+}

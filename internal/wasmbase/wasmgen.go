@@ -1,0 +1,80 @@
+package wasmbase
+
+import "encoding/binary"
+
+// GenModule builds a valid WebAssembly module with nFuncs functions of
+// roughly bodyBytes bytes each. It is used to benchmark the validator's
+// throughput against the LFI verifier's.
+func GenModule(nFuncs, bodyBytes int) []byte {
+	var out []byte
+	out = append(out, "\x00asm"...)
+	out = binary.LittleEndian.AppendUint32(out, 1)
+
+	leb := func(b []byte, v uint32) []byte {
+		for {
+			c := byte(v & 0x7f)
+			v >>= 7
+			if v != 0 {
+				b = append(b, c|0x80)
+			} else {
+				return append(b, c)
+			}
+		}
+	}
+	section := func(id byte, payload []byte) {
+		out = append(out, id)
+		out = leb(out, uint32(len(payload)))
+		out = append(out, payload...)
+	}
+
+	// Type section: one type (i32, i32) -> i32.
+	var ts []byte
+	ts = leb(ts, 1)
+	ts = append(ts, 0x60)
+	ts = leb(ts, 2)
+	ts = append(ts, byte(tI32), byte(tI32))
+	ts = leb(ts, 1)
+	ts = append(ts, byte(tI32))
+	section(1, ts)
+
+	// Function section.
+	var fs []byte
+	fs = leb(fs, uint32(nFuncs))
+	for i := 0; i < nFuncs; i++ {
+		fs = leb(fs, 0)
+	}
+	section(3, fs)
+
+	// Code section.
+	var body []byte
+	body = leb(body, 1) // one local group
+	body = leb(body, 2) // two locals
+	body = append(body, byte(tI32))
+	// Repeated arithmetic: local.get 0; i32.const k; i32.add; local.tee 2;
+	// local.get 1; i32.and; local.set 0  (11 bytes per round).
+	round := func(b []byte, k uint32) []byte {
+		b = append(b, 0x20, 0x00) // local.get 0
+		b = append(b, 0x41)       // i32.const
+		b = leb(b, k%64)
+		b = append(b, 0x6a)       // i32.add
+		b = append(b, 0x22, 0x02) // local.tee 2
+		b = append(b, 0x20, 0x01) // local.get 1
+		b = append(b, 0x71)       // i32.and
+		b = append(b, 0x21, 0x00) // local.set 0
+		return b
+	}
+	for len(body) < bodyBytes-4 {
+		body = round(body, uint32(len(body)))
+	}
+	body = append(body, 0x20, 0x00) // local.get 0 (result)
+	body = append(body, 0x0b)       // end
+
+	var cs []byte
+	cs = leb(cs, uint32(nFuncs))
+	for i := 0; i < nFuncs; i++ {
+		cs = leb(cs, uint32(len(body)))
+		cs = append(cs, body...)
+	}
+	section(10, cs)
+	return out
+}

@@ -1,0 +1,138 @@
+package workloads
+
+import "fmt"
+
+// CoreMark models the openly available benchmark the paper's artifact
+// offers to users without a SPEC license (Appendix A.6.3). Like the real
+// CoreMark it mixes the three classic kernels — linked-list processing,
+// matrix multiply-accumulate, and a state machine over input bytes — and
+// folds a CRC-style checksum over everything.
+func CoreMark(scale float64) string {
+	n := iters(scale, 14)
+	return fmt.Sprintf(`
+// CoreMark-like kernel: list + matrix + state machine, CRC-folded.
+.globl _start
+_start:
+	mov x19, #0
+	// ---- setup: a 128-node linked list (32-bit next offsets), an 8x8
+	// matrix of small ints, and 4KiB of state-machine input.
+	adrp x25, list
+	add x25, x25, :lo12:list
+	mov x26, #0
+	mov x10, #11
+mklist:
+	add x11, x26, #1
+	and x11, x11, #127
+	lsl x12, x11, #4
+	lsl x13, x26, #4
+	str w12, [x25, x13]              // next offset
+%s	and x11, x10, #0xffff
+	lsl x13, x26, #4
+	add x13, x13, #8
+	str x11, [x25, x13]              // node value
+	add x26, x26, #1
+	cmp x26, #128
+	b.ne mklist
+
+	adrp x27, matrix
+	add x27, x27, :lo12:matrix
+	mov x26, #0
+mkmat:
+%s	and x11, x10, #31
+	str x11, [x27, x26, lsl #3]
+	add x26, x26, #1
+	cmp x26, #128
+	b.ne mkmat
+
+	adrp x28, input
+	add x28, x28, :lo12:input
+	mov x26, #0
+mkin:
+%s	str x10, [x28, x26]
+	add x26, x26, #8
+	cmp x26, #4096
+	b.ne mkin
+
+	mov x20, #%d                     // outer iterations
+outer:
+	// ---- list run: walk the list, summing values of even nodes.
+	mov x9, #0                       // offset of node 0
+	mov x12, #0                      // hop count
+walk:
+	ldr w11, [x25, x9]               // next
+	add x13, x9, #8
+	ldr x14, [x25, x13]              // value
+	tbz x14, #0, evens
+	add x19, x19, x14
+	b walked
+evens:
+	eor x19, x19, x14
+walked:
+	mov x9, x11
+	add x12, x12, #1
+	cmp x12, #128
+	b.ne walk
+
+	// ---- matrix run: one row times one column, accumulate.
+	mov x12, #0                      // k
+	mov x14, #0                      // acc
+matmul:
+	ldr x15, [x27, x12, lsl #3]      // A[0][k]
+	lsl x16, x12, #3
+	add x16, x16, #64
+	and x16, x16, #1023
+	lsr x17, x16, #3
+	ldr x16, [x27, x17, lsl #3]      // B[k][0]-ish
+	madd x14, x15, x16, x14
+	add x12, x12, #1
+	cmp x12, #8
+	b.ne matmul
+	add x19, x19, x14
+
+	// ---- state machine over 64 input bytes: 4 states on digit/alpha/
+	// other classes, CRC-folding the transitions.
+	mov x12, #0                      // position
+	and x15, x20, #0xfc0             // window start depends on iteration
+	mov x16, #0                      // state
+smloop:
+	add x17, x15, x12
+	and x17, x17, #4095
+	ldrb w9, [x28, x17]
+	and x9, x9, #0x7f
+	cmp x9, #0x30
+	b.lt sm_other
+	cmp x9, #0x3a
+	b.lt sm_digit
+	cmp x9, #0x41
+	b.lt sm_other
+	mov x16, #2                      // alpha
+	b sm_next
+sm_digit:
+	mov x16, #1
+	b sm_next
+sm_other:
+	eor x16, x16, #3
+sm_next:
+	// CRC fold: crc = (crc << 1) ^ state ^ byte, with bit 63 wrap.
+	lsr x11, x19, #63
+	lsl x19, x19, #1
+	eor x19, x19, x11
+	eor x19, x19, x16
+	eor x19, x19, x9
+	add x12, x12, #1
+	cmp x12, #64
+	b.ne smloop
+
+	subs x20, x20, #1
+	b.ne outer
+	b finish
+%s
+.bss
+list:
+	.space 2048
+matrix:
+	.space 1024
+input:
+	.space 4160
+`, lcgStep("x10", "x10"), lcgStep("x10", "x10"), lcgStep("x10", "x10"), n, epilogue)
+}

@@ -1,0 +1,298 @@
+package workloads
+
+import "fmt"
+
+// Floating-point kernels. FP checksums are accumulated in d8 and moved
+// bit-exactly into x19 at the end (identical operation sequences produce
+// identical bits in native and sandboxed runs).
+
+const fpFinish = `
+	fmov x19, d8
+	b finish
+`
+
+// fillDoubles emits a loop filling `bytes` bytes at the symbol in x25 with
+// small positive doubles derived from the LCG (value = (bits&1023)+1
+// converted via scvtf).
+func fillDoubles(label string, bytes int) string {
+	return fmt.Sprintf(`
+	mov x26, #0
+	mov x10, #77
+%s:
+%s	and x11, x10, #1023
+	add x11, x11, #1
+	scvtf d0, x11
+	str d0, [x25, x26]
+	add x26, x26, #8
+	cmp x26, #%d
+	b.ne %s
+`, label, lcgStep("x10", "x10"), bytes, label)
+}
+
+// srcNAMD models 508.namd: the pairwise force inner loop — three gathers,
+// fused multiply-adds, no divides.
+func srcNAMD(scale float64) string {
+	n := iters(scale, 7000)
+	return fmt.Sprintf(`
+// 508.namd model: pairwise-force fmadd kernel.
+.globl _start
+_start:
+	mov x19, #0
+	fmov d8, xzr
+	adrp x25, coords
+	add x25, x25, :lo12:coords
+%s
+	movz x20, #%d
+	movk x20, #%d, lsl #16
+	mov x27, #0              // particle cursor
+pair:
+	// Load (x,y,z) of two particles: one at the cursor, one offset by a
+	// fixed stride (wrapped into the filled region).
+	add x11, x27, #3000
+	and x11, x11, #0x3ff8
+	ldr d0, [x25, x27]
+	ldr d1, [x25, x11]
+	add x12, x27, #8
+	add x13, x11, #8
+	ldr d2, [x25, x12]
+	ldr d3, [x25, x13]
+	add x12, x12, #8
+	add x13, x13, #8
+	ldr d4, [x25, x12]
+	ldr d5, [x25, x13]
+	// dx,dy,dz and r2 = dx*dx + dy*dy + dz*dz
+	fsub d0, d0, d1
+	fsub d2, d2, d3
+	fsub d4, d4, d5
+	fmul d6, d0, d0
+	fmadd d6, d2, d2, d6
+	fmadd d6, d4, d4, d6
+	// force term: f = r2 * 0.5 + 1.0; acc += f * dx
+	fmov d7, #0.5
+	fmul d6, d6, d7
+	fmov d7, #1.0
+	fadd d6, d6, d7
+	fmadd d8, d6, d0, d8
+	add x27, x27, #16
+	and x27, x27, #0x3ff0
+	subs x20, x20, #1
+	b.ne pair
+%s
+%s
+.bss
+coords:
+	.space 32768
+`, fillDoubles("fillc", 16384), n&0xffff, (n>>16)&0xffff, fpFinish, epilogue)
+}
+
+// srcParest models 510.parest: sparse matrix-vector products — indexed
+// gathers through an index array (uxtw addressing).
+func srcParest(scale float64) string {
+	n := iters(scale, 6500)
+	return fmt.Sprintf(`
+// 510.parest model: CSR sparse matrix-vector product.
+.globl _start
+_start:
+	mov x19, #0
+	fmov d8, xzr
+	adrp x25, vals
+	add x25, x25, :lo12:vals
+%s
+	// Column indices: pseudo-random 0..2047.
+	adrp x27, cols
+	add x27, x27, :lo12:cols
+	mov x26, #0
+	mov x10, #55
+fillidx:
+%s	and x11, x10, #2047
+	str w11, [x27, x26, lsl #2]
+	add x26, x26, #1
+	cmp x26, #2048
+	b.ne fillidx
+	adrp x28, vec
+	add x28, x28, :lo12:vec
+	mov x26, #0
+	fmov d1, #1.0
+fillvec:
+	str d1, [x28, x26, lsl #3]
+	fmov d2, #0.25
+	fadd d1, d1, d2
+	add x26, x26, #1
+	cmp x26, #2048
+	b.ne fillvec
+
+	movz x20, #%d
+	movk x20, #%d, lsl #16
+	mov x26, #0
+spmv:
+	// y += A[k] * x[col[k]], 4-wide unrolled row segment.
+	ldr w11, [x27, x26, lsl #2]
+	ldr d0, [x25, x26, lsl #3]
+	ldr d1, [x28, w11, uxtw #3]
+	fmadd d8, d0, d1, d8
+	add x12, x26, #1
+	and x12, x12, #2047
+	ldr w11, [x27, x12, lsl #2]
+	ldr d0, [x25, x12, lsl #3]
+	ldr d1, [x28, w11, uxtw #3]
+	fmadd d8, d0, d1, d8
+	add x26, x26, #2
+	and x26, x26, #2047
+	subs x20, x20, #1
+	b.ne spmv
+%s
+%s
+.bss
+vals:
+	.space 16384
+cols:
+	.space 8192
+vec:
+	.space 16384
+`, fillDoubles("fillv", 16384), lcgStep("x10", "x10"), n&0xffff, (n>>16)&0xffff, fpFinish, epilogue)
+}
+
+// srcPovray models 511.povray: ray-sphere intersections — FP compares and
+// data-dependent branches with square roots on the hit path.
+func srcPovray(scale float64) string {
+	n := iters(scale, 6000)
+	return fmt.Sprintf(`
+// 511.povray model: ray-sphere intersection tests.
+.globl _start
+_start:
+	mov x19, #0
+	fmov d8, xzr
+	adrp x25, spheres
+	add x25, x25, :lo12:spheres
+%s
+	movz x20, #%d
+	movk x20, #%d, lsl #16
+	mov x26, #0
+ray:
+	// b and c coefficients from the table; disc = b*b - 4c.
+	ldr d0, [x25, x26]
+	add x11, x26, #8
+	ldr d1, [x25, x11]
+	fmul d2, d0, d0
+	fmov d3, #4.0
+	fmsub d2, d1, d3, d2     // d2 = d0*d0 - 4*d1... fmsub computes a - n*m
+	fcmp d2, #0.0
+	b.lt miss
+	fsqrt d4, d2
+	fsub d5, d4, d0
+	fmov d6, #0.5
+	fmul d5, d5, d6          // t = (sqrt(disc) - b) / 2
+	fadd d8, d8, d5
+	add x19, x19, #1
+	b nextray
+miss:
+	fmov d7, #1.0
+	fadd d8, d8, d7
+nextray:
+	add x26, x26, #16
+	and x26, x26, #0x3ff0
+	subs x20, x20, #1
+	b.ne ray
+%s
+%s
+.bss
+spheres:
+	.space 16400
+`, fillDoubles("fills", 16384), n&0xffff, (n>>16)&0xffff, fpFinish, epilogue)
+}
+
+// srcLBM models 519.lbm: a streaming stencil sweep over doubles — long
+// sequential load/store runs that benefit from guard hoisting.
+func srcLBM(scale float64) string {
+	passes := iters(scale, 22)
+	return fmt.Sprintf(`
+// 519.lbm model: 1D lattice stencil, streaming.
+.globl _start
+_start:
+	mov x19, #0
+	fmov d8, xzr
+	adrp x25, gridA
+	add x25, x25, :lo12:gridA
+%s
+	adrp x27, gridB
+	add x27, x27, :lo12:gridB
+	mov x20, #%d
+	fmov d4, #0.25
+	fmov d5, #0.5
+sweep:
+	// Pointer-increment sweep, as compilers emit for streaming loops:
+	// three neighbour loads off one cursor, one store off another.
+	add x11, x25, #8
+	add x12, x27, #8
+	mov x26, #8
+	movz x28, #16376
+cell:
+	ldr d0, [x11, #-8]
+	ldr d1, [x11]
+	ldr d2, [x11, #8]
+	fmul d3, d0, d4
+	fmadd d3, d1, d5, d3
+	fmadd d3, d2, d4, d3
+	str d3, [x12]
+	add x11, x11, #8
+	add x12, x12, #8
+	add x26, x26, #8
+	cmp x26, x28
+	b.ne cell
+	// Swap grids.
+	mov x11, x25
+	mov x25, x27
+	mov x27, x11
+	subs x20, x20, #1
+	b.ne sweep
+	ldr d8, [x25, #8192]
+%s
+%s
+.bss
+gridA:
+	.space 16384
+gridB:
+	.space 16384
+`, fillDoubles("fillg", 16384), passes, fpFinish, epilogue)
+}
+
+// srcNAB models 544.nab: distance-based force evaluation with divides and
+// square roots in the loop.
+func srcNAB(scale float64) string {
+	n := iters(scale, 5200)
+	return fmt.Sprintf(`
+// 544.nab model: nonbonded force kernel with div/sqrt.
+.globl _start
+_start:
+	mov x19, #0
+	fmov d8, xzr
+	adrp x25, pos
+	add x25, x25, :lo12:pos
+%s
+	movz x20, #%d
+	movk x20, #%d, lsl #16
+	mov x26, #0
+force:
+	ldr d0, [x25, x26]
+	add x11, x26, #8
+	ldr d1, [x25, x11]
+	fsub d2, d0, d1
+	fmadd d3, d2, d2, d2     // r2-ish, always positive enough
+	fabs d3, d3
+	fmov d4, #1.0
+	fadd d3, d3, d4          // avoid zero
+	fsqrt d5, d3             // r
+	fdiv d6, d4, d5          // 1/r
+	fmul d6, d6, d6          // 1/r2
+	fmadd d8, d6, d2, d8
+	add x26, x26, #16
+	and x26, x26, #0x3ff0
+	subs x20, x20, #1
+	b.ne force
+%s
+%s
+.bss
+pos:
+	.space 16400
+`, fillDoubles("fillp", 16384), n&0xffff, (n>>16)&0xffff, fpFinish, epilogue)
+}

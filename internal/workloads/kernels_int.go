@@ -1,0 +1,599 @@
+package workloads
+
+import "fmt"
+
+// Integer kernels. Every kernel accumulates a checksum in x19 and falls
+// through to the shared epilogue, which writes it to stdout and exits.
+// Reserved registers (x18, x21-x24) are never used, matching code built
+// with the -ffixed-reg flags of §5.1.
+
+// srcGCC models 502.gcc: a bytecode interpreter dispatching through a
+// jump table — indirect branches, table loads, and branchy handlers.
+func srcGCC(scale float64) string {
+	n := iters(scale, 12000)
+	return fmt.Sprintf(`
+// 502.gcc model: jump-table interpreter.
+.globl _start
+_start:
+	mov x19, #0
+	// Fill the bytecode buffer with pseudo-random opcodes 0..7.
+	adrp x25, code
+	add x25, x25, :lo12:code
+	mov x26, #0          // index
+	mov x10, #12345
+fill:
+%s	and x11, x10, #7
+	strb w11, [x25, x26]
+	add x26, x26, #1
+	cmp x26, #1024
+	b.ne fill
+
+	// Build the dispatch table position-independently (compilers emit
+	// offset-based jump tables; adr keeps this loadable at any base).
+	adrp x27, handlers
+	add x27, x27, :lo12:handlers
+	adr x11, op_add
+	str x11, [x27]
+	adr x11, op_sub
+	str x11, [x27, #8]
+	adr x11, op_mul
+	str x11, [x27, #16]
+	adr x11, op_ldst
+	str x11, [x27, #24]
+	adr x11, op_branch
+	str x11, [x27, #32]
+	adr x11, op_shift
+	str x11, [x27, #40]
+	adr x11, op_cmp
+	str x11, [x27, #48]
+	adr x11, op_acc
+	str x11, [x27, #56]
+	adrp x28, regs
+	add x28, x28, :lo12:regs
+	mov x26, #0          // pc
+	movz x20, #%d        // instruction budget
+	movk x20, #%d, lsl #16
+interp:
+	ldrb w11, [x25, x26]
+	add x26, x26, #1
+	and x26, x26, #1023
+	ldr x12, [x27, x11, lsl #3]
+	br x12
+op_add:
+	ldr x13, [x28]
+	ldr x14, [x28, #8]
+	add x13, x13, x14
+	str x13, [x28]
+	b next
+op_sub:
+	ldr x13, [x28, #8]
+	ldr x14, [x28, #16]
+	sub x13, x13, x14
+	str x13, [x28, #8]
+	b next
+op_mul:
+	ldr x13, [x28, #16]
+	ldr x14, [x28]
+	mul x13, x13, x14
+	add x13, x13, #1
+	str x13, [x28, #16]
+	b next
+op_ldst:
+	ldr x13, [x28, #24]
+	add x13, x13, x26
+	str x13, [x28, #24]
+	b next
+op_branch:
+	ldr x13, [x28]
+	tbz x13, #3, next
+	add x26, x26, #7
+	and x26, x26, #1023
+	b next
+op_shift:
+	ldr x13, [x28, #8]
+	lsl x14, x13, #3
+	eor x13, x13, x14
+	str x13, [x28, #8]
+	b next
+op_cmp:
+	ldr x13, [x28]
+	ldr x14, [x28, #16]
+	cmp x13, x14
+	csel x13, x13, x14, lt
+	str x13, [x28, #32]
+	b next
+op_acc:
+	ldr x13, [x28, #32]
+	add x19, x19, x13
+	b next
+next:
+	subs x20, x20, #1
+	b.ne interp
+	ldr x13, [x28]
+	add x19, x19, x13
+	b finish
+%s
+.data
+handlers:
+	.space 64
+regs:
+	.space 64
+.bss
+code:
+	.space 1024
+`, lcgStep("x10", "x10"), n&0xffff, (n>>16)&0xffff, epilogue)
+}
+
+// srcMCF models 505.mcf: dependent pointer chasing over a pool large
+// enough to thrash the TLB. Nodes hold 32-bit offsets, so the chase is
+// position independent (and fork-safe), as §5.3 describes.
+func srcMCF(scale float64) string {
+	steps := iters(scale, 30000)
+	return fmt.Sprintf(`
+// 505.mcf model: pointer chasing, 4MiB footprint.
+.globl _start
+_start:
+	mov x19, #0
+	adrp x25, pool
+	add x25, x25, :lo12:pool
+	// Build a strided cycle: node i -> node (i*2654435761+12345) mod 8192,
+	// nodes 512 bytes apart.
+	mov x26, #0
+	movz x10, #0x9e37, lsl #16
+	movk x10, #0x79b1           // 2654435761
+init:
+	mul x11, x26, x10
+	add x11, x11, #2053
+	and x11, x11, #8191
+	lsl x12, x11, #9            // *512: next node offset
+	lsl x13, x26, #9
+	str w12, [x25, x13]         // store 32-bit next offset
+	add x26, x26, #1
+	cmp x26, #8192
+	b.ne init
+
+	mov x26, #0                 // current offset
+	movz x20, #%d
+	movk x20, #%d, lsl #16
+chase:
+	ldr w26, [x25, x26]         // load next offset (dependent)
+	add x19, x19, x26
+	subs x20, x20, #1
+	b.ne chase
+	b finish
+%s
+.bss
+pool:
+	.space 4194304
+`, steps&0xffff, (steps>>16)&0xffff, epilogue)
+}
+
+// srcOmnetpp models 520.omnetpp: a binary-heap event queue with pushes
+// and pops — compare-and-swap loops over memory.
+func srcOmnetpp(scale float64) string {
+	events := iters(scale, 9000)
+	return fmt.Sprintf(`
+// 520.omnetpp model: binary heap event queue.
+.globl _start
+_start:
+	mov x19, #0
+	adrp x25, heap
+	add x25, x25, :lo12:heap
+	mov x26, #0            // heap size
+	mov x10, #9876
+	movz x20, #%d
+	movk x20, #%d, lsl #16
+loop:
+	// Push a pseudo-random event time.
+%s	and x11, x10, #0xffff
+	// sift-up from index x26
+	mov x12, x26
+	add x26, x26, #1
+	str x11, [x25, x12, lsl #3]
+siftup:
+	cbz x12, pushed
+	sub x13, x12, #1
+	lsr x13, x13, #1       // parent
+	ldr x14, [x25, x13, lsl #3]
+	ldr x15, [x25, x12, lsl #3]
+	cmp x15, x14
+	b.ge pushed
+	str x15, [x25, x13, lsl #3]
+	str x14, [x25, x12, lsl #3]
+	mov x12, x13
+	b siftup
+pushed:
+	// Pop when the heap has 64 events: take min, move last to root,
+	// sift down.
+	cmp x26, #64
+	b.lt next
+	ldr x14, [x25]
+	add x19, x19, x14
+	sub x26, x26, #1
+	ldr x14, [x25, x26, lsl #3]
+	str x14, [x25]
+	mov x12, #0
+siftdown:
+	lsl x13, x12, #1
+	add x13, x13, #1       // left child
+	cmp x13, x26
+	b.ge next
+	add x15, x13, #1       // right child
+	cmp x15, x26
+	b.ge pickleft
+	ldr x16, [x25, x13, lsl #3]
+	ldr x17, [x25, x15, lsl #3]
+	cmp x17, x16
+	csel x13, x15, x13, lt
+pickleft:
+	ldr x16, [x25, x13, lsl #3]
+	ldr x17, [x25, x12, lsl #3]
+	cmp x16, x17
+	b.ge next
+	str x16, [x25, x12, lsl #3]
+	str x17, [x25, x13, lsl #3]
+	mov x12, x13
+	b siftdown
+next:
+	subs x20, x20, #1
+	b.ne loop
+	add x19, x19, x26
+	b finish
+%s
+.bss
+heap:
+	.space 2048
+`, events&0xffff, (events>>16)&0xffff, lcgStep("x10", "x10"), epilogue)
+}
+
+// srcXalanc models 523.xalancbmk: string hashing and open-addressed table
+// probing — byte loads, short dependent loops.
+func srcXalanc(scale float64) string {
+	n := iters(scale, 5500)
+	return fmt.Sprintf(`
+// 523.xalancbmk model: string hashing and table probing.
+.globl _start
+_start:
+	mov x19, #0
+	adrp x25, strings
+	add x25, x25, :lo12:strings
+	adrp x27, table
+	add x27, x27, :lo12:table
+	// Fill 8KiB of string bytes.
+	mov x26, #0
+	mov x10, #42
+fill:
+%s	str x10, [x25, x26]
+	add x26, x26, #8
+	cmp x26, #8192
+	b.ne fill
+
+	movz x20, #%d
+	movk x20, #%d, lsl #16
+	mov x26, #0            // string cursor
+outer:
+	// djb2 hash of the 24-byte string at the cursor.
+	add x15, x25, x26
+	movz x11, #5381
+	mov x12, #0
+hash:
+	ldrb w13, [x15, x12]
+	add x14, x11, x11, lsl #5
+	add x11, x14, x13
+	add x12, x12, #1
+	cmp x12, #24
+	b.ne hash
+	// probe the 512-entry table
+	and x12, x11, #511
+probe:
+	ldr x13, [x27, x12, lsl #3]
+	cbz x13, insert
+	cmp x13, x11
+	b.eq hit
+	add x12, x12, #1
+	and x12, x12, #511
+	b probe
+insert:
+	str x11, [x27, x12, lsl #3]
+	b advance
+hit:
+	add x19, x19, #1
+advance:
+	add x19, x19, x11
+	add x26, x26, #8
+	and x26, x26, #0x1fc0   // keep the 24-byte read inside the buffer
+	subs x20, x20, #1
+	b.ne outer
+	b finish
+%s
+.bss
+strings:
+	.space 8256
+table:
+	.space 4096
+`, lcgStep("x10", "x10"), n&0xffff, (n>>16)&0xffff, epilogue)
+}
+
+// srcX264 models 525.x264: sum of absolute differences over pixel rows,
+// plus a q-register copy loop (SIMD loads/stores use the standard
+// addressing modes, §2).
+func srcX264(scale float64) string {
+	n := iters(scale, 2600)
+	return fmt.Sprintf(`
+// 525.x264 model: SAD over pixel blocks + vector copies.
+.globl _start
+_start:
+	mov x19, #0
+	adrp x25, frame_a
+	add x25, x25, :lo12:frame_a
+	adrp x26, frame_b
+	add x26, x26, :lo12:frame_b
+	// Init both frames.
+	mov x27, #0
+	mov x10, #7
+	mov x11, #13
+fillf:
+%s	str x10, [x25, x27]
+%s	str x11, [x26, x27]
+	add x27, x27, #8
+	cmp x27, #4096
+	b.ne fillf
+
+	movz x20, #%d
+	movk x20, #%d, lsl #16
+block:
+	// SAD of one 16-byte row (byte-wise).
+	and x12, x20, #0xff0    // row offset
+	mov x13, #0             // byte index
+	mov x14, #0             // row sad
+sad:
+	ldrb w15, [x25, x12]
+	ldrb w16, [x26, x12]
+	subs w17, w15, w16
+	cneg w17, w17, mi
+	add x14, x14, x17
+	add x12, x12, #1
+	add x13, x13, #1
+	cmp x13, #16
+	b.ne sad
+	add x19, x19, x14
+	// Motion-compensation style 16-byte copy through a vector register.
+	and x12, x20, #0xff0
+	ldr q0, [x26, x12]
+	str q0, [x25, x12]
+	subs x20, x20, #1
+	b.ne block
+	b finish
+%s
+.bss
+frame_a:
+	.space 4112
+frame_b:
+	.space 4112
+`, lcgStep("x10", "x10"), lcgStep("x11", "x11"), n&0xffff, (n>>16)&0xffff, epilogue)
+}
+
+// srcDeepsjeng models 531.deepsjeng: bitboard scanning with bit tricks
+// and data-dependent branches.
+func srcDeepsjeng(scale float64) string {
+	n := iters(scale, 11000)
+	return fmt.Sprintf(`
+// 531.deepsjeng model: bitboard scanning.
+.globl _start
+_start:
+	mov x19, #0
+	adrp x25, score
+	add x25, x25, :lo12:score
+	// Piece-square table.
+	mov x26, #0
+	mov x10, #3
+fillt:
+%s	and x11, x10, #255
+	str x11, [x25, x26, lsl #3]
+	add x26, x26, #1
+	cmp x26, #64
+	b.ne fillt
+
+	mov x10, #0x1234
+	movz x20, #%d
+	movk x20, #%d, lsl #16
+search:
+%s	mov x11, x10            // bitboard
+scan:
+	cbz x11, donebb
+	rbit x12, x11
+	clz x12, x12            // index of lowest set bit
+	ldr x13, [x25, x12, lsl #3]
+	tbz x13, #2, skipbonus
+	add x19, x19, x13
+skipbonus:
+	add x19, x19, x12
+	sub x14, x11, #1
+	and x11, x11, x14       // clear lowest bit
+	b scan
+donebb:
+	subs x20, x20, #1
+	b.ne search
+	b finish
+%s
+.bss
+score:
+	.space 512
+`, lcgStep("x10", "x10"), n&0xffff, (n>>16)&0xffff, lcgStep("x10", "x10"), epilogue)
+}
+
+// srcImagick models 538.imagick: integer convolution over a byte image.
+func srcImagick(scale float64) string {
+	passes := iters(scale, 9)
+	return fmt.Sprintf(`
+// 538.imagick model: 1D convolution over a 32KiB image.
+.globl _start
+_start:
+	mov x19, #0
+	adrp x25, image
+	add x25, x25, :lo12:image
+	adrp x26, out
+	add x26, x26, :lo12:out
+	mov x27, #0
+	mov x10, #99
+fill:
+%s	str x10, [x25, x27]
+	add x27, x27, #8
+	cmp x27, #32768
+	b.ne fill
+
+	mov x20, #%d
+pass:
+	// Pointer-increment convolution: three taps off the input cursor,
+	// one store off the output cursor.
+	add x9, x25, #1
+	add x16, x26, #1
+	mov x27, #1
+conv:
+	ldrb w12, [x9, #-1]
+	ldrb w13, [x9]
+	ldrb w14, [x9, #1]
+	mov x15, #3
+	mul x12, x12, x15
+	mov x15, #5
+	madd x12, x13, x15, x12
+	mov x15, #3
+	madd x12, x14, x15, x12
+	lsr x12, x12, #3
+	strb w12, [x16]
+	add x19, x19, x12
+	add x9, x9, #1
+	add x16, x16, #1
+	add x27, x27, #1
+	cmp x27, #28672
+	b.ne conv
+	subs x20, x20, #1
+	b.ne pass
+	b finish
+%s
+.bss
+image:
+	.space 32768
+out:
+	.space 32768
+`, lcgStep("x10", "x10"), passes, epilogue)
+}
+
+// srcLeela models 541.leela: unpredictable tree descent with loads on
+// every decision — the paper's worst case for LFI (17%% on M1).
+func srcLeela(scale float64) string {
+	n := iters(scale, 16000)
+	return fmt.Sprintf(`
+// 541.leela model: branchy MCTS-style descent.
+.globl _start
+_start:
+	mov x19, #0
+	adrp x25, tree
+	add x25, x25, :lo12:tree
+	// Node i holds a pseudo-random value used for the descend decision.
+	mov x26, #0
+	mov x10, #31337
+fill:
+%s	str x10, [x25, x26, lsl #3]
+	add x26, x26, #1
+	cmp x26, #4096
+	b.ne fill
+
+	mov x10, #1
+	movz x20, #%d
+	movk x20, #%d, lsl #16
+playout:
+	mov x11, #1             // node index (1-based heap layout)
+descend:
+	cmp x11, #2048
+	b.ge leaf
+	ldr x12, [x25, x11, lsl #3]
+	eor x10, x10, x12
+	eor x13, x10, x10, lsr #7
+	lsl x11, x11, #1
+	tbz x13, #0, left
+	add x11, x11, #1        // right child (data dependent!)
+	add x19, x19, #1
+left:
+	ldr x14, [x25, x11, lsl #3]
+	cmp x14, x12
+	b.lt descend
+	add x19, x19, x14
+	b descend
+leaf:
+	add x19, x19, x11
+	subs x20, x20, #1
+	b.ne playout
+	b finish
+%s
+.bss
+tree:
+	.space 32768
+`, lcgStep("x10", "x10"), n&0xffff, (n>>16)&0xffff, epilogue)
+}
+
+// srcXZ models 557.xz: an LZ77 match finder with a hash head table and
+// byte-compare loops.
+func srcXZ(scale float64) string {
+	n := iters(scale, 9000)
+	return fmt.Sprintf(`
+// 557.xz model: LZ match finder.
+.globl _start
+_start:
+	mov x19, #0
+	adrp x25, input
+	add x25, x25, :lo12:input
+	adrp x26, heads
+	add x26, x26, :lo12:heads
+	// Compressible pseudo-random input: low entropy via masking.
+	mov x27, #0
+	mov x10, #5
+fill:
+%s	and x11, x10, #0x0f0f0f0f0f0f0f0f
+	str x11, [x25, x27]
+	add x27, x27, #8
+	cmp x27, #16384
+	b.ne fill
+
+	mov x27, #0             // position
+	movz x20, #%d
+	movk x20, #%d, lsl #16
+find:
+	// Hash the 4 bytes at the cursor.
+	ldr w11, [x25, x27]
+	movz x12, #0x9e37, lsl #16
+	movk x12, #0x79b1
+	mul w11, w11, w12
+	lsr w11, w11, #20       // 12-bit hash
+	// Look up and replace the chain head.
+	ldr w13, [x26, x11, lsl #2]
+	str w27, [x26, x11, lsl #2]
+	// Compare up to 16 bytes with the candidate.
+	mov x14, #0
+match:
+	ldrb w15, [x25, x13]
+	add x16, x27, x14
+	and x16, x16, #16383
+	ldrb w17, [x25, x16]
+	cmp w15, w17
+	b.ne matched
+	add x13, x13, #1
+	and x13, x13, #16383
+	add x14, x14, #1
+	cmp x14, #16
+	b.ne match
+matched:
+	add x19, x19, x14
+	add x27, x27, #3
+	and x27, x27, #16383
+	subs x20, x20, #1
+	b.ne find
+	b finish
+%s
+.bss
+input:
+	.space 16388
+heads:
+	.space 16384
+`, lcgStep("x10", "x10"), n&0xffff, (n>>16)&0xffff, epilogue)
+}

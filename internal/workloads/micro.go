@@ -1,0 +1,124 @@
+package workloads
+
+import (
+	"fmt"
+
+	"lfi/internal/core"
+	"lfi/internal/progs"
+)
+
+// Microbenchmark programs for Table 5. Each performs N operations in a
+// tight loop; the harness divides elapsed virtual time by N.
+
+// SyscallLoop issues n getpid runtime calls.
+func SyscallLoop(n int) string {
+	return fmt.Sprintf(`
+.globl _start
+_start:
+	movz x20, #%d
+	movk x20, #%d, lsl #16
+loop:
+%s	subs x20, x20, #1
+	b.ne loop
+	mov x0, #0
+%s`, n&0xffff, (n>>16)&0xffff, progs.RTCall(core.RTGetPID), progs.Exit())
+}
+
+// PipePing forks a child and ping-pongs one byte over two pipes n times
+// (the parent's round-trip count is n). The parent exits with status 0
+// after reaping the child.
+func PipePing(n int) string {
+	return fmt.Sprintf(`
+.globl _start
+_start:
+	// pipe A: parent -> child; pipe B: child -> parent
+	adrp x0, fdsA
+	add x0, x0, :lo12:fdsA
+%s	adrp x0, fdsB
+	add x0, x0, :lo12:fdsB
+%s	adrp x25, fdsA
+	add x25, x25, :lo12:fdsA
+	ldr w26, [x25]          // A read end
+	ldr w27, [x25, #4]      // A write end
+	ldr w28, [x25, #8]      // B read end
+	ldr w29, [x25, #12]     // B write end
+%s	cbz x0, child
+	// parent: close the ends it does not use
+	mov x0, x26
+%s	mov x0, x29
+%s	movz x20, #%d
+	movk x20, #%d, lsl #16
+ploop:
+	mov x0, x27
+	adrp x1, buf
+	add x1, x1, :lo12:buf
+	mov x2, #1
+%s	mov x0, x28
+	adrp x1, buf
+	add x1, x1, :lo12:buf
+	mov x2, #1
+%s	subs x20, x20, #1
+	b.ne ploop
+	// close the write end so the child sees EOF and exits
+	mov x0, x27
+%s	adrp x0, status
+	add x0, x0, :lo12:status
+%s	mov x0, #0
+%s
+child:
+	mov x0, x27
+%s	mov x0, x28
+%s	movz x20, #%d
+	movk x20, #%d, lsl #16
+cloop:
+	mov x0, x26
+	adrp x1, buf
+	add x1, x1, :lo12:buf
+	mov x2, #1
+%s	cbz x0, cdone           // EOF: parent closed
+	mov x0, x29
+	adrp x1, buf
+	add x1, x1, :lo12:buf
+	mov x2, #1
+%s	b cloop
+cdone:
+	mov x0, #0
+%s
+.bss
+fdsA:
+	.space 8
+fdsB:
+	.space 8
+buf:
+	.space 8
+status:
+	.space 8
+`,
+		progs.RTCall(core.RTPipe), progs.RTCall(core.RTPipe),
+		progs.RTCall(core.RTFork),
+		progs.RTCall(core.RTClose), progs.RTCall(core.RTClose),
+		n&0xffff, (n>>16)&0xffff,
+		progs.RTCall(core.RTWrite), progs.RTCall(core.RTRead),
+		progs.RTCall(core.RTClose), progs.RTCall(core.RTWait), progs.Exit(),
+		progs.RTCall(core.RTClose), progs.RTCall(core.RTClose),
+		n&0xffff, (n>>16)&0xffff,
+		progs.RTCall(core.RTRead), progs.RTCall(core.RTWrite), progs.Exit())
+}
+
+// YieldPing yields to the peer pid n times, then exits. Two instances of
+// this program (with each other's pids) implement the Table 5 "yield"
+// microbenchmark: a direct cross-sandbox call.
+func YieldPing(n, peer int) string {
+	return fmt.Sprintf(`
+.globl _start
+_start:
+	mov x25, #%d
+	movz x20, #%d
+	movk x20, #%d, lsl #16
+loop:
+	mov x0, x25
+%s	subs x20, x20, #1
+	b.ne loop
+	mov x0, #0
+%s`, peer, n&0xffff, (n>>16)&0xffff, progs.RTCall(core.RTYield), progs.Exit())
+}

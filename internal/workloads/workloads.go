@@ -1,0 +1,126 @@
+// Package workloads provides the benchmark programs for the evaluation:
+// fourteen kernels named after the SPEC CPU2017 benchmarks the paper uses,
+// each hand-written in compiler-style AArch64 assembly to model the
+// dominant behaviour of its namesake (pointer chasing for mcf, stencils
+// for lbm, SAD loops for x264, …), plus the Table 5 microbenchmark
+// programs. Real SPEC sources and inputs are licensed and unavailable
+// here; these kernels reproduce the *instruction mix* each benchmark
+// stresses, which is what determines SFI overhead.
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"lfi/internal/core"
+	"lfi/internal/progs"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name matches the SPEC benchmark it models, e.g. "505.mcf".
+	Name string
+	// Behaviour is a one-line description of the modeled kernel.
+	Behaviour string
+	// WasmSubset marks the 7 benchmarks that the paper could also run
+	// under WebAssembly (Figure 4).
+	WasmSubset bool
+	// source generates the assembly at a given scale (iteration
+	// multiplier; 1.0 is the default benchmark size).
+	source func(scale float64) string
+}
+
+// Source returns the assembly text at the given scale (0 means 1.0).
+func (w *Workload) Source(scale float64) string {
+	if scale <= 0 {
+		scale = 1
+	}
+	return w.source(scale)
+}
+
+// All returns the fourteen kernels in SPEC numbering order.
+func All() []*Workload {
+	return []*Workload{
+		{Name: "502.gcc", Behaviour: "jump-table bytecode interpreter over synthetic IR", source: srcGCC},
+		{Name: "505.mcf", Behaviour: "pointer chasing across a multi-MiB node pool", WasmSubset: true, source: srcMCF},
+		{Name: "508.namd", Behaviour: "FP pairwise-force inner loop (fmadd-heavy)", WasmSubset: true, source: srcNAMD},
+		{Name: "510.parest", Behaviour: "sparse matrix-vector products with indexed gathers", source: srcParest},
+		{Name: "511.povray", Behaviour: "ray-sphere intersection with FP branches", source: srcPovray},
+		{Name: "519.lbm", Behaviour: "streaming 1D lattice stencil over doubles", WasmSubset: true, source: srcLBM},
+		{Name: "520.omnetpp", Behaviour: "binary-heap event queue simulation", source: srcOmnetpp},
+		{Name: "523.xalancbmk", Behaviour: "string hashing and table probing (byte loads)", source: srcXalanc},
+		{Name: "525.x264", Behaviour: "sum-of-absolute-differences over pixel blocks", WasmSubset: true, source: srcX264},
+		{Name: "531.deepsjeng", Behaviour: "bitboard search with alpha-beta style branching", WasmSubset: true, source: srcDeepsjeng},
+		{Name: "538.imagick", Behaviour: "integer convolution over an image buffer", source: srcImagick},
+		{Name: "541.leela", Behaviour: "branchy MCTS-style tree descent (LFI worst case)", source: srcLeela},
+		{Name: "544.nab", Behaviour: "FP distance/force kernel with div and sqrt", WasmSubset: true, source: srcNAB},
+		{Name: "557.xz", Behaviour: "LZ match finder with hash chains and byte compares", WasmSubset: true, source: srcXZ},
+	}
+}
+
+// Get returns the named workload.
+func Get(name string) (*Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// WasmSubset returns the 7 kernels used in the WebAssembly comparison.
+func WasmSubset() []*Workload {
+	var out []*Workload
+	for _, w := range All() {
+		if w.WasmSubset {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func iters(scale float64, base int) int {
+	n := int(float64(base) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// prologue/epilogue shared by all kernels: the checksum accumulated in x19
+// is stored and written to stdout (8 bytes) so the harness can compare
+// results across systems, then the sandbox exits cleanly.
+const epilogue = `
+finish:
+	adrp x1, result
+	add x1, x1, :lo12:result
+	str x19, [x1]
+	mov x0, #1
+	mov x2, #8
+` + "\tldr x30, [x21, #8]\n\tblr x30\n" + `
+	mov x0, #0
+` + "\tldr x30, [x21, #0]\n\tblr x30\n" + `
+.data
+result:
+	.quad 0
+`
+
+// lcgStep emits xDst = xSrc * A + C for the splitmix-style generator used
+// to produce deterministic pseudo-random data in every kernel.
+func lcgStep(dst, src string) string {
+	return fmt.Sprintf(`	movz x9, #0x4c95, lsl #48
+	movk x9, #0x7f2d, lsl #32
+	movk x9, #0x4c95, lsl #16
+	movk x9, #0x7f2d
+	mul %[1]s, %[2]s, x9
+	movz x9, #0x1405, lsl #48
+	movk x9, #0x7cb0, lsl #32
+	movk x9, #0x9fd4, lsl #16
+	movk x9, #0x7ab1
+	add %[1]s, %[1]s, x9
+`, dst, src)
+}
+
+var _ = strings.Repeat
+var _ = progs.RTCall
+var _ = core.RTWrite

@@ -1,0 +1,185 @@
+package workloads
+
+import (
+	"testing"
+
+	"lfi/internal/core"
+	"lfi/internal/lfirt"
+	"lfi/internal/progs"
+)
+
+// runKernel executes a workload under the runtime with the given build
+// mode and returns its stdout (the 8-byte checksum) and instruction count.
+func runKernel(t *testing.T, src string, opts *core.Options) (string, uint64) {
+	t.Helper()
+	var elf []byte
+	cfg := lfirt.DefaultConfig()
+	if opts == nil {
+		res, err := progs.BuildNative(src)
+		if err != nil {
+			t.Fatalf("build native: %v", err)
+		}
+		elf = res.ELF
+		cfg.Verify = false
+	} else {
+		res, err := progs.Build(src, *opts)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		elf = res.ELF
+		// no-loads builds verify under the matching relaxed policy.
+		cfg.VerifierCfg.NoLoads = opts.NoLoads
+	}
+	rt := lfirt.New(cfg)
+	p, err := rt.Load(elf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	status, err := rt.RunProc(p)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if status != 0 {
+		t.Fatalf("exit status %d", status)
+	}
+	out := string(rt.Stdout())
+	if len(out) != 8 {
+		t.Fatalf("checksum output is %d bytes", len(out))
+	}
+	return out, rt.CPU.Instrs
+}
+
+// TestKernelsMatchNative is the key correctness property: every kernel
+// computes the same checksum natively and under every LFI mode, and its
+// LFI build passes the verifier (enforced by the loading path).
+func TestKernelsMatchNative(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			src := w.Source(0.08) // small inputs for the test suite
+			native, nInstrs := runKernel(t, src, nil)
+			for _, opt := range []core.OptLevel{core.O0, core.O1, core.O2} {
+				got, gInstrs := runKernel(t, src, &core.Options{Opt: opt})
+				if got != native {
+					t.Errorf("%v checksum mismatch: %x vs native %x", opt, got, native)
+				}
+				if gInstrs < nInstrs {
+					t.Errorf("%v executed fewer instructions (%d) than native (%d)",
+						opt, gInstrs, nInstrs)
+				}
+			}
+			// no-loads mode must also preserve results.
+			got, _ := runKernel(t, src, &core.Options{Opt: core.O2, NoLoads: true})
+			if got != native {
+				t.Errorf("no-loads checksum mismatch")
+			}
+		})
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		t.Fatalf("have %d workloads, want 14", len(all))
+	}
+	if len(WasmSubset()) != 7 {
+		t.Fatalf("wasm subset = %d, want 7", len(WasmSubset()))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate %s", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Behaviour == "" {
+			t.Errorf("%s has no behaviour description", w.Name)
+		}
+	}
+	if _, ok := Get("505.mcf"); !ok {
+		t.Error("Get(505.mcf) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) succeeded")
+	}
+}
+
+func TestScaleChangesWork(t *testing.T) {
+	w, _ := Get("541.leela")
+	_, small := runKernel(t, w.Source(0.05), &core.Options{Opt: core.O2})
+	_, large := runKernel(t, w.Source(0.2), &core.Options{Opt: core.O2})
+	if large < small*2 {
+		t.Errorf("scale knob ineffective: %d vs %d instructions", small, large)
+	}
+}
+
+func TestMicroSyscallLoop(t *testing.T) {
+	rt := lfirt.New(lfirt.DefaultConfig())
+	res, err := progs.Build(SyscallLoop(100), core.Options{Opt: core.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.Load(res.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, err := rt.RunProc(p); err != nil || status != 0 {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+	if rt.HostCalls < 100 {
+		t.Errorf("host calls = %d, want >= 100", rt.HostCalls)
+	}
+}
+
+func TestMicroPipePing(t *testing.T) {
+	rt := lfirt.New(lfirt.DefaultConfig())
+	res, err := progs.Build(PipePing(50), core.Options{Opt: core.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := rt.Load(res.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := rt.RunProc(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 0 {
+		t.Fatalf("status=%d", status)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func TestMicroYieldPing(t *testing.T) {
+	rt := lfirt.New(lfirt.DefaultConfig())
+	b1, err := progs.Build(YieldPing(40, 2), core.Options{Opt: core.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := progs.Build(YieldPing(40, 1), core.Options{Opt: core.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Load(b1.ELF); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Load(b2.ELF); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreMarkMatchesNative(t *testing.T) {
+	src := CoreMark(0.3)
+	native, _ := runKernel(t, src, nil)
+	for _, opt := range []core.OptLevel{core.O0, core.O1, core.O2} {
+		got, _ := runKernel(t, src, &core.Options{Opt: opt})
+		if got != native {
+			t.Errorf("%v: coremark checksum mismatch", opt)
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package lfi is the public API of this Lightweight Fault Isolation (LFI)
+// implementation — a software-based fault isolation system for ARM64 that
+// packs tens of thousands of 4GiB sandboxes into one address space with
+// full isolation of loads, stores, and jumps (Yedidia, ASPLOS 2024).
+//
+// The pipeline mirrors the paper's three components:
+//
+//	asm text ──Rewrite──▶ guarded asm ──Compile──▶ ELF ──Runtime.Load──▶ sandbox
+//	                                      ▲
+//	                                   Verify (machine code, one linear pass)
+//
+// Compile wraps the assembly rewriter, assembler, and ELF writer (the
+// paper's lfi-clang); Verify is the static verifier (lfi-verify); Runtime
+// is the sandbox runtime (lfi-run). See the examples directory for
+// complete programs.
+package lfi
+
+import (
+	"fmt"
+	"io"
+
+	"lfi/internal/arm64"
+	"lfi/internal/core"
+	"lfi/internal/elfobj"
+	"lfi/internal/emu"
+	"lfi/internal/lfirt"
+	"lfi/internal/rewrite"
+	"lfi/internal/verifier"
+)
+
+// OptLevel selects the rewriter optimization level (§6.1).
+type OptLevel int
+
+const (
+	// O0 uses only the basic two-cycle add guard.
+	O0 OptLevel = OptLevel(core.O0)
+	// O1 adds zero-instruction guards via the guarded addressing mode.
+	O1 OptLevel = OptLevel(core.O1)
+	// O2 adds redundant guard elimination (the default).
+	O2 OptLevel = OptLevel(core.O2)
+)
+
+// CompileOptions configures Compile and Rewrite.
+type CompileOptions struct {
+	// Opt is the optimization level; the zero value is O0, so most
+	// callers want O2.
+	Opt OptLevel
+	// NoLoads disables load sandboxing ("fault isolation" of stores and
+	// jumps only, ~1% overhead).
+	NoLoads bool
+	// DisableSPOpts turns off the §4.2 stack-pointer guard elisions
+	// (ablation use only).
+	DisableSPOpts bool
+}
+
+func (o CompileOptions) internal() core.Options {
+	return core.Options{Opt: core.OptLevel(o.Opt), NoLoads: o.NoLoads, DisableSPOpts: o.DisableSPOpts}
+}
+
+// RewriteStats reports what the rewriter did.
+type RewriteStats = rewrite.Stats
+
+// Rewrite inserts LFI guards into GNU-syntax ARM64 assembly and returns
+// the transformed assembly text (the paper's assembly-to-assembly tool,
+// §5.1). Input may come from any compiler that emits GNU assembly.
+func Rewrite(asmSource string, opts CompileOptions) (string, RewriteStats, error) {
+	f, err := arm64.ParseFile(asmSource)
+	if err != nil {
+		return "", RewriteStats{}, err
+	}
+	nf, stats, err := rewrite.Rewrite(f, opts.internal())
+	if err != nil {
+		return "", stats, err
+	}
+	return nf.String(), stats, nil
+}
+
+// CompileResult is a built sandbox executable.
+type CompileResult struct {
+	// ELF is the executable image accepted by Runtime.Load.
+	ELF []byte
+	// Assembly is the guarded assembly text after rewriting.
+	Assembly string
+	// TextSize and FileSize support code-size comparisons (§6.3).
+	TextSize int
+	FileSize int
+	// Stats details the inserted guards.
+	Stats RewriteStats
+}
+
+// Compile rewrites, assembles, and packages assembly source into a
+// sandbox ELF executable.
+func Compile(asmSource string, opts CompileOptions) (*CompileResult, error) {
+	f, err := arm64.ParseFile(asmSource)
+	if err != nil {
+		return nil, err
+	}
+	nf, stats, err := rewrite.Rewrite(f, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	img, err := arm64.Assemble(nf, arm64.Layout{TextBase: core.MinCodeOffset, PageSize: 16 * 1024})
+	if err != nil {
+		return nil, err
+	}
+	elfBytes, err := elfobj.FromImage(img).Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return &CompileResult{
+		ELF:      elfBytes,
+		Assembly: nf.String(),
+		TextSize: len(img.Text),
+		FileSize: len(elfBytes),
+		Stats:    stats,
+	}, nil
+}
+
+// CompileNative assembles source without guards. The result does not pass
+// verification; it exists for baseline measurements.
+func CompileNative(asmSource string) (*CompileResult, error) {
+	f, err := arm64.ParseFile(asmSource)
+	if err != nil {
+		return nil, err
+	}
+	img, err := arm64.Assemble(f, arm64.Layout{TextBase: core.MinCodeOffset, PageSize: 16 * 1024})
+	if err != nil {
+		return nil, err
+	}
+	elfBytes, err := elfobj.FromImage(img).Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return &CompileResult{ELF: elfBytes, TextSize: len(img.Text), FileSize: len(elfBytes)}, nil
+}
+
+// VerifyStats summarizes a successful verification.
+type VerifyStats = verifier.Stats
+
+// Verify checks an ELF executable's text segment against the LFI
+// invariants (§5.2). A nil error means the program cannot escape its
+// sandbox.
+func Verify(elfBytes []byte) (VerifyStats, error) {
+	exe, err := elfobj.Unmarshal(elfBytes)
+	if err != nil {
+		return VerifyStats{}, err
+	}
+	text, err := exe.TextSegment()
+	if err != nil {
+		return VerifyStats{}, err
+	}
+	cfg := verifier.DefaultConfig()
+	cfg.TextOff = text.Vaddr
+	return verifier.Verify(text.Data, cfg)
+}
+
+// Machine selects a timing model for measured runs.
+type Machine int
+
+const (
+	// MachineNone disables timing (fastest execution).
+	MachineNone Machine = iota
+	// MachineM1 models an Apple M1 class core at 3.2 GHz.
+	MachineM1
+	// MachineT2A models a GCP Tau T2A (Neoverse N1 class) core at 3 GHz.
+	MachineT2A
+)
+
+func (m Machine) model() *emu.CoreModel {
+	switch m {
+	case MachineM1:
+		return emu.ModelM1()
+	case MachineT2A:
+		return emu.ModelT2A()
+	}
+	return nil
+}
+
+// RuntimeConfig configures a Runtime.
+type RuntimeConfig struct {
+	// MaxSandboxes bounds concurrent sandboxes (0 = 64; the architecture
+	// supports up to 65534 application slots).
+	MaxSandboxes int
+	// Timeslice is the preemption budget in instructions (0 = 200k).
+	Timeslice uint64
+	// Machine enables the cycle-accurate timing model.
+	Machine Machine
+	// DisableVerification loads binaries without verifying them
+	// (baseline measurements only — never for untrusted code).
+	DisableVerification bool
+	// NoLoads verifies under the weaker store/jump-only policy matching
+	// CompileOptions.NoLoads.
+	NoLoads bool
+	// StackSize per sandbox in bytes (0 = 8MiB).
+	StackSize uint64
+	// SpectreMitigations charges the §7.1 SCXTNUM_EL0 software-context
+	// switch cost on every isolation-domain change.
+	SpectreMitigations bool
+}
+
+// Runtime hosts sandboxes in a single simulated address space and
+// provides them a small Unix-like system interface (§5.3).
+type Runtime struct {
+	rt *lfirt.Runtime
+}
+
+// Process is one sandboxed process.
+type Process = lfirt.Proc
+
+// NewRuntime creates a runtime.
+func NewRuntime(cfg RuntimeConfig) *Runtime {
+	ic := lfirt.DefaultConfig()
+	ic.MaxSlots = cfg.MaxSandboxes
+	ic.Timeslice = cfg.Timeslice
+	ic.Model = cfg.Machine.model()
+	ic.Verify = !cfg.DisableVerification
+	ic.VerifierCfg.NoLoads = cfg.NoLoads
+	ic.StackSize = cfg.StackSize
+	ic.SpectreMitigations = cfg.SpectreMitigations
+	return &Runtime{rt: lfirt.New(ic)}
+}
+
+// Load verifies and loads an ELF executable into a fresh sandbox.
+func (r *Runtime) Load(elfBytes []byte) (*Process, error) {
+	return r.rt.Load(elfBytes)
+}
+
+// Run schedules all loaded sandboxes until they exit.
+func (r *Runtime) Run() error { return r.rt.Run() }
+
+// RunProcess runs until the given process exits and returns its status.
+func (r *Runtime) RunProcess(p *Process) (int, error) { return r.rt.RunProc(p) }
+
+// Stdout returns everything the sandboxes wrote to fd 1.
+func (r *Runtime) Stdout() []byte { return r.rt.Stdout() }
+
+// Stderr returns everything the sandboxes wrote to fd 2.
+func (r *Runtime) Stderr() []byte { return r.rt.Stderr() }
+
+// WriteFile installs a file in the runtime's filesystem for sandboxes to
+// open.
+func (r *Runtime) WriteFile(path string, data []byte) { r.rt.FS().WriteFile(path, data) }
+
+// ReadFile fetches a file that sandboxes wrote.
+func (r *Runtime) ReadFile(path string) ([]byte, bool) { return r.rt.FS().ReadFile(path) }
+
+// DenyPathPrefix makes open() fail with EACCES for paths under the prefix
+// (§5.3: "the runtime can disallow all access to certain directories").
+func (r *Runtime) DenyPathPrefix(prefix string) {
+	fs := r.rt.FS()
+	fs.DenyPrefixes = append(fs.DenyPrefixes, prefix)
+}
+
+// Cycles returns the elapsed virtual cycles (0 without a Machine).
+func (r *Runtime) Cycles() float64 {
+	if r.rt.Tim == nil {
+		return 0
+	}
+	return r.rt.Tim.Cycles()
+}
+
+// Nanoseconds converts Cycles to wall time on the machine model.
+func (r *Runtime) Nanoseconds() float64 {
+	if r.rt.Tim == nil {
+		return 0
+	}
+	return r.rt.Tim.Nanoseconds()
+}
+
+// Instructions returns the retired instruction count.
+func (r *Runtime) Instructions() uint64 { return r.rt.CPU.Instrs }
+
+// Stats returns scheduler counters.
+func (r *Runtime) Stats() (hostCalls, preempts, switches uint64) {
+	return r.rt.HostCalls, r.rt.Preempts, r.rt.Switches
+}
+
+// RuntimeCall identifies an entry in the runtime-call table.
+type RuntimeCall = core.RuntimeCall
+
+// Runtime call numbers, in call-table order.
+const (
+	CallExit   = core.RTExit
+	CallWrite  = core.RTWrite
+	CallRead   = core.RTRead
+	CallOpen   = core.RTOpen
+	CallClose  = core.RTClose
+	CallBrk    = core.RTBrk
+	CallMmap   = core.RTMmap
+	CallMunmap = core.RTMunmap
+	CallFork   = core.RTFork
+	CallWait   = core.RTWait
+	CallYield  = core.RTYield
+	CallGetPID = core.RTGetPID
+	CallPipe   = core.RTPipe
+	CallKill   = core.RTKill
+	CallUsleep = core.RTUsleep
+)
+
+// CallSequence returns the two-instruction assembly sequence that invokes
+// a runtime call (§4.4): a load from the call table followed by blr x30.
+func CallSequence(rc RuntimeCall) string {
+	return fmt.Sprintf("\tldr x30, [x21, #%d]\n\tblr x30\n", rc.TableOffset())
+}
+
+// TraceInstructions streams every executed instruction (up to limit) to w
+// as "pc: disassembly" lines — the lfi-run -trace debugging aid.
+func (r *Runtime) TraceInstructions(w io.Writer, limit uint64) {
+	var n uint64
+	r.rt.CPU.Trace = func(pc uint64, inst *arm64.Inst) {
+		if n >= limit {
+			r.rt.CPU.Trace = nil
+			return
+		}
+		n++
+		fmt.Fprintf(w, "%12x:\t%s\n", pc, inst.String())
+	}
+}
+
+// EnableProfile turns on per-instruction cycle attribution; it requires a
+// Machine timing model.
+func (r *Runtime) EnableProfile() error {
+	if r.rt.Tim == nil {
+		return fmt.Errorf("lfi: profiling requires a timing model (set RuntimeConfig.Machine)")
+	}
+	r.rt.Tim.EnableProfile()
+	return nil
+}
+
+// Profile returns the n most expensive instructions as formatted
+// "pc cycles disassembly" lines, hottest first.
+func (r *Runtime) Profile(n int) []string {
+	if r.rt.Tim == nil {
+		return nil
+	}
+	var out []string
+	for _, pcCost := range r.rt.Tim.TopPCs(n) {
+		dis := "<unmapped>"
+		if w, f := r.rt.AS.Fetch32(pcCost.PC); f == nil {
+			if inst, err := arm64.Decode(w); err == nil {
+				dis = inst.String()
+			}
+		}
+		out = append(out, fmt.Sprintf("%12x %12.0f  %s", pcCost.PC, pcCost.Cycles, dis))
+	}
+	return out
+}
