@@ -1,0 +1,27 @@
+#!/bin/sh
+# check.sh — the tier-1 gate. Everything here must pass before a change
+# lands: formatting, vet, a full build, the full test suite, and the
+# race-enabled concurrency suites for the serving pool and runtime.
+set -eu
+cd "$(dirname "$0")"
+
+echo '== gofmt'
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed:" "$fmt"
+    exit 1
+fi
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go test ./...'
+go test ./...
+
+echo '== go test -race ./internal/pool ./internal/lfirt'
+go test -race ./internal/pool ./internal/lfirt
+
+echo 'ok'

@@ -12,6 +12,7 @@
 //	lfi-bench -table 5 -machine m1        # Table 5 (microbenchmarks)
 //	lfi-bench -table codesize             # §6.3 code size
 //	lfi-bench -throughput                 # §5.2 verifier throughput
+//	lfi-bench -pool                       # serving throughput (cold vs restore)
 //	lfi-bench -all                        # everything
 package main
 
@@ -32,6 +33,9 @@ func main() {
 	machine := flag.String("machine", "m1", "machine model: m1 or t2a")
 	scale := flag.Float64("scale", 0.3, "workload scale (1.0 = full size)")
 	throughput := flag.Bool("throughput", false, "measure verifier/validator throughput")
+	poolBench := flag.Bool("pool", false, "measure serving throughput: cold load vs snapshot restore")
+	poolWorkers := flag.Int("pool-workers", 4, "worker runtimes for -pool")
+	poolJobs := flag.Int("pool-jobs", 400, "jobs to serve for -pool")
 	coremark := flag.Bool("coremark", false, "run the CoreMark-like kernel (artifact A.6.3)")
 	chart := flag.Bool("chart", false, "render figures as ASCII bar charts")
 	all := flag.Bool("all", false, "regenerate everything on both machines")
@@ -58,6 +62,8 @@ func main() {
 		runCoreMark("m1", *scale)
 		fmt.Println()
 		runThroughput()
+		fmt.Println()
+		runPool(*poolWorkers, *poolJobs)
 		return
 	}
 
@@ -96,6 +102,10 @@ func main() {
 	}
 	if *coremark {
 		runCoreMark(*machine, *scale)
+		done = true
+	}
+	if *poolBench {
+		runPool(*poolWorkers, *poolJobs)
 		done = true
 	}
 	if !done {
@@ -251,6 +261,20 @@ func runThroughput() {
 	fmt.Println(strings.TrimSpace(`
 Note: the paper reports 34 MB/s (Rust verifier) vs 3 MB/s (WABT validator)
 on M1 hardware; absolute numbers here reflect this Go implementation.`))
+}
+
+// runPool measures sandbox serving throughput: the same job stream with a
+// full ELF load (parse+verify+load) per request vs a snapshot restore per
+// request (host wall clock; no timing model).
+func runPool(workers, jobs int) {
+	r, err := bench.PoolThroughput(workers, jobs)
+	if err != nil {
+		fatal("pool: %v", err)
+	}
+	fmt.Printf("Sandbox serving throughput (%d workers, %d jobs, host wall clock)\n", r.Workers, r.Jobs)
+	fmt.Printf("%-28s %12.1f µs/job %12.0f jobs/s\n", "cold load per request", r.ColdNSPerJob/1e3, r.ColdJobsPerSec)
+	fmt.Printf("%-28s %12.1f µs/job %12.0f jobs/s\n", "snapshot restore per request", r.WarmNSPerJob/1e3, r.WarmJobsPerSec)
+	fmt.Printf("%-28s %12.1fx            (warm-hit rate %.0f%%)\n", "restore speedup", r.Speedup, 100*r.WarmHitRate)
 }
 
 // runCoreMark reproduces the artifact's SPEC-free fallback benchmark

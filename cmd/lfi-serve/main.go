@@ -1,0 +1,202 @@
+// lfi-serve runs a stream of sandbox execution jobs through a serving
+// pool: programs are compiled/verified once into cached images, workers
+// keep warm snapshot-restored sandboxes, and a bounded queue applies
+// admission control. Each job's exit status and captured output are
+// reported individually, followed by aggregate throughput statistics.
+//
+// Job specs are assembly sources (.s) or prebuilt sandbox ELFs; jobs are
+// dealt round-robin across them. With no arguments a built-in multi-tenant
+// demo runs.
+//
+// Usage:
+//
+//	lfi-serve [-workers n] [-queue n] [-budget n] [-warm n] [-jobs n]
+//	          [-cold] [-v] [prog.s|prog.elf ...]
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lfi"
+)
+
+func main() {
+	workers := flag.Int("workers", 4, "concurrent worker runtimes")
+	queue := flag.Int("queue", 0, "submission queue depth (0 = 4x workers)")
+	budget := flag.Uint64("budget", 0, "per-job instruction budget (0 = 50M)")
+	warm := flag.Int("warm", 0, "pre-restored sandboxes kept per image per worker (0 = 1)")
+	jobs := flag.Int("jobs", 32, "total jobs to serve")
+	cold := flag.Bool("cold", false, "bypass snapshots: full ELF load per request (baseline)")
+	verbose := flag.Bool("v", false, "print each job's captured output")
+	flag.Parse()
+
+	p := lfi.NewPool(lfi.PoolConfig{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		Budget:       *budget,
+		WarmPerImage: *warm,
+	})
+	defer p.Close()
+
+	images, names, err := buildImages(p, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lfi-serve:", err)
+		os.Exit(1)
+	}
+
+	type pending struct {
+		idx    int
+		name   string
+		ticket *lfi.JobTicket
+	}
+	results := make([]*lfi.JobResult, *jobs)
+	queueFull := 0
+	start := time.Now()
+	inflight := make([]pending, 0, *jobs)
+	for i := 0; i < *jobs; i++ {
+		img := images[i%len(images)]
+		for {
+			t, err := p.Submit(lfi.Job{Image: img, Cold: *cold})
+			if errors.Is(err, lfi.ErrQueueFull) {
+				// Admission control pushed back: drain the oldest
+				// in-flight job, then resubmit.
+				queueFull++
+				if len(inflight) > 0 {
+					pd := inflight[0]
+					inflight = inflight[1:]
+					results[pd.idx] = pd.ticket.Wait()
+				}
+				continue
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lfi-serve:", err)
+				os.Exit(1)
+			}
+			inflight = append(inflight, pending{idx: i, name: names[i%len(names)], ticket: t})
+			break
+		}
+	}
+	for _, pd := range inflight {
+		results[pd.idx] = pd.ticket.Wait()
+	}
+	elapsed := time.Since(start)
+
+	failed := false
+	for i, res := range results {
+		name := names[i%len(names)]
+		switch {
+		case res.Err != nil:
+			var dl *lfi.ErrDeadline
+			if errors.As(res.Err, &dl) {
+				fmt.Printf("job %3d %-20s KILLED   budget exceeded (%d instrs)\n", i, name, dl.Budget)
+			} else {
+				fmt.Printf("job %3d %-20s ERROR    %v\n", i, name, res.Err)
+				failed = true
+			}
+		default:
+			mode := "restore"
+			if res.WarmHit {
+				mode = "warm"
+			}
+			if *cold {
+				mode = "cold"
+			}
+			fmt.Printf("job %3d %-20s exit=%-3d %s worker=%d instrs=%d\n",
+				i, name, res.Status, mode, res.Worker, res.Instrs)
+		}
+		if *verbose {
+			printOutput("stdout", res.Stdout)
+			printOutput("stderr", res.Stderr)
+		}
+	}
+
+	st := p.Stats()
+	fmt.Printf("\nserved %d jobs in %v (%.0f jobs/s) across %d workers\n",
+		st.Completed, elapsed.Round(time.Microsecond),
+		float64(st.Completed)/elapsed.Seconds(), *workers)
+	fmt.Printf("warm hits %d/%d, restores %d, cold loads %d, deadline kills %d, queue-full backoffs %d\n",
+		st.WarmHits, st.Completed, st.Restores, st.ColdLoads, st.Deadlines, queueFull)
+	fmt.Printf("%d instructions retired in sandboxes\n", st.Instrs)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// buildImages prepares one image per argument; with no arguments it
+// compiles a built-in multi-tenant demo (three tenants plus a runaway
+// loop that the instruction budget kills).
+func buildImages(p *lfi.Pool, args []string) (images []*lfi.Image, names []string, err error) {
+	if len(args) == 0 {
+		for i := 1; i <= 3; i++ {
+			img, err := p.BuildImage(demoTenant(i), lfi.CompileOptions{Opt: lfi.O2})
+			if err != nil {
+				return nil, nil, err
+			}
+			images = append(images, img)
+			names = append(names, fmt.Sprintf("demo-tenant-%d", i))
+		}
+		img, err := p.BuildImage(demoSpin, lfi.CompileOptions{Opt: lfi.O2})
+		if err != nil {
+			return nil, nil, err
+		}
+		return append(images, img), append(names, "demo-runaway"), nil
+	}
+	for _, path := range args {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		var img *lfi.Image
+		if bytes.HasPrefix(b, []byte("\x7fELF")) {
+			img, err = p.ImageFromELF(b)
+		} else {
+			img, err = p.BuildImage(string(b), lfi.CompileOptions{Opt: lfi.O2})
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+		images = append(images, img)
+		names = append(names, path)
+	}
+	return images, names, nil
+}
+
+func printOutput(stream string, b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	for _, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
+		fmt.Printf("        %s| %s\n", stream, line)
+	}
+}
+
+// demoTenant writes a greeting and exits with the tenant's number.
+func demoTenant(id int) string {
+	msg := fmt.Sprintf("hello from tenant %d\n", id)
+	return fmt.Sprintf(`
+_start:
+	mov x0, #1
+	adrp x1, msg
+	add x1, x1, :lo12:msg
+	mov x2, #%d
+%s
+	mov x0, #%d
+%s
+.rodata
+msg:
+	.ascii %q
+`, len(msg), lfi.CallSequence(lfi.CallWrite), id, lfi.CallSequence(lfi.CallExit), msg)
+}
+
+// demoSpin never exits; the pool's instruction budget kills it.
+const demoSpin = `
+_start:
+spin:
+	b spin
+`

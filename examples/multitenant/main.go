@@ -100,6 +100,12 @@ func main() {
 	for i, p := range procs {
 		fmt.Printf("  tenant %d exit status: %d\n", i+1, p.ExitStatus())
 	}
+	// Each process captures its own fd 1/2, so one tenant's output is
+	// attributable without untangling the interleaved runtime-wide log.
+	fmt.Println("per-tenant captured output:")
+	for i, p := range procs {
+		fmt.Printf("  tenant %d wrote %q\n", i+1, strings.TrimSuffix(string(p.Stdout()), "\n"))
+	}
 	lines := strings.Count(string(rt.Stdout()), "\n")
-	fmt.Printf("%d tenants wrote their lines:\n%s", lines, rt.Stdout())
+	fmt.Printf("combined runtime log has all %d lines:\n%s", lines, rt.Stdout())
 }

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"lfi/internal/core"
+	"lfi/internal/pool"
+	"lfi/internal/progs"
+)
+
+// PoolResult compares serving a stream of sandbox executions with a full
+// ELF load per request (cold) against snapshot-restore per request (warm).
+type PoolResult struct {
+	Workers int
+	Jobs    int
+	// Per-job wall time and aggregate throughput for each mode.
+	ColdNSPerJob   float64
+	WarmNSPerJob   float64
+	ColdJobsPerSec float64
+	WarmJobsPerSec float64
+	// Speedup is cold/warm per-job time (≥1 means restore wins).
+	Speedup float64
+	// WarmHitRate is the fraction of warm-mode jobs served from a
+	// pre-restored sandbox.
+	WarmHitRate float64
+}
+
+// servingSrc is a request-handler stand-in: a short compute loop followed
+// by a response write. filler pads .text with never-executed instructions
+// so the cold path pays a realistic per-request parse+verify cost — real
+// handlers are far larger than a ten-instruction demo.
+func servingSrc(filler int) string {
+	var pad strings.Builder
+	for i := 0; i < filler; i++ {
+		fmt.Fprintf(&pad, "\tadd x9, x9, #%d\n\teor x10, x10, x9\n\tstr x10, [x25]\n", i%1024)
+	}
+	return fmt.Sprintf(`
+_start:
+	mov x9, #0
+	mov x10, #64
+loop:
+	add x9, x9, #1
+	cmp x9, x10
+	b.lt loop
+	mov x0, #1
+	adrp x1, msg
+	add x1, x1, :lo12:msg
+	mov x2, #6
+%s%s
+	b done
+%s
+done:
+.rodata
+msg:
+	.ascii "serve\n"
+`, progs.RTCall(core.RTWrite), progs.ExitCode(0), pad.String())
+}
+
+// PoolThroughput runs the same job stream through a serving pool twice —
+// cold loads, then snapshot restores — and reports per-job latency,
+// aggregate throughput, and the restore speedup.
+func PoolThroughput(workers, jobs int) (PoolResult, error) {
+	src := servingSrc(1500)
+
+	run := func(cold bool) (perJob float64, hitRate float64, err error) {
+		p := pool.New(pool.Config{Workers: workers, QueueDepth: 4 * workers})
+		defer p.Close()
+		img, err := p.BuildImage(src, core.Options{Opt: core.O2})
+		if err != nil {
+			return 0, 0, err
+		}
+		// Prime every worker's caches (and, warm mode, its parked clones).
+		for i := 0; i < workers; i++ {
+			if _, err := p.Do(pool.Job{Image: img, Cold: cold}); err != nil {
+				return 0, 0, err
+			}
+		}
+
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+		)
+		per := jobs / workers
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					for {
+						res, err := p.Do(pool.Job{Image: img, Cold: cold})
+						if err == pool.ErrQueueFull {
+							continue // admission control: back off and retry
+						}
+						if err == nil && res.Err != nil {
+							err = res.Err
+						}
+						if err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = err
+							}
+							mu.Unlock()
+							return
+						}
+						break
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if firstErr != nil {
+			return 0, 0, firstErr
+		}
+		st := p.Stats()
+		done := per * workers
+		if st.Completed > 0 {
+			hitRate = float64(st.WarmHits) / float64(st.Completed)
+		}
+		return float64(elapsed.Nanoseconds()) / float64(done), hitRate, nil
+	}
+
+	coldNS, _, err := run(true)
+	if err != nil {
+		return PoolResult{}, err
+	}
+	warmNS, hitRate, err := run(false)
+	if err != nil {
+		return PoolResult{}, err
+	}
+	return PoolResult{
+		Workers:        workers,
+		Jobs:           jobs / workers * workers,
+		ColdNSPerJob:   coldNS,
+		WarmNSPerJob:   warmNS,
+		ColdJobsPerSec: 1e9 / coldNS,
+		WarmJobsPerSec: 1e9 / warmNS,
+		Speedup:        coldNS / warmNS,
+		WarmHitRate:    hitRate,
+	}, nil
+}

@@ -3,6 +3,7 @@ package lfirt
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"sort"
 )
 
@@ -108,8 +109,10 @@ type FD struct {
 	pos   int64
 	flags int
 	pipe  *pipe
-	// console output accumulates in the runtime's Stdout/Stderr buffers.
-	console *bytes.Buffer
+	// console output accumulates in the owning process's capture buffer
+	// (and, unless the runtime runs with LocalOutput, the runtime-wide
+	// Stdout/Stderr buffers too).
+	console io.Writer
 }
 
 type pipe struct {
@@ -212,9 +215,9 @@ type fdTable struct {
 
 const maxFDs = 256
 
-func newFDTable(stdout, stderr *bytes.Buffer) *fdTable {
+func newFDTable(stdout, stderr io.Writer) *fdTable {
 	t := &fdTable{fds: make(map[int]*FD)}
-	t.fds[0] = &FD{kind: fdConsole, refs: 1, console: &bytes.Buffer{}} // stdin: empty console
+	t.fds[0] = &FD{kind: fdConsole, refs: 1, console: io.Discard} // stdin: empty console
 	t.fds[1] = &FD{kind: fdConsole, refs: 1, console: stdout}
 	t.fds[2] = &FD{kind: fdConsole, refs: 1, console: stderr}
 	return t

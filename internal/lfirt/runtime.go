@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 
 	"debug/elf"
 
@@ -44,6 +45,10 @@ type Config struct {
 	// change so branch-predictor state is not shared, at a per-switch
 	// cost charged to the timing model.
 	SpectreMitigations bool
+	// LocalOutput captures console output only in each process's own
+	// buffers, not in the runtime-wide Stdout/Stderr. Serving pools set
+	// it so long-lived runtimes don't accumulate every request's output.
+	LocalOutput bool
 }
 
 // DefaultConfig returns a runtime configuration with verification on.
@@ -103,7 +108,22 @@ type Proc struct {
 
 	// Segments recorded for fork.
 	segHi uint64 // highest mapped sandbox-relative offset (exclusive)
+
+	// Per-process console capture (fd 1 and 2). Forked children share
+	// the parent's descriptions, so their output lands in the parent's
+	// buffers — the same aliasing as inherited Unix descriptors.
+	stdout, stderr bytes.Buffer
+
+	// parked marks a restored process that is not yet scheduled; see
+	// Runtime.Restore and Runtime.Start.
+	parked bool
 }
+
+// Stdout returns everything written to this process's fd 1.
+func (p *Proc) Stdout() []byte { return p.stdout.Bytes() }
+
+// Stderr returns everything written to this process's fd 2.
+func (p *Proc) Stderr() []byte { return p.stderr.Bytes() }
 
 // Runtime is the host process managing all sandboxes.
 type Runtime struct {
@@ -123,6 +143,13 @@ type Runtime struct {
 	ready        []*Proc
 	cur          *Proc
 	switchTarget *Proc // direct-yield destination
+
+	// deadline is the absolute CPU.Instrs value at which the current
+	// RunProcDeadline budget expires (0 = none). The dispatcher clamps
+	// every emulator run — including re-entries after inline host calls —
+	// to it, so a sandbox spinning on runtime calls cannot outrun its
+	// budget.
+	deadline uint64
 
 	fs     *FS
 	stdout bytes.Buffer
@@ -190,6 +217,15 @@ func (rt *Runtime) Stdout() []byte { return rt.stdout.Bytes() }
 
 // Stderr returns everything sandboxes wrote to fd 2.
 func (rt *Runtime) Stderr() []byte { return rt.stderr.Bytes() }
+
+// console builds the writer behind a process's fd 1 or 2: the per-process
+// buffer, teed into the runtime-wide one unless LocalOutput is set.
+func (rt *Runtime) console(per, global *bytes.Buffer) io.Writer {
+	if rt.cfg.LocalOutput {
+		return per
+	}
+	return io.MultiWriter(per, global)
+}
 
 // Procs returns the live process table (for inspection).
 func (rt *Runtime) Procs() map[int]*Proc { return rt.procs }
@@ -306,12 +342,12 @@ func (rt *Runtime) LoadExecutable(exe *elfobj.Executable) (*Proc, error) {
 		Slot:     slot,
 		Base:     base,
 		State:    ProcReady,
-		fds:      newFDTable(&rt.stdout, &rt.stderr),
 		brk:      rt.pageUp(segHi),
 		mmap:     core.SandboxSize / 2, // mmap arena in the upper half
 		children: make(map[int]*Proc),
 		segHi:    rt.pageUp(segHi),
 	}
+	p.fds = newFDTable(rt.console(&p.stdout, &rt.stdout), rt.console(&p.stderr, &rt.stderr))
 	rt.nextPID++
 
 	p.Regs.PC = base + exe.Entry
@@ -348,6 +384,14 @@ func (rt *Runtime) loadRegs(p *Proc) {
 	c.FlagN, c.FlagZ, c.FlagC, c.FlagV = p.Regs.N, p.Regs.Z, p.Regs.C, p.Regs.Vf
 }
 
+// KillProcess forcibly terminates p from the host side with the given
+// exit status, releasing its slot and memory. It must not be called while
+// p is actively executing (i.e. from inside a dispatch); between
+// scheduler dispatches — the position of RunProcDeadline's budget check —
+// is always safe. Killing an already-dead process is a no-op, so a hung
+// sandbox can be reclaimed without tearing down the runtime.
+func (rt *Runtime) KillProcess(p *Proc, status int) { rt.kill(p, status) }
+
 // Kill terminates a process with the given exit status.
 func (rt *Runtime) kill(p *Proc, status int) {
 	if p.State == ProcZombie {
@@ -376,12 +420,10 @@ func (rt *Runtime) kill(p *Proc, status int) {
 }
 
 func (rt *Runtime) releaseMemory(p *Proc) {
-	// Unmap every mapped page in the slot.
-	for _, r := range rt.AS.Regions() {
-		if r.Addr >= p.Base && r.Addr < p.Base+core.SandboxSize {
-			_ = rt.AS.Unmap(r.Addr, r.Size)
-		}
-	}
+	// Unmap every mapped page in the slot. UnmapRange walks the page
+	// table once rather than building (and sorting) a region list, which
+	// matters in serving loops where sandboxes are killed per request.
+	_ = rt.AS.UnmapRange(p.Base, core.SandboxSize)
 	rt.freeSlot(p.Slot)
 	rt.CPU.FlushICache()
 }

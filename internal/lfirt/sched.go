@@ -63,6 +63,45 @@ func (rt *Runtime) RunProc(p *Proc) (int, error) {
 	return p.Exit, nil
 }
 
+// ErrDeadline reports that a process exceeded its instruction budget and
+// was killed from the host side — the serving pool's defense against
+// runaway sandboxes. The runtime itself stays healthy; only the offender
+// is reclaimed.
+type ErrDeadline struct {
+	PID    int
+	Budget uint64
+}
+
+func (e *ErrDeadline) Error() string {
+	return fmt.Sprintf("lfirt: pid %d exceeded its instruction budget (%d)", e.PID, e.Budget)
+}
+
+// RunProcDeadline runs like RunProc but kills p with a SIGXCPU-style
+// status once the runtime has retired budget instructions while serving
+// it, returning *ErrDeadline. A budget of 0 means no deadline. The
+// budget covers everything retired between dispatches — for a pool
+// serving one job per runtime, that is exactly the job's execution.
+func (rt *Runtime) RunProcDeadline(p *Proc, budget uint64) (int, error) {
+	if budget == 0 {
+		return rt.RunProc(p)
+	}
+	start := rt.CPU.Instrs
+	rt.deadline = start + budget
+	defer func() { rt.deadline = 0 }()
+	for p.State != ProcZombie {
+		if rt.CPU.Instrs-start >= budget {
+			rt.KillProcess(p, 128+24) // "SIGXCPU"
+			return 0, &ErrDeadline{PID: p.PID, Budget: budget}
+		}
+		q := rt.pickNext()
+		if q == nil {
+			return 0, &ErrDeadlock{}
+		}
+		rt.dispatch(q)
+	}
+	return p.Exit, nil
+}
+
 // pickNext wakes any unblockable processes and pops the ready queue.
 func (rt *Runtime) pickNext() *Proc {
 	rt.wakeBlocked()
@@ -120,7 +159,15 @@ func (rt *Runtime) dispatch(p *Proc) {
 	}
 
 	for {
-		tr := rt.CPU.Run(rt.cfg.Timeslice)
+		budget := rt.runBudget()
+		if budget == 0 {
+			// The deadline expired mid-dispatch (e.g. across an inline
+			// host call); hand control back to RunProcDeadline's check.
+			rt.saveRegs(p)
+			rt.makeReady(p)
+			return
+		}
+		tr := rt.CPU.Run(budget)
 		switch tr.Kind {
 		case emu.TrapHostCall:
 			rt.HostCalls++
@@ -171,6 +218,21 @@ func (rt *Runtime) dispatch(p *Proc) {
 			return
 		}
 	}
+}
+
+// runBudget is the instruction budget for the next emulator run: the
+// timeslice, clamped to the remaining deadline (0 = expired).
+func (rt *Runtime) runBudget() uint64 {
+	b := rt.cfg.Timeslice
+	if rt.deadline != 0 {
+		if rt.CPU.Instrs >= rt.deadline {
+			return 0
+		}
+		if rem := rt.deadline - rt.CPU.Instrs; rem < b {
+			b = rem
+		}
+	}
+	return b
 }
 
 func (rt *Runtime) charge(cycles float64) {

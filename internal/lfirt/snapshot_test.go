@@ -1,0 +1,306 @@
+package lfirt
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"lfi/internal/core"
+	"lfi/internal/progs"
+)
+
+// writerSrc builds a program that writes msg to fd 1 and exits with code.
+func writerSrc(msg string, code int) string {
+	return fmt.Sprintf(`
+_start:
+	mov x0, #1
+	adrp x1, msg
+	add x1, x1, :lo12:msg
+	mov x2, #%d
+%s%s
+.rodata
+msg:
+	.ascii %q
+`, len(msg), progs.RTCall(core.RTWrite), progs.ExitCode(code), msg)
+}
+
+// spinSrc loops forever without any runtime calls.
+const spinSrc = `
+_start:
+spin:
+	b spin
+`
+
+// spinCallSrc loops forever issuing getpid runtime calls, so the only way
+// to stop it is the deadline clamp on inline host-call re-entry.
+var spinCallSrc = `
+_start:
+spin:
+` + progs.RTCall(core.RTGetPID) + `	b spin
+`
+
+func TestSnapshotRestoreSameRuntime(t *testing.T) {
+	rt := newRT(t)
+	p, err := rt.Load(build(t, writerSrc("alpha!", 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := rt.Snapshot(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Pages() == 0 {
+		t.Fatal("empty snapshot")
+	}
+
+	// Run the original to completion first.
+	if status, err := rt.RunProc(p); err != nil || status != 7 {
+		t.Fatalf("original: status=%d err=%v", status, err)
+	}
+
+	// Restore twice; each clone runs independently with its own output.
+	for i := 0; i < 2; i++ {
+		q, err := rt.Restore(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Slot == p.Slot && i == 0 {
+			// Slot recycling may reuse p's slot after its exit; that is
+			// fine, but the restored proc must be a distinct process.
+			if q.PID == p.PID {
+				t.Fatal("restored proc reused the PID")
+			}
+		}
+		rt.Start(q)
+		if status, err := rt.RunProc(q); err != nil || status != 7 {
+			t.Fatalf("clone %d: status=%d err=%v", i, status, err)
+		}
+		if got := string(q.Stdout()); got != "alpha!" {
+			t.Errorf("clone %d stdout = %q, want %q", i, got, "alpha!")
+		}
+	}
+}
+
+func TestSnapshotRestoreCrossRuntime(t *testing.T) {
+	src := newRT(t)
+	p, err := src.Load(build(t, writerSrc("cross-rt", 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := src.Snapshot(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A different runtime, with other sandboxes already loaded so the
+	// restored clone lands in a different slot than the snapshot's.
+	dst := newRT(t)
+	if _, err := dst.Load(build(t, writerSrc("occupant", 0))); err != nil {
+		t.Fatal(err)
+	}
+	q, err := dst.Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Base == p.Base {
+		t.Fatalf("expected a different slot, both at %#x", q.Base)
+	}
+	dst.Start(q)
+	if status, err := dst.RunProc(q); err != nil || status != 3 {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+	if got := string(q.Stdout()); got != "cross-rt" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestRestoreParkedUntilStart(t *testing.T) {
+	rt := newRT(t)
+	p, err := rt.Load(build(t, writerSrc("parked", 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := rt.Snapshot(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RunProc(p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := rt.Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without Start, the scheduler must not run the parked clone.
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Stdout()) != 0 {
+		t.Fatalf("parked proc ran: stdout=%q", q.Stdout())
+	}
+	rt.Start(q)
+	if status, err := rt.RunProc(q); err != nil || status != 0 {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+	if got := string(q.Stdout()); got != "parked" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestPerProcessOutputCapture(t *testing.T) {
+	rt := newRT(t)
+	a, err := rt.Load(build(t, writerSrc("from-a", 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rt.Load(build(t, writerSrc("from-b", 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(a.Stdout()); got != "from-a" {
+		t.Errorf("a stdout = %q", got)
+	}
+	if got := string(b.Stdout()); got != "from-b" {
+		t.Errorf("b stdout = %q", got)
+	}
+	// The runtime-wide buffer still aggregates both (LocalOutput unset).
+	if got := string(rt.Stdout()); got != "from-afrom-b" && got != "from-bfrom-a" {
+		t.Errorf("runtime stdout = %q", got)
+	}
+}
+
+func TestLocalOutputSkipsRuntimeBuffer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LocalOutput = true
+	rt := New(cfg)
+	p, err := rt.Load(build(t, writerSrc("only-local", 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(p.Stdout()); got != "only-local" {
+		t.Errorf("proc stdout = %q", got)
+	}
+	if got := rt.Stdout(); len(got) != 0 {
+		t.Errorf("runtime stdout should be empty, got %q", got)
+	}
+}
+
+func TestDeadlineKillsSpinLoop(t *testing.T) {
+	rt := newRT(t)
+	p, err := rt.Load(build(t, spinSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.RunProcDeadline(p, 50_000)
+	var de *ErrDeadline
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if de.PID != p.PID || de.Budget != 50_000 {
+		t.Errorf("ErrDeadline = %+v", de)
+	}
+	if p.State != ProcZombie {
+		t.Errorf("state = %v, want zombie", p.State)
+	}
+	// The runtime survives: a fresh sandbox loads into the reclaimed slot
+	// and runs normally.
+	q, err := rt.Load(build(t, writerSrc("alive", 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, err := rt.RunProc(q); err != nil || status != 5 {
+		t.Fatalf("after kill: status=%d err=%v", status, err)
+	}
+}
+
+func TestDeadlineKillsHostCallSpin(t *testing.T) {
+	// A sandbox spinning on runtime calls never hits the timeslice trap
+	// (each inline call re-enters the emulator); the deadline clamp must
+	// still stop it.
+	rt := newRT(t)
+	p, err := rt.Load(build(t, spinCallSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.RunProcDeadline(p, 30_000)
+	var de *ErrDeadline
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if got := rt.CPU.Instrs; got > 31_000 {
+		t.Errorf("retired %d instructions, budget overshoot too large", got)
+	}
+}
+
+func TestDeadlineUnsetAfterRun(t *testing.T) {
+	rt := newRT(t)
+	p, err := rt.Load(build(t, spinSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RunProcDeadline(p, 10_000); err == nil {
+		t.Fatal("expected deadline error")
+	}
+	// A later run without a deadline must not inherit the old one.
+	q, err := rt.Load(build(t, writerSrc("no-deadline", 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, err := rt.RunProc(q); err != nil || status != 0 {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+}
+
+func TestDeadlineCompletesUnderBudget(t *testing.T) {
+	rt := newRT(t)
+	p, err := rt.Load(build(t, writerSrc("quick", 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := rt.RunProcDeadline(p, 1_000_000)
+	if err != nil || status != 9 {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+}
+
+func TestKillProcessReclaimsSlot(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxSlots = 1
+	rt := New(cfg)
+	p, err := rt.Load(build(t, spinSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.KillProcess(p, 137)
+	if p.State != ProcZombie || p.Exit != 137 {
+		t.Fatalf("state=%v exit=%d", p.State, p.Exit)
+	}
+	rt.KillProcess(p, 1) // killing a zombie is a no-op
+	if p.Exit != 137 {
+		t.Errorf("exit changed to %d", p.Exit)
+	}
+	// With MaxSlots=1 the next load only succeeds if the slot was freed.
+	if _, err := rt.Load(build(t, writerSrc("reuse", 0))); err != nil {
+		t.Fatalf("slot not reclaimed: %v", err)
+	}
+}
+
+func TestSnapshotRejectsZombieAndChildren(t *testing.T) {
+	rt := newRT(t)
+	p, err := rt.Load(build(t, writerSrc("x", 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RunProc(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Snapshot(p); err == nil {
+		t.Error("snapshot of zombie succeeded")
+	}
+}

@@ -78,6 +78,10 @@ const AddrWidth = 48
 // MaxAddr is the first address beyond the usable address space.
 const MaxAddr = uint64(1) << AddrWidth
 
+// page is one mapped page. data == nil means demand-zero: the page reads
+// as zeros and gets its backing store on first access (materialized in
+// lookup/WriteForce). Fresh stacks and sparse heaps therefore cost
+// nothing to map, copy (fork), snapshot, or restore until touched.
 type page struct {
 	perm Perm
 	data []byte
@@ -161,7 +165,7 @@ func (as *AddrSpace) Map(addr, size uint64, perm Perm) error {
 		}
 	}
 	for i := uint64(0); i < n; i++ {
-		as.pages[first+i] = &page{perm: perm, data: make([]byte, as.pageSize)}
+		as.pages[first+i] = &page{perm: perm} // demand-zero
 	}
 	as.invalidate()
 	return nil
@@ -176,6 +180,26 @@ func (as *AddrSpace) Unmap(addr, size uint64) error {
 	n := size >> as.pageShift
 	for i := uint64(0); i < n; i++ {
 		delete(as.pages, first+i)
+	}
+	as.invalidate()
+	return nil
+}
+
+// UnmapRange unmaps every mapped page in [addr, addr+size) with a single
+// pass over the page table. Unlike Unmap it does not probe each page
+// index in the range, so it is the right call for sparse ranges — e.g.
+// releasing a whole 4GiB sandbox slot of which only a few hundred pages
+// were ever mapped.
+func (as *AddrSpace) UnmapRange(addr, size uint64) error {
+	if err := as.aligned(addr, size); err != nil {
+		return err
+	}
+	first := addr >> as.pageShift
+	last := (addr + size) >> as.pageShift
+	for idx := range as.pages {
+		if idx >= first && idx < last {
+			delete(as.pages, idx)
+		}
 	}
 	as.invalidate()
 	return nil
@@ -242,6 +266,9 @@ func (as *AddrSpace) lookup(addr uint64, acc Access) (*page, *Fault) {
 	if !ok || pg.perm&need == 0 {
 		return nil, &Fault{Addr: addr, Access: acc, Size: 1}
 	}
+	if pg.data == nil {
+		pg.data = make([]byte, as.pageSize) // first touch materializes
+	}
 	cache.idx, cache.pg = idx, pg
 	return pg, nil
 }
@@ -264,6 +291,9 @@ func (as *AddrSpace) WriteForce(b []byte, addr uint64) *Fault {
 		pg, ok := as.pages[idx]
 		if !ok {
 			return &Fault{Addr: addr, Access: AccessWrite, Size: len(b)}
+		}
+		if pg.data == nil {
+			pg.data = make([]byte, as.pageSize)
 		}
 		off := addr & (as.pageSize - 1)
 		n := copy(pg.data[off:], b)
@@ -387,12 +417,93 @@ func (as *AddrSpace) CopyRange(srcBase, dstBase, size uint64) error {
 		if _, ok := as.pages[dst+i]; ok {
 			return fmt.Errorf("mem: destination page %#x already mapped", (dst+i)<<as.pageShift)
 		}
-		npg := &page{perm: spg.perm, data: make([]byte, as.pageSize)}
-		copy(npg.data, spg.data)
+		npg := &page{perm: spg.perm}
+		if spg.data != nil {
+			npg.data = append([]byte(nil), spg.data...)
+		}
 		as.pages[dst+i] = npg
 	}
 	as.invalidate()
 	return nil
+}
+
+// PageImage is one saved page of a snapshot: its offset from the snapshot
+// base, its permissions, and its contents. Data is nil for an all-zero
+// page, so snapshots of mostly-untouched sandboxes (fresh stacks, sparse
+// heaps) stay small and restore without copying.
+type PageImage struct {
+	Off  uint64
+	Perm Perm
+	Data []byte
+}
+
+// SnapshotRange copies out every mapped page in [base, base+size) as a
+// base-relative PageImage list. The result shares nothing with the address
+// space: it is immutable and may be restored concurrently into other
+// AddrSpaces (the memory half of sandbox snapshot/restore, which reuses
+// the same single-address-space copy idea as fork).
+func (as *AddrSpace) SnapshotRange(base, size uint64) ([]PageImage, error) {
+	if err := as.aligned(base, size); err != nil {
+		return nil, err
+	}
+	first := base >> as.pageShift
+	n := size >> as.pageShift
+	var out []PageImage
+	for i := uint64(0); i < n; i++ {
+		pg, ok := as.pages[first+i]
+		if !ok {
+			continue
+		}
+		pi := PageImage{Off: i << as.pageShift, Perm: pg.perm}
+		if pg.data != nil && !allZero(pg.data) {
+			pi.Data = append([]byte(nil), pg.data...)
+		}
+		out = append(out, pi)
+	}
+	return out, nil
+}
+
+// RestoreRange maps the snapshot's pages at base and fills their contents.
+// The target pages must be unmapped; on error the address space may hold a
+// partial restore (callers unmap the whole range to recover).
+func (as *AddrSpace) RestoreRange(base uint64, pages []PageImage) error {
+	if base%as.pageSize != 0 {
+		return fmt.Errorf("mem: restore base %#x not page aligned", base)
+	}
+	for i := range pages {
+		pi := &pages[i]
+		addr := base + pi.Off
+		if pi.Off%as.pageSize != 0 || addr >= MaxAddr {
+			return fmt.Errorf("mem: bad snapshot page offset %#x", pi.Off)
+		}
+		idx := addr >> as.pageShift
+		if _, ok := as.pages[idx]; ok {
+			return fmt.Errorf("mem: restore target page %#x already mapped", addr)
+		}
+		npg := &page{perm: pi.Perm} // zero pages restore demand-zero
+		if pi.Data != nil {
+			npg.data = make([]byte, as.pageSize)
+			copy(npg.data, pi.Data)
+		}
+		as.pages[idx] = npg
+	}
+	as.invalidate()
+	return nil
+}
+
+func allZero(b []byte) bool {
+	for len(b) >= 8 {
+		if binary.LittleEndian.Uint64(b) != 0 {
+			return false
+		}
+		b = b[8:]
+	}
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Region describes one contiguous run of identically-permissioned pages.

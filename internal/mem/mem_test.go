@@ -260,3 +260,74 @@ func TestReadAfterWriteQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSnapshotRestoreRange(t *testing.T) {
+	as := NewAddrSpace(4096)
+	base := uint64(0x100000)
+	if err := as.Map(base, 4*4096, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Map(base+6*4096, 4096, PermRX); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty pages 0 and 6; page 1..3 stay zero.
+	as.WriteAt([]byte("hello"), base+16)
+	as.WriteForce([]byte{0xde, 0xad}, base+6*4096+8)
+
+	snap, err := as.SnapshotRange(base, 8*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 5 {
+		t.Fatalf("snapshot has %d pages, want 5 (4 rw + 1 rx)", len(snap))
+	}
+	zeros, dirty := 0, 0
+	for _, pi := range snap {
+		if pi.Data == nil {
+			zeros++
+		} else {
+			dirty++
+		}
+	}
+	if dirty != 2 || zeros != 3 {
+		t.Errorf("dirty/zero = %d/%d, want 2/3", dirty, zeros)
+	}
+
+	// Restore into a different address space at a different base.
+	as2 := NewAddrSpace(4096)
+	nbase := uint64(0x900000)
+	if err := as2.RestoreRange(nbase, snap); err != nil {
+		t.Fatal(err)
+	}
+	var buf [5]byte
+	if f := as2.ReadAt(buf[:], nbase+16); f != nil {
+		t.Fatalf("read after restore: %v", f)
+	}
+	if string(buf[:]) != "hello" {
+		t.Errorf("restored data = %q", buf[:])
+	}
+	if !as2.Mapped(nbase+6*4096, 4096, PermExec) {
+		t.Error("rx page lost its permissions across restore")
+	}
+	if as2.Mapped(nbase+4*4096, 4096, PermRead) {
+		t.Error("unmapped hole was restored as mapped")
+	}
+	// Snapshot immutability: scribbling on the restored copy must not
+	// affect a second restore.
+	as2.WriteAt([]byte("XXXXX"), nbase+16)
+	as3 := NewAddrSpace(4096)
+	if err := as3.RestoreRange(0, snap); err != nil {
+		t.Fatal(err)
+	}
+	if f := as3.ReadAt(buf[:], 16); f != nil {
+		t.Fatal(f)
+	}
+	if string(buf[:]) != "hello" {
+		t.Errorf("snapshot mutated by restore: %q", buf[:])
+	}
+
+	// Restoring over an existing mapping must fail.
+	if err := as2.RestoreRange(nbase, snap); err == nil {
+		t.Error("restore over mapped pages succeeded")
+	}
+}

@@ -1,0 +1,142 @@
+package pool
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lfi/internal/core"
+	"lfi/internal/lfirt"
+)
+
+// measureInstantiation times per-request instantiation on one runtime:
+// cold = parse + verify + load the ELF; warm = restore the snapshot. The
+// sandbox is killed after each instantiation so slots recycle, exactly
+// as a serving worker cycles them.
+func measureInstantiation(t testing.TB, iters int) (cold, warm time.Duration) {
+	cfg := Config{}.withDefaults().runtimeConfig()
+	cache := NewCache(cfg)
+	img, err := cache.Build(bigTenantSrc(1, 1500), core.Options{Opt: core.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rt := lfirt.New(cfg)
+	// Prime both paths once (first-touch allocations).
+	if p, err := rt.Load(img.ELF); err != nil {
+		t.Fatal(err)
+	} else {
+		rt.KillProcess(p, 0)
+	}
+	if p, err := rt.Restore(img.Snap); err != nil {
+		t.Fatal(err)
+	} else {
+		rt.KillProcess(p, 0)
+	}
+
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		p, err := rt.Load(img.ELF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.KillProcess(p, 0)
+	}
+	cold = time.Since(start) / time.Duration(iters)
+
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		p, err := rt.Restore(img.Snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.KillProcess(p, 0)
+	}
+	warm = time.Since(start) / time.Duration(iters)
+	return cold, warm
+}
+
+// BenchmarkInstantiateColdLoad measures per-request cold instantiation
+// (ELF parse + verify + page-by-page load).
+func BenchmarkInstantiateColdLoad(b *testing.B) {
+	cfg := Config{}.withDefaults().runtimeConfig()
+	cache := NewCache(cfg)
+	img, err := cache.Build(bigTenantSrc(1, 1500), core.Options{Opt: core.O2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := lfirt.New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := rt.Load(img.ELF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.KillProcess(p, 0)
+	}
+}
+
+// BenchmarkInstantiateRestore measures per-request warm instantiation
+// (snapshot restore into a fresh slot).
+func BenchmarkInstantiateRestore(b *testing.B) {
+	cfg := Config{}.withDefaults().runtimeConfig()
+	cache := NewCache(cfg)
+	img, err := cache.Build(bigTenantSrc(1, 1500), core.Options{Opt: core.O2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := lfirt.New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := rt.Restore(img.Snap)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt.KillProcess(p, 0)
+	}
+}
+
+// BenchmarkPoolThroughput serves jobs end to end (instantiate + execute +
+// capture) through the full pool, comparing cold load-per-request against
+// snapshot-restore-per-request. The jobs_per_sec metric is the aggregate
+// serving throughput.
+func BenchmarkPoolThroughput(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cold bool
+	}{
+		{"cold-load", true},
+		{"snapshot-restore", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := New(Config{Workers: 4, QueueDepth: 64})
+			defer p.Close()
+			img, err := p.BuildImage(bigTenantSrc(1, 1500), core.Options{Opt: core.O2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					for {
+						res, err := p.Do(Job{Image: img, Cold: mode.cold})
+						if errors.Is(err, ErrQueueFull) {
+							continue // bounded queue: back off and resubmit
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+						if res.Err != nil {
+							b.Fatal(res.Err)
+						}
+						break
+					}
+				}
+			})
+			b.StopTimer()
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			}
+		})
+	}
+}

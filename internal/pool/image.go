@@ -1,0 +1,135 @@
+package pool
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"lfi/internal/core"
+	"lfi/internal/elfobj"
+	"lfi/internal/lfirt"
+	"lfi/internal/progs"
+)
+
+// An Image is a program prepared for serving: the verified ELF, its
+// parsed segments, and a post-initialization snapshot of a loaded
+// sandbox. Building an image runs the whole pipeline once —
+// rewrite/assemble (for source), parse, verify, load, snapshot — so that
+// serving a request costs only a snapshot restore. Images are immutable
+// and safe to share across workers.
+type Image struct {
+	// Key identifies the image: a hash of the source and options (for
+	// Build) or of the ELF bytes (for FromELF).
+	Key string
+	// ELF is the verified executable (kept for cold-load baselines).
+	ELF []byte
+	// Exe is the parsed executable.
+	Exe *elfobj.Executable
+	// Snap is the post-initialization sandbox snapshot workers restore.
+	Snap *lfirt.Snapshot
+}
+
+// Cache deduplicates image builds by key: repeated submissions of the
+// same program skip the compile/verify/load pipeline entirely. The cache
+// holds a build lock, so concurrent requests for the same new program
+// result in one build (single-flight by construction).
+type Cache struct {
+	cfg lfirt.Config // runtime configuration images are snapshotted under
+
+	mu     sync.Mutex
+	images map[string]*Image
+	hits   uint64
+	misses uint64
+}
+
+// NewCache creates an image cache whose snapshots are taken under cfg.
+// The page size and stack size must match the runtimes that will restore
+// them.
+func NewCache(cfg lfirt.Config) *Cache {
+	return &Cache{cfg: cfg, images: make(map[string]*Image)}
+}
+
+// Build compiles asm source through the LFI pipeline (rewrite → assemble
+// → ELF → verify → load → snapshot) and caches the result keyed by
+// (source, options).
+func (c *Cache) Build(src string, opts core.Options) (*Image, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "src:%d:%v:%v:%v\n", opts.Opt, opts.NoLoads, opts.DisableSPOpts, c.cfg.VerifierCfg.NoLoads)
+	h.Write([]byte(src))
+	key := hex.EncodeToString(h.Sum(nil))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if img, ok := c.images[key]; ok {
+		c.hits++
+		return img, nil
+	}
+	c.misses++
+	res, err := progs.Build(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	img, err := c.makeImage(key, res.ELF)
+	if err != nil {
+		return nil, err
+	}
+	c.images[key] = img
+	return img, nil
+}
+
+// FromELF caches an already-built executable keyed by its content hash.
+// The ELF is verified (under the cache's runtime configuration) before an
+// image is produced.
+func (c *Cache) FromELF(elfBytes []byte) (*Image, error) {
+	sum := sha256.Sum256(elfBytes)
+	key := "elf:" + hex.EncodeToString(sum[:])
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if img, ok := c.images[key]; ok {
+		c.hits++
+		return img, nil
+	}
+	c.misses++
+	img, err := c.makeImage(key, elfBytes)
+	if err != nil {
+		return nil, err
+	}
+	c.images[key] = img
+	return img, nil
+}
+
+// makeImage verifies and loads the ELF into a scratch runtime and
+// snapshots the initialized sandbox. The scratch runtime is discarded;
+// only the immutable snapshot survives.
+func (c *Cache) makeImage(key string, elfBytes []byte) (*Image, error) {
+	exe, err := elfobj.Unmarshal(elfBytes)
+	if err != nil {
+		return nil, err
+	}
+	rt := lfirt.New(c.cfg)
+	p, err := rt.LoadExecutable(exe)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := rt.Snapshot(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Image{Key: key, ELF: elfBytes, Exe: exe, Snap: snap}, nil
+}
+
+// Len reports how many images the cache holds.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.images)
+}
+
+// HitRate returns cache hits and misses so far.
+func (c *Cache) HitRate() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

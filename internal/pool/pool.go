@@ -1,0 +1,414 @@
+// Package pool is the sandbox serving subsystem: it turns the one-shot
+// runtime into a multi-tenant execution service. Three pieces cooperate:
+//
+//   - an image cache (image.go) that runs the compile→verify→load
+//     pipeline once per distinct program and keeps an immutable snapshot;
+//   - a warm pool: each worker keeps pre-restored, parked sandboxes per
+//     image, so serving a request is Start + run — no ELF parsing, no
+//     verification, no page-by-page loading on the request path;
+//   - a concurrent executor: N workers, each owning an independent
+//     lfirt.Runtime, fed from a bounded submission queue with
+//     reject-when-full admission control. Every job gets an instruction
+//     budget; runaways are killed and reported as *lfirt.ErrDeadline
+//     without disturbing the worker.
+//
+// This is the usage mode the paper's cheap instantiation enables (§3:
+// 2^16 sandboxes per address space; §5.3: ~50-cycle switches): once
+// transitions are cheap, instantiation and dispatch dominate serving
+// cost, so both are taken off the request path.
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lfi/internal/core"
+	"lfi/internal/emu"
+	"lfi/internal/lfirt"
+)
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Workers is the number of executor goroutines, each with its own
+	// runtime (0 = 4).
+	Workers int
+	// QueueDepth bounds the submission queue; Submit rejects with
+	// ErrQueueFull beyond it (0 = 4×Workers).
+	QueueDepth int
+	// Budget is the default per-job instruction budget (0 = 50M).
+	// Individual jobs may override it; a job budget of 0 uses this.
+	Budget uint64
+	// WarmPerImage is how many parked clones each worker keeps per image
+	// (0 = 1).
+	WarmPerImage int
+	// MaxWarm caps the total parked clones per worker; beyond it the
+	// least-recently-served image's clones are evicted (0 = 8).
+	MaxWarm int
+	// StackSize per sandbox (0 = 1MiB — serving workloads do not need the
+	// 8MiB interactive default, and instantiation cost scales with
+	// touched stack pages).
+	StackSize uint64
+	// Timeslice is the per-dispatch preemption budget (0 = lfirt default).
+	Timeslice uint64
+	// Machine selects a timing model for the worker runtimes (nil = none,
+	// the fastest serving configuration).
+	Machine *emu.CoreModel
+	// DisableVerification skips load-time verification on image builds
+	// and cold loads. Baseline measurements only — a serving pool runs
+	// untrusted code, and its security argument is the verifier.
+	DisableVerification bool
+	// NoLoads verifies under the weaker store/jump-only policy.
+	NoLoads bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.Budget == 0 {
+		c.Budget = 50_000_000
+	}
+	if c.WarmPerImage == 0 {
+		c.WarmPerImage = 1
+	}
+	if c.MaxWarm == 0 {
+		c.MaxWarm = 8
+	}
+	if c.StackSize == 0 {
+		c.StackSize = 1 << 20
+	}
+	return c
+}
+
+// runtimeConfig builds the lfirt configuration shared by the worker
+// runtimes and the image cache's scratch runtime (snapshots only restore
+// correctly into runtimes configured like the one that took them).
+func (c Config) runtimeConfig() lfirt.Config {
+	rc := lfirt.DefaultConfig()
+	rc.StackSize = c.StackSize
+	rc.Timeslice = c.Timeslice
+	rc.Model = c.Machine
+	rc.Verify = !c.DisableVerification
+	rc.VerifierCfg.NoLoads = c.NoLoads
+	// Workers capture per-process output; the runtime-wide buffer would
+	// otherwise grow without bound on a long-lived serving runtime.
+	rc.LocalOutput = true
+	// One slot per parked clone, plus headroom for the running sandbox.
+	if c.MaxWarm+2 > 64 {
+		rc.MaxSlots = c.MaxWarm + 2
+	}
+	return rc
+}
+
+// Job is one execution request.
+type Job struct {
+	// Image is the program to run (required).
+	Image *Image
+	// Budget overrides the pool's default instruction budget (0 = use
+	// the pool default).
+	Budget uint64
+	// Cold bypasses the snapshot path and loads the ELF from scratch,
+	// re-verifying it — the baseline the warm path is measured against.
+	Cold bool
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Status is the sandbox exit status (meaningless if Err != nil).
+	Status int
+	// Stdout and Stderr are the job's own captured output.
+	Stdout, Stderr []byte
+	// Instrs is the number of instructions retired serving the job.
+	Instrs uint64
+	// Worker identifies the worker that served the job.
+	Worker int
+	// WarmHit reports that the job ran in a pre-restored sandbox.
+	WarmHit bool
+	// Err is nil on success; *lfirt.ErrDeadline if the job exceeded its
+	// budget; otherwise a load/restore failure.
+	Err error
+}
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull is the admission-control rejection: the bounded
+	// submission queue is full. Callers should back off or shed load.
+	ErrQueueFull = errors.New("pool: submission queue full")
+	// ErrClosed reports a submission to a closed pool.
+	ErrClosed = errors.New("pool: closed")
+)
+
+// Ticket is a pending job's handle.
+type Ticket struct{ ch chan *Result }
+
+// Wait blocks until the job completes and returns its result.
+func (t *Ticket) Wait() *Result { return <-t.ch }
+
+// Stats are cumulative pool counters (monotonic; read with Stats).
+type Stats struct {
+	Submitted uint64 // jobs accepted into the queue
+	Rejected  uint64 // jobs refused by admission control
+	Completed uint64 // jobs finished (any outcome)
+	Deadlines uint64 // jobs killed for exceeding their budget
+	Failures  uint64 // jobs that failed to load/restore
+	WarmHits  uint64 // jobs served from a pre-restored sandbox
+	Restores  uint64 // snapshot restores (warm misses + replenishment)
+	ColdLoads uint64 // full ELF loads (Cold jobs)
+	Instrs    uint64 // total instructions retired serving jobs
+}
+
+type task struct {
+	job    Job
+	ticket *Ticket
+}
+
+// Pool is the serving subsystem. Create with New, feed with Submit or
+// Do, and Close when done.
+type Pool struct {
+	cfg   Config
+	cache *Cache
+	jobs  chan *task
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	// counters, updated atomically by workers and Submit.
+	submitted, rejected, completed        atomic.Uint64
+	deadlines, failures                   atomic.Uint64
+	warmHits, restores, coldLoads, instrs atomic.Uint64
+}
+
+// New creates a pool and starts its workers.
+func New(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	rc := cfg.runtimeConfig()
+	p := &Pool{
+		cfg:   cfg,
+		cache: NewCache(rc),
+		jobs:  make(chan *task, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{
+			id:   i,
+			pool: p,
+			rt:   lfirt.New(rc),
+			warm: make(map[string][]*lfirt.Proc),
+		}
+		p.wg.Add(1)
+		go w.loop()
+	}
+	return p
+}
+
+// BuildImage compiles source through the cached pipeline.
+func (p *Pool) BuildImage(src string, opts core.Options) (*Image, error) {
+	return p.cache.Build(src, opts)
+}
+
+// ImageFromELF verifies and caches a prebuilt executable.
+func (p *Pool) ImageFromELF(elfBytes []byte) (*Image, error) {
+	return p.cache.FromELF(elfBytes)
+}
+
+// Cache exposes the image cache (for stats).
+func (p *Pool) Cache() *Cache { return p.cache }
+
+// Submit enqueues a job without blocking. It returns ErrQueueFull when
+// the bounded queue is full (admission control: the pool never grows an
+// unbounded backlog) and ErrClosed after Close.
+func (p *Pool) Submit(j Job) (*Ticket, error) {
+	if j.Image == nil {
+		return nil, fmt.Errorf("pool: job has no image")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	t := &Ticket{ch: make(chan *Result, 1)}
+	select {
+	case p.jobs <- &task{job: j, ticket: t}:
+		p.submitted.Add(1)
+		return t, nil
+	default:
+		p.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Do submits a job and waits for its result.
+func (p *Pool) Do(j Job) (*Result, error) {
+	t, err := p.Submit(j)
+	if err != nil {
+		return nil, err
+	}
+	return t.Wait(), nil
+}
+
+// Close drains queued jobs, stops the workers, and waits for them to
+// exit. Submissions after Close fail with ErrClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Submitted: p.submitted.Load(),
+		Rejected:  p.rejected.Load(),
+		Completed: p.completed.Load(),
+		Deadlines: p.deadlines.Load(),
+		Failures:  p.failures.Load(),
+		WarmHits:  p.warmHits.Load(),
+		Restores:  p.restores.Load(),
+		ColdLoads: p.coldLoads.Load(),
+		Instrs:    p.instrs.Load(),
+	}
+}
+
+// worker owns one runtime and serves jobs sequentially. All of its state
+// is goroutine-local; the only cross-goroutine traffic is the job channel
+// and the pool's atomic counters.
+type worker struct {
+	id   int
+	pool *Pool
+	rt   *lfirt.Runtime
+
+	// warm maps image key → parked pre-restored clones. lru orders keys
+	// by last service, most recent last; evictions take from the front.
+	warm      map[string][]*lfirt.Proc
+	warmCount int
+	lru       []string
+}
+
+func (w *worker) loop() {
+	defer w.pool.wg.Done()
+	for t := range w.pool.jobs {
+		t.ticket.ch <- w.serve(t.job)
+	}
+}
+
+func (w *worker) serve(j Job) *Result {
+	p := w.pool
+	res := &Result{Worker: w.id}
+	budget := j.Budget
+	if budget == 0 {
+		budget = p.cfg.Budget
+	}
+
+	var proc *lfirt.Proc
+	var err error
+	switch {
+	case j.Cold:
+		// Baseline path: parse, verify, and load the ELF from scratch.
+		proc, err = w.rt.Load(j.Image.ELF)
+		p.coldLoads.Add(1)
+	default:
+		if clones := w.warm[j.Image.Key]; len(clones) > 0 {
+			proc = clones[len(clones)-1]
+			w.warm[j.Image.Key] = clones[:len(clones)-1]
+			w.warmCount--
+			res.WarmHit = true
+			p.warmHits.Add(1)
+		} else {
+			proc, err = w.rt.Restore(j.Image.Snap)
+			p.restores.Add(1)
+		}
+	}
+	if err != nil {
+		p.failures.Add(1)
+		p.completed.Add(1)
+		res.Err = err
+		return res
+	}
+
+	w.rt.Start(proc)
+	before := w.rt.CPU.Instrs
+	status, err := w.rt.RunProcDeadline(proc, budget)
+	res.Instrs = w.rt.CPU.Instrs - before
+	p.instrs.Add(res.Instrs)
+	res.Status = status
+	res.Err = err
+	var de *lfirt.ErrDeadline
+	if errors.As(err, &de) {
+		p.deadlines.Add(1)
+	} else if err != nil {
+		p.failures.Add(1)
+	}
+	// The proc's buffers survive the proc's death; copy them out so the
+	// result owns its bytes.
+	res.Stdout = append([]byte(nil), proc.Stdout()...)
+	res.Stderr = append([]byte(nil), proc.Stderr()...)
+	p.completed.Add(1)
+
+	if !j.Cold {
+		w.replenish(j.Image)
+	}
+	return res
+}
+
+// replenish grows this worker's warm set for img back to WarmPerImage and
+// shrinks the pool if the total parked count exceeds MaxWarm, evicting
+// the least-recently-served image's clones (slot recycling: evicted
+// clones are killed, freeing their slots and memory).
+func (w *worker) replenish(img *Image) {
+	w.touch(img.Key)
+	for len(w.warm[img.Key]) < w.pool.cfg.WarmPerImage {
+		if w.warmCount >= w.pool.cfg.MaxWarm {
+			before := w.warmCount
+			w.evictOldest(img.Key)
+			if w.warmCount == before {
+				return // nothing evictable: stay at the cap
+			}
+		}
+		proc, err := w.rt.Restore(img.Snap)
+		if err != nil {
+			return // out of slots: serve future requests by direct restore
+		}
+		w.pool.restores.Add(1)
+		w.warm[img.Key] = append(w.warm[img.Key], proc)
+		w.warmCount++
+	}
+}
+
+func (w *worker) touch(key string) {
+	for i, k := range w.lru {
+		if k == key {
+			w.lru = append(w.lru[:i], w.lru[i+1:]...)
+			break
+		}
+	}
+	w.lru = append(w.lru, key)
+}
+
+func (w *worker) evictOldest(keep string) {
+	for i, k := range w.lru {
+		if k == keep || len(w.warm[k]) == 0 {
+			continue
+		}
+		clones := w.warm[k]
+		victim := clones[len(clones)-1]
+		w.warm[k] = clones[:len(clones)-1]
+		w.warmCount--
+		w.rt.KillProcess(victim, 0)
+		if len(w.warm[k]) == 0 {
+			delete(w.warm, k)
+			w.lru = append(w.lru[:i], w.lru[i+1:]...)
+		}
+		return
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"lfi/internal/elfobj"
 	"lfi/internal/emu"
 	"lfi/internal/lfirt"
+	"lfi/internal/pool"
 	"lfi/internal/rewrite"
 	"lfi/internal/verifier"
 )
@@ -302,6 +303,114 @@ const (
 func CallSequence(rc RuntimeCall) string {
 	return fmt.Sprintf("\tldr x30, [x21, #%d]\n\tblr x30\n", rc.TableOffset())
 }
+
+// PoolConfig configures a sandbox serving pool (NewPool).
+type PoolConfig struct {
+	// Workers is the number of concurrent runtimes serving jobs (0 = 4).
+	Workers int
+	// QueueDepth bounds the submission queue; a full queue rejects with
+	// ErrQueueFull (0 = 4×Workers).
+	QueueDepth int
+	// Budget is the default per-job instruction budget; jobs exceeding it
+	// are killed with *ErrDeadline (0 = 50M instructions).
+	Budget uint64
+	// WarmPerImage is how many pre-restored sandboxes each worker keeps
+	// per image (0 = 1).
+	WarmPerImage int
+	// MaxWarm caps total parked sandboxes per worker; beyond it the
+	// least-recently-served image's clones are evicted (0 = 8).
+	MaxWarm int
+	// StackSize per sandbox (0 = 1MiB; serving workloads rarely need the
+	// 8MiB interactive default).
+	StackSize uint64
+	// Machine enables the cycle-accurate timing model on the workers.
+	Machine Machine
+	// DisableVerification skips verification of image builds and cold
+	// loads (baseline measurements only — never for untrusted code).
+	DisableVerification bool
+	// NoLoads verifies under the weaker store/jump-only policy.
+	NoLoads bool
+}
+
+// Image is a program prepared for serving: compiled, verified, loaded,
+// and snapshotted once; restored per request.
+type Image = pool.Image
+
+// Job is one execution request against a pool.
+type Job = pool.Job
+
+// JobResult is the outcome of one pool job, including the job's own
+// captured stdout/stderr.
+type JobResult = pool.Result
+
+// JobTicket is a pending job's handle; Wait blocks for its result.
+type JobTicket = pool.Ticket
+
+// PoolStats are cumulative pool counters.
+type PoolStats = pool.Stats
+
+// ErrDeadline reports a job killed for exceeding its instruction budget
+// (errors.As target for JobResult.Err).
+type ErrDeadline = lfirt.ErrDeadline
+
+// Pool admission-control errors.
+var (
+	// ErrQueueFull rejects a submission because the bounded queue is
+	// full; back off or shed load.
+	ErrQueueFull = pool.ErrQueueFull
+	// ErrPoolClosed rejects a submission to a closed pool.
+	ErrPoolClosed = pool.ErrClosed
+)
+
+// Pool serves sandbox executions across a fleet of worker runtimes: an
+// image cache deduplicates program builds, each worker keeps warm
+// pre-restored sandboxes (snapshot restore instead of a full ELF load
+// per request), and a bounded queue provides admission control.
+type Pool struct {
+	p *pool.Pool
+}
+
+// NewPool creates a serving pool and starts its workers. Close it when
+// done.
+func NewPool(cfg PoolConfig) *Pool {
+	return &Pool{p: pool.New(pool.Config{
+		Workers:             cfg.Workers,
+		QueueDepth:          cfg.QueueDepth,
+		Budget:              cfg.Budget,
+		WarmPerImage:        cfg.WarmPerImage,
+		MaxWarm:             cfg.MaxWarm,
+		StackSize:           cfg.StackSize,
+		Machine:             cfg.Machine.model(),
+		DisableVerification: cfg.DisableVerification,
+		NoLoads:             cfg.NoLoads,
+	})}
+}
+
+// BuildImage compiles assembly through the full LFI pipeline (rewrite →
+// assemble → verify → load → snapshot) and caches the result; repeated
+// builds of the same source return the cached image.
+func (p *Pool) BuildImage(asmSource string, opts CompileOptions) (*Image, error) {
+	return p.p.BuildImage(asmSource, opts.internal())
+}
+
+// ImageFromELF prepares an already-compiled executable for serving,
+// verifying it first.
+func (p *Pool) ImageFromELF(elfBytes []byte) (*Image, error) {
+	return p.p.ImageFromELF(elfBytes)
+}
+
+// Submit enqueues a job without blocking; it returns ErrQueueFull when
+// admission control rejects it.
+func (p *Pool) Submit(j Job) (*JobTicket, error) { return p.p.Submit(j) }
+
+// Execute submits a job and waits for its result.
+func (p *Pool) Execute(j Job) (*JobResult, error) { return p.p.Do(j) }
+
+// Stats returns cumulative serving counters.
+func (p *Pool) Stats() PoolStats { return p.p.Stats() }
+
+// Close drains in-flight jobs and stops the workers.
+func (p *Pool) Close() { p.p.Close() }
 
 // TraceInstructions streams every executed instruction (up to limit) to w
 // as "pc: disassembly" lines — the lfi-run -trace debugging aid.
