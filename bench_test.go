@@ -281,3 +281,24 @@ func timedRun(r *bench.Runner, elf []byte, verify, noLoads bool) (float64, error
 	}
 	return rt.Cycles(), nil
 }
+
+// benchEmu measures the simulator's raw execution rate over the workload
+// suite, reporting emulated instructions per second of host time.
+func benchEmu(b *testing.B, fastpath bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.EmuThroughput("m1", emu.ModelM1(), benchScale, fastpath)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.Total.InstrsPerSec/1e6, "minstr/s")
+		b.ReportMetric(rep.Total.NSPerInstr, "ns/instr")
+	}
+}
+
+// BenchmarkEmuFastpath measures the predecoded-block dispatch loop.
+func BenchmarkEmuFastpath(b *testing.B) { benchEmu(b, true) }
+
+// BenchmarkEmuSlowpath measures the per-step reference interpreter, the
+// baseline the fast path is required to beat by ≥1.5×.
+func BenchmarkEmuSlowpath(b *testing.B) { benchEmu(b, false) }

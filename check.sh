@@ -24,4 +24,7 @@ go test ./...
 echo '== go test -race ./internal/pool ./internal/lfirt'
 go test -race ./internal/pool ./internal/lfirt
 
+echo '== bench smoke (go test -bench=BenchmarkEmu -benchtime=1x)'
+go test -run '^$' -bench 'BenchmarkEmu' -benchtime=1x .
+
 echo 'ok'

@@ -13,13 +13,19 @@
 //	lfi-bench -table codesize             # §6.3 code size
 //	lfi-bench -throughput                 # §5.2 verifier throughput
 //	lfi-bench -pool                       # serving throughput (cold vs restore)
+//	lfi-bench -emu -json BENCH_emu.json   # raw simulator throughput
 //	lfi-bench -all                        # everything
+//
+// -cpuprofile/-memprofile write pprof profiles of whatever ran, so hot-path
+// work starts from evidence instead of guesses.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"lfi/internal/bench"
@@ -39,8 +45,38 @@ func main() {
 	coremark := flag.Bool("coremark", false, "run the CoreMark-like kernel (artifact A.6.3)")
 	chart := flag.Bool("chart", false, "render figures as ASCII bar charts")
 	all := flag.Bool("all", false, "regenerate everything on both machines")
+	emuBench := flag.Bool("emu", false, "measure raw simulator throughput per workload")
+	jsonPath := flag.String("json", "", "with -emu: also write the report to this file (e.g. BENCH_emu.json)")
+	slowpath := flag.Bool("slowpath", false, "with -emu: use the per-step interpreter instead of the block fast path")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
 	chartMode = *chart
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("memprofile: %v", err)
+			}
+		}()
+	}
 
 	if *all {
 		for _, m := range []string{"t2a", "m1"} {
@@ -108,9 +144,41 @@ func main() {
 		runPool(*poolWorkers, *poolJobs)
 		done = true
 	}
+	if *emuBench {
+		runEmu(*machine, *scale, !*slowpath, *jsonPath)
+		done = true
+	}
 	if !done {
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+func runEmu(machine string, scale float64, fastpath bool, jsonPath string) {
+	coreModel, _ := model(machine)
+	rep, err := bench.EmuThroughput(machine, coreModel, scale, fastpath)
+	if err != nil {
+		fatal("emu throughput: %v", err)
+	}
+	path := "fast path"
+	if !fastpath {
+		path = "per-step interpreter"
+	}
+	fmt.Printf("Simulator throughput — %s model, scale %.2f, %s\n\n", machineTitle(machine), scale, path)
+	fmt.Printf("%-16s %12s %14s %12s %12s %10s\n",
+		"workload", "instrs", "cycles", "minstr/s", "mcycle/s", "ns/instr")
+	rows := append(append([]bench.EmuRow{}, rep.Workloads...), rep.Total)
+	for i := range rows {
+		r := &rows[i]
+		fmt.Printf("%-16s %12d %14.0f %12.2f %12.2f %10.1f\n",
+			r.Workload, r.Instrs, r.Cycles,
+			r.InstrsPerSec/1e6, r.CyclesPerSec/1e6, r.NSPerInstr)
+	}
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			fatal("emu throughput: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
 	}
 }
 

@@ -1,0 +1,226 @@
+// Predecoded basic-block fast path.
+//
+// The per-step interpreter (Step) pays for a host-call range check, a PC
+// alignment check, an icache map lookup, and full timing-metadata
+// classification on every instruction. The fast path amortises all of that
+// to block boundaries: straight-line runs are decoded once into flat
+// superblocks whose slots carry the decoded instruction plus its cached
+// retire metadata, and a tight inner loop executes the slots back to back.
+// Blocks end at anything that can redirect or stop the flow: branches, SVC,
+// BRK, undecodable words, page boundaries (the next page may be unmapped or
+// remapped independently), and the host-call window.
+//
+// Equivalence with the slow path is exact, not approximate:
+//   - exec() itself is shared, so architectural state transitions are the
+//     same code in both paths.
+//   - retire metadata is model-independent (scoreboard slots + latency
+//     class); retireWith runs the identical arithmetic in the identical
+//     order as per-step retire, so Timing.Cycles() is bit-identical.
+//   - the instruction budget is applied with exact carry-in: a block is
+//     clipped to the remaining budget, so TrapBudget lands on the same
+//     instruction as the slow loop.
+//
+// All caches here (block cache, page-translation caches, the slow path's
+// icache) are guarded by the AddrSpace epoch, which bumps on any mapping
+// mutation.
+package emu
+
+import (
+	"os"
+
+	"lfi/internal/arm64"
+	"lfi/internal/mem"
+)
+
+// defaultFastpath is the process-wide default for new CPUs; EMU_FASTPATH=off
+// is the escape hatch back to the per-step interpreter.
+var defaultFastpath = os.Getenv("EMU_FASTPATH") != "off"
+
+const (
+	// bcacheSize is the number of direct-mapped block cache entries.
+	bcacheSize = 512
+	// maxBlockInsts caps superblock length so one block cannot monopolise
+	// a budget slice's granularity beyond a page of straight-line code.
+	maxBlockInsts = 512
+	// tcacheSize is the number of direct-mapped page-translation entries
+	// per access kind.
+	tcacheSize = 64
+)
+
+// instSlot is one predecoded instruction plus its cached retire metadata.
+type instSlot struct {
+	inst arm64.Inst
+	meta retireMeta
+}
+
+// bcEntry is a direct-mapped block cache entry; valid iff len(insts) > 0
+// (pc alone cannot mark validity: 0 is a decodable address).
+type bcEntry struct {
+	pc    uint64
+	insts []instSlot
+}
+
+// tcEntry caches the backing slice of one translated page for one access
+// kind; valid iff data != nil (page index 0 is a real page).
+type tcEntry struct {
+	idx  uint64
+	data []byte
+}
+
+// memRead is AddrSpace.Read with a direct-mapped translation cache in
+// front: a hit turns the region walk into two compares plus a load.
+func (c *CPU) memRead(addr uint64, size int) (uint64, *mem.Fault) {
+	idx := addr >> c.pageShift
+	e := &c.tcRead[idx&(tcacheSize-1)]
+	if e.idx != idx || e.data == nil {
+		data, f := c.Mem.PageSlice(addr, mem.AccessRead)
+		if f != nil {
+			f.Size = size
+			return 0, f
+		}
+		e.idx, e.data = idx, data
+	}
+	off := addr & (c.pageSize - 1)
+	if off+uint64(size) <= c.pageSize {
+		d := e.data[off:]
+		switch size {
+		case 1:
+			return uint64(d[0]), nil
+		case 2:
+			return uint64(d[0]) | uint64(d[1])<<8, nil
+		case 4:
+			return uint64(d[0]) | uint64(d[1])<<8 | uint64(d[2])<<16 |
+				uint64(d[3])<<24, nil
+		case 8:
+			return uint64(d[0]) | uint64(d[1])<<8 | uint64(d[2])<<16 |
+				uint64(d[3])<<24 | uint64(d[4])<<32 | uint64(d[5])<<40 |
+				uint64(d[6])<<48 | uint64(d[7])<<56, nil
+		}
+	}
+	// Page-crossing access: defer to the general path.
+	return c.Mem.Read(addr, size)
+}
+
+// memWrite is AddrSpace.Write behind the same translation cache.
+func (c *CPU) memWrite(addr uint64, v uint64, size int) *mem.Fault {
+	idx := addr >> c.pageShift
+	e := &c.tcWrite[idx&(tcacheSize-1)]
+	if e.idx != idx || e.data == nil {
+		data, f := c.Mem.PageSlice(addr, mem.AccessWrite)
+		if f != nil {
+			f.Size = size
+			return f
+		}
+		e.idx, e.data = idx, data
+	}
+	off := addr & (c.pageSize - 1)
+	if off+uint64(size) <= c.pageSize {
+		d := e.data[off:]
+		switch size {
+		case 1:
+			d[0] = byte(v)
+			return nil
+		case 2:
+			d[0], d[1] = byte(v), byte(v>>8)
+			return nil
+		case 4:
+			d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			return nil
+		case 8:
+			d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			d[4], d[5], d[6], d[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+			return nil
+		}
+	}
+	return c.Mem.Write(addr, v, size)
+}
+
+// blockEnd reports whether the instruction terminates a superblock.
+func blockEnd(i *arm64.Inst) bool {
+	return i.Op.IsBranch() || i.Op == arm64.SVC || i.Op == arm64.BRK
+}
+
+// decodeBlock fills e with the straight-line run starting at pc. A fetch
+// fault or undecodable word on the *first* instruction returns the trap the
+// slow path would raise there; later ones just end the block early so the
+// trap is raised when (and only if) execution actually reaches that pc.
+func (c *CPU) decodeBlock(pc uint64, e *bcEntry) *Trap {
+	e.pc = pc
+	e.insts = e.insts[:0]
+	for p := pc; len(e.insts) < maxBlockInsts; {
+		w, f := c.Mem.Fetch32(p)
+		if f != nil {
+			if len(e.insts) == 0 {
+				return &Trap{Kind: TrapMemFault, PC: p, Fault: f}
+			}
+			break
+		}
+		inst, err := arm64.Decode(w)
+		if err != nil {
+			if len(e.insts) == 0 {
+				return &Trap{Kind: TrapUndefined, PC: p}
+			}
+			break
+		}
+		e.insts = append(e.insts, instSlot{inst: inst})
+		s := &e.insts[len(e.insts)-1]
+		c.mSrc, c.mDst = buildMeta(&s.inst, &s.meta, c.mSrc, c.mDst)
+		if blockEnd(&s.inst) {
+			break
+		}
+		p += 4
+		// Stop at page boundaries and at the host-call window: the block
+		// must not run past an address the outer loop has to re-check.
+		if p&(c.pageSize-1) == 0 {
+			break
+		}
+		if c.hostCallLen != 0 && p-c.hostCallBase < c.hostCallLen {
+			break
+		}
+	}
+	return nil
+}
+
+// runBlocks is the fast-path Run loop. Check order per iteration matches
+// the slow path exactly: budget, then host-call window, then alignment.
+func (c *CPU) runBlocks(maxInstrs uint64) *Trap {
+	end := ^uint64(0)
+	if maxInstrs != 0 {
+		end = c.Instrs + maxInstrs
+	}
+	for {
+		if c.Instrs >= end {
+			return c.hotTrap(TrapBudget, c.PC)
+		}
+		if e := c.Mem.Epoch(); e != c.memEpoch {
+			c.flushDecoded(e)
+		}
+		pc := c.PC
+		if c.hostCallLen != 0 && pc-c.hostCallBase < c.hostCallLen {
+			return c.hotTrap(TrapHostCall, pc)
+		}
+		if pc%4 != 0 {
+			return &Trap{Kind: TrapMemFault, PC: pc,
+				Fault: &mem.Fault{Addr: pc, Access: mem.AccessExec, Size: 4}}
+		}
+		e := &c.bcache[(pc>>2)&(bcacheSize-1)]
+		if e.pc != pc || len(e.insts) == 0 {
+			if tr := c.decodeBlock(pc, e); tr != nil {
+				return tr
+			}
+		}
+		// Clip the block to the remaining budget (exact carry-in), then
+		// execute slots back to back with per-step checks hoisted out.
+		slots := e.insts
+		if rem := end - c.Instrs; rem < uint64(len(slots)) {
+			slots = slots[:rem]
+		}
+		for k := range slots {
+			s := &slots[k]
+			if tr := c.exec(&s.inst, &s.meta); tr != nil {
+				return tr
+			}
+			c.Instrs++
+		}
+	}
+}

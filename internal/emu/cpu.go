@@ -91,16 +91,35 @@ type CPU struct {
 	hostCallLen  uint64
 
 	// Decoded-instruction cache, keyed by page index. Pages are decoded
-	// lazily; the cache is safe because sandbox text is immutable (W^X).
+	// lazily. Coherence is by AddrSpace epoch: any Map/Unmap/Protect/
+	// restore bumps the epoch and the next Step/Run flushes stale decodes,
+	// so remapping text pages needs no manual FlushICache call.
 	icache    map[uint64][]cachedInst
 	pageShift uint
 	pageSize  uint64
+
+	// Predecoded basic-block cache (fast path) and direct-mapped page
+	// translation caches, all epoch-guarded like icache. See block.go.
+	bcache   [bcacheSize]bcEntry
+	tcRead   [tcacheSize]tcEntry
+	tcWrite  [tcacheSize]tcEntry
+	memEpoch uint64
+	fastpath bool
+
+	// Reused storage for the hot TrapBudget/TrapHostCall results, so
+	// budget-sliced scheduling does not allocate per slice. Traps of those
+	// kinds returned by Run are valid only until the next Run/Step call.
+	trap Trap
+
+	// Scratch register buffers for block predecoding.
+	mSrc, mDst []arm64.Reg
 
 	// Timing, optional. When non-nil every retired instruction is charged.
 	Timing *Timing
 
 	// Trace, optional. When non-nil it is invoked before every executed
-	// instruction (debug tooling; adds an indirect call per step).
+	// instruction (debug tooling; adds an indirect call per step and
+	// disables the predecoded-block fast path).
 	Trace func(pc uint64, inst *arm64.Inst)
 
 	// Retired instruction count.
@@ -124,17 +143,44 @@ func New(m *mem.AddrSpace) *CPU {
 		icache:    make(map[uint64][]cachedInst),
 		pageShift: shift,
 		pageSize:  ps,
+		memEpoch:  m.Epoch(),
+		fastpath:  defaultFastpath,
 	}
 }
 
+// SetFastpath toggles the predecoded-block dispatch loop (on by default;
+// the EMU_FASTPATH=off environment variable flips the default). The slow
+// per-step interpreter computes bit-identical results and exists as the
+// escape hatch and differential-testing reference.
+func (c *CPU) SetFastpath(on bool) { c.fastpath = on }
+
+// Fastpath reports whether the block dispatch loop is enabled.
+func (c *CPU) Fastpath() bool { return c.fastpath }
+
 // SetHostCallRegion registers [base, base+size) as host-call addresses.
+// Cached blocks are dropped: block boundaries depend on the region.
 func (c *CPU) SetHostCallRegion(base, size uint64) {
 	c.hostCallBase, c.hostCallLen = base, size
+	c.flushDecoded(c.Mem.Epoch())
 }
 
-// FlushICache drops all cached decodes (call after remapping text pages).
+// FlushICache drops all cached decodes. Decode caches auto-invalidate via
+// the AddrSpace epoch whenever mappings change, so calling this after a
+// remap is no longer required; it remains as a compatible explicit flush.
 func (c *CPU) FlushICache() {
-	c.icache = make(map[uint64][]cachedInst)
+	c.flushDecoded(c.Mem.Epoch())
+}
+
+// flushDecoded drops every decode- and translation-cache entry and marks
+// the caches current as of epoch.
+func (c *CPU) flushDecoded(epoch uint64) {
+	c.memEpoch = epoch
+	clear(c.icache)
+	for i := range c.bcache {
+		c.bcache[i].insts = c.bcache[i].insts[:0]
+	}
+	c.tcRead = [tcacheSize]tcEntry{}
+	c.tcWrite = [tcacheSize]tcEntry{}
 }
 
 // Reg reads a register operand, honoring the zero register and 32-bit
@@ -257,6 +303,9 @@ func (c *CPU) fetch(pc uint64) (*arm64.Inst, *Trap) {
 
 // Step executes one instruction. It returns nil on success or a Trap.
 func (c *CPU) Step() *Trap {
+	if e := c.Mem.Epoch(); e != c.memEpoch {
+		c.flushDecoded(e)
+	}
 	if pc := c.PC; c.hostCallLen != 0 && pc-c.hostCallBase < c.hostCallLen {
 		return &Trap{Kind: TrapHostCall, PC: pc}
 	}
@@ -271,7 +320,7 @@ func (c *CPU) Step() *Trap {
 	if c.Trace != nil {
 		c.Trace(c.PC, inst)
 	}
-	tr = c.exec(inst)
+	tr = c.exec(inst, nil)
 	if tr != nil {
 		return tr
 	}
@@ -279,9 +328,22 @@ func (c *CPU) Step() *Trap {
 	return nil
 }
 
+// hotTrap fills the CPU's reused trap storage. Only the allocation-heavy
+// control-flow traps (budget, host call) go through it; fault traps carry
+// detail and stay freshly allocated.
+func (c *CPU) hotTrap(k TrapKind, pc uint64) *Trap {
+	c.trap = Trap{Kind: k, PC: pc}
+	return &c.trap
+}
+
 // Run executes until a trap occurs or maxInstrs instructions retire
 // (maxInstrs 0 means no budget). It returns the trap that stopped it.
+// TrapBudget and TrapHostCall results reuse per-CPU storage and are valid
+// only until the next Run/Step call.
 func (c *CPU) Run(maxInstrs uint64) *Trap {
+	if c.fastpath && c.Trace == nil {
+		return c.runBlocks(maxInstrs)
+	}
 	if maxInstrs == 0 {
 		for {
 			if tr := c.Step(); tr != nil {
@@ -295,5 +357,5 @@ func (c *CPU) Run(maxInstrs uint64) *Trap {
 			return tr
 		}
 	}
-	return &Trap{Kind: TrapBudget, PC: c.PC}
+	return c.hotTrap(TrapBudget, c.PC)
 }

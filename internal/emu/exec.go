@@ -195,7 +195,10 @@ func (c *CPU) effAddr(i *arm64.Inst) (addr uint64, wb bool, wbVal uint64) {
 	return base, false, 0
 }
 
-func (c *CPU) exec(i *arm64.Inst) *Trap {
+// exec executes one instruction. md, when non-nil, is the predecoded
+// retire metadata for i (block fast path); when nil the timing model
+// derives it on the fly.
+func (c *CPU) exec(i *arm64.Inst, md *retireMeta) *Trap {
 	pc := c.PC
 	var eff effects
 
@@ -567,7 +570,11 @@ func (c *CPU) exec(i *arm64.Inst) *Trap {
 	}
 
 	if c.Timing != nil {
-		c.Timing.retire(c, i, pc, &eff)
+		if md != nil {
+			c.Timing.retireWith(pc, &eff, md)
+		} else {
+			c.Timing.retire(c, i, pc, &eff)
+		}
 	}
 	if eff.branched {
 		c.PC = eff.target
@@ -637,10 +644,10 @@ func (c *CPU) execLoadStore(i *arm64.Inst, pc uint64, eff *effects) *Trap {
 		if i.Rd.IsFP() {
 			v = c.FP(i.Rd)
 			if size == 16 {
-				if f := c.Mem.Write(addr, c.V[i.Rd.Num()][0], 8); f != nil {
+				if f := c.memWrite(addr, c.V[i.Rd.Num()][0], 8); f != nil {
 					return c.memFault(pc, f)
 				}
-				if f := c.Mem.Write(addr+8, c.V[i.Rd.Num()][1], 8); f != nil {
+				if f := c.memWrite(addr+8, c.V[i.Rd.Num()][1], 8); f != nil {
 					return c.memFault(pc, f)
 				}
 				if wb {
@@ -651,16 +658,16 @@ func (c *CPU) execLoadStore(i *arm64.Inst, pc uint64, eff *effects) *Trap {
 		} else {
 			v = c.Reg(i.Rd)
 		}
-		if f := c.Mem.Write(addr, v, size); f != nil {
+		if f := c.memWrite(addr, v, size); f != nil {
 			return c.memFault(pc, f)
 		}
 	} else {
 		if i.Rd.IsFP() && size == 16 {
-			lo, f := c.Mem.Read(addr, 8)
+			lo, f := c.memRead(addr, 8)
 			if f != nil {
 				return c.memFault(pc, f)
 			}
-			hi, f := c.Mem.Read(addr+8, 8)
+			hi, f := c.memRead(addr+8, 8)
 			if f != nil {
 				return c.memFault(pc, f)
 			}
@@ -670,7 +677,7 @@ func (c *CPU) execLoadStore(i *arm64.Inst, pc uint64, eff *effects) *Trap {
 			}
 			return nil
 		}
-		v, f := c.Mem.Read(addr, size)
+		v, f := c.memRead(addr, size)
 		if f != nil {
 			return c.memFault(pc, f)
 		}
@@ -708,10 +715,10 @@ func (c *CPU) execPair(i *arm64.Inst, pc uint64, eff *effects) *Trap {
 	rw := func(r arm64.Reg, a uint64) *Trap {
 		if i.Op == arm64.STP {
 			if r.IsFP() && size == 16 {
-				if f := c.Mem.Write(a, c.V[r.Num()][0], 8); f != nil {
+				if f := c.memWrite(a, c.V[r.Num()][0], 8); f != nil {
 					return c.memFault(pc, f)
 				}
-				if f := c.Mem.Write(a+8, c.V[r.Num()][1], 8); f != nil {
+				if f := c.memWrite(a+8, c.V[r.Num()][1], 8); f != nil {
 					return c.memFault(pc, f)
 				}
 				return nil
@@ -722,24 +729,24 @@ func (c *CPU) execPair(i *arm64.Inst, pc uint64, eff *effects) *Trap {
 			} else {
 				v = c.Reg(r)
 			}
-			if f := c.Mem.Write(a, v, size); f != nil {
+			if f := c.memWrite(a, v, size); f != nil {
 				return c.memFault(pc, f)
 			}
 			return nil
 		}
 		if r.IsFP() && size == 16 {
-			lo, f := c.Mem.Read(a, 8)
+			lo, f := c.memRead(a, 8)
 			if f != nil {
 				return c.memFault(pc, f)
 			}
-			hi, f := c.Mem.Read(a+8, 8)
+			hi, f := c.memRead(a+8, 8)
 			if f != nil {
 				return c.memFault(pc, f)
 			}
 			c.V[r.Num()][0], c.V[r.Num()][1] = lo, hi
 			return nil
 		}
-		v, f := c.Mem.Read(a, size)
+		v, f := c.memRead(a, size)
 		if f != nil {
 			return c.memFault(pc, f)
 		}
@@ -771,7 +778,7 @@ func (c *CPU) execExclusive(i *arm64.Inst, pc uint64, eff *effects) *Trap {
 	eff.hasMem, eff.memAddr = true, addr
 	switch i.Op {
 	case arm64.LDXR, arm64.LDAXR:
-		v, f := c.Mem.Read(addr, size)
+		v, f := c.memRead(addr, size)
 		if f != nil {
 			return c.memFault(pc, f)
 		}
@@ -779,7 +786,7 @@ func (c *CPU) execExclusive(i *arm64.Inst, pc uint64, eff *effects) *Trap {
 		c.SetReg(i.Rd, v)
 	case arm64.STXR, arm64.STLXR:
 		if c.exclValid && c.exclAddr == addr {
-			if f := c.Mem.Write(addr, c.Reg(i.Rd), size); f != nil {
+			if f := c.memWrite(addr, c.Reg(i.Rd), size); f != nil {
 				return c.memFault(pc, f)
 			}
 			c.SetReg(i.Rm, 0) // success
@@ -788,13 +795,13 @@ func (c *CPU) execExclusive(i *arm64.Inst, pc uint64, eff *effects) *Trap {
 		}
 		c.exclValid = false
 	case arm64.LDAR:
-		v, f := c.Mem.Read(addr, size)
+		v, f := c.memRead(addr, size)
 		if f != nil {
 			return c.memFault(pc, f)
 		}
 		c.SetReg(i.Rd, v)
 	case arm64.STLR:
-		if f := c.Mem.Write(addr, c.Reg(i.Rd), size); f != nil {
+		if f := c.memWrite(addr, c.Reg(i.Rd), size); f != nil {
 			return c.memFault(pc, f)
 		}
 	}

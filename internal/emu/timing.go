@@ -198,40 +198,86 @@ func (t *Timing) Drain() {
 	t.issueAt, t.horizon = now, now
 }
 
-func (t *Timing) latency(i *arm64.Inst) float64 {
+// latClass names an instruction's static latency bucket. Predecoded blocks
+// cache the class rather than the cycle value, so cached metadata stays
+// valid across timing models; classLat maps a class to the current model's
+// latency, reproducing the per-instruction classification bit for bit.
+type latClass uint8
+
+const (
+	latALU latClass = iota
+	latShiftExt
+	latMul
+	latMulH
+	latDiv
+	latLoad
+	latStore
+	latFP
+	latFDiv
+	latFMA
+	latBarrier
+)
+
+func (t *Timing) classLat(cl latClass) float64 {
 	m := t.Model
+	switch cl {
+	case latShiftExt:
+		return m.ShiftExtLat
+	case latMul:
+		return m.MulLat
+	case latMulH:
+		return m.MulLat + 2
+	case latDiv:
+		return m.DivLat
+	case latLoad:
+		return m.LoadLat
+	case latStore:
+		return 1
+	case latFP:
+		return m.FPLat
+	case latFDiv:
+		return m.FDivLat
+	case latFMA:
+		return m.FMALat
+	case latBarrier:
+		return m.BarrierLat
+	}
+	return m.ALULat
+}
+
+func latClassOf(i *arm64.Inst) latClass {
 	switch i.Op {
 	case arm64.ADD, arm64.ADDS, arm64.SUB, arm64.SUBS,
 		arm64.AND, arm64.ANDS, arm64.ORR, arm64.ORN, arm64.EOR, arm64.EON,
 		arm64.BIC, arm64.BICS:
 		if i.Rm != arm64.RegNone && shiftExtCosts(i) {
-			return m.ShiftExtLat
+			return latShiftExt
 		}
-		return m.ALULat
+		return latALU
 	case arm64.MADD, arm64.MSUB, arm64.SMADDL, arm64.UMADDL:
-		return m.MulLat
+		return latMul
 	case arm64.SMULH, arm64.UMULH:
-		return m.MulLat + 2
+		return latMulH
 	case arm64.UDIV, arm64.SDIV:
-		return m.DivLat
+		return latDiv
 	case arm64.LDR, arm64.LDRB, arm64.LDRH, arm64.LDRSB, arm64.LDRSH,
 		arm64.LDRSW, arm64.LDP, arm64.LDXR, arm64.LDAXR, arm64.LDAR:
-		return m.LoadLat
+		return latLoad
 	case arm64.STR, arm64.STRB, arm64.STRH, arm64.STP, arm64.STXR,
 		arm64.STLXR, arm64.STLR:
-		return 1
+		return latStore
 	case arm64.FADD, arm64.FSUB, arm64.FMUL, arm64.FNEG, arm64.FABS,
 		arm64.FCVT, arm64.SCVTF, arm64.UCVTF, arm64.FCVTZS, arm64.FCVTZU,
 		arm64.FMOV, arm64.FCSEL, arm64.FCMP:
-		return m.FPLat
+		return latFP
 	case arm64.FDIV, arm64.FSQRT:
-		return m.FDivLat
+		return latFDiv
 	case arm64.FMADD, arm64.FMSUB:
-		return m.FMALat
+		return latFMA
 	case arm64.DMB, arm64.DSB, arm64.ISB:
-		return m.BarrierLat
+		return latBarrier
 	}
-	return m.ALULat
+	return latALU
 }
 
 // shiftExtCosts reports whether the operand-2 modifier makes the ALU op a
@@ -248,8 +294,83 @@ func shiftExtCosts(i *arm64.Inst) bool {
 	return true
 }
 
-// retire charges one instruction to the scoreboard.
+// Branch classes for retireMeta.
+const (
+	brNone uint8 = iota
+	brUncond
+	brCond
+	brIndirect
+)
+
+// retireMeta is the static half of retiring one instruction: scoreboard
+// slots, latency class, and flag/branch behaviour, all derivable from the
+// instruction alone. The per-step path computes it on the fly; the
+// predecoded-block fast path caches it alongside each decoded instruction
+// so retiring becomes a handful of float compares. Both paths funnel into
+// retireWith, so cycle attribution is bit-identical between them.
+type retireMeta struct {
+	src    [4]int8 // scoreboard slots of source registers
+	dst    [3]int8 // scoreboard slots of destination registers
+	nsrc   int8
+	ndst   int8
+	wbALU  uint8 // bit k set: dst[k] is a writeback address update
+	class  latClass
+	branch uint8
+	reads  bool // reads NZCV
+	sets   bool // writes NZCV
+}
+
+// buildMeta fills md from i, using (and returning) the scratch register
+// buffers to stay allocation-free.
+func buildMeta(i *arm64.Inst, md *retireMeta, srcbuf, dstbuf []arm64.Reg) ([]arm64.Reg, []arm64.Reg) {
+	srcbuf = i.SrcRegs(srcbuf[:0])
+	md.nsrc = 0
+	for _, r := range srcbuf {
+		if s := regSlot(r); s >= 0 {
+			md.src[md.nsrc] = int8(s)
+			md.nsrc++
+		}
+	}
+	dstbuf = i.DestRegs(dstbuf[:0])
+	md.ndst = 0
+	md.wbALU = 0
+	wbMem := i.Op.IsMemory() && i.Mem.WritesBack()
+	for _, r := range dstbuf {
+		if s := regSlot(r); s >= 0 {
+			// Writeback address updates complete in one ALU cycle even on
+			// long-latency loads.
+			if wbMem && r == i.Mem.Base {
+				md.wbALU |= 1 << uint(md.ndst)
+			}
+			md.dst[md.ndst] = int8(s)
+			md.ndst++
+		}
+	}
+	md.reads = i.Op.ReadsFlags()
+	md.sets = i.Op.SetsFlags()
+	md.class = latClassOf(i)
+	switch {
+	case !i.Op.IsBranch():
+		md.branch = brNone
+	case i.Op == arm64.B || i.Op == arm64.BL:
+		md.branch = brUncond
+	case i.Op == arm64.BR || i.Op == arm64.BLR || i.Op == arm64.RET:
+		md.branch = brIndirect
+	default: // b.cond, cbz, cbnz, tbz, tbnz
+		md.branch = brCond
+	}
+	return srcbuf, dstbuf
+}
+
+// retire charges one instruction to the scoreboard (per-step path).
 func (t *Timing) retire(c *CPU, i *arm64.Inst, pc uint64, eff *effects) {
+	var md retireMeta
+	t.srcbuf, t.dstbuf = buildMeta(i, &md, t.srcbuf, t.dstbuf)
+	t.retireWith(pc, eff, &md)
+}
+
+// retireWith charges one instruction described by md to the scoreboard.
+func (t *Timing) retireWith(pc uint64, eff *effects, md *retireMeta) {
 	m := t.Model
 	t.Retired++
 
@@ -258,17 +379,16 @@ func (t *Timing) retire(c *CPU, i *arm64.Inst, pc uint64, eff *effects) {
 	t.issueAt += 1 / float64(m.IssueWidth)
 
 	// Wait for source operands.
-	t.srcbuf = i.SrcRegs(t.srcbuf[:0])
-	for _, r := range t.srcbuf {
-		if s := regSlot(r); s >= 0 && t.ready[s] > start {
-			start = t.ready[s]
+	for k := int8(0); k < md.nsrc; k++ {
+		if r := t.ready[md.src[k]]; r > start {
+			start = r
 		}
 	}
-	if i.Op.ReadsFlags() && t.ready[slotFlags] > start {
+	if md.reads && t.ready[slotFlags] > start {
 		start = t.ready[slotFlags]
 	}
 
-	lat := t.latency(i)
+	lat := t.classLat(md.class)
 
 	// TLB lookup for memory operations.
 	if eff.hasMem && len(t.tlb) > 0 {
@@ -308,19 +428,14 @@ func (t *Timing) retire(c *CPU, i *arm64.Inst, pc uint64, eff *effects) {
 	}
 
 	// Destinations.
-	t.dstbuf = i.DestRegs(t.dstbuf[:0])
-	for _, r := range t.dstbuf {
-		if s := regSlot(r); s >= 0 {
-			// Writeback address updates complete in one ALU cycle even on
-			// long-latency loads.
-			if i.Op.IsMemory() && i.Mem.WritesBack() && (r == i.Mem.Base) {
-				t.ready[s] = start + m.ALULat
-			} else {
-				t.ready[s] = done
-			}
+	for k := int8(0); k < md.ndst; k++ {
+		if md.wbALU&(1<<uint(k)) != 0 {
+			t.ready[md.dst[k]] = start + m.ALULat
+		} else {
+			t.ready[md.dst[k]] = done
 		}
 	}
-	if i.Op.SetsFlags() {
+	if md.sets {
 		t.ready[slotFlags] = done
 	}
 	if done > t.horizon {
@@ -328,12 +443,12 @@ func (t *Timing) retire(c *CPU, i *arm64.Inst, pc uint64, eff *effects) {
 	}
 
 	// Branch prediction.
-	if i.Op.IsBranch() {
+	if md.branch != brNone {
 		resolve := start + 1
-		switch i.Op {
-		case arm64.B, arm64.BL:
+		switch md.branch {
+		case brUncond:
 			// Unconditional direct branches are effectively free.
-		case arm64.BCOND, arm64.CBZ, arm64.CBNZ, arm64.TBZ, arm64.TBNZ:
+		case brCond:
 			idx := (pc >> 2) % uint64(len(t.bimodal))
 			ctr := t.bimodal[idx]
 			predTaken := ctr >= 2
@@ -348,7 +463,7 @@ func (t *Timing) retire(c *CPU, i *arm64.Inst, pc uint64, eff *effects) {
 			} else if !eff.branched && ctr > 0 {
 				t.bimodal[idx] = ctr - 1
 			}
-		case arm64.BR, arm64.BLR, arm64.RET:
+		case brIndirect:
 			idx := (pc >> 2) % uint64(len(t.btb))
 			if t.btb[idx] != eff.target {
 				t.Mispredicts++

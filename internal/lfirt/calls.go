@@ -283,7 +283,6 @@ func (rt *Runtime) sysFork(p *Proc) action {
 	p.children[child.PID] = child
 	rt.procs[child.PID] = child
 	rt.ready = append(rt.ready, child)
-	rt.CPU.FlushICache()
 	return rt.resume(p, uint64(child.PID))
 }
 

@@ -1,0 +1,202 @@
+package lfirt
+
+// End-to-end differential tests: every workload program must produce an
+// identical run — exit status, stdout, retired instruction count, cycle
+// count, and final register file — under the emulator's predecoded-block
+// fast path and the per-step reference interpreter, including the exact
+// instruction at which a deadline kill lands.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"lfi/internal/core"
+	"lfi/internal/emu"
+	"lfi/internal/progs"
+	"lfi/internal/workloads"
+)
+
+type runResult struct {
+	status int
+	err    string
+	instrs uint64
+	cycles float64
+	stdout string
+	x      [31]uint64
+	sp     uint64
+	v      [32][2]uint64
+}
+
+func runPath(t *testing.T, elf []byte, fastpath bool, budget uint64) runResult {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Model = emu.ModelM1()
+	rt := New(cfg)
+	rt.CPU.SetFastpath(fastpath)
+	p, err := rt.Load(elf)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	status, err := rt.RunProcDeadline(p, budget)
+	r := runResult{
+		status: status,
+		instrs: rt.CPU.Instrs,
+		cycles: rt.CPU.Timing.Cycles(),
+		stdout: string(rt.Stdout()),
+		x:      rt.CPU.X,
+		sp:     rt.CPU.SP,
+		v:      rt.CPU.V,
+	}
+	if err != nil {
+		r.err = err.Error()
+	}
+	return r
+}
+
+func diffRun(t *testing.T, name string, elf []byte, budget uint64) {
+	t.Helper()
+	slow := runPath(t, elf, false, budget)
+	fast := runPath(t, elf, true, budget)
+	if !reflect.DeepEqual(slow, fast) {
+		t.Errorf("%s: fast path diverges from reference:\nslow=%+v\nfast=%+v", name, slow, fast)
+	}
+}
+
+func TestDiffWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			elf := build(t, w.Source(0.05))
+			diffRun(t, w.Name, elf, 0)
+		})
+	}
+}
+
+func TestDiffMicro(t *testing.T) {
+	micro := map[string]string{
+		"syscall-loop": workloads.SyscallLoop(500),
+		"pipe-ping":    workloads.PipePing(100),
+	}
+	for name, src := range micro {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			diffRun(t, name, build(t, src), 0)
+		})
+	}
+}
+
+func TestDiffProgs(t *testing.T) {
+	sources := map[string]string{
+		"exit-code": "_start:\n" + progs.ExitCode(42),
+		"rt-write": `
+_start:
+	mov x0, #1
+	adrp x1, msg
+	add x1, x1, :lo12:msg
+	mov x2, #14
+` + progs.RTCall(core.RTWrite) + progs.Exit() + `
+.rodata
+msg:
+	.ascii "hello, sandbox"
+`,
+	}
+	for name, src := range sources {
+		t.Run(name, func(t *testing.T) {
+			diffRun(t, name, build(t, src), 0)
+		})
+	}
+}
+
+// TestDiffDeadlineExact verifies ErrDeadline fires after the same retired
+// instruction on both paths: the fast path's budget carry-in must not slide
+// the kill point even by one instruction.
+func TestDiffDeadlineExact(t *testing.T) {
+	w, _ := workloads.Get("531.deepsjeng")
+	elf := build(t, w.Source(0.05))
+	// Budgets chosen to land mid-run, at awkward offsets w.r.t. any
+	// block boundary.
+	for _, budget := range []uint64{1, 97, 1009, 10007, 30011} {
+		slow := runPath(t, elf, false, budget)
+		fast := runPath(t, elf, true, budget)
+		if !reflect.DeepEqual(slow, fast) {
+			t.Errorf("budget=%d: deadline runs diverge:\nslow=%+v\nfast=%+v", budget, slow, fast)
+		}
+		if slow.err == "" {
+			t.Fatalf("budget=%d did not trip the deadline; pick a smaller budget", budget)
+		}
+	}
+
+	// And the error type itself must still be *ErrDeadline.
+	cfg := DefaultConfig()
+	cfg.Model = emu.ModelM1()
+	rt := New(cfg)
+	p, err := rt.Load(elf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.RunProcDeadline(p, 1000)
+	var ed *ErrDeadline
+	if !errors.As(err, &ed) {
+		t.Fatalf("err = %v, want *ErrDeadline", err)
+	}
+}
+
+// TestDiffMidRunMemory drives the CPU directly (below the scheduler) to a
+// mid-run stop and compares the complete sandbox memory image across paths.
+func TestDiffMidRunMemory(t *testing.T) {
+	w, _ := workloads.Get("557.xz")
+	elf := build(t, w.Source(0.05))
+
+	type stop struct {
+		kind    emu.TrapKind
+		pc      uint64
+		instrs  uint64
+		cycles  float64
+		x       [31]uint64
+		sp      uint64
+		memHash string
+	}
+	capture := func(fastpath bool) stop {
+		cfg := DefaultConfig()
+		cfg.Model = emu.ModelM1()
+		rt := New(cfg)
+		rt.CPU.SetFastpath(fastpath)
+		p, err := rt.Load(elf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.loadRegs(p)
+		tr := rt.CPU.Run(30011)
+		snap, err := rt.AS.SnapshotRange(p.Base, core.SandboxSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf []byte
+		for _, pg := range snap {
+			buf = append(buf, byte(pg.Off), byte(pg.Off>>8), byte(pg.Off>>16), byte(pg.Off>>24))
+			buf = append(buf, pg.Data...)
+		}
+		return stop{
+			kind:    tr.Kind,
+			pc:      tr.PC,
+			instrs:  rt.CPU.Instrs,
+			cycles:  rt.CPU.Timing.Cycles(),
+			x:       rt.CPU.X,
+			sp:      rt.CPU.SP,
+			memHash: string(buf),
+		}
+	}
+	slow := capture(false)
+	fast := capture(true)
+	if slow.kind != fast.kind || slow.pc != fast.pc || slow.instrs != fast.instrs ||
+		slow.cycles != fast.cycles || slow.x != fast.x || slow.sp != fast.sp {
+		t.Fatalf("mid-run state diverges: slow kind=%v pc=%#x instrs=%d, fast kind=%v pc=%#x instrs=%d",
+			slow.kind, slow.pc, slow.instrs, fast.kind, fast.pc, fast.instrs)
+	}
+	if slow.memHash != fast.memHash {
+		t.Fatal("mid-run memory images diverge")
+	}
+}

@@ -361,7 +361,6 @@ func (rt *Runtime) LoadExecutable(exe *elfobj.Executable) (*Proc, error) {
 
 	rt.procs[p.PID] = p
 	rt.ready = append(rt.ready, p)
-	rt.CPU.FlushICache()
 	return p, nil
 }
 
@@ -425,7 +424,6 @@ func (rt *Runtime) releaseMemory(p *Proc) {
 	// matters in serving loops where sandboxes are killed per request.
 	_ = rt.AS.UnmapRange(p.Base, core.SandboxSize)
 	rt.freeSlot(p.Slot)
-	rt.CPU.FlushICache()
 }
 
 // ExitStatus returns a finished process's status.

@@ -115,7 +115,6 @@ func (rt *Runtime) Restore(s *Snapshot) (*Proc, error) {
 	p.Regs.PC = rebase(p.Regs.PC)
 
 	rt.procs[p.PID] = p
-	rt.CPU.FlushICache()
 	return p, nil
 }
 

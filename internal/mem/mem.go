@@ -99,6 +99,12 @@ type AddrSpace struct {
 	lastRead  cachedPage
 	lastWrite cachedPage
 	lastExec  cachedPage
+
+	// epoch counts mapping mutations (Map/Unmap/Protect/CopyRange/
+	// RestoreRange). External caches keyed on page identity — the
+	// emulator's decoded-block and translation caches — revalidate by
+	// comparing epochs instead of being flushed explicitly.
+	epoch uint64
 }
 
 type cachedPage struct {
@@ -136,6 +142,26 @@ func (as *AddrSpace) invalidate() {
 	as.lastRead = cachedPage{idx: ^uint64(0)}
 	as.lastWrite = cachedPage{idx: ^uint64(0)}
 	as.lastExec = cachedPage{idx: ^uint64(0)}
+	as.epoch++
+}
+
+// Epoch returns the mapping-mutation counter. Any Map, Unmap, UnmapRange,
+// Protect, CopyRange, or RestoreRange bumps it; page *contents* changes do
+// not. A cache of page translations or decoded text is coherent as long as
+// the epoch it was filled under is still current.
+func (as *AddrSpace) Epoch() uint64 { return as.epoch }
+
+// PageSlice returns the backing bytes of the mapped page containing addr,
+// provided the page grants acc, materializing demand-zero pages. The slice
+// aliases the page (writes through it are visible to all readers) and stays
+// valid until the next epoch bump, so callers may cache it keyed by page
+// index while Epoch() is unchanged.
+func (as *AddrSpace) PageSlice(addr uint64, acc Access) ([]byte, *Fault) {
+	pg, f := as.lookup(addr, acc)
+	if f != nil {
+		return nil, f
+	}
+	return pg.data, nil
 }
 
 func (as *AddrSpace) aligned(addr, size uint64) error {
