@@ -21,8 +21,8 @@ go build ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race ./internal/pool ./internal/lfirt'
-go test -race ./internal/pool ./internal/lfirt
+echo '== go test -race ./internal/pool ./internal/lfirt ./internal/obs'
+go test -race ./internal/pool ./internal/lfirt ./internal/obs
 
 echo '== bench smoke (go test -bench=BenchmarkEmu -benchtime=1x)'
 go test -run '^$' -bench 'BenchmarkEmu' -benchtime=1x .

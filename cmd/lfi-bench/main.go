@@ -48,6 +48,7 @@ func main() {
 	emuBench := flag.Bool("emu", false, "measure raw simulator throughput per workload")
 	jsonPath := flag.String("json", "", "with -emu: also write the report to this file (e.g. BENCH_emu.json)")
 	slowpath := flag.Bool("slowpath", false, "with -emu: use the per-step interpreter instead of the block fast path")
+	metrics := flag.Bool("metrics", false, "with -emu/-pool: also report observability counters (caches, latency quantiles)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -99,7 +100,7 @@ func main() {
 		fmt.Println()
 		runThroughput()
 		fmt.Println()
-		runPool(*poolWorkers, *poolJobs)
+		runPool(*poolWorkers, *poolJobs, *metrics)
 		return
 	}
 
@@ -141,11 +142,11 @@ func main() {
 		done = true
 	}
 	if *poolBench {
-		runPool(*poolWorkers, *poolJobs)
+		runPool(*poolWorkers, *poolJobs, *metrics)
 		done = true
 	}
 	if *emuBench {
-		runEmu(*machine, *scale, !*slowpath, *jsonPath)
+		runEmu(*machine, *scale, !*slowpath, *jsonPath, *metrics)
 		done = true
 	}
 	if !done {
@@ -154,7 +155,7 @@ func main() {
 	}
 }
 
-func runEmu(machine string, scale float64, fastpath bool, jsonPath string) {
+func runEmu(machine string, scale float64, fastpath bool, jsonPath string, metrics bool) {
 	coreModel, _ := model(machine)
 	rep, err := bench.EmuThroughput(machine, coreModel, scale, fastpath)
 	if err != nil {
@@ -174,12 +175,31 @@ func runEmu(machine string, scale float64, fastpath bool, jsonPath string) {
 			r.Workload, r.Instrs, r.Cycles,
 			r.InstrsPerSec/1e6, r.CyclesPerSec/1e6, r.NSPerInstr)
 	}
+	if metrics {
+		s := rep.Emu
+		fmt.Printf("\nEmulator caches and dispatch\n")
+		fmt.Printf("%-24s %12d hits %12d misses (%.2f%% hit)\n",
+			"block cache", s.BlockHits, s.BlockMisses, hitPct(s.BlockHits, s.BlockMisses))
+		fmt.Printf("%-24s %12d hits %12d misses (%.2f%% hit)\n",
+			"translation cache (rd)", s.TCReadHits, s.TCReadMisses, hitPct(s.TCReadHits, s.TCReadMisses))
+		fmt.Printf("%-24s %12d hits %12d misses (%.2f%% hit)\n",
+			"translation cache (wr)", s.TCWriteHits, s.TCWriteMisses, hitPct(s.TCWriteHits, s.TCWriteMisses))
+		fmt.Printf("%-24s %12d fast %12d slow, %d decode flushes\n",
+			"dispatches", s.FastRuns, s.SlowRuns, s.Flushes)
+	}
 	if jsonPath != "" {
 		if err := rep.WriteJSON(jsonPath); err != nil {
 			fatal("emu throughput: %v", err)
 		}
 		fmt.Printf("\nwrote %s\n", jsonPath)
 	}
+}
+
+func hitPct(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return 100 * float64(hits) / float64(hits+misses)
 }
 
 func fatal(format string, args ...any) {
@@ -334,7 +354,7 @@ on M1 hardware; absolute numbers here reflect this Go implementation.`))
 // runPool measures sandbox serving throughput: the same job stream with a
 // full ELF load (parse+verify+load) per request vs a snapshot restore per
 // request (host wall clock; no timing model).
-func runPool(workers, jobs int) {
+func runPool(workers, jobs int, metrics bool) {
 	r, err := bench.PoolThroughput(workers, jobs)
 	if err != nil {
 		fatal("pool: %v", err)
@@ -343,6 +363,28 @@ func runPool(workers, jobs int) {
 	fmt.Printf("%-28s %12.1f µs/job %12.0f jobs/s\n", "cold load per request", r.ColdNSPerJob/1e3, r.ColdJobsPerSec)
 	fmt.Printf("%-28s %12.1f µs/job %12.0f jobs/s\n", "snapshot restore per request", r.WarmNSPerJob/1e3, r.WarmJobsPerSec)
 	fmt.Printf("%-28s %12.1fx            (warm-hit rate %.0f%%)\n", "restore speedup", r.Speedup, 100*r.WarmHitRate)
+	if metrics && r.Metrics != nil {
+		fmt.Printf("\nWarm-run latency quantiles (registry histograms)\n")
+		fmt.Printf("%-28s %10s %10s %10s %10s\n", "histogram", "count", "p50", "p95", "p99")
+		for _, name := range []string{
+			"pool.latency.queue_wait_ns", "pool.latency.restore_ns",
+			"pool.latency.run_ns", "pool.latency.total_ns",
+		} {
+			h, ok := r.Metrics.Histograms[name]
+			if !ok {
+				continue
+			}
+			fmt.Printf("%-28s %10d %9.1fµs %9.1fµs %9.1fµs\n", name, h.Count,
+				float64(h.Quantile(0.50))/1e3, float64(h.Quantile(0.95))/1e3, float64(h.Quantile(0.99))/1e3)
+		}
+		fmt.Printf("\nWarm-run counters\n")
+		for _, name := range []string{
+			"pool.jobs.completed", "pool.warm.hits", "pool.warm.misses",
+			"pool.restores", "pool.warm.evictions", "rt.host_calls", "rt.preempts",
+		} {
+			fmt.Printf("%-28s %12d\n", name, r.Metrics.Counters[name])
+		}
+	}
 }
 
 // runCoreMark reproduces the artifact's SPEC-free fallback benchmark

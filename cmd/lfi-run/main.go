@@ -82,13 +82,13 @@ func main() {
 		}
 	}
 	if *report {
-		hostCalls, preempts, switches := rt.Stats()
+		st := rt.Stats()
 		fmt.Fprintf(os.Stderr, "lfi-run: %d instructions", rt.Instructions())
 		if cfg.Machine != lfi.MachineNone {
 			fmt.Fprintf(os.Stderr, ", %.0f cycles (%.0f ns)", rt.Cycles(), rt.Nanoseconds())
 		}
 		fmt.Fprintf(os.Stderr, ", %d runtime calls, %d preemptions, %d switches\n",
-			hostCalls, preempts, switches)
+			st.HostCalls, st.Preempts, st.Switches)
 	}
 	os.Exit(first.ExitStatus())
 }

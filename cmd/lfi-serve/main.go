@@ -11,7 +11,13 @@
 // Usage:
 //
 //	lfi-serve [-workers n] [-queue n] [-budget n] [-warm n] [-jobs n]
-//	          [-cold] [-v] [prog.s|prog.elf ...]
+//	          [-cold] [-v] [-http addr [-linger]] [prog.s|prog.elf ...]
+//
+// With -http, the process serves two observability endpoints while jobs
+// run: /metrics is a JSON snapshot of the pool's metrics registry
+// (counters, gauges, latency histograms) and /statusz reports pool and
+// per-worker serving state plus recent per-job trace spans. -linger
+// keeps the endpoints up after the batch finishes (scrape, then ^C).
 package main
 
 import (
@@ -19,11 +25,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"lfi"
+	"lfi/internal/obs"
 )
 
 func main() {
@@ -34,6 +43,8 @@ func main() {
 	jobs := flag.Int("jobs", 32, "total jobs to serve")
 	cold := flag.Bool("cold", false, "bypass snapshots: full ELF load per request (baseline)")
 	verbose := flag.Bool("v", false, "print each job's captured output")
+	httpAddr := flag.String("http", "", "serve /metrics and /statusz on this address (e.g. :8080)")
+	linger := flag.Bool("linger", false, "with -http: keep serving endpoints after the batch")
 	flag.Parse()
 
 	p := lfi.NewPool(lfi.PoolConfig{
@@ -43,6 +54,21 @@ func main() {
 		WarmPerImage: *warm,
 	})
 	defer p.Close()
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfi-serve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lfi-serve: metrics on http://%s/metrics, status on http://%s/statusz\n",
+			ln.Addr(), ln.Addr())
+		go func() {
+			if err := http.Serve(ln, newMux(p)); err != nil {
+				fmt.Fprintln(os.Stderr, "lfi-serve: http:", err)
+			}
+		}()
+	}
 
 	images, names, err := buildImages(p, flag.Args())
 	if err != nil {
@@ -126,6 +152,28 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+	if *httpAddr != "" && *linger {
+		fmt.Fprintln(os.Stderr, "lfi-serve: batch done, endpoints still serving (^C to exit)")
+		select {}
+	}
+}
+
+// statusz is the /statusz payload: pool-level counters with per-worker
+// breakdowns, and the most recent per-job trace spans.
+type statusz struct {
+	Stats lfi.PoolStats   `json:"stats"`
+	Spans []lfi.TraceSpan `json:"spans"`
+}
+
+// newMux builds the observability endpoints for a pool: /metrics is the
+// registry snapshot as JSON, /statusz the serving state.
+func newMux(p *lfi.Pool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.MetricsHandler(p.Metrics))
+	mux.Handle("/statusz", obs.StatusHandler(func() any {
+		return statusz{Stats: p.Stats(), Spans: p.Spans()}
+	}))
+	return mux
 }
 
 // buildImages prepares one image per argument; with no arguments it

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lfi"
+	"lfi/internal/obs"
+)
+
+// TestServeEndpoints is the end-to-end observability check: jobs run
+// through a pool, and the HTTP endpoints report their spans (queue
+// wait, restore, run latency) and the warm hit/miss counters.
+func TestServeEndpoints(t *testing.T) {
+	p := lfi.NewPool(lfi.PoolConfig{Workers: 1})
+	defer p.Close()
+	img, err := p.BuildImage(demoTenant(1), lfi.CompileOptions{Opt: lfi.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jobs = 3
+	for i := 0; i < jobs; i++ {
+		res, err := p.Execute(lfi.Job{Image: img})
+		if err != nil || res.Err != nil {
+			t.Fatal(err, res)
+		}
+	}
+
+	srv := httptest.NewServer(newMux(p))
+	defer srv.Close()
+
+	// /metrics: a registry snapshot with job counters, warm hit/miss,
+	// and the latency histograms.
+	var snap obs.Snapshot
+	getJSON(t, srv.URL+"/metrics", &snap)
+	if got := snap.Counters["pool.jobs.completed"]; got != jobs {
+		t.Errorf("pool.jobs.completed = %d, want %d", got, jobs)
+	}
+	if snap.Counters["pool.warm.hits"] != jobs-1 || snap.Counters["pool.warm.misses"] != 1 {
+		t.Errorf("warm hits/misses = %d/%d, want %d/1",
+			snap.Counters["pool.warm.hits"], snap.Counters["pool.warm.misses"], jobs-1)
+	}
+	for _, h := range []string{
+		"pool.latency.queue_wait_ns", "pool.latency.restore_ns",
+		"pool.latency.run_ns", "pool.latency.total_ns",
+	} {
+		if hist, ok := snap.Histograms[h]; !ok || hist.Count == 0 {
+			t.Errorf("histogram %s missing or empty in /metrics", h)
+		}
+	}
+	if snap.Counters["rt.host_calls"] < jobs {
+		t.Errorf("rt.host_calls = %d, want >= %d", snap.Counters["rt.host_calls"], jobs)
+	}
+
+	// /statusz: pool + per-worker state and per-job spans with the
+	// latency decomposition filled in.
+	var st statusz
+	getJSON(t, srv.URL+"/statusz", &st)
+	if st.Stats.Completed != jobs || len(st.Stats.Workers) != 1 {
+		t.Errorf("statusz stats = %+v", st.Stats)
+	}
+	if st.Stats.Workers[0].Jobs != jobs {
+		t.Errorf("worker jobs = %d, want %d", st.Stats.Workers[0].Jobs, jobs)
+	}
+	if len(st.Spans) != jobs {
+		t.Fatalf("statusz spans = %d, want %d", len(st.Spans), jobs)
+	}
+	for i, s := range st.Spans {
+		if s.RunNS <= 0 || s.TotalNS < s.RunNS || s.QueueWaitNS < 0 {
+			t.Errorf("span %d latencies = %+v", i, s)
+		}
+		if i > 0 && !s.WarmHit {
+			t.Errorf("span %d should be a warm hit", i)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("content type = %q", ct)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}

@@ -6,9 +6,14 @@ package lfi
 // processes and files.
 
 import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -153,5 +158,103 @@ func TestRewriteStdinStdout(t *testing.T) {
 	cmd.Stdin = strings.NewReader("_start:\n\tmov x21, #0\n")
 	if out, err := cmd.CombinedOutput(); err == nil {
 		t.Fatalf("reserved-register input accepted:\n%s", out)
+	}
+}
+
+// TestServeHTTPEndpoints runs the real lfi-serve binary with -http :0
+// and scrapes /metrics and /statusz after its demo batch completes.
+func TestServeHTTPEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	tools := buildTools(t, "lfi-serve")
+	cmd := exec.Command(tools["lfi-serve"], "-http", "127.0.0.1:0", "-jobs", "8", "-workers", "2", "-linger")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// Parse the announced address, then wait for the batch to finish so
+	// the counters are settled.
+	var base string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := regexp.MustCompile(`metrics on (http://\S+)/metrics`).FindStringSubmatch(line); m != nil {
+			base = m[1]
+		}
+		if strings.Contains(line, "batch done") {
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("lfi-serve never announced its http address")
+	}
+
+	get := func(path string) []byte {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s %v", path, resp.Status, err)
+		}
+		return b
+	}
+
+	var metrics struct {
+		Counters   map[string]uint64 `json:"counters"`
+		Histograms map[string]struct {
+			Count uint64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(get("/metrics"), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	// 8 demo jobs: the runaway tenant is deadline-killed, the rest complete.
+	if metrics.Counters["pool.jobs.completed"] != 8 {
+		t.Errorf("pool.jobs.completed = %d, want 8", metrics.Counters["pool.jobs.completed"])
+	}
+	if metrics.Counters["pool.warm.hits"]+metrics.Counters["pool.warm.misses"] == 0 {
+		t.Error("no warm-pool activity recorded")
+	}
+	if metrics.Histograms["pool.latency.run_ns"].Count == 0 {
+		t.Error("run-latency histogram empty")
+	}
+
+	var status struct {
+		Stats struct {
+			Completed uint64 `json:"completed"`
+			Workers   []struct {
+				Jobs uint64 `json:"jobs"`
+			} `json:"workers"`
+		} `json:"stats"`
+		Spans []struct {
+			RunNS   int64 `json:"run_ns"`
+			TotalNS int64 `json:"total_ns"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(get("/statusz"), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Stats.Completed != 8 || len(status.Stats.Workers) != 2 {
+		t.Errorf("statusz stats: completed=%d workers=%d", status.Stats.Completed, len(status.Stats.Workers))
+	}
+	if len(status.Spans) != 8 {
+		t.Fatalf("statusz spans = %d, want 8", len(status.Spans))
+	}
+	for i, s := range status.Spans {
+		if s.TotalNS < s.RunNS || s.TotalNS <= 0 {
+			t.Errorf("span %d: run=%d total=%d", i, s.RunNS, s.TotalNS)
+		}
 	}
 }

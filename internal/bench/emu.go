@@ -31,6 +31,10 @@ type EmuReport struct {
 	Fastpath  bool     `json:"fastpath"`
 	Workloads []EmuRow `json:"workloads"`
 	Total     EmuRow   `json:"total"`
+	// Emu aggregates the emulator's cache/dispatch counters across all
+	// workloads (block-cache and translation-cache hit rates, fastpath
+	// vs slowpath dispatches).
+	Emu emu.Stats `json:"emu"`
 }
 
 func emuRow(name string, instrs uint64, cycles float64, wall time.Duration) EmuRow {
@@ -79,6 +83,7 @@ func EmuThroughput(machine string, model *emu.CoreModel, scale float64, fastpath
 		wall := time.Since(start)
 		instrs, cycles := rt.CPU.Instrs, rt.CPU.Timing.Cycles()
 		rep.Workloads = append(rep.Workloads, emuRow(w.Name, instrs, cycles, wall))
+		rep.Emu.Add(rt.CPU.Stat)
 		totInstrs += instrs
 		totCycles += cycles
 		totWall += wall

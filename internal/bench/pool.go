@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lfi/internal/core"
+	"lfi/internal/obs"
 	"lfi/internal/pool"
 	"lfi/internal/progs"
 )
@@ -26,6 +27,9 @@ type PoolResult struct {
 	// WarmHitRate is the fraction of warm-mode jobs served from a
 	// pre-restored sandbox.
 	WarmHitRate float64
+	// Metrics is the warm run's registry snapshot (latency histograms,
+	// warm-pool and runtime counters) for -metrics reporting.
+	Metrics *obs.Snapshot
 }
 
 // servingSrc is a request-handler stand-in: a short compute loop followed
@@ -65,6 +69,7 @@ msg:
 func PoolThroughput(workers, jobs int) (PoolResult, error) {
 	src := servingSrc(1500)
 
+	var warmSnap *obs.Snapshot
 	run := func(cold bool) (perJob float64, hitRate float64, err error) {
 		p := pool.New(pool.Config{Workers: workers, QueueDepth: 4 * workers})
 		defer p.Close()
@@ -122,6 +127,9 @@ func PoolThroughput(workers, jobs int) (PoolResult, error) {
 		if st.Completed > 0 {
 			hitRate = float64(st.WarmHits) / float64(st.Completed)
 		}
+		if !cold {
+			warmSnap = p.Metrics()
+		}
 		return float64(elapsed.Nanoseconds()) / float64(done), hitRate, nil
 	}
 
@@ -142,5 +150,6 @@ func PoolThroughput(workers, jobs int) (PoolResult, error) {
 		WarmJobsPerSec: 1e9 / warmNS,
 		Speedup:        coldNS / warmNS,
 		WarmHitRate:    hitRate,
+		Metrics:        warmSnap,
 	}, nil
 }

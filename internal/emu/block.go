@@ -73,12 +73,15 @@ func (c *CPU) memRead(addr uint64, size int) (uint64, *mem.Fault) {
 	idx := addr >> c.pageShift
 	e := &c.tcRead[idx&(tcacheSize-1)]
 	if e.idx != idx || e.data == nil {
+		c.Stat.TCReadMisses++
 		data, f := c.Mem.PageSlice(addr, mem.AccessRead)
 		if f != nil {
 			f.Size = size
 			return 0, f
 		}
 		e.idx, e.data = idx, data
+	} else {
+		c.Stat.TCReadHits++
 	}
 	off := addr & (c.pageSize - 1)
 	if off+uint64(size) <= c.pageSize {
@@ -106,12 +109,15 @@ func (c *CPU) memWrite(addr uint64, v uint64, size int) *mem.Fault {
 	idx := addr >> c.pageShift
 	e := &c.tcWrite[idx&(tcacheSize-1)]
 	if e.idx != idx || e.data == nil {
+		c.Stat.TCWriteMisses++
 		data, f := c.Mem.PageSlice(addr, mem.AccessWrite)
 		if f != nil {
 			f.Size = size
 			return f
 		}
 		e.idx, e.data = idx, data
+	} else {
+		c.Stat.TCWriteHits++
 	}
 	off := addr & (c.pageSize - 1)
 	if off+uint64(size) <= c.pageSize {
@@ -205,9 +211,12 @@ func (c *CPU) runBlocks(maxInstrs uint64) *Trap {
 		}
 		e := &c.bcache[(pc>>2)&(bcacheSize-1)]
 		if e.pc != pc || len(e.insts) == 0 {
+			c.Stat.BlockMisses++
 			if tr := c.decodeBlock(pc, e); tr != nil {
 				return tr
 			}
+		} else {
+			c.Stat.BlockHits++
 		}
 		// Clip the block to the remaining budget (exact carry-in), then
 		// execute slots back to back with per-step checks hoisted out.

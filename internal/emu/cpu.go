@@ -124,6 +124,41 @@ type CPU struct {
 
 	// Retired instruction count.
 	Instrs uint64
+
+	// Stat counts cache and dispatch activity. The fields are plain
+	// uint64s owned by the CPU's executing goroutine — reading them
+	// concurrently with execution is a data race; snapshot between runs
+	// (the runtime does this per job).
+	Stat Stats
+}
+
+// Stats are the emulator's cache and dispatch counters: how often the
+// predecoded-block cache and the page-translation caches hit, and which
+// dispatch loop served each Run call. Hit ratios here are the first
+// thing to look at when simulator throughput regresses.
+type Stats struct {
+	BlockHits     uint64 `json:"block_hits"`      // block cache hits (per block, not per instr)
+	BlockMisses   uint64 `json:"block_misses"`    // block decodes
+	TCReadHits    uint64 `json:"tc_read_hits"`    // load translation-cache hits
+	TCReadMisses  uint64 `json:"tc_read_misses"`  // load page-walk refills
+	TCWriteHits   uint64 `json:"tc_write_hits"`   // store translation-cache hits
+	TCWriteMisses uint64 `json:"tc_write_misses"` // store page-walk refills
+	FastRuns      uint64 `json:"fast_runs"`       // Run calls served by the block loop
+	SlowRuns      uint64 `json:"slow_runs"`       // Run calls served by the per-step loop
+	Flushes       uint64 `json:"flushes"`         // epoch-driven decode/translation flushes
+}
+
+// Add accumulates other into s (for aggregating across CPUs).
+func (s *Stats) Add(other Stats) {
+	s.BlockHits += other.BlockHits
+	s.BlockMisses += other.BlockMisses
+	s.TCReadHits += other.TCReadHits
+	s.TCReadMisses += other.TCReadMisses
+	s.TCWriteHits += other.TCWriteHits
+	s.TCWriteMisses += other.TCWriteMisses
+	s.FastRuns += other.FastRuns
+	s.SlowRuns += other.SlowRuns
+	s.Flushes += other.Flushes
 }
 
 type cachedInst struct {
@@ -174,6 +209,7 @@ func (c *CPU) FlushICache() {
 // flushDecoded drops every decode- and translation-cache entry and marks
 // the caches current as of epoch.
 func (c *CPU) flushDecoded(epoch uint64) {
+	c.Stat.Flushes++
 	c.memEpoch = epoch
 	clear(c.icache)
 	for i := range c.bcache {
@@ -342,8 +378,10 @@ func (c *CPU) hotTrap(k TrapKind, pc uint64) *Trap {
 // only until the next Run/Step call.
 func (c *CPU) Run(maxInstrs uint64) *Trap {
 	if c.fastpath && c.Trace == nil {
+		c.Stat.FastRuns++
 		return c.runBlocks(maxInstrs)
 	}
+	c.Stat.SlowRuns++
 	if maxInstrs == 0 {
 		for {
 			if tr := c.Step(); tr != nil {

@@ -8,6 +8,7 @@ package lfirt
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -17,8 +18,14 @@ import (
 	"lfi/internal/elfobj"
 	"lfi/internal/emu"
 	"lfi/internal/mem"
+	"lfi/internal/obs"
 	"lfi/internal/verifier"
 )
+
+// ErrVerify marks load-time verification failures: errors.Is(err,
+// ErrVerify) holds for any binary the verifier rejected. The verifier's
+// own diagnosis stays wrapped inside.
+var ErrVerify = errors.New("rejected by verifier")
 
 // Config parameterizes a runtime instance.
 type Config struct {
@@ -49,6 +56,13 @@ type Config struct {
 	// buffers, not in the runtime-wide Stdout/Stderr. Serving pools set
 	// it so long-lived runtimes don't accumulate every request's output.
 	LocalOutput bool
+	// Obs enables observability: scheduler counters, per-slice
+	// instruction histograms, and trace events flow into it. Nil (the
+	// default) disables recording; the plain Runtime counters still work.
+	Obs *obs.Obs
+	// ObsTag is the worker id stamped on trace events (serving pools set
+	// it so events are attributable to a worker).
+	ObsTag int
 }
 
 // DefaultConfig returns a runtime configuration with verification on.
@@ -159,6 +173,18 @@ type Runtime struct {
 	Switches  uint64 // context switches
 	HostCalls uint64
 	Preempts  uint64
+	Traps     uint64 // fatal sandbox traps (mem fault, brk, svc/undefined)
+
+	// Observability handles, created once at New from cfg.Obs. All of
+	// them are nil-safe no-ops when observability is disabled, so the
+	// scheduler records unconditionally.
+	tracer       *obs.Tracer
+	mHostCalls   *obs.Counter
+	mPreempts    *obs.Counter
+	mSwitches    *obs.Counter
+	mTraps       *obs.Counter
+	mVerifies    *obs.Counter
+	mSliceInstrs *obs.Histogram
 
 	// Host-side cycle costs charged to the timing model, calibrated so
 	// that the Table 5 microbenchmarks land in the right regime.
@@ -205,8 +231,41 @@ func New(cfg Config) *Runtime {
 		rt.Tim = emu.NewTiming(cfg.Model)
 		cpu.Timing = rt.Tim
 	}
+	reg := cfg.Obs.Registry()
+	rt.tracer = cfg.Obs.Trace()
+	rt.mHostCalls = reg.Counter("rt.host_calls")
+	rt.mPreempts = reg.Counter("rt.preempts")
+	rt.mSwitches = reg.Counter("rt.switches")
+	rt.mTraps = reg.Counter("rt.traps")
+	rt.mVerifies = reg.Counter("rt.verifies")
+	rt.mSliceInstrs = reg.Histogram("rt.slice_instrs", obs.InstrBounds())
 	cpu.SetHostCallRegion(rt.hostBase, uint64(core.NumRuntimeCalls)*hostCallStride)
 	return rt
+}
+
+// RuntimeStats are a runtime's cumulative scheduler and emulator
+// counters, structured so new fields can be added without breaking
+// callers (the API-stable replacement for the old three-value tuple).
+type RuntimeStats struct {
+	HostCalls uint64    `json:"host_calls"` // mediated runtime calls
+	Preempts  uint64    `json:"preempts"`   // timeslice preemptions
+	Switches  uint64    `json:"switches"`   // context switches
+	Traps     uint64    `json:"traps"`      // fatal sandbox traps
+	Instrs    uint64    `json:"instrs"`     // retired instructions
+	Emu       emu.Stats `json:"emu"`        // emulator cache/dispatch counters
+}
+
+// Stats returns the runtime's counters. Call it between runs — the
+// emulator counters are owned by the executing goroutine.
+func (rt *Runtime) Stats() RuntimeStats {
+	return RuntimeStats{
+		HostCalls: rt.HostCalls,
+		Preempts:  rt.Preempts,
+		Switches:  rt.Switches,
+		Traps:     rt.Traps,
+		Instrs:    rt.CPU.Instrs,
+		Emu:       rt.CPU.Stat,
+	}
 }
 
 // FS exposes the in-memory filesystem for host-side setup.
@@ -272,8 +331,10 @@ func (rt *Runtime) LoadExecutable(exe *elfobj.Executable) (*Proc, error) {
 	if rt.cfg.Verify {
 		cfg := rt.cfg.VerifierCfg
 		cfg.TextOff = text.Vaddr
+		rt.mVerifies.Inc()
+		rt.tracer.Record(obs.Event{Kind: obs.EvVerify, Worker: rt.cfg.ObsTag, Arg: uint64(len(text.Data))})
 		if _, err := verifier.Verify(text.Data, cfg); err != nil {
-			return nil, fmt.Errorf("lfirt: rejected by verifier: %w", err)
+			return nil, fmt.Errorf("lfirt: %w: %w", ErrVerify, err)
 		}
 	}
 

@@ -1,10 +1,12 @@
 package lfirt
 
 import (
+	"errors"
 	"fmt"
 
 	"lfi/internal/core"
 	"lfi/internal/emu"
+	"lfi/internal/obs"
 )
 
 // The scheduler is round-robin with preemption by instruction budget,
@@ -82,14 +84,34 @@ func (e *ErrDeadline) Error() string {
 // budget covers everything retired between dispatches — for a pool
 // serving one job per runtime, that is exactly the job's execution.
 func (rt *Runtime) RunProcDeadline(p *Proc, budget uint64) (int, error) {
-	if budget == 0 {
-		return rt.RunProc(p)
-	}
+	return rt.RunProcCancel(p, budget, nil)
+}
+
+// ErrCanceled reports a run stopped because the caller's cancellation
+// signal fired; the process was killed from the host side. The serving
+// pool maps it onto its context-cancellation error.
+var ErrCanceled = errors.New("lfirt: run canceled")
+
+// RunProcCancel runs like RunProcDeadline but additionally stops when
+// done becomes readable (a context's Done channel), killing p with a
+// SIGKILL-style status and returning ErrCanceled. The signal is checked
+// between scheduler dispatches — the only point where KillProcess is
+// safe — so cancellation latency is bounded by one timeslice. A nil
+// done never fires; a budget of 0 means no deadline.
+func (rt *Runtime) RunProcCancel(p *Proc, budget uint64, done <-chan struct{}) (int, error) {
 	start := rt.CPU.Instrs
-	rt.deadline = start + budget
-	defer func() { rt.deadline = 0 }()
+	if budget != 0 {
+		rt.deadline = start + budget
+		defer func() { rt.deadline = 0 }()
+	}
 	for p.State != ProcZombie {
-		if rt.CPU.Instrs-start >= budget {
+		select {
+		case <-done:
+			rt.KillProcess(p, 128+9) // "SIGKILL"
+			return 0, ErrCanceled
+		default:
+		}
+		if budget != 0 && rt.CPU.Instrs-start >= budget {
 			rt.KillProcess(p, 128+24) // "SIGXCPU"
 			return 0, &ErrDeadline{PID: p.PID, Budget: budget}
 		}
@@ -153,6 +175,7 @@ func (rt *Runtime) dispatch(p *Proc) {
 	p.State = ProcRunning
 	rt.cur = p
 	rt.Switches++
+	rt.mSwitches.Inc()
 	rt.charge(rt.CostSwitch)
 	if rt.cfg.SpectreMitigations {
 		rt.charge(rt.CostSCXTNUM)
@@ -167,10 +190,13 @@ func (rt *Runtime) dispatch(p *Proc) {
 			rt.makeReady(p)
 			return
 		}
+		sliceStart := rt.CPU.Instrs
 		tr := rt.CPU.Run(budget)
+		rt.mSliceInstrs.Observe(rt.CPU.Instrs - sliceStart)
 		switch tr.Kind {
 		case emu.TrapHostCall:
 			rt.HostCalls++
+			rt.mHostCalls.Inc()
 			act := rt.hostCall(p, tr.PC)
 			switch act {
 			case actContinue:
@@ -189,6 +215,8 @@ func (rt *Runtime) dispatch(p *Proc) {
 
 		case emu.TrapBudget:
 			rt.Preempts++
+			rt.mPreempts.Inc()
+			rt.tracer.Record(obs.Event{Kind: obs.EvPreempt, Worker: rt.cfg.ObsTag, PID: p.PID})
 			rt.saveRegs(p)
 			rt.makeReady(p)
 			rt.charge(rt.CostSwitch)
@@ -197,24 +225,24 @@ func (rt *Runtime) dispatch(p *Proc) {
 		case emu.TrapBRK:
 			// brk is an abort from the sandbox's perspective.
 			rt.saveRegs(p)
-			rt.kill(p, 128+6)
+			rt.trapKill(p, 128+6)
 			return
 
 		case emu.TrapMemFault:
 			rt.saveRegs(p)
-			rt.kill(p, 128+11) // "SIGSEGV"
+			rt.trapKill(p, 128+11) // "SIGSEGV"
 			return
 
 		case emu.TrapSVC, emu.TrapUndefined:
 			// The verifier prevents these in verified code; native code
 			// run unverified can still reach them.
 			rt.saveRegs(p)
-			rt.kill(p, 128+4) // "SIGILL"
+			rt.trapKill(p, 128+4) // "SIGILL"
 			return
 
 		default:
 			rt.saveRegs(p)
-			rt.kill(p, 128)
+			rt.trapKill(p, 128)
 			return
 		}
 	}
@@ -241,15 +269,24 @@ func (rt *Runtime) charge(cycles float64) {
 	}
 }
 
+// trapKill counts and traces a fatal sandbox trap, then kills p.
+func (rt *Runtime) trapKill(p *Proc, status int) {
+	rt.Traps++
+	rt.mTraps.Inc()
+	rt.tracer.Record(obs.Event{Kind: obs.EvTrap, Worker: rt.cfg.ObsTag, PID: p.PID, Arg: uint64(status)})
+	rt.kill(p, status)
+}
+
 // hostCall dispatches the runtime call whose entry the sandbox jumped to.
 func (rt *Runtime) hostCall(p *Proc, pc uint64) action {
 	off := pc - rt.hostBase
 	if off%hostCallStride != 0 || off/hostCallStride >= uint64(core.NumRuntimeCalls) {
 		rt.saveRegs(p)
-		rt.kill(p, 128+4)
+		rt.trapKill(p, 128+4)
 		return actResched
 	}
 	call := core.RuntimeCall(off / hostCallStride)
+	rt.tracer.Record(obs.Event{Kind: obs.EvHostCall, Worker: rt.cfg.ObsTag, PID: p.PID, Arg: uint64(call)})
 	rt.charge(rt.CostHostCall)
 	if rt.cfg.SpectreMitigations {
 		// Entering and leaving the runtime each rewrite SCXTNUM_EL0 so

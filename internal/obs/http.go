@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// MetricsHandler serves the JSON snapshot produced by snap on every
+// request — the /metrics endpoint. snap is called per request so the
+// caller can merge sources (registry snapshot plus derived values).
+func MetricsHandler(snap func() *Snapshot) http.Handler {
+	return jsonHandler(func() any { return snap() })
+}
+
+// StatusHandler serves an arbitrary JSON-marshalable status document —
+// the /statusz endpoint.
+func StatusHandler(status func() any) http.Handler {
+	return jsonHandler(status)
+}
+
+func jsonHandler(body func() any) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(body()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

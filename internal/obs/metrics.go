@@ -1,0 +1,308 @@
+// Package obs is the observability layer: a stdlib-only metrics registry
+// (atomic counters, gauges, and fixed-bucket histograms) plus a bounded
+// structured event tracer with per-job spans. The serving stack records
+// into it from every layer — pool admission and latency, runtime
+// scheduling, emulator cache behavior — and exports one JSON snapshot.
+//
+// Two properties shape the design:
+//
+//   - Hot-path recording is cheap: one atomic add for counters and gauges,
+//     one binary search plus three atomic adds for histograms. No
+//     allocations, no locks, no formatting on the record path.
+//
+//   - Everything is nil-safe. A nil *Registry hands out nil instruments,
+//     and every method on a nil instrument is a no-op, so instrumented
+//     code carries no "is observability on?" branches — disabling
+//     observability costs a nil receiver check per record.
+//
+// Metric names are dotted paths ("pool.jobs.submitted", "rt.host_calls",
+// "emu.block.hits"); the registry keeps one instrument per name, so
+// concurrent lookups of the same name share storage and aggregate.
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready;
+// a nil Counter discards all updates.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 level (queue depth, parked sandboxes).
+// The zero value is ready; a nil Gauge discards all updates.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores an absolute level.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the level by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current level (0 for a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates uint64 observations into fixed buckets chosen at
+// creation. Recording is lock-free: a binary search over the (immutable)
+// bounds plus atomic adds. A nil Histogram discards all observations.
+type Histogram struct {
+	bounds []uint64 // inclusive upper bounds, ascending; +Inf implied
+	counts []atomic.Uint64
+	sum    atomic.Uint64
+	n      atomic.Uint64
+}
+
+// DurationBounds is the default bucket layout for nanosecond latencies:
+// roughly exponential from 1µs to 10s.
+func DurationBounds() []uint64 {
+	return []uint64{
+		1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, // 1µs … 10s
+	}
+}
+
+// InstrBounds is the default bucket layout for per-slice instruction
+// counts: exponential from 100 to 100M.
+func InstrBounds() []uint64 {
+	return []uint64{100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; the last slot is +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns how many values have been observed (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the running sum of observed values (0 for nil).
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry is a named collection of instruments. Lookups are
+// mutex-guarded and intended for construction time; the instruments they
+// return are the lock-free hot-path handles. A nil *Registry returns nil
+// instruments from every lookup, which record nothing.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds on first use (later callers share the
+// original bounds). Nil-safe.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := append([]uint64(nil), bounds...)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistBucket is one exported histogram bucket. Upper is the inclusive
+// upper bound; the last bucket of a histogram has Upper 0 and Inf true.
+type HistBucket struct {
+	Upper uint64 `json:"le,omitempty"`
+	Inf   bool   `json:"inf,omitempty"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnapshot is a histogram frozen for export.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Mean    float64      `json:"mean"`
+	Buckets []HistBucket `json:"buckets"`
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation inside the containing bucket. It returns 0 for an empty
+// histogram and the last finite bound for values in the +Inf bucket.
+func (h *HistSnapshot) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen, lower uint64
+	for _, b := range h.Buckets {
+		if seen+b.Count >= rank {
+			if b.Inf {
+				return lower
+			}
+			if b.Count == 0 {
+				return b.Upper
+			}
+			frac := float64(rank-seen) / float64(b.Count)
+			return lower + uint64(frac*float64(b.Upper-lower))
+		}
+		seen += b.Count
+		if !b.Inf {
+			lower = b.Upper
+		}
+	}
+	return lower
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// ready for JSON export. Counters and gauges are read individually (not
+// atomically as a set), which is fine for monitoring.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot freezes the registry. A nil registry yields an empty (but
+// usable) snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counts {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistSnapshot{Count: h.n.Load(), Sum: h.sum.Load()}
+		if hs.Count > 0 {
+			hs.Mean = float64(hs.Sum) / float64(hs.Count)
+		}
+		for i := range h.counts {
+			b := HistBucket{Count: h.counts[i].Load()}
+			if i < len(h.bounds) {
+				b.Upper = h.bounds[i]
+			} else {
+				b.Inf = true
+			}
+			hs.Buckets = append(hs.Buckets, b)
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// MarshalJSON renders the snapshot with sorted keys (encoding/json sorts
+// map keys already; this method exists to pin the contract).
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // avoid recursion
+	return json.Marshal((*alias)(s))
+}

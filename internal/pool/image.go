@@ -9,6 +9,7 @@ import (
 	"lfi/internal/core"
 	"lfi/internal/elfobj"
 	"lfi/internal/lfirt"
+	"lfi/internal/obs"
 	"lfi/internal/progs"
 )
 
@@ -37,10 +38,20 @@ type Image struct {
 type Cache struct {
 	cfg lfirt.Config // runtime configuration images are snapshotted under
 
+	// Registry handles (nil-safe no-ops until setObs).
+	mHits, mMisses *obs.Counter
+
 	mu     sync.Mutex
 	images map[string]*Image
 	hits   uint64
 	misses uint64
+}
+
+// setObs points the cache's hit/miss counters at a registry
+// ("pool.image.hits"/"pool.image.misses").
+func (c *Cache) setObs(o *obs.Obs) {
+	c.mHits = o.Registry().Counter("pool.image.hits")
+	c.mMisses = o.Registry().Counter("pool.image.misses")
 }
 
 // NewCache creates an image cache whose snapshots are taken under cfg.
@@ -63,9 +74,11 @@ func (c *Cache) Build(src string, opts core.Options) (*Image, error) {
 	defer c.mu.Unlock()
 	if img, ok := c.images[key]; ok {
 		c.hits++
+		c.mHits.Inc()
 		return img, nil
 	}
 	c.misses++
+	c.mMisses.Inc()
 	res, err := progs.Build(src, opts)
 	if err != nil {
 		return nil, err
@@ -89,9 +102,11 @@ func (c *Cache) FromELF(elfBytes []byte) (*Image, error) {
 	defer c.mu.Unlock()
 	if img, ok := c.images[key]; ok {
 		c.hits++
+		c.mHits.Inc()
 		return img, nil
 	}
 	c.misses++
+	c.mMisses.Inc()
 	img, err := c.makeImage(key, elfBytes)
 	if err != nil {
 		return nil, err

@@ -12,6 +12,17 @@
 //     budget; runaways are killed and reported as *lfirt.ErrDeadline
 //     without disturbing the worker.
 //
+// Submission is context-aware: SubmitCtx/DoCtx honor cancellation and
+// deadlines. A context that fires before dispatch skips the job; one that
+// fires mid-run kills the in-flight sandbox between scheduler dispatches
+// (bounded by one timeslice) — either way the result satisfies
+// errors.Is(err, ErrCanceled).
+//
+// Every pool carries an observability bundle (internal/obs): counters and
+// latency histograms in a metrics registry, plus a bounded event trace
+// with one Span per job recording where its latency went (queue wait,
+// snapshot restore, sandbox run). See DESIGN.md for the metric schema.
+//
 // This is the usage mode the paper's cheap instantiation enables (§3:
 // 2^16 sandboxes per address space; §5.3: ~50-cycle switches): once
 // transitions are cheap, instantiation and dispatch dominate serving
@@ -19,14 +30,17 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lfi/internal/core"
 	"lfi/internal/emu"
 	"lfi/internal/lfirt"
+	"lfi/internal/obs"
 )
 
 // Config parameterizes a Pool.
@@ -61,6 +75,10 @@ type Config struct {
 	DisableVerification bool
 	// NoLoads verifies under the weaker store/jump-only policy.
 	NoLoads bool
+	// Obs supplies an external observability bundle; nil creates a
+	// pool-private one (pool metrics are always collected — the recording
+	// cost is per job, not per instruction).
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +99,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StackSize == 0 {
 		c.StackSize = 1 << 20
+	}
+	if c.Obs == nil {
+		c.Obs = obs.New()
 	}
 	return c
 }
@@ -130,17 +151,25 @@ type Result struct {
 	// WarmHit reports that the job ran in a pre-restored sandbox.
 	WarmHit bool
 	// Err is nil on success; *lfirt.ErrDeadline if the job exceeded its
-	// budget; otherwise a load/restore failure.
+	// budget; an error matching ErrCanceled if its context fired;
+	// otherwise a load/restore failure.
 	Err error
 }
 
-// Errors returned by Submit.
+// Errors returned by the pool. Together with *lfirt.ErrDeadline (budget
+// kills, errors.As) and lfirt.ErrVerify (verifier rejections, errors.Is)
+// they form the full failure taxonomy of the serving API.
 var (
 	// ErrQueueFull is the admission-control rejection: the bounded
 	// submission queue is full. Callers should back off or shed load.
 	ErrQueueFull = errors.New("pool: submission queue full")
 	// ErrClosed reports a submission to a closed pool.
 	ErrClosed = errors.New("pool: closed")
+	// ErrCanceled reports a job stopped by its context — either skipped
+	// before dispatch or killed mid-run. The context's own error
+	// (context.Canceled or context.DeadlineExceeded) is wrapped
+	// alongside, so errors.Is works against both.
+	ErrCanceled = errors.New("pool: job canceled")
 )
 
 // Ticket is a pending job's handle.
@@ -149,62 +178,170 @@ type Ticket struct{ ch chan *Result }
 // Wait blocks until the job completes and returns its result.
 func (t *Ticket) Wait() *Result { return <-t.ch }
 
-// Stats are cumulative pool counters (monotonic; read with Stats).
+// WorkerStats is one worker's cumulative breakdown, sourced from the
+// pool's metrics registry.
+type WorkerStats struct {
+	Worker    int    `json:"worker"`
+	Jobs      uint64 `json:"jobs"`       // jobs finished by this worker
+	Instrs    uint64 `json:"instrs"`     // instructions retired serving them
+	WarmHits  uint64 `json:"warm_hits"`  // jobs served from parked sandboxes
+	Restores  uint64 `json:"restores"`   // snapshot restores performed
+	ColdLoads uint64 `json:"cold_loads"` // full ELF loads performed
+	Deadlines uint64 `json:"deadlines"`  // budget kills
+	Failures  uint64 `json:"failures"`   // load/restore/trap failures
+	Canceled  uint64 `json:"canceled"`   // context cancellations
+	Evictions uint64 `json:"evictions"`  // warm clones evicted
+	Parked    int64  `json:"parked"`     // currently parked clones
+	Busy      bool   `json:"busy"`       // currently serving a job
+}
+
+// Stats are cumulative pool counters plus per-worker breakdowns, all
+// sourced from the pool's metrics registry.
 type Stats struct {
-	Submitted uint64 // jobs accepted into the queue
-	Rejected  uint64 // jobs refused by admission control
-	Completed uint64 // jobs finished (any outcome)
-	Deadlines uint64 // jobs killed for exceeding their budget
-	Failures  uint64 // jobs that failed to load/restore
-	WarmHits  uint64 // jobs served from a pre-restored sandbox
-	Restores  uint64 // snapshot restores (warm misses + replenishment)
-	ColdLoads uint64 // full ELF loads (Cold jobs)
-	Instrs    uint64 // total instructions retired serving jobs
+	Submitted  uint64        `json:"submitted"`   // jobs accepted into the queue
+	Rejected   uint64        `json:"rejected"`    // jobs refused by admission control
+	Completed  uint64        `json:"completed"`   // jobs finished (any outcome)
+	Canceled   uint64        `json:"canceled"`    // jobs stopped by their context
+	Deadlines  uint64        `json:"deadlines"`   // jobs killed for exceeding their budget
+	Failures   uint64        `json:"failures"`    // jobs that failed to load/restore
+	WarmHits   uint64        `json:"warm_hits"`   // jobs served from a pre-restored sandbox
+	WarmMisses uint64        `json:"warm_misses"` // warm-path jobs that had to restore inline
+	Restores   uint64        `json:"restores"`    // snapshot restores (misses + replenishment)
+	ColdLoads  uint64        `json:"cold_loads"`  // full ELF loads (Cold jobs)
+	Evictions  uint64        `json:"evictions"`   // warm clones evicted under MaxWarm pressure
+	Instrs     uint64        `json:"instrs"`      // total instructions retired serving jobs
+	QueueDepth int           `json:"queue_depth"` // jobs currently queued
+	Workers    []WorkerStats `json:"workers"`
 }
 
 type task struct {
 	job    Job
 	ticket *Ticket
+	ctx    context.Context
+	id     uint64
+	enq    time.Time
+}
+
+// poolMetrics are the pool-level registry handles (per-worker handles
+// live in workerStats).
+type poolMetrics struct {
+	submitted, rejected, completed *obs.Counter
+	canceled, deadlines, failures  *obs.Counter
+	warmHits, warmMisses           *obs.Counter
+	restores, coldLoads, evictions *obs.Counter
+	instrs                         *obs.Counter
+	queueDepth, parked             *obs.Gauge
+	queueWait, restore, run, total *obs.Histogram
+}
+
+func newPoolMetrics(reg *obs.Registry) poolMetrics {
+	lat := obs.DurationBounds()
+	return poolMetrics{
+		submitted:  reg.Counter("pool.jobs.submitted"),
+		rejected:   reg.Counter("pool.jobs.rejected"),
+		completed:  reg.Counter("pool.jobs.completed"),
+		canceled:   reg.Counter("pool.jobs.canceled"),
+		deadlines:  reg.Counter("pool.jobs.deadline_kills"),
+		failures:   reg.Counter("pool.jobs.failures"),
+		warmHits:   reg.Counter("pool.warm.hits"),
+		warmMisses: reg.Counter("pool.warm.misses"),
+		restores:   reg.Counter("pool.restores"),
+		coldLoads:  reg.Counter("pool.cold_loads"),
+		evictions:  reg.Counter("pool.warm.evictions"),
+		instrs:     reg.Counter("pool.instrs"),
+		queueDepth: reg.Gauge("pool.queue.depth"),
+		parked:     reg.Gauge("pool.warm.parked"),
+		queueWait:  reg.Histogram("pool.latency.queue_wait_ns", lat),
+		restore:    reg.Histogram("pool.latency.restore_ns", lat),
+		run:        reg.Histogram("pool.latency.run_ns", lat),
+		total:      reg.Histogram("pool.latency.total_ns", lat),
+	}
+}
+
+// workerStats are one worker's registry handles plus its liveness bit.
+type workerStats struct {
+	jobs, instrs, warmHits         *obs.Counter
+	restores, coldLoads, deadlines *obs.Counter
+	failures, canceled, evictions  *obs.Counter
+	parked                         *obs.Gauge
+	busy                           atomic.Bool
+}
+
+func newWorkerStats(reg *obs.Registry, id int) *workerStats {
+	n := func(field string) string { return fmt.Sprintf("pool.worker.%d.%s", id, field) }
+	return &workerStats{
+		jobs:      reg.Counter(n("jobs")),
+		instrs:    reg.Counter(n("instrs")),
+		warmHits:  reg.Counter(n("warm_hits")),
+		restores:  reg.Counter(n("restores")),
+		coldLoads: reg.Counter(n("cold_loads")),
+		deadlines: reg.Counter(n("deadline_kills")),
+		failures:  reg.Counter(n("failures")),
+		canceled:  reg.Counter(n("canceled")),
+		evictions: reg.Counter(n("evictions")),
+		parked:    reg.Gauge(n("parked")),
+	}
 }
 
 // Pool is the serving subsystem. Create with New, feed with Submit or
 // Do, and Close when done.
 type Pool struct {
-	cfg   Config
-	cache *Cache
-	jobs  chan *task
-	wg    sync.WaitGroup
+	cfg    Config
+	cache  *Cache
+	jobs   chan *task
+	wg     sync.WaitGroup
+	obs    *obs.Obs
+	m      poolMetrics
+	wstats []*workerStats
+	jobSeq atomic.Uint64
 
 	mu     sync.Mutex
 	closed bool
-
-	// counters, updated atomically by workers and Submit.
-	submitted, rejected, completed        atomic.Uint64
-	deadlines, failures                   atomic.Uint64
-	warmHits, restores, coldLoads, instrs atomic.Uint64
 }
 
 // New creates a pool and starts its workers.
 func New(cfg Config) *Pool {
 	cfg = cfg.withDefaults()
 	rc := cfg.runtimeConfig()
+	rc.Obs = cfg.Obs
 	p := &Pool{
 		cfg:   cfg,
 		cache: NewCache(rc),
 		jobs:  make(chan *task, cfg.QueueDepth),
+		obs:   cfg.Obs,
+		m:     newPoolMetrics(cfg.Obs.Registry()),
 	}
+	p.cache.setObs(cfg.Obs)
 	for i := 0; i < cfg.Workers; i++ {
+		ws := newWorkerStats(cfg.Obs.Registry(), i)
+		p.wstats = append(p.wstats, ws)
+		wrc := rc
+		wrc.ObsTag = i
 		w := &worker{
-			id:   i,
-			pool: p,
-			rt:   lfirt.New(rc),
-			warm: make(map[string][]*lfirt.Proc),
+			id:    i,
+			pool:  p,
+			rt:    lfirt.New(wrc),
+			warm:  make(map[string][]*lfirt.Proc),
+			stats: ws,
 		}
 		p.wg.Add(1)
 		go w.loop()
 	}
 	return p
 }
+
+// Obs returns the pool's observability bundle.
+func (p *Pool) Obs() *obs.Obs { return p.obs }
+
+// Metrics returns a point-in-time snapshot of the pool's metrics
+// registry (including worker-runtime and emulator counters).
+func (p *Pool) Metrics() *obs.Snapshot { return p.obs.Registry().Snapshot() }
+
+// Events returns the retained trace events, oldest first.
+func (p *Pool) Events() []obs.Event { return p.obs.Trace().Events() }
+
+// Spans returns the retained per-job spans, oldest first.
+func (p *Pool) Spans() []obs.Span { return p.obs.Trace().Spans() }
 
 // BuildImage compiles source through the cached pipeline.
 func (p *Pool) BuildImage(src string, opts core.Options) (*Image, error) {
@@ -223,8 +360,20 @@ func (p *Pool) Cache() *Cache { return p.cache }
 // the bounded queue is full (admission control: the pool never grows an
 // unbounded backlog) and ErrClosed after Close.
 func (p *Pool) Submit(j Job) (*Ticket, error) {
+	return p.SubmitCtx(context.Background(), j)
+}
+
+// SubmitCtx enqueues a job bound to ctx. An already-done context is
+// rejected immediately; one that fires while the job is queued skips it
+// at dequeue; one that fires mid-run kills the in-flight sandbox. In
+// every case the resulting error matches ErrCanceled and wraps ctx's own
+// error.
+func (p *Pool) SubmitCtx(ctx context.Context, j Job) (*Ticket, error) {
 	if j.Image == nil {
 		return nil, fmt.Errorf("pool: job has no image")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w before submit (%w)", ErrCanceled, err)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -232,23 +381,38 @@ func (p *Pool) Submit(j Job) (*Ticket, error) {
 		return nil, ErrClosed
 	}
 	t := &Ticket{ch: make(chan *Result, 1)}
+	tk := &task{job: j, ticket: t, ctx: ctx, id: p.jobSeq.Add(1), enq: time.Now()}
 	select {
-	case p.jobs <- &task{job: j, ticket: t}:
-		p.submitted.Add(1)
+	case p.jobs <- tk:
+		p.m.submitted.Inc()
+		p.m.queueDepth.Add(1)
+		p.obs.Trace().Record(obs.Event{Kind: obs.EvJobEnqueue, Job: tk.id})
 		return t, nil
 	default:
-		p.rejected.Add(1)
+		p.m.rejected.Inc()
 		return nil, ErrQueueFull
 	}
 }
 
 // Do submits a job and waits for its result.
 func (p *Pool) Do(j Job) (*Result, error) {
-	t, err := p.Submit(j)
+	return p.DoCtx(context.Background(), j)
+}
+
+// DoCtx submits a job bound to ctx and waits for its result. The error
+// is non-nil when submission failed or the job was canceled (matching
+// ErrCanceled); a canceled job's partial result — captured output,
+// retired instructions — is still returned alongside the error.
+func (p *Pool) DoCtx(ctx context.Context, j Job) (*Result, error) {
+	t, err := p.SubmitCtx(ctx, j)
 	if err != nil {
 		return nil, err
 	}
-	return t.Wait(), nil
+	res := t.Wait()
+	if res.Err != nil && errors.Is(res.Err, ErrCanceled) {
+		return res, res.Err
+	}
+	return res, nil
 }
 
 // Close drains queued jobs, stops the workers, and waits for them to
@@ -265,28 +429,51 @@ func (p *Pool) Close() {
 	p.wg.Wait()
 }
 
-// Stats returns a snapshot of the cumulative counters.
+// Stats returns a snapshot of the cumulative counters, including the
+// per-worker breakdown. Everything is sourced from the metrics registry.
 func (p *Pool) Stats() Stats {
-	return Stats{
-		Submitted: p.submitted.Load(),
-		Rejected:  p.rejected.Load(),
-		Completed: p.completed.Load(),
-		Deadlines: p.deadlines.Load(),
-		Failures:  p.failures.Load(),
-		WarmHits:  p.warmHits.Load(),
-		Restores:  p.restores.Load(),
-		ColdLoads: p.coldLoads.Load(),
-		Instrs:    p.instrs.Load(),
+	st := Stats{
+		Submitted:  p.m.submitted.Value(),
+		Rejected:   p.m.rejected.Value(),
+		Completed:  p.m.completed.Value(),
+		Canceled:   p.m.canceled.Value(),
+		Deadlines:  p.m.deadlines.Value(),
+		Failures:   p.m.failures.Value(),
+		WarmHits:   p.m.warmHits.Value(),
+		WarmMisses: p.m.warmMisses.Value(),
+		Restores:   p.m.restores.Value(),
+		ColdLoads:  p.m.coldLoads.Value(),
+		Evictions:  p.m.evictions.Value(),
+		Instrs:     p.m.instrs.Value(),
+		QueueDepth: int(p.m.queueDepth.Value()),
 	}
+	for i, ws := range p.wstats {
+		st.Workers = append(st.Workers, WorkerStats{
+			Worker:    i,
+			Jobs:      ws.jobs.Value(),
+			Instrs:    ws.instrs.Value(),
+			WarmHits:  ws.warmHits.Value(),
+			Restores:  ws.restores.Value(),
+			ColdLoads: ws.coldLoads.Value(),
+			Deadlines: ws.deadlines.Value(),
+			Failures:  ws.failures.Value(),
+			Canceled:  ws.canceled.Value(),
+			Evictions: ws.evictions.Value(),
+			Parked:    ws.parked.Value(),
+			Busy:      ws.busy.Load(),
+		})
+	}
+	return st
 }
 
 // worker owns one runtime and serves jobs sequentially. All of its state
 // is goroutine-local; the only cross-goroutine traffic is the job channel
-// and the pool's atomic counters.
+// and the pool's registry instruments (atomic).
 type worker struct {
-	id   int
-	pool *Pool
-	rt   *lfirt.Runtime
+	id    int
+	pool  *Pool
+	rt    *lfirt.Runtime
+	stats *workerStats
 
 	// warm maps image key → parked pre-restored clones. lru orders keys
 	// by last service, most recent last; evictions take from the front.
@@ -298,13 +485,64 @@ type worker struct {
 func (w *worker) loop() {
 	defer w.pool.wg.Done()
 	for t := range w.pool.jobs {
-		t.ticket.ch <- w.serve(t.job)
+		w.stats.busy.Store(true)
+		t.ticket.ch <- w.serve(t)
+		w.stats.busy.Store(false)
 	}
 }
 
-func (w *worker) serve(j Job) *Result {
+// imageTag is the short image-key prefix stamped on spans.
+func imageTag(img *Image) string {
+	if len(img.Key) > 12 {
+		return img.Key[:12]
+	}
+	return img.Key
+}
+
+func (w *worker) serve(t *task) *Result {
 	p := w.pool
+	tr := p.obs.Trace()
+	j := t.job
+	dequeued := time.Now()
+	queueWait := dequeued.Sub(t.enq)
+	p.m.queueDepth.Add(-1)
+	p.m.queueWait.Observe(uint64(queueWait.Nanoseconds()))
+	tr.Record(obs.Event{Kind: obs.EvJobDequeue, Job: t.id, Worker: w.id, DurNS: queueWait.Nanoseconds()})
+
 	res := &Result{Worker: w.id}
+	span := obs.Span{
+		Job:         t.id,
+		Image:       imageTag(j.Image),
+		Worker:      w.id,
+		EnqueueNS:   t.enq.UnixNano(),
+		QueueWaitNS: queueWait.Nanoseconds(),
+		Cold:        j.Cold,
+	}
+	finish := func() *Result {
+		span.TotalNS = time.Since(t.enq).Nanoseconds()
+		span.Instrs = res.Instrs
+		if res.Err != nil {
+			span.Err = res.Err.Error()
+		}
+		p.m.total.Observe(uint64(span.TotalNS))
+		tr.RecordSpan(span)
+		tr.Record(obs.Event{Kind: obs.EvJobFinish, Job: t.id, Worker: w.id, Arg: res.Instrs,
+			DurNS: span.TotalNS})
+		p.m.completed.Inc()
+		w.stats.jobs.Inc()
+		return res
+	}
+
+	// A context that fired while the job sat in the queue: skip it.
+	if err := t.ctx.Err(); err != nil {
+		res.Err = fmt.Errorf("%w before dispatch (%w)", ErrCanceled, err)
+		span.Canceled = true
+		p.m.canceled.Inc()
+		w.stats.canceled.Inc()
+		tr.Record(obs.Event{Kind: obs.EvJobCancel, Job: t.id, Worker: w.id})
+		return finish()
+	}
+
 	budget := j.Budget
 	if budget == 0 {
 		budget = p.cfg.Budget
@@ -312,53 +550,82 @@ func (w *worker) serve(j Job) *Result {
 
 	var proc *lfirt.Proc
 	var err error
+	acquireStart := time.Now()
 	switch {
 	case j.Cold:
 		// Baseline path: parse, verify, and load the ELF from scratch.
 		proc, err = w.rt.Load(j.Image.ELF)
-		p.coldLoads.Add(1)
+		span.RestoreNS = time.Since(acquireStart).Nanoseconds()
+		p.m.restore.Observe(uint64(span.RestoreNS))
+		p.m.coldLoads.Inc()
+		w.stats.coldLoads.Inc()
+		tr.Record(obs.Event{Kind: obs.EvColdLoad, Job: t.id, Worker: w.id, DurNS: span.RestoreNS})
 	default:
 		if clones := w.warm[j.Image.Key]; len(clones) > 0 {
 			proc = clones[len(clones)-1]
 			w.warm[j.Image.Key] = clones[:len(clones)-1]
 			w.warmCount--
+			p.m.parked.Add(-1)
+			w.stats.parked.Add(-1)
 			res.WarmHit = true
-			p.warmHits.Add(1)
+			span.WarmHit = true
+			p.m.warmHits.Inc()
+			w.stats.warmHits.Inc()
+			tr.Record(obs.Event{Kind: obs.EvWarmHit, Job: t.id, Worker: w.id})
 		} else {
+			p.m.warmMisses.Inc()
+			tr.Record(obs.Event{Kind: obs.EvWarmMiss, Job: t.id, Worker: w.id})
 			proc, err = w.rt.Restore(j.Image.Snap)
-			p.restores.Add(1)
+			span.RestoreNS = time.Since(acquireStart).Nanoseconds()
+			p.m.restore.Observe(uint64(span.RestoreNS))
+			p.m.restores.Inc()
+			w.stats.restores.Inc()
+			tr.Record(obs.Event{Kind: obs.EvRestore, Job: t.id, Worker: w.id, DurNS: span.RestoreNS})
 		}
 	}
 	if err != nil {
-		p.failures.Add(1)
-		p.completed.Add(1)
+		p.m.failures.Inc()
+		w.stats.failures.Inc()
 		res.Err = err
-		return res
+		return finish()
 	}
 
 	w.rt.Start(proc)
+	tr.Record(obs.Event{Kind: obs.EvJobStart, Job: t.id, Worker: w.id, PID: proc.PID})
+	runStart := time.Now()
 	before := w.rt.CPU.Instrs
-	status, err := w.rt.RunProcDeadline(proc, budget)
+	status, err := w.rt.RunProcCancel(proc, budget, t.ctx.Done())
+	span.RunNS = time.Since(runStart).Nanoseconds()
+	p.m.run.Observe(uint64(span.RunNS))
 	res.Instrs = w.rt.CPU.Instrs - before
-	p.instrs.Add(res.Instrs)
+	p.m.instrs.Add(res.Instrs)
+	w.stats.instrs.Add(res.Instrs)
 	res.Status = status
 	res.Err = err
 	var de *lfirt.ErrDeadline
-	if errors.As(err, &de) {
-		p.deadlines.Add(1)
-	} else if err != nil {
-		p.failures.Add(1)
+	switch {
+	case errors.Is(err, lfirt.ErrCanceled):
+		res.Err = fmt.Errorf("%w mid-run (%w)", ErrCanceled, t.ctx.Err())
+		span.Canceled = true
+		p.m.canceled.Inc()
+		w.stats.canceled.Inc()
+		tr.Record(obs.Event{Kind: obs.EvJobCancel, Job: t.id, Worker: w.id, PID: proc.PID})
+	case errors.As(err, &de):
+		p.m.deadlines.Inc()
+		w.stats.deadlines.Inc()
+	case err != nil:
+		p.m.failures.Inc()
+		w.stats.failures.Inc()
 	}
 	// The proc's buffers survive the proc's death; copy them out so the
 	// result owns its bytes.
 	res.Stdout = append([]byte(nil), proc.Stdout()...)
 	res.Stderr = append([]byte(nil), proc.Stderr()...)
-	p.completed.Add(1)
 
 	if !j.Cold {
 		w.replenish(j.Image)
 	}
-	return res
+	return finish()
 }
 
 // replenish grows this worker's warm set for img back to WarmPerImage and
@@ -379,9 +646,12 @@ func (w *worker) replenish(img *Image) {
 		if err != nil {
 			return // out of slots: serve future requests by direct restore
 		}
-		w.pool.restores.Add(1)
+		w.pool.m.restores.Inc()
+		w.stats.restores.Inc()
 		w.warm[img.Key] = append(w.warm[img.Key], proc)
 		w.warmCount++
+		w.pool.m.parked.Add(1)
+		w.stats.parked.Add(1)
 	}
 }
 
@@ -405,6 +675,11 @@ func (w *worker) evictOldest(keep string) {
 		w.warm[k] = clones[:len(clones)-1]
 		w.warmCount--
 		w.rt.KillProcess(victim, 0)
+		w.pool.m.parked.Add(-1)
+		w.stats.parked.Add(-1)
+		w.pool.m.evictions.Inc()
+		w.stats.evictions.Inc()
+		w.pool.obs.Trace().Record(obs.Event{Kind: obs.EvEvict, Worker: w.id, PID: victim.PID})
 		if len(w.warm[k]) == 0 {
 			delete(w.warm, k)
 			w.lru = append(w.lru[:i], w.lru[i+1:]...)

@@ -13,9 +13,35 @@
 // paper's lfi-clang); Verify is the static verifier (lfi-verify); Runtime
 // is the sandbox runtime (lfi-run). See the examples directory for
 // complete programs.
+//
+// # Errors
+//
+// Failures are classified by sentinel values and types usable with
+// errors.Is / errors.As:
+//
+//   - ErrVerify (errors.Is): the program failed static verification —
+//     from Verify, image builds, and sandbox loads.
+//   - *ErrDeadline (errors.As): a job exceeded its instruction budget
+//     and was killed from the host side.
+//   - ErrCanceled (errors.Is): a job's context was canceled or its
+//     deadline expired; the error also matches the context's own error
+//     (context.Canceled or context.DeadlineExceeded).
+//   - ErrQueueFull (errors.Is): pool admission control rejected a
+//     submission; back off or shed load.
+//   - ErrPoolClosed (errors.Is): a submission raced pool shutdown.
+//
+// # Observability
+//
+// Pools always carry a metrics registry and an event tracer;
+// Pool.Metrics returns a point-in-time snapshot and Pool.Spans the
+// recent per-job latency decompositions (queue wait, snapshot restore,
+// run). A standalone Runtime records the same runtime-level counters
+// when RuntimeConfig.Metrics is set; instrumentation is disabled (and
+// near-free) otherwise.
 package lfi
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -24,6 +50,7 @@ import (
 	"lfi/internal/elfobj"
 	"lfi/internal/emu"
 	"lfi/internal/lfirt"
+	"lfi/internal/obs"
 	"lfi/internal/pool"
 	"lfi/internal/rewrite"
 	"lfi/internal/verifier"
@@ -152,7 +179,11 @@ func Verify(elfBytes []byte) (VerifyStats, error) {
 	}
 	cfg := verifier.DefaultConfig()
 	cfg.TextOff = text.Vaddr
-	return verifier.Verify(text.Data, cfg)
+	stats, err := verifier.Verify(text.Data, cfg)
+	if err != nil {
+		return stats, fmt.Errorf("lfi: %w: %w", ErrVerify, err)
+	}
+	return stats, nil
 }
 
 // Machine selects a timing model for measured runs.
@@ -197,12 +228,17 @@ type RuntimeConfig struct {
 	// SpectreMitigations charges the §7.1 SCXTNUM_EL0 software-context
 	// switch cost on every isolation-domain change.
 	SpectreMitigations bool
+	// Metrics enables the observability registry and event tracer on
+	// this runtime (Runtime.Metrics, Runtime.Events). Off by default:
+	// instrumentation then costs one nil check per recording site.
+	Metrics bool
 }
 
 // Runtime hosts sandboxes in a single simulated address space and
 // provides them a small Unix-like system interface (§5.3).
 type Runtime struct {
 	rt *lfirt.Runtime
+	o  *obs.Obs // nil unless RuntimeConfig.Metrics
 }
 
 // Process is one sandboxed process.
@@ -218,7 +254,12 @@ func NewRuntime(cfg RuntimeConfig) *Runtime {
 	ic.VerifierCfg.NoLoads = cfg.NoLoads
 	ic.StackSize = cfg.StackSize
 	ic.SpectreMitigations = cfg.SpectreMitigations
-	return &Runtime{rt: lfirt.New(ic)}
+	var o *obs.Obs
+	if cfg.Metrics {
+		o = obs.New()
+		ic.Obs = o
+	}
+	return &Runtime{rt: lfirt.New(ic), o: o}
 }
 
 // Load verifies and loads an ELF executable into a fresh sandbox.
@@ -271,10 +312,34 @@ func (r *Runtime) Nanoseconds() float64 {
 // Instructions returns the retired instruction count.
 func (r *Runtime) Instructions() uint64 { return r.rt.CPU.Instrs }
 
-// Stats returns scheduler counters.
-func (r *Runtime) Stats() (hostCalls, preempts, switches uint64) {
-	return r.rt.HostCalls, r.rt.Preempts, r.rt.Switches
+// RuntimeStats are cumulative runtime counters: scheduler activity
+// (host calls, preemptions, context switches, fatal traps), retired
+// instructions, and the emulator's cache/dispatch statistics.
+type RuntimeStats = lfirt.RuntimeStats
+
+// EmuStats are the emulator's cache and dispatch counters (part of
+// RuntimeStats).
+type EmuStats = emu.Stats
+
+// Stats returns cumulative runtime counters. These are always
+// maintained; RuntimeConfig.Metrics is not required.
+func (r *Runtime) Stats() RuntimeStats { return r.rt.Stats() }
+
+// StatsCounters returns the legacy scheduler-counter tuple.
+//
+// Deprecated: use Stats, which returns the full RuntimeStats breakdown.
+func (r *Runtime) StatsCounters() (hostCalls, preempts, switches uint64) {
+	s := r.rt.Stats()
+	return s.HostCalls, s.Preempts, s.Switches
 }
+
+// Metrics returns a snapshot of the runtime's metrics registry, or an
+// empty snapshot unless RuntimeConfig.Metrics was set.
+func (r *Runtime) Metrics() *MetricsSnapshot { return r.o.Registry().Snapshot() }
+
+// Events returns the runtime's recent trace events (oldest first), or
+// nil unless RuntimeConfig.Metrics was set.
+func (r *Runtime) Events() []TraceEvent { return r.o.Trace().Events() }
 
 // RuntimeCall identifies an entry in the runtime-call table.
 type RuntimeCall = core.RuntimeCall
@@ -346,15 +411,38 @@ type JobResult = pool.Result
 // JobTicket is a pending job's handle; Wait blocks for its result.
 type JobTicket = pool.Ticket
 
-// PoolStats are cumulative pool counters.
+// PoolStats are cumulative pool counters, including per-worker
+// breakdowns sourced from the metrics registry.
 type PoolStats = pool.Stats
+
+// WorkerStats is one worker's share of PoolStats.
+type WorkerStats = pool.WorkerStats
+
+// MetricsSnapshot is a point-in-time export of a metrics registry:
+// counters, gauges, and histograms keyed by name. It marshals directly
+// to JSON (the /metrics wire format of lfi-serve).
+type MetricsSnapshot = obs.Snapshot
+
+// TraceEvent is one entry in the bounded trace ring: a typed,
+// timestamped record of a job-lifecycle or runtime event.
+type TraceEvent = obs.Event
+
+// TraceSpan is one job's latency decomposition: queue wait, snapshot
+// restore, run, and total, plus warm/cold provenance.
+type TraceSpan = obs.Span
 
 // ErrDeadline reports a job killed for exceeding its instruction budget
 // (errors.As target for JobResult.Err).
 type ErrDeadline = lfirt.ErrDeadline
 
-// Pool admission-control errors.
+// Error taxonomy (see the package comment).
 var (
+	// ErrVerify marks static-verification failures (errors.Is target).
+	ErrVerify = lfirt.ErrVerify
+	// ErrCanceled marks jobs stopped by their context, whether before
+	// dispatch or mid-run; the wrapped chain also matches the context's
+	// own error.
+	ErrCanceled = pool.ErrCanceled
 	// ErrQueueFull rejects a submission because the bounded queue is
 	// full; back off or shed load.
 	ErrQueueFull = pool.ErrQueueFull
@@ -403,11 +491,37 @@ func (p *Pool) ImageFromELF(elfBytes []byte) (*Image, error) {
 // admission control rejects it.
 func (p *Pool) Submit(j Job) (*JobTicket, error) { return p.p.Submit(j) }
 
+// SubmitCtx enqueues a job bound to ctx: if ctx is done before the job
+// is dequeued it is skipped, and if it fires mid-run the sandbox is
+// killed. Either way the result's error matches ErrCanceled and
+// ctx.Err().
+func (p *Pool) SubmitCtx(ctx context.Context, j Job) (*JobTicket, error) {
+	return p.p.SubmitCtx(ctx, j)
+}
+
 // Execute submits a job and waits for its result.
 func (p *Pool) Execute(j Job) (*JobResult, error) { return p.p.Do(j) }
 
+// ExecuteCtx submits a job bound to ctx and waits. Cancellation (or
+// deadline expiry) kills an in-flight sandbox promptly; the returned
+// error then matches both ErrCanceled and ctx.Err().
+func (p *Pool) ExecuteCtx(ctx context.Context, j Job) (*JobResult, error) {
+	return p.p.DoCtx(ctx, j)
+}
+
 // Stats returns cumulative serving counters.
 func (p *Pool) Stats() PoolStats { return p.p.Stats() }
+
+// Metrics returns a snapshot of the pool's metrics registry: job,
+// warm-pool, and image-cache counters, queue/parked gauges, latency
+// histograms, and the worker runtimes' counters.
+func (p *Pool) Metrics() *MetricsSnapshot { return p.p.Metrics() }
+
+// Events returns the pool's recent trace events, oldest first.
+func (p *Pool) Events() []TraceEvent { return p.p.Events() }
+
+// Spans returns the most recent completed job spans, oldest first.
+func (p *Pool) Spans() []TraceSpan { return p.p.Spans() }
 
 // Close drains in-flight jobs and stops the workers.
 func (p *Pool) Close() { p.p.Close() }

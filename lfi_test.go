@@ -96,9 +96,8 @@ func TestTimedRuntime(t *testing.T) {
 	if rt.Cycles() <= 0 || rt.Nanoseconds() <= 0 || rt.Instructions() == 0 {
 		t.Error("timing not collected")
 	}
-	hostCalls, _, _ := rt.Stats()
-	if hostCalls != 2 {
-		t.Errorf("host calls = %d, want 2", hostCalls)
+	if got := rt.Stats().HostCalls; got != 2 {
+		t.Errorf("host calls = %d, want 2", got)
 	}
 }
 
