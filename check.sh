@@ -27,4 +27,7 @@ go test -race ./internal/pool ./internal/lfirt ./internal/obs
 echo '== bench smoke (go test -bench=BenchmarkEmu -benchtime=1x)'
 go test -run '^$' -bench 'BenchmarkEmu' -benchtime=1x .
 
+echo '== fuzz smoke (lfi-fuzz -iters 2000 -seed 1)'
+go run ./cmd/lfi-fuzz -iters 2000 -seed 1
+
 echo 'ok'

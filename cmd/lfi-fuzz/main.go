@@ -1,0 +1,62 @@
+// lfi-fuzz runs the differential fuzzing and fault-injection harness for
+// the rewriter -> verifier -> emulator pipeline from the command line:
+//
+//	lfi-fuzz -iters 2000 -seed 1
+//
+// Each iteration generates a random well-formed program and checks three
+// oracles: the rewriter's output passes the verifier at every option set
+// (completeness), verifier-accepted mutants of it stay contained in their
+// sandbox (soundness), and slow and fast emulator paths agree bit-for-bit
+// (equivalence). With -faults the serving-layer fault injector also runs.
+// The exit status is nonzero if any oracle is violated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lfi/internal/fuzz"
+)
+
+func main() {
+	iters := flag.Int("iters", 200, "programs to generate and check")
+	seed := flag.Int64("seed", 1, "PRNG seed (same seed+iters replays exactly)")
+	stmts := flag.Int("stmts", 0, "statements per program (0 = default)")
+	mutants := flag.Int("mutants", 0, "mutants per program (0 = default)")
+	budget := flag.Uint64("budget", 0, "instruction budget per lockstep run (0 = default)")
+	faults := flag.Bool("faults", true, "also run the serving-layer fault injector")
+	verbose := flag.Bool("v", false, "print every violation in full")
+	flag.Parse()
+
+	rep := fuzz.Run(fuzz.Options{
+		Seed:              *seed,
+		Iters:             *iters,
+		Stmts:             *stmts,
+		MutantsPerProgram: *mutants,
+		Budget:            *budget,
+	})
+	fmt.Println(rep)
+	bad := len(rep.Violations)
+	for i, v := range rep.Violations {
+		if !*verbose && i >= 5 {
+			fmt.Printf("... and %d more violations (rerun with -v)\n", bad-i)
+			break
+		}
+		fmt.Println(v)
+	}
+
+	if *faults {
+		frep := fuzz.InjectFaults(fuzz.FaultOptions{Seed: *seed})
+		fmt.Println(frep)
+		bad += len(frep.Violations)
+		for _, v := range frep.Violations {
+			fmt.Println(v)
+		}
+	}
+
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lfi-fuzz: %d oracle violations\n", bad)
+		os.Exit(1)
+	}
+}

@@ -117,6 +117,25 @@ func sysRegName(v int64) string {
 	return fmt.Sprintf("s%d_%d_c%d_c%d_%d", 2+(v>>14)&1, (v>>11)&7, (v>>7)&15, (v>>3)&15, v&7)
 }
 
+// parseSysReg resolves a system register operand: either one of the named
+// registers above, or the generic s<op0>_<op1>_c<CRn>_c<CRm>_<op2> spelling
+// that sysRegName falls back to for registers it has no name for.
+func parseSysReg(s string) (int64, bool) {
+	s = strings.ToLower(s)
+	if v, ok := sysRegs[s]; ok {
+		return v, true
+	}
+	var op0, op1, crn, crm, op2 int64
+	if n, err := fmt.Sscanf(s, "s%d_%d_c%d_c%d_%d", &op0, &op1, &crn, &crm, &op2); n != 5 || err != nil {
+		return 0, false
+	}
+	if op0 < 2 || op0 > 3 || op1 > 7 || crn > 15 || crm > 15 || op2 > 7 ||
+		op1 < 0 || crn < 0 || crm < 0 || op2 < 0 {
+		return 0, false
+	}
+	return (op0&1)<<14 | op1<<11 | crn<<7 | crm<<3 | op2, true
+}
+
 func parseMem(s string) (Mem, string, bool) {
 	// Returns the Mem and any trailing text after ']' ("!" for pre-index).
 	if !strings.HasPrefix(s, "[") {
@@ -1105,7 +1124,7 @@ func ParseInst(line string) (Inst, error) {
 			if err != nil {
 				return i, err
 			}
-			v, ok := sysRegs[strings.ToLower(ops[1])]
+			v, ok := parseSysReg(ops[1])
 			if !ok {
 				return perr("unknown system register %q", ops[1])
 			}
@@ -1115,7 +1134,7 @@ func ParseInst(line string) (Inst, error) {
 			if len(ops) != 2 {
 				return perr("msr needs 2 operands")
 			}
-			v, ok := sysRegs[strings.ToLower(ops[0])]
+			v, ok := parseSysReg(ops[0])
 			if !ok {
 				return perr("unknown system register %q", ops[0])
 			}

@@ -189,6 +189,30 @@ var corpus = []string{
 	"ldr x0, 1048",
 	"ldrsw x0, -32",
 	"ldr d0, 2000",
+	// Immediate and shift-amount edges.
+	"ldr q0, [x1, #65520]",
+	"str q7, [sp, #65520]",
+	"ldr w1, [x2, #16380]",
+	"ldrh w0, [x1, #8190]",
+	"ldrb w0, [x1, #4095]",
+	"ldp x0, x1, [x2, #504]",
+	"stp x0, x1, [x2, #-512]",
+	"stp q0, q1, [x2, #1008]",
+	"add x0, x1, #16773120",
+	"add x0, x1, x2, lsl #63",
+	"eor w0, w1, w2, ror #31",
+	"movk x0, #65535, lsl #48",
+	"movn x0, #65535, lsl #48",
+	"extr x0, x1, x2, #63",
+	"sbfm x0, x1, #63, #63",
+	"tbz x1, #63, 32764",
+	"tbnz w2, #31, -32768",
+	"cbz x0, 1048572",
+	"adrp x1, 4294963200",
+	"adrp x1, -4294967296",
+	// Generic (unnamed) system registers, as printed by sysRegName.
+	"mrs x28, s3_7_c7_c0_7",
+	"msr s2_5_c10_c0_5, x10",
 }
 
 // aliases maps alias spellings to the canonical form they should parse to.
@@ -235,6 +259,7 @@ var aliases = map[string]string{
 	"cneg x0, x1, mi":      "csneg x0, x1, x1, pl",
 	"ldur x0, [x1, #-3]":   "ldr x0, [x1, #-3]",
 	"stur w0, [x1, #-9]":   "str w0, [x1, #-9]",
+	"mov w22, wsp":         "add w22, wsp, #0",
 }
 
 func TestParsePrintRoundTrip(t *testing.T) {

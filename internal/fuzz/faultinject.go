@@ -1,0 +1,302 @@
+package fuzz
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"lfi/internal/core"
+	"lfi/internal/lfirt"
+	"lfi/internal/pool"
+	"lfi/internal/progs"
+)
+
+// FaultOptions parameterizes the serving-layer fault injector.
+type FaultOptions struct {
+	// Seed drives the random choice of hostile events.
+	Seed int64
+	// Rounds is the number of pool build/hammer/close cycles (0 = 3).
+	Rounds int
+	// SnapshotTrials is the number of kill/restore cycles against a
+	// direct runtime (0 = 20).
+	SnapshotTrials int
+}
+
+func (o FaultOptions) withDefaults() FaultOptions {
+	if o.Rounds == 0 {
+		o.Rounds = 3
+	}
+	if o.SnapshotTrials == 0 {
+		o.SnapshotTrials = 20
+	}
+	return o
+}
+
+// FaultReport summarizes a fault-injection run.
+type FaultReport struct {
+	Submitted  int // jobs admitted across all pool rounds
+	Resolved   int // tickets that resolved with an allowed outcome
+	Kills      int // processes killed mid-run in the snapshot driver
+	Restores   int // snapshot restores after a kill
+	Violations []string
+}
+
+func (r *FaultReport) String() string {
+	return fmt.Sprintf("faults: %d submitted, %d resolved, %d kills, %d restores, %d violations",
+		r.Submitted, r.Resolved, r.Kills, r.Restores, len(r.Violations))
+}
+
+const faultTenant = `
+_start:
+	mov x3, #0
+	mov x4, #400
+loop:
+	add x3, x3, #1
+	cmp x3, x4
+	b.ne loop
+` // + exit appended per-variant
+
+const faultSpin = `
+_start:
+spin:
+	b spin
+`
+
+// InjectFaults drives the serving layer through hostile schedules: pools
+// closed while jobs are queued and running, contexts canceled at random
+// points, and processes killed mid-run then restored from snapshots. The
+// invariants: every admitted ticket resolves with an outcome from the
+// documented failure taxonomy, and a restore after any kill replays the
+// original execution exactly.
+func InjectFaults(opts FaultOptions) *FaultReport {
+	opts = opts.withDefaults()
+	rep := &FaultReport{}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	for round := 0; round < opts.Rounds; round++ {
+		poolRound(rng.Int63(), rep)
+	}
+	snapshotDriver(rng.Int63(), opts.SnapshotTrials, rep)
+	return rep
+}
+
+// poolRound hammers one pool with concurrent submitters while the pool is
+// closed underneath them at a random point.
+func poolRound(seed int64, rep *FaultReport) {
+	rng := rand.New(rand.NewSource(seed))
+	p := pool.New(pool.Config{Workers: 2, QueueDepth: 4, Budget: 200_000})
+	quick, err := p.BuildImage(faultTenant+progs.ExitCode(7), core.Options{Opt: core.O2})
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("pool: build: %v", err))
+		p.Close()
+		return
+	}
+	spin, err := p.BuildImage(faultSpin, core.Options{Opt: core.O2})
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("pool: build spin: %v", err))
+		p.Close()
+		return
+	}
+
+	var mu sync.Mutex
+	var violations []string
+	report := func(format string, args ...any) {
+		mu.Lock()
+		violations = append(violations, fmt.Sprintf("pool: "+format, args...))
+		mu.Unlock()
+	}
+	submitted, resolved := 0, 0
+
+	var wg sync.WaitGroup
+	submitters := 4
+	perSubmitter := 40
+	closeAfter := rng.Intn(submitters * perSubmitter)
+	var closeOnce sync.Once
+	count := func() {
+		mu.Lock()
+		submitted++
+		n := submitted
+		mu.Unlock()
+		if n == closeAfter {
+			closeOnce.Do(func() {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					p.Close()
+				}()
+			})
+		}
+	}
+
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			srng := rand.New(rand.NewSource(seed ^ int64(s)))
+			for i := 0; i < perSubmitter; i++ {
+				img := quick
+				budget := uint64(0)
+				if srng.Intn(4) == 0 {
+					img, budget = spin, 50_000 // runaway job, deadline-killed
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				tk, err := p.SubmitCtx(ctx, pool.Job{Image: img, Budget: budget})
+				if err != nil {
+					if !errors.Is(err, pool.ErrQueueFull) && !errors.Is(err, pool.ErrClosed) {
+						report("submit: unexpected error %v", err)
+					}
+					cancel()
+					continue
+				}
+				count()
+				if srng.Intn(3) == 0 {
+					go cancel() // cancellation racing dispatch and execution
+				} else {
+					defer cancel()
+				}
+				res := waitOrHang(tk, report)
+				if res == nil {
+					return
+				}
+				var dl *lfirt.ErrDeadline
+				switch {
+				case res.Err == nil,
+					errors.Is(res.Err, pool.ErrClosed),
+					errors.Is(res.Err, pool.ErrCanceled),
+					errors.As(res.Err, &dl):
+				default:
+					report("result outside failure taxonomy: %v", res.Err)
+				}
+				if res.Err == nil && img == quick && res.Status != 7 {
+					report("successful job returned status %d, want 7", res.Status)
+				}
+				mu.Lock()
+				resolved++
+				mu.Unlock()
+			}
+		}(s)
+	}
+	wg.Wait()
+	p.Close() // idempotent; ensures shutdown when closeAfter was never hit
+
+	if st := p.Stats(); st.QueueDepth != 0 {
+		report("queue depth %d after close, want 0", st.QueueDepth)
+	} else if st.Submitted != st.Completed {
+		report("submitted %d != completed %d after close", st.Submitted, st.Completed)
+	}
+	if _, err := p.Submit(pool.Job{Image: quick}); !errors.Is(err, pool.ErrClosed) {
+		report("submit after close: %v, want ErrClosed", err)
+	}
+
+	mu.Lock()
+	rep.Submitted += submitted
+	rep.Resolved += resolved
+	rep.Violations = append(rep.Violations, violations...)
+	mu.Unlock()
+}
+
+// waitOrHang resolves a ticket with a hang detector: a ticket that never
+// resolves is the worst serving-layer bug, so it is reported rather than
+// deadlocking the harness.
+func waitOrHang(tk *pool.Ticket, report func(string, ...any)) *pool.Result {
+	done := make(chan *pool.Result, 1)
+	go func() { done <- tk.Wait() }()
+	select {
+	case res := <-done:
+		return res
+	case <-time.After(30 * time.Second):
+		report("ticket did not resolve within 30s")
+		return nil
+	}
+}
+
+// snapshotDriver kills processes at hostile points — mid-run deadlines,
+// pre-fired cancellations, kills at random instruction counts — and
+// checks that restoring the pre-run snapshot replays the undisturbed
+// execution exactly (status and output).
+func snapshotDriver(seed int64, trials int, rep *FaultReport) {
+	rng := rand.New(rand.NewSource(seed))
+	src := faultTenant + progs.ExitCode(3)
+	res, err := progs.Build(src, core.Options{Opt: core.O2})
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("snapshot: build: %v", err))
+		return
+	}
+
+	// Reference: one undisturbed run.
+	ref := lfirt.New(lfirt.DefaultConfig())
+	p, err := ref.Load(res.ELF)
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("snapshot: load: %v", err))
+		return
+	}
+	wantStatus, err := ref.RunProc(p)
+	if err != nil {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("snapshot: reference run: %v", err))
+		return
+	}
+	wantOut := append([]byte(nil), p.Stdout()...)
+
+	for trial := 0; trial < trials; trial++ {
+		rt := lfirt.New(lfirt.DefaultConfig())
+		proc, err := rt.Load(res.ELF)
+		if err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("snapshot trial %d: load: %v", trial, err))
+			continue
+		}
+		snap, err := rt.Snapshot(proc)
+		if err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("snapshot trial %d: snapshot: %v", trial, err))
+			continue
+		}
+
+		// Hostile event: deadline kill, pre-fired cancel, or direct kill.
+		switch rng.Intn(3) {
+		case 0:
+			budget := uint64(1 + rng.Intn(1500))
+			_, err := rt.RunProcDeadline(proc, budget)
+			var dl *lfirt.ErrDeadline
+			if err != nil && !errors.As(err, &dl) {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("snapshot trial %d: deadline run: %v", trial, err))
+			}
+		case 1:
+			done := make(chan struct{})
+			close(done)
+			if _, err := rt.RunProcCancel(proc, 0, done); !errors.Is(err, lfirt.ErrCanceled) {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("snapshot trial %d: canceled run: %v, want ErrCanceled", trial, err))
+			}
+		case 2:
+			rt.KillProcess(proc, 137)
+		}
+		rep.Kills++
+
+		// Restore must bring back a pristine process that replays the
+		// reference execution bit-for-bit.
+		re, err := rt.Restore(snap)
+		if err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("snapshot trial %d: restore: %v", trial, err))
+			continue
+		}
+		rep.Restores++
+		rt.Start(re)
+		status, err := rt.RunProc(re)
+		if err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("snapshot trial %d: restored run: %v", trial, err))
+			continue
+		}
+		if status != wantStatus {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("snapshot trial %d: restored status %d, want %d", trial, status, wantStatus))
+		}
+		if !bytes.Equal(re.Stdout(), wantOut) {
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("snapshot trial %d: restored output %q, want %q", trial, re.Stdout(), wantOut))
+		}
+	}
+}

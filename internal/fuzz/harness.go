@@ -1,0 +1,197 @@
+package fuzz
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"lfi/internal/arm64"
+	"lfi/internal/core"
+	"lfi/internal/rewrite"
+	"lfi/internal/verifier"
+)
+
+// Options parameterizes one harness run.
+type Options struct {
+	// Seed makes the whole run deterministic; the same (Seed, Iters,
+	// Stmts) triple replays exactly.
+	Seed int64
+	// Iters is the number of generated programs to push through the
+	// oracles.
+	Iters int
+	// Stmts is the approximate statement count per program (0 = 30).
+	Stmts int
+	// MutantsPerProgram is how many corrupted variants of each program
+	// are offered to the verifier (0 = 4).
+	MutantsPerProgram int
+	// Budget bounds each lockstep execution in instructions (0 = 300k).
+	Budget uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Stmts == 0 {
+		o.Stmts = 30
+	}
+	if o.MutantsPerProgram == 0 {
+		o.MutantsPerProgram = 4
+	}
+	if o.Budget == 0 {
+		o.Budget = 300_000
+	}
+	return o
+}
+
+// Violation is one oracle failure with enough context to reproduce it.
+type Violation struct {
+	// Oracle names the failed property: "rewriter-completeness",
+	// "verifier-soundness", or "fastpath-equivalence".
+	Oracle string
+	// Iter is the generator iteration that produced the program.
+	Iter int
+	// Detail describes the failure.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] iter %d: %s", v.Oracle, v.Iter, v.Detail)
+}
+
+// Report summarizes a harness run.
+type Report struct {
+	Iters           int
+	Programs        int // programs generated and rewritten
+	Configs         int // (program, option-set) pairs verified
+	LockstepRuns    int // clean programs executed slow/fast
+	MutantsAccepted int // corrupted texts the verifier accepted (and ran)
+	MutantsRejected int // corrupted texts the verifier rejected
+	Violations      []Violation
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("fuzz: %d programs, %d verified configs, %d lockstep runs, mutants %d accepted / %d rejected, %d violations",
+		r.Programs, r.Configs, r.LockstepRuns, r.MutantsAccepted, r.MutantsRejected, len(r.Violations))
+}
+
+// optionSets are the rewriter configurations oracle 1 checks. Every set
+// must produce verifier-clean output for every well-formed input.
+var optionSets = []core.Options{
+	{Opt: core.O0},
+	{Opt: core.O1},
+	{Opt: core.O2},
+	{Opt: core.O2, NoLoads: true},
+	{Opt: core.O1, DisableSPOpts: true},
+}
+
+// Run executes the differential harness: Iters random programs, each
+// pushed through every rewriter configuration and the verifier (oracle
+// 1), executed slow/fast in lockstep (oracle 3), and corrupted into
+// verifier-checked mutants which, when accepted, also run under the
+// watchdog (oracles 2+3).
+func Run(opts Options) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{Iters: opts.Iters}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	slot := core.SlotBase(1)
+
+	for iter := 0; iter < opts.Iters; iter++ {
+		src := NewGen(rng.Int63()).Generate(opts.Stmts)
+		rep.Programs++
+
+		// Oracle 1: rewriter completeness at every option set.
+		var o2img *arm64.Image
+		ok := true
+		for _, set := range optionSets {
+			img, err := buildSandboxed(src, set, slot)
+			if err != nil {
+				rep.Violations = append(rep.Violations, Violation{
+					Oracle: "rewriter-completeness", Iter: iter,
+					Detail: fmt.Sprintf("%+v: %v\n%s", set, err, src),
+				})
+				ok = false
+				continue
+			}
+			cfg := verifier.DefaultConfig()
+			cfg.TextOff = core.MinCodeOffset
+			cfg.NoLoads = set.NoLoads
+			if _, err := verifier.Verify(img.Text, cfg); err != nil {
+				rep.Violations = append(rep.Violations, Violation{
+					Oracle: "rewriter-completeness", Iter: iter,
+					Detail: fmt.Sprintf("%+v: verifier rejected rewriter output: %v\n%s", set, err, src),
+				})
+				ok = false
+				continue
+			}
+			rep.Configs++
+			if set.Opt == core.O2 && !set.NoLoads {
+				o2img = img
+			}
+		}
+		if !ok || o2img == nil {
+			continue
+		}
+
+		// Oracle 3 on the clean program: slow/fast lockstep.
+		rep.LockstepRuns++
+		for _, v := range runLockstep(o2img, o2img.Text, slot, opts.Budget) {
+			rep.Violations = append(rep.Violations, Violation{
+				Oracle: "fastpath-equivalence", Iter: iter, Detail: v + "\n" + src,
+			})
+		}
+
+		// Oracles 2+3 on mutants: corrupt the text, and if the verifier
+		// accepts the corruption, it must still be contained and
+		// fastpath-equivalent.
+		for m := 0; m < opts.MutantsPerProgram; m++ {
+			text := mutate(rng, o2img.Text)
+			cfg := verifier.DefaultConfig()
+			cfg.TextOff = core.MinCodeOffset
+			if _, err := verifier.Verify(text, cfg); err != nil {
+				rep.MutantsRejected++
+				continue
+			}
+			rep.MutantsAccepted++
+			for _, v := range runLockstep(o2img, text, slot, opts.Budget) {
+				rep.Violations = append(rep.Violations, Violation{
+					Oracle: "verifier-soundness", Iter: iter,
+					Detail: fmt.Sprintf("mutant %d: %s", m, v),
+				})
+			}
+		}
+	}
+	return rep
+}
+
+// buildSandboxed rewrites src with the given options and assembles it at
+// the sandbox code offset of slot.
+func buildSandboxed(src string, opts core.Options, slot uint64) (*arm64.Image, error) {
+	f, err := arm64.ParseFile(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	nf, _, err := rewrite.Rewrite(f, opts)
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: %w", err)
+	}
+	img, err := arm64.Assemble(nf, arm64.Layout{
+		TextBase: slot + core.MinCodeOffset,
+		PageSize: pageSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("assemble: %w", err)
+	}
+	return img, nil
+}
+
+// mutate returns a copy of text with one or two random bit flips in one
+// or two random instruction words.
+func mutate(rng *rand.Rand, text []byte) []byte {
+	out := append([]byte(nil), text...)
+	flips := 1 + rng.Intn(2)
+	for i := 0; i < flips; i++ {
+		word := rng.Intn(len(out) / 4)
+		w := binary.LittleEndian.Uint32(out[word*4:])
+		w ^= 1 << uint(rng.Intn(32))
+		binary.LittleEndian.PutUint32(out[word*4:], w)
+	}
+	return out
+}

@@ -163,7 +163,9 @@ var (
 	// ErrQueueFull is the admission-control rejection: the bounded
 	// submission queue is full. Callers should back off or shed load.
 	ErrQueueFull = errors.New("pool: submission queue full")
-	// ErrClosed reports a submission to a closed pool.
+	// ErrClosed reports a submission to a closed pool, or a job that was
+	// still queued when Close began: queued work is not run at shutdown,
+	// its ticket resolves with this error instead.
 	ErrClosed = errors.New("pool: closed")
 	// ErrCanceled reports a job stopped by its context — either skipped
 	// before dispatch or killed mid-run. The context's own error
@@ -297,6 +299,11 @@ type Pool struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	// closing becomes true before the job channel is closed. Workers check
+	// it at dequeue so a job admitted just as the pool closes resolves
+	// deterministically with ErrClosed instead of racing the shutdown.
+	closing atomic.Bool
 }
 
 // New creates a pool and starts its workers.
@@ -415,15 +422,22 @@ func (p *Pool) DoCtx(ctx context.Context, j Job) (*Result, error) {
 	return res, nil
 }
 
-// Close drains queued jobs, stops the workers, and waits for them to
-// exit. Submissions after Close fail with ErrClosed.
+// Close stops the workers and waits for them to exit. The job currently
+// running on each worker completes normally; jobs still sitting in the
+// queue resolve with ErrClosed (they are never silently dropped and their
+// tickets never hang). Submissions after Close fail with ErrClosed.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		p.wg.Wait() // a concurrent first Close drains; wait for it too
 		return
 	}
 	p.closed = true
+	// Order matters: mark closing before closing the channel so a worker
+	// that dequeues a drained task observes the flag. SubmitCtx holds mu
+	// across its send, so no send can race the close itself.
+	p.closing.Store(true)
 	close(p.jobs)
 	p.mu.Unlock()
 	p.wg.Wait()
@@ -485,10 +499,26 @@ type worker struct {
 func (w *worker) loop() {
 	defer w.pool.wg.Done()
 	for t := range w.pool.jobs {
+		if w.pool.closing.Load() {
+			t.ticket.ch <- w.drop(t)
+			continue
+		}
 		w.stats.busy.Store(true)
 		t.ticket.ch <- w.serve(t)
 		w.stats.busy.Store(false)
 	}
+}
+
+// drop resolves a task that was still queued when Close began. The queue
+// accounting is settled exactly once and the ticket resolves with
+// ErrClosed — admitted work never hangs across shutdown.
+func (w *worker) drop(t *task) *Result {
+	p := w.pool
+	p.m.queueDepth.Add(-1)
+	p.m.completed.Inc()
+	w.stats.jobs.Inc()
+	p.obs.Trace().Record(obs.Event{Kind: obs.EvJobFinish, Job: t.id, Worker: w.id})
+	return &Result{Worker: w.id, Err: fmt.Errorf("%w: job dropped at shutdown", ErrClosed)}
 }
 
 // imageTag is the short image-key prefix stamped on spans.

@@ -1,11 +1,13 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"lfi/internal/core"
 	"lfi/internal/lfirt"
@@ -244,6 +246,77 @@ func TestSubmitAfterClose(t *testing.T) {
 	p.Close() // double close is safe
 	if _, err := p.Submit(Job{Image: img}); !errors.Is(err, ErrClosed) {
 		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseSubmitRace hammers SubmitCtx against a racing Close (plus
+// concurrent context cancellation). The contract under test: a job
+// admitted just as the pool closes must resolve — with a real result,
+// ErrClosed, ErrCanceled, or a deadline kill — and never hang; the queue
+// accounting must settle at zero with no double decrements. Run with -race.
+func TestCloseSubmitRace(t *testing.T) {
+	const rounds = 6
+	for round := 0; round < rounds; round++ {
+		p := New(Config{Workers: 2, QueueDepth: 4})
+		img := mustImage(t, p, tenantSrc(1))
+		ctx, cancel := context.WithCancel(context.Background())
+
+		var wg sync.WaitGroup
+		tickets := make(chan *Ticket, 4*60)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 60; i++ {
+					c := context.Background()
+					if g%2 == 0 {
+						c = ctx // half the submitters race cancellation too
+					}
+					tk, err := p.SubmitCtx(c, Job{Image: img})
+					if err != nil {
+						if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrQueueFull) &&
+							!errors.Is(err, ErrCanceled) {
+							t.Errorf("round %d: submit error %v", round, err)
+						}
+						continue
+					}
+					tickets <- tk
+				}
+			}(g)
+		}
+		// Fire the hostile events mid-stream.
+		go cancel()
+		closed := make(chan struct{})
+		go func() { p.Close(); close(closed) }()
+
+		wg.Wait()
+		close(tickets)
+		for tk := range tickets {
+			select {
+			case res := <-tk.ch:
+				err := res.Err
+				var de *lfirt.ErrDeadline
+				if err != nil && !errors.Is(err, ErrClosed) && !errors.Is(err, ErrCanceled) &&
+					!errors.As(err, &de) {
+					t.Errorf("round %d: ticket resolved with %v", round, err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatalf("round %d: admitted ticket never resolved: job hung across Close", round)
+			}
+		}
+		select {
+		case <-closed:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("round %d: Close hung", round)
+		}
+		p.Close() // idempotent
+		if d := p.m.queueDepth.Value(); d != 0 {
+			t.Fatalf("round %d: queue depth %d after close; accounting leaked", round, d)
+		}
+		if st := p.Stats(); st.Submitted != st.Completed {
+			t.Fatalf("round %d: submitted %d != completed %d after close",
+				round, st.Submitted, st.Completed)
+		}
 	}
 }
 

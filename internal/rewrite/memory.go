@@ -47,6 +47,10 @@ func (r *rewriter) memOp(f *arm64.File, idx int) error {
 	// guard regions (§4.2). x30-based accesses get the same treatment.
 	if core.AlwaysValidAddr(base.X()) || base.X() == arm64.X30 {
 		if !m.IsRegOffset() {
+			if m.Mode == arm64.AddrImm && int64(m.Imm) > guardImmBound {
+				r.oversizedImm(&inst, line)
+				return nil
+			}
 			r.emit(inst, line)
 			r.guardLoadedDests(&inst, line)
 			return nil
@@ -55,8 +59,10 @@ func (r *rewriter) memOp(f *arm64.File, idx int) error {
 		return r.spRegOffset(&inst, line)
 	}
 
-	// no-loads mode: loads run unguarded unless they define x30.
-	if r.opts.NoLoads && inst.Op.IsLoad() && !loadsX30(&inst) {
+	// no-loads mode: loads run unguarded unless they define x30 or write
+	// back to their base — the verifier's exemption covers only plain
+	// loads, so writeback forms go through the normal guarded lowering.
+	if r.opts.NoLoads && inst.Op.IsLoad() && !loadsX30(&inst) && !m.WritesBack() {
 		r.emit(inst, line)
 		return nil
 	}
@@ -187,6 +193,10 @@ func (r *rewriter) o0Guard(inst *arm64.Inst, line int) error {
 
 	switch m.Mode {
 	case arm64.AddrBase, arm64.AddrImm:
+		if int64(m.Imm) > guardImmBound {
+			r.oversizedImm(inst, line)
+			return nil
+		}
 		// add x18, x21, wN, uxtw ; op rt, [x18, #imm]
 		r.emit(core.GuardInto(core.RegScratch, m.Base), line4)
 		r.stats.GuardsBase++
@@ -223,6 +233,32 @@ func (r *rewriter) o0Guard(inst *arm64.Inst, line int) error {
 	}
 	r.guardLoadedDests(inst, line)
 	return nil
+}
+
+// guardImmBound is the largest immediate offset that stays inside the
+// 48KiB guard region from any in-sandbox base (worst case: base one byte
+// below the slot end, 16-byte access). The verifier enforces the same
+// bound; only q-register scaled immediates (up to 65520) can exceed it.
+const guardImmBound = int64(core.GuardSize) - 16
+
+// oversizedImm lowers an immediate-offset access whose offset reaches past
+// the guard region: the full 32-bit address is staged in w22 and the
+// access goes through the guarded addressing mode. The immediate is split
+// into two add-immediates (low 12 bits, then the 4KiB-aligned remainder).
+func (r *rewriter) oversizedImm(inst *arm64.Inst, line int) {
+	m := inst.Mem
+	lo := int64(m.Imm) & 0xfff
+	hi := int64(m.Imm) &^ 0xfff
+	r.emit(addImm(core.RegAddr32.W(), m.Base.W(), lo), line)
+	if hi != 0 {
+		r.emit(addImm(core.RegAddr32.W(), core.RegAddr32.W(), hi), line)
+	}
+	r.stats.GuardsSingle++
+	access := *inst
+	access.Mem = arm64.Mem{Mode: arm64.AddrRegUXTW, Base: core.RegBase,
+		Index: core.RegAddr32.W(), Amount: -1}
+	r.emit(access, line)
+	r.guardLoadedDests(inst, line)
 }
 
 func addImm(dst, src arm64.Reg, imm int64) arm64.Inst {
@@ -286,6 +322,10 @@ func (r *rewriter) table3(f *arm64.File, idx int, inst *arm64.Inst, line int) er
 			r.emit(access, line)
 			r.stats.GuardsFolded++
 			break
+		}
+		if int64(m.Imm) > guardImmBound {
+			r.oversizedImm(inst, line)
+			return nil
 		}
 		// O2: serve from (or allocate) a hoisting register.
 		if r.opts.Opt >= core.O2 {

@@ -356,6 +356,34 @@ vals:
 `, 0, 2, 3, 4)
 }
 
+// Oversized immediates: q-register scaled offsets reach up to 65520 bytes,
+// past the 48KiB guard region, so the rewriter must stage the full address
+// in w22 instead of passing the immediate through (the verifier rejects
+// immediates above GuardSize-16).
+func TestEquivalenceOversizedImm(t *testing.T) {
+	equivalence(t, `
+_start:
+	adrp x1, buf
+	add x1, x1, :lo12:buf
+	ldr q0, [x1]
+	sub sp, sp, #65536
+	str q0, [sp, #65520]
+	ldr q1, [sp, #65520]
+	add sp, sp, #65536
+	str q1, [x1, #65520]
+	ldr q2, [x1, #65520]
+	str q2, [x1, #32]
+	ldr x0, [x1, #32]
+	ldr x2, [x1, #40]
+	brk #0
+.data
+buf:
+	.quad 0x1122334455667788
+	.quad 0x99aabbccddeeff00
+	.space 65536
+`, 0, 2)
+}
+
 // TestGuardEscape verifies the security property: a rewritten program that
 // tries to access memory outside its sandbox is forced back inside (the
 // access is redirected, not faulted, per §3).
@@ -584,6 +612,18 @@ _start:
 	nf2, stats := rewriteSrc(t, "_start:\n\tldr x30, [x1]\n\tret\n", core.Options{Opt: core.O2, NoLoads: true})
 	if stats.RetGuards != 1 {
 		t.Errorf("x30 load unguarded in no-loads mode:\n%s", nf2.String())
+	}
+	// Writeback loads are outside the verifier's no-loads exemption, so
+	// they must be lowered like any other access, not passed through
+	// (regression: the fuzz harness caught post-index loads emitted raw).
+	for _, src := range []string{
+		"_start:\n\tldr x2, [x10], #16\n\tbrk #0\n",
+		"_start:\n\tldr x2, [x10, #8]!\n\tbrk #0\n",
+	} {
+		nf3, _ := rewriteSrc(t, src, core.Options{Opt: core.O2, NoLoads: true})
+		if strings.Contains(nf3.String(), "[x10],") || strings.Contains(nf3.String(), "[x10, #8]!") {
+			t.Errorf("writeback load passed through in no-loads mode:\n%s", nf3.String())
+		}
 	}
 }
 

@@ -81,7 +81,10 @@ func Verify(text []byte, cfg Config) (Stats, error) {
 	if len(text)%4 != 0 {
 		return st, &Error{Offset: uint64(len(text) &^ 3), Msg: "text size not a multiple of 4"}
 	}
-	if cfg.TextOff+uint64(len(text)) > core.MaxCodeOffset {
+	// Check TextOff against the margin before adding the length: the sum
+	// cfg.TextOff+len(text) can wrap for a hostile TextOff near 2^64,
+	// making oversized text appear to fit.
+	if cfg.TextOff > core.MaxCodeOffset || uint64(len(text)) > core.MaxCodeOffset-cfg.TextOff {
 		return st, &Error{Msg: fmt.Sprintf("text extends past the 128MiB code margin (%#x)", core.MaxCodeOffset)}
 	}
 	if cfg.TextOff < core.MinCodeOffset {
@@ -240,8 +243,15 @@ func (v *verify) checkMemory(i int) *Error {
 		if !validAddrReg(m.Base) {
 			return vErr("access through unguarded base %v", m.Base)
 		}
-		// Immediate offsets are bounded by their encodings (max 2^15 - 8,
-		// within the guard regions), so any mapped base register is safe.
+		// Most immediate offsets are bounded by their encodings to at most
+		// 32760 bytes — well within the 48KiB guard regions — but the
+		// q-register scaled form reaches 65520, past the guard and into the
+		// neighboring slot. Bound the reach explicitly: from the worst-case
+		// base (one byte below the slot end) a 16-byte access at offset
+		// GuardSize-16 still ends inside the guard.
+		if int64(m.Imm) > int64(core.GuardSize)-16 || int64(m.Imm) < -int64(core.GuardSize) {
+			return vErr("immediate offset %d reaches past the guard region", m.Imm)
+		}
 		if m.WritesBack() {
 			// Writeback modifies the base: only sp self-limits (§4.2);
 			// the reserved always-valid registers must not drift.

@@ -193,6 +193,10 @@ func TestRejectsUnsafePatterns(t *testing.T) {
 		{"writeback on x30", "\tstr x0, [x30], #8", "writeback through protected"},
 		{"mrs forbidden", "\tmrs x0, fpcr", "system register"},
 		{"msr forbidden", "\tmsr fpsr, x0", "system register"},
+		// A q-register scaled immediate reaches up to 65520 bytes — past the
+		// 48KiB guard region and into the neighboring sandbox.
+		{"q imm past guard", "\tldr q0, [x23, #65520]", "past the guard"},
+		{"q imm past guard store", "\tstr q0, [x18, #49152]", "past the guard"},
 	}
 	for _, c := range cases {
 		err := verifySrc(t, "_start:\n"+c.src+"\n\tret\n")
@@ -212,6 +216,8 @@ func TestAcceptsSafePatterns(t *testing.T) {
 		"\tstr x0, [sp, #-16]!\n\tldr x0, [sp], #16",
 		"\tldr x0, [x18]",
 		"\tldr x0, [x23, #32760]",
+		"\tldr q0, [x23, #32752]",
+		"\tldr q0, [x18, #49136]",
 		"\tstr x0, [x24, #8]",
 		"\tldr x0, [x21, w1, uxtw]",
 		"\tstr q0, [x21, w5, uxtw]",
@@ -263,6 +269,119 @@ func TestTextPlacementBounds(t *testing.T) {
 	if _, err := Verify(text, cfg); err != nil {
 		t.Errorf("valid placement rejected: %v", err)
 	}
+}
+
+// TestTextOffOverflow is the regression test for the bounds-check overflow:
+// cfg.TextOff+len(text) wraps for TextOff near 2^64, so the old check
+// ("sum > MaxCodeOffset") concluded the text fit inside the code region.
+func TestTextOffOverflow(t *testing.T) {
+	text := asmText(t, "_start:\n\tret\n\tnop\n")
+	for _, off := range []uint64{
+		^uint64(0),                         // max: any length wraps
+		^uint64(0) - uint64(len(text)) + 1, // sum wraps to exactly 0
+		^uint64(0) - uint64(len(text)),     // sum wraps to ^uint64(0)... -1
+		^uint64(0) &^ 3,                    // aligned max
+		core.MaxCodeOffset + 4,             // just past the margin, no wrap
+	} {
+		cfg := DefaultConfig()
+		cfg.TextOff = off
+		if _, err := Verify(text, cfg); err == nil {
+			t.Errorf("TextOff=%#x accepted; overflow check defeated", off)
+		}
+	}
+	// The margin boundary itself must still work: text ending exactly at
+	// MaxCodeOffset is legal.
+	cfg := DefaultConfig()
+	cfg.TextOff = core.MaxCodeOffset - uint64(len(text))
+	if _, err := Verify(text, cfg); err != nil {
+		t.Errorf("text ending exactly at the margin rejected: %v", err)
+	}
+}
+
+// errOffset verifies src and requires rejection by a *verifier.Error with
+// the exact byte offset and message substring.
+func errOffset(t *testing.T, name, src string, cfg Config, wantOff uint64, sub string) {
+	t.Helper()
+	f, err := arm64.ParseFile(src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	img, err := arm64.Assemble(f, arm64.Layout{
+		TextBase: core.SlotBase(1) + core.MinCodeOffset,
+		PageSize: pageSize,
+	})
+	if err != nil {
+		t.Fatalf("%s: assemble: %v", name, err)
+	}
+	_, err = Verify(img.Text, cfg)
+	if err == nil {
+		t.Errorf("%s: accepted", name)
+		return
+	}
+	verr, ok := err.(*Error)
+	if !ok {
+		t.Errorf("%s: error is %T, not *verifier.Error", name, err)
+		return
+	}
+	if verr.Offset != wantOff {
+		t.Errorf("%s: rejected at +%#x, want +%#x (%v)", name, verr.Offset, wantOff, verr)
+	}
+	if !strings.Contains(verr.Msg, sub) {
+		t.Errorf("%s: message %q does not mention %q", name, verr.Msg, sub)
+	}
+}
+
+// TestAdversarialRejections covers the attack shapes a linear-pass verifier
+// must reject precisely because control flow can land anywhere: a guard
+// staged through a non-reserved register (a jump target between the guard
+// and its access would skip the guard), protected-register writes that look
+// dead because a branch hops over them, and stores under the NoLoads
+// policy. Each must fail with a *verifier.Error at the exact instruction.
+func TestAdversarialRejections(t *testing.T) {
+	strict := DefaultConfig()
+	strict.TextOff = core.MinCodeOffset
+	noLoads := strict
+	noLoads.NoLoads = true
+
+	// A "guard" into x9 does not protect the access at +8: any jump target
+	// between them (here the explicit label mid) lets an attacker enter
+	// with an arbitrary x9. The verifier must reject the access itself.
+	errOffset(t, "guard into non-reserved register",
+		"_start:\n\tadd x9, x21, w0, uxtw\nmid:\n\tldr x0, [x9]\n\tret\n",
+		strict, 4, "unguarded base")
+
+	// Same shape for a store, reached around the guard by a real branch:
+	// cbz jumps straight to mid, skipping the staging add entirely.
+	errOffset(t, "store through non-reserved staged guard",
+		"_start:\n\tcbz x0, mid\n\tadd x9, x21, w0, uxtw\nmid:\n\tstr x2, [x9]\n\tret\n",
+		strict, 8, "unguarded base")
+
+	// A non-guard write to a reserved register is rejected even when a
+	// branch appears to jump over it: the linear pass assumes every
+	// instruction is reachable, so the write at +4 is the finding.
+	errOffset(t, "reserved-register write hopped by branch",
+		"_start:\n\tcbz x0, over\n\tadd x18, x18, #8\nover:\n\tstr x2, [x18]\n\tret\n",
+		strict, 4, "non-guard")
+
+	// The store stays rejected when it is only reachable via the branch:
+	// mid-sequence control flow does not launder an unguarded store.
+	errOffset(t, "unguarded store reachable via branch",
+		"_start:\n\tcbz x0, deep\n\tret\ndeep:\n\tstr x2, [x1, #16]\n\tret\n",
+		strict, 8, "unguarded base")
+
+	// NoLoads mode exempts loads but never stores.
+	errOffset(t, "noloads store",
+		"_start:\n\tldr x0, [x1]\n\tstr x0, [x1, #8]\n\tret\n",
+		noLoads, 4, "unguarded base")
+
+	// NoLoads also keeps checking loads that write x30 (control flow) and
+	// loads with writeback on protected registers.
+	errOffset(t, "noloads x30 load",
+		"_start:\n\tldr x30, [x1]\n\tnop\n\tret\n",
+		noLoads, 0, "unguarded base")
+	errOffset(t, "noloads writeback on x23",
+		"_start:\n\tldr x0, [x23, #8]!\n\tret\n",
+		noLoads, 0, "writeback through protected")
 }
 
 func TestConfigKnobs(t *testing.T) {
