@@ -24,6 +24,10 @@ go test ./...
 echo '== go test -race ./internal/pool ./internal/lfirt ./internal/obs'
 go test -race ./internal/pool ./internal/lfirt ./internal/obs
 
+echo '== IPC suite under race (conformance, stress, pipelines, snapshot regressions)'
+go test -race -run 'TestIPC|TestRing|TestStream|TestDgram|TestPipeline|TestSnapshotBlocked|TestYield' \
+    ./internal/lfirt ./internal/pool
+
 echo '== bench smoke (go test -bench=BenchmarkEmu -benchtime=1x)'
 go test -run '^$' -bench 'BenchmarkEmu' -benchtime=1x .
 

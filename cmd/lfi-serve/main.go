@@ -8,10 +8,18 @@
 // dealt round-robin across them. With no arguments a built-in multi-tenant
 // demo runs.
 //
+// With -pipeline, every job instead chains ALL the given images into one
+// multi-stage pipeline: the worker co-loads the stages into its runtime,
+// stage N's stdout feeds stage N+1's stdin, and the job's result is the
+// final stage's output (-input seeds the first stage's stdin). With no
+// arguments the pipeline demo is a 3-stage source → +1 filter → +1
+// filter chain.
+//
 // Usage:
 //
 //	lfi-serve [-workers n] [-queue n] [-budget n] [-warm n] [-jobs n]
-//	          [-cold] [-v] [-http addr [-linger]] [prog.s|prog.elf ...]
+//	          [-cold] [-pipeline [-input s]] [-v] [-http addr [-linger]]
+//	          [prog.s|prog.elf ...]
 //
 // With -http, the process serves two observability endpoints while jobs
 // run: /metrics is a JSON snapshot of the pool's metrics registry
@@ -42,6 +50,8 @@ func main() {
 	warm := flag.Int("warm", 0, "pre-restored sandboxes kept per image per worker (0 = 1)")
 	jobs := flag.Int("jobs", 32, "total jobs to serve")
 	cold := flag.Bool("cold", false, "bypass snapshots: full ELF load per request (baseline)")
+	pipeline := flag.Bool("pipeline", false, "chain all images into one multi-stage pipeline per job")
+	input := flag.String("input", "", "bytes fed to the first pipeline stage's stdin")
 	verbose := flag.Bool("v", false, "print each job's captured output")
 	httpAddr := flag.String("http", "", "serve /metrics and /statusz on this address (e.g. :8080)")
 	linger := flag.Bool("linger", false, "with -http: keep serving endpoints after the batch")
@@ -70,10 +80,19 @@ func main() {
 		}()
 	}
 
-	images, names, err := buildImages(p, flag.Args())
+	images, names, err := buildImages(p, flag.Args(), *pipeline)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lfi-serve:", err)
 		os.Exit(1)
+	}
+	// makeJob builds the i'th request and its display name: round-robin
+	// over the images normally, the full chain when -pipeline is set.
+	makeJob := func(i int) (lfi.Job, string) {
+		if *pipeline {
+			return lfi.Job{Images: images, Input: []byte(*input), Cold: *cold},
+				strings.Join(names, "|")
+		}
+		return lfi.Job{Image: images[i%len(images)], Cold: *cold}, names[i%len(names)]
 	}
 
 	type pending struct {
@@ -86,9 +105,9 @@ func main() {
 	start := time.Now()
 	inflight := make([]pending, 0, *jobs)
 	for i := 0; i < *jobs; i++ {
-		img := images[i%len(images)]
+		job, name := makeJob(i)
 		for {
-			t, err := p.Submit(lfi.Job{Image: img, Cold: *cold})
+			t, err := p.Submit(job)
 			if errors.Is(err, lfi.ErrQueueFull) {
 				// Admission control pushed back: drain the oldest
 				// in-flight job, then resubmit.
@@ -104,7 +123,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "lfi-serve:", err)
 				os.Exit(1)
 			}
-			inflight = append(inflight, pending{idx: i, name: names[i%len(names)], ticket: t})
+			inflight = append(inflight, pending{idx: i, name: name, ticket: t})
 			break
 		}
 	}
@@ -115,7 +134,7 @@ func main() {
 
 	failed := false
 	for i, res := range results {
-		name := names[i%len(names)]
+		_, name := makeJob(i)
 		switch {
 		case res.Err != nil:
 			var dl *lfi.ErrDeadline
@@ -133,8 +152,16 @@ func main() {
 			if *cold {
 				mode = "cold"
 			}
-			fmt.Printf("job %3d %-20s exit=%-3d %s worker=%d instrs=%d\n",
-				i, name, res.Status, mode, res.Worker, res.Instrs)
+			extra := ""
+			if len(res.Stages) > 1 {
+				ss := make([]string, len(res.Stages))
+				for k, sr := range res.Stages {
+					ss[k] = fmt.Sprint(sr.Status)
+				}
+				extra = " stages=" + strings.Join(ss, ",")
+			}
+			fmt.Printf("job %3d %-20s exit=%-3d %s worker=%d instrs=%d%s\n",
+				i, name, res.Status, mode, res.Worker, res.Instrs, extra)
 		}
 		if *verbose {
 			printOutput("stdout", res.Stdout)
@@ -148,6 +175,9 @@ func main() {
 		float64(st.Completed)/elapsed.Seconds(), *workers)
 	fmt.Printf("warm hits %d/%d, restores %d, cold loads %d, deadline kills %d, queue-full backoffs %d\n",
 		st.WarmHits, st.Completed, st.Restores, st.ColdLoads, st.Deadlines, queueFull)
+	if st.Pipelines > 0 {
+		fmt.Printf("pipelines %d, stages %d\n", st.Pipelines, st.Stages)
+	}
 	fmt.Printf("%d instructions retired in sandboxes\n", st.Instrs)
 	if failed {
 		os.Exit(1)
@@ -177,9 +207,20 @@ func newMux(p *lfi.Pool) *http.ServeMux {
 }
 
 // buildImages prepares one image per argument; with no arguments it
-// compiles a built-in multi-tenant demo (three tenants plus a runaway
-// loop that the instruction budget kills).
-func buildImages(p *lfi.Pool, args []string) (images []*lfi.Image, names []string, err error) {
+// compiles a built-in demo — a multi-tenant batch normally, a 3-stage
+// source → filter → filter chain under -pipeline.
+func buildImages(p *lfi.Pool, args []string, pipeline bool) (images []*lfi.Image, names []string, err error) {
+	if len(args) == 0 && pipeline {
+		src, err := p.BuildImage(demoSource, lfi.CompileOptions{Opt: lfi.O2})
+		if err != nil {
+			return nil, nil, err
+		}
+		filter, err := p.BuildImage(demoFilter, lfi.CompileOptions{Opt: lfi.O2})
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*lfi.Image{src, filter, filter}, []string{"demo-source", "demo-filter", "demo-filter"}, nil
+	}
 	if len(args) == 0 {
 		for i := 1; i <= 3; i++ {
 			img, err := p.BuildImage(demoTenant(i), lfi.CompileOptions{Opt: lfi.O2})
@@ -247,4 +288,49 @@ const demoSpin = `
 _start:
 spin:
 	b spin
+`
+
+// demoSource emits "lfi" and exits: the head of the pipeline demo.
+var demoSource = `
+_start:
+	mov x0, #1
+	adrp x1, msg
+	add x1, x1, :lo12:msg
+	mov x2, #3
+` + lfi.CallSequence(lfi.CallWrite) + `
+	mov x0, #0
+` + lfi.CallSequence(lfi.CallExit) + `
+.rodata
+msg:
+	.ascii "lfi"
+`
+
+// demoFilter copies stdin to stdout, incrementing each byte; EOF ends it.
+var demoFilter = `
+_start:
+floop:
+	mov x0, #0
+	adrp x1, buf
+	add x1, x1, :lo12:buf
+	mov x2, #1
+` + lfi.CallSequence(lfi.CallRead) + `
+	cmp x0, #1
+	b.ne fdone
+	adrp x9, buf
+	add x9, x9, :lo12:buf
+	ldrb w10, [x9]
+	add w10, w10, #1
+	strb w10, [x9]
+	mov x0, #1
+	adrp x1, buf
+	add x1, x1, :lo12:buf
+	mov x2, #1
+` + lfi.CallSequence(lfi.CallWrite) + `
+	b floop
+fdone:
+	mov x0, #0
+` + lfi.CallSequence(lfi.CallExit) + `
+.bss
+buf:
+	.space 8
 `

@@ -77,6 +77,56 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+// TestServePipelineEndpoints runs the 3-stage demo pipeline through the
+// pool and checks that the routed request surfaces per-stage spans in
+// /statusz and pipeline counters in /metrics.
+func TestServePipelineEndpoints(t *testing.T) {
+	p := lfi.NewPool(lfi.PoolConfig{Workers: 1})
+	defer p.Close()
+	images, _, err := buildImages(p, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Execute(lfi.Job{Images: images})
+	if err != nil || res.Err != nil {
+		t.Fatal(err, res)
+	}
+	// "lfi" through two +1 filters.
+	if got := string(res.Stdout); got != "nhk" {
+		t.Errorf("pipeline output = %q, want %q", got, "nhk")
+	}
+	if len(res.Stages) != 3 {
+		t.Fatalf("stage results = %d, want 3", len(res.Stages))
+	}
+
+	srv := httptest.NewServer(newMux(p))
+	defer srv.Close()
+
+	var snap obs.Snapshot
+	getJSON(t, srv.URL+"/metrics", &snap)
+	if snap.Counters["pool.pipeline.jobs"] != 1 || snap.Counters["pool.pipeline.stages"] != 3 {
+		t.Errorf("pipeline counters = %d jobs / %d stages, want 1/3",
+			snap.Counters["pool.pipeline.jobs"], snap.Counters["pool.pipeline.stages"])
+	}
+
+	var st statusz
+	getJSON(t, srv.URL+"/statusz", &st)
+	if st.Stats.Pipelines != 1 || st.Stats.Stages != 3 {
+		t.Errorf("statusz pipeline stats = %d/%d", st.Stats.Pipelines, st.Stats.Stages)
+	}
+	if len(st.Spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(st.Spans))
+	}
+	if got := len(st.Spans[0].Stages); got != 3 {
+		t.Fatalf("span stage entries = %d, want 3", got)
+	}
+	for i, ss := range st.Spans[0].Stages {
+		if ss.Status != 0 || ss.PID == 0 || ss.Image == "" {
+			t.Errorf("span stage %d = %+v", i, ss)
+		}
+	}
+}
+
 func getJSON(t *testing.T, url string, into any) {
 	t.Helper()
 	resp, err := http.Get(url)

@@ -411,10 +411,37 @@ func Table5(model *emu.CoreModel, hw *hwmodel.Machine, n int) ([]MicroRow, error
 	}
 	yield := rt2.Tim.Cycles() / float64(2*n) / model.FreqGHz
 
+	// IPC: a ring-channel ping-pong between two sandboxes. Each of the
+	// 2n hops is a send handed directly to the blocked receiver, so the
+	// delta over the yield row is the channel bookkeeping per message.
+	r1, err := progs.Build(workloads.RingPingPassive(n), core.Options{Opt: core.O2})
+	if err != nil {
+		return nil, err
+	}
+	r2, err := progs.Build(workloads.RingPingActive(n), core.Options{Opt: core.O2})
+	if err != nil {
+		return nil, err
+	}
+	m3 := *model
+	cfg3 := lfirt.DefaultConfig()
+	cfg3.Model = &m3
+	rt3 := lfirt.New(cfg3)
+	if _, err := rt3.Load(r1.ELF); err != nil {
+		return nil, err
+	}
+	if _, err := rt3.Load(r2.ELF); err != nil {
+		return nil, err
+	}
+	if err := rt3.Run(); err != nil {
+		return nil, fmt.Errorf("ipc bench: %w", err)
+	}
+	ipc := rt3.Tim.Cycles() / float64(2*n) / model.FreqGHz
+
 	rows := []MicroRow{
 		{Benchmark: "syscall", LFInS: syscall, LinuxNS: hw.LinuxSyscallNS()},
 		{Benchmark: "pipe", LFInS: pipe, LinuxNS: hw.LinuxPipeNS()},
 		{Benchmark: "yield", LFInS: yield},
+		{Benchmark: "ipc", LFInS: ipc, LinuxNS: hw.LinuxPipeNS()},
 	}
 	if g, ok := hw.GVisorSyscallNS(); ok {
 		rows[0].GVisorNS = g

@@ -141,6 +141,13 @@ func TestTable5Shape(t *testing.T) {
 	if y.LFInS <= 0 || y.LFInS > sys.LFInS*2 {
 		t.Errorf("yield %.0fns should be in the syscall regime (%.0fns)", y.LFInS, sys.LFInS)
 	}
+	ipc := byName["ipc"]
+	if ipc.LFInS <= y.LFInS {
+		t.Errorf("ipc %.0fns should cost more than a bare yield %.0fns", ipc.LFInS, y.LFInS)
+	}
+	if ipc.LFInS >= ipc.LinuxNS/3 {
+		t.Errorf("LFI ipc %.0fns not well below a Linux pipe round trip %.0fns", ipc.LFInS, ipc.LinuxNS)
+	}
 }
 
 func TestThroughputShape(t *testing.T) {

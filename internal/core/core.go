@@ -130,12 +130,25 @@ const (
 	RTPipe
 	RTKill
 	RTUsleep
+	// Cross-sandbox IPC (§5.3): runtime-mediated sockets. RTSocket creates
+	// an endpoint (stream, datagram, or shared ring channel), RTBind
+	// attaches it to a runtime-wide port, RTConnect/RTAccept establish
+	// connections, and RTSend/RTRecv move bytes. RTRecv blocks (parking
+	// the process in the scheduler) until data or EOF; RTSend hands off
+	// directly to a blocked receiver on the paper's fast yield path.
+	RTSocket
+	RTBind
+	RTConnect
+	RTAccept
+	RTSend
+	RTRecv
 	NumRuntimeCalls
 )
 
 var rtNames = [...]string{
 	"exit", "write", "read", "open", "close", "brk", "mmap", "munmap",
 	"fork", "wait", "yield", "getpid", "pipe", "kill", "usleep",
+	"socket", "bind", "connect", "accept", "send", "recv",
 }
 
 func (rc RuntimeCall) String() string {

@@ -24,6 +24,9 @@ type FaultOptions struct {
 	// SnapshotTrials is the number of kill/restore cycles against a
 	// direct runtime (0 = 20).
 	SnapshotTrials int
+	// IPCTrials is the number of mid-IPC kill/cancel trials against an
+	// echo pair over a ring channel (0 = 12).
+	IPCTrials int
 }
 
 func (o FaultOptions) withDefaults() FaultOptions {
@@ -32,6 +35,9 @@ func (o FaultOptions) withDefaults() FaultOptions {
 	}
 	if o.SnapshotTrials == 0 {
 		o.SnapshotTrials = 20
+	}
+	if o.IPCTrials == 0 {
+		o.IPCTrials = 12
 	}
 	return o
 }
@@ -42,12 +48,14 @@ type FaultReport struct {
 	Resolved   int // tickets that resolved with an allowed outcome
 	Kills      int // processes killed mid-run in the snapshot driver
 	Restores   int // snapshot restores after a kill
+	IPCFaults  int // echo peers killed or canceled mid-IPC
+	IPCDrains  int // surviving peers that drained to a clean exit
 	Violations []string
 }
 
 func (r *FaultReport) String() string {
-	return fmt.Sprintf("faults: %d submitted, %d resolved, %d kills, %d restores, %d violations",
-		r.Submitted, r.Resolved, r.Kills, r.Restores, len(r.Violations))
+	return fmt.Sprintf("faults: %d submitted, %d resolved, %d kills, %d restores, %d ipc faults, %d ipc drains, %d violations",
+		r.Submitted, r.Resolved, r.Kills, r.Restores, r.IPCFaults, r.IPCDrains, len(r.Violations))
 }
 
 const faultTenant = `
@@ -81,6 +89,7 @@ func InjectFaults(opts FaultOptions) *FaultReport {
 		poolRound(rng.Int63(), rep)
 	}
 	snapshotDriver(rng.Int63(), opts.SnapshotTrials, rep)
+	ipcRound(rng.Int63(), opts.IPCTrials, rep)
 	return rep
 }
 
@@ -211,6 +220,233 @@ func waitOrHang(tk *pool.Ticket, report func(string, ...any)) *pool.Result {
 	case <-time.After(30 * time.Second):
 		report("ticket did not resolve within 30s")
 		return nil
+	}
+}
+
+// ipcEchoServer binds a ring channel at port 3 and echoes datagram-sized
+// records forever. It exits 0 when the peer disappears — EOF from recv
+// or -EPIPE from send — and 95 on any other outcome, so a wrong errno
+// after a mid-IPC fault is visible as a bad exit status.
+var ipcEchoServer = `
+_start:
+	mov x0, #2
+	mov x1, #64
+` + progs.RTCall(core.RTSocket) + `
+	mov x19, x0
+	mov x0, x19
+	mov x1, #3
+` + progs.RTCall(core.RTBind) + `
+	cbnz x0, eerr
+eloop:
+	mov x0, x19
+	adrp x1, ebuf
+	add x1, x1, :lo12:ebuf
+	mov x2, #8
+` + progs.RTCall(core.RTRecv) + `
+	cbz x0, edone
+	tbnz x0, #63, eerr
+	mov x2, x0
+	mov x0, x19
+	adrp x1, ebuf
+	add x1, x1, :lo12:ebuf
+` + progs.RTCall(core.RTSend) + `
+	tbnz x0, #63, esendchk
+	b eloop
+esendchk:
+	neg x9, x0
+	cmp x9, #32
+	b.eq edone
+	b eerr
+edone:
+	mov x0, #0
+` + progs.Exit() + `
+eerr:
+	mov x0, #95
+` + progs.Exit() + `
+.bss
+ebuf:
+	.space 16
+`
+
+// ipcEchoClient connects to the echo server and ping-pongs forever (or,
+// in the finite variant below, for a fixed number of rounds). Clean
+// peer-death outcomes exit 0; anything else exits 94.
+func ipcEchoClient(rounds int) string {
+	loopTail := "\tb cloop\n"
+	init := "\tmov x27, #0\n"
+	if rounds > 0 {
+		init = fmt.Sprintf("\tmov x27, #%d\n", rounds)
+		loopTail = "\tsubs x27, x27, #1\n\tb.ne cloop\n\tmov x0, #0\n" + progs.Exit()
+	}
+	return `
+_start:
+	mov x0, #2
+	mov x1, #64
+` + progs.RTCall(core.RTSocket) + `
+	mov x19, x0
+` + init + `	movz x28, #1000           // bounded connect retries
+cconn:
+	mov x0, x19
+	mov x1, #3
+` + progs.RTCall(core.RTConnect) + `
+	cbz x0, cloop
+	neg x9, x0
+	cmp x9, #111              // ECONNREFUSED: binder not up (yet, or ever)
+	b.ne cerr
+	subs x28, x28, #1
+	b.eq cdone                // binder never appeared: give up cleanly
+	mov x0, #0
+` + progs.RTCall(core.RTYield) + `
+	b cconn
+cloop:
+	adrp x9, cbuf
+	add x9, x9, :lo12:cbuf
+	mov w10, #0x41
+	strb w10, [x9]
+	mov x0, x19
+	adrp x1, cbuf
+	add x1, x1, :lo12:cbuf
+	mov x2, #8
+` + progs.RTCall(core.RTSend) + `
+	tbnz x0, #63, csendchk
+	mov x0, x19
+	adrp x1, cbuf
+	add x1, x1, :lo12:cbuf
+	mov x2, #8
+` + progs.RTCall(core.RTRecv) + `
+	cbz x0, cdone
+	tbnz x0, #63, cerr
+` + loopTail + `
+csendchk:
+	neg x9, x0
+	cmp x9, #32
+	b.eq cdone
+	b cerr
+cdone:
+	mov x0, #0
+` + progs.Exit() + `
+cerr:
+	mov x0, #94
+` + progs.Exit() + `
+.bss
+cbuf:
+	.space 16
+`
+}
+
+// ipcRound kills one side of a live echo pair mid-IPC — by instruction
+// budget, by cancellation, or by direct KillProcess — and checks the
+// invariants: the surviving peer drains to a clean exit (no deadlock, no
+// hang, no wrong errno), the process table empties, and a fresh pair
+// communicates cleanly in the same runtime afterwards (the fault must
+// not leak a port binding or corrupt channel state).
+func ipcRound(seed int64, trials int, rep *FaultReport) {
+	rng := rand.New(rand.NewSource(seed))
+	violation := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("ipc "+format, args...))
+	}
+	build := func(src string) []byte {
+		res, err := progs.Build(src, core.Options{Opt: core.O2})
+		if err != nil {
+			violation("build: %v", err)
+			return nil
+		}
+		return res.ELF
+	}
+	serverELF := build(ipcEchoServer)
+	clientELF := build(ipcEchoClient(0))
+	finiteELF := build(ipcEchoClient(5))
+	spinELF := build(faultSpin)
+	if serverELF == nil || clientELF == nil || finiteELF == nil || spinELF == nil {
+		return
+	}
+
+	// runDrained runs the scheduler under a hang detector.
+	runDrained := func(rt *lfirt.Runtime, trial int, what string) bool {
+		errc := make(chan error, 1)
+		go func() { errc <- rt.Run() }()
+		select {
+		case err := <-errc:
+			if err != nil {
+				violation("trial %d: %s: %v", trial, what, err)
+				return false
+			}
+		case <-time.After(30 * time.Second):
+			violation("trial %d: %s hung (>30s)", trial, what)
+			return false
+		}
+		if n := len(rt.Procs()); n != 0 {
+			violation("trial %d: %s left %d processes", trial, what, n)
+			return false
+		}
+		return true
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		cfg := lfirt.DefaultConfig()
+		cfg.Timeslice = uint64(500 + rng.Intn(2000))
+		rt := lfirt.New(cfg)
+		server, err1 := rt.Load(serverELF)
+		client, err2 := rt.Load(clientELF)
+		dummy, err3 := rt.Load(spinELF)
+		if err1 != nil || err2 != nil || err3 != nil {
+			violation("trial %d: load: %v %v %v", trial, err1, err2, err3)
+			continue
+		}
+
+		// Warm-up: the spinning dummy absorbs a deadline kill while the
+		// echo pair reaches steady state, so the fault below lands
+		// mid-IPC, not before the rendezvous.
+		var dl *lfirt.ErrDeadline
+		if _, err := rt.RunProcDeadline(dummy, uint64(3000+rng.Intn(10000))); !errors.As(err, &dl) {
+			violation("trial %d: warm-up: %v, want deadline", trial, err)
+			continue
+		}
+
+		target, survivor := server, client
+		if rng.Intn(2) == 0 {
+			target, survivor = client, server
+		}
+		switch rng.Intn(3) {
+		case 0: // instruction-budget kill
+			if _, err := rt.RunProcDeadline(target, uint64(1+rng.Intn(3000))); !errors.As(err, &dl) {
+				violation("trial %d: budget fault: %v, want deadline", trial, err)
+			}
+		case 1: // cancellation
+			done := make(chan struct{})
+			close(done)
+			if _, err := rt.RunProcCancel(target, 0, done); !errors.Is(err, lfirt.ErrCanceled) {
+				violation("trial %d: cancel fault: %v, want ErrCanceled", trial, err)
+			}
+		case 2: // direct host-side kill between dispatches
+			rt.KillProcess(target, 137)
+		}
+		rep.IPCFaults++
+
+		if !runDrained(rt, trial, "drain after fault") {
+			continue
+		}
+		if s := survivor.ExitStatus(); s != 0 {
+			violation("trial %d: survivor exited %d, want 0 (94/95 = wrong errno seen)", trial, s)
+			continue
+		}
+		rep.IPCDrains++
+
+		// The runtime must still serve IPC: a fresh pair on the same
+		// port, with a finite client closing gracefully mid-stream.
+		s2, err1 := rt.Load(serverELF)
+		c2, err2 := rt.Load(finiteELF)
+		if err1 != nil || err2 != nil {
+			violation("trial %d: reload: %v %v", trial, err1, err2)
+			continue
+		}
+		if !runDrained(rt, trial, "fresh pair after fault") {
+			continue
+		}
+		if s2.ExitStatus() != 0 || c2.ExitStatus() != 0 {
+			violation("trial %d: fresh pair exited %d/%d, want 0/0",
+				trial, s2.ExitStatus(), c2.ExitStatus())
+		}
 	}
 }
 

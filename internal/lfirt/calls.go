@@ -38,16 +38,9 @@ func (rt *Runtime) syscall(p *Proc, call core.RuntimeCall) action {
 		}
 		n := rt.doRead(p, fd, a1, a2)
 		if n == -EAGAIN {
-			// Block: save state with the return already staged so that
-			// wakeBlocked can retry using Regs.X[1..2].
-			rt.resume(p, 0) // position PC at the return point first
-			rt.saveRegs(p)
-			p.Regs.X[0] = a0
-			p.Regs.X[1] = a1
-			p.Regs.X[2] = a2
-			p.State = ProcBlocked
-			p.waitingFD = int(int32(uint32(a0)))
-			p.waitingWait = false
+			// Block with the arguments staged in Regs.X[0..2] so that
+			// wakeBlocked can retry the read later.
+			rt.block(p, blockRead, int(int32(uint32(a0))), a0, a1, a2)
 			return actResched
 		}
 		return rt.resume(p, uint64(n))
@@ -89,6 +82,24 @@ func (rt *Runtime) syscall(p *Proc, call core.RuntimeCall) action {
 			return actResched
 		}
 		return rt.resume(p, uint64(rt.sysKill(p, a0)))
+
+	case core.RTSocket:
+		return rt.resume(p, uint64(rt.sysSocket(p, a0, a1)))
+
+	case core.RTBind:
+		return rt.resume(p, uint64(rt.sysBind(p, a0, a1)))
+
+	case core.RTConnect:
+		return rt.resume(p, uint64(rt.sysConnect(p, a0, a1)))
+
+	case core.RTAccept:
+		return rt.sysAccept(p, a0)
+
+	case core.RTSend:
+		return rt.sysSend(p, a0, a1, a2)
+
+	case core.RTRecv:
+		return rt.sysRecv(p, a0, a1, a2)
 
 	case core.RTUsleep:
 		// Model the sleep as an immediate requeue plus elapsed virtual
@@ -300,7 +311,7 @@ func (rt *Runtime) sysWait(p *Proc, statusPtr uint64) action {
 	rt.resume(p, 0)
 	rt.saveRegs(p)
 	p.State = ProcBlocked
-	p.waitingWait = true
+	p.block = blockChild
 	p.waitStatus = statusPtr
 	return actResched
 }
@@ -331,7 +342,9 @@ func (rt *Runtime) completeWait(p *Proc) {
 // sysYield implements the fast direct yield (§5.3): control transfers
 // straight to the target sandbox without a scheduler pass, saving and
 // restoring only what a cross-domain call needs. The call returns the
-// yielding process's pid in the target.
+// yielding process's pid in the target. Yielding to a dead, blocked, or
+// nonexistent process returns -ESRCH to the yielder (pinned by
+// TestYieldDeadPeer); yielding to pid 0 is a plain scheduler yield.
 func (rt *Runtime) sysYield(p *Proc, target uint64) action {
 	// Charge the cheap path instead of the full host-call cost.
 	rt.charge(rt.CostYield - rt.CostHostCall)

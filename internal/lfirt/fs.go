@@ -38,6 +38,13 @@ const (
 	ESPIPE = 29
 	EPIPE  = 32
 	ESRCH  = 3
+	// IPC errnos (sockets and channels, §5.3).
+	ENOTSOCK     = 88
+	EMSGSIZE     = 90
+	EADDRINUSE   = 98
+	EISCONN      = 106
+	ENOTCONN     = 107
+	ECONNREFUSED = 111
 )
 
 // FS is the in-memory filesystem shared by all sandboxes of a runtime.
@@ -98,6 +105,7 @@ const (
 	fdPipeRead
 	fdPipeWrite
 	fdConsole
+	fdSock
 )
 
 // FD is one open file description. Descriptions are shared across fork
@@ -109,6 +117,7 @@ type FD struct {
 	pos   int64
 	flags int
 	pipe  *pipe
+	sock  *sock
 	// console output accumulates in the owning process's capture buffer
 	// (and, unless the runtime runs with LocalOutput, the runtime-wide
 	// Stdout/Stderr buffers too).
@@ -133,6 +142,8 @@ func (fd *FD) decref() {
 		fd.pipe.readers--
 	case fdPipeWrite:
 		fd.pipe.writers--
+	case fdSock:
+		fd.sock.close()
 	}
 }
 
@@ -144,6 +155,8 @@ func (fd *FD) String() string {
 		return "pipe(r)"
 	case fdPipeWrite:
 		return "pipe(w)"
+	case fdSock:
+		return "sock"
 	default:
 		return "console"
 	}
@@ -244,6 +257,17 @@ func (t *fdTable) close(n int) int64 {
 	fd.decref()
 	delete(t.fds, n)
 	return 0
+}
+
+// replace installs fd at slot n, dropping whatever was there. Used by
+// the host-side pipeline wiring (Runtime.ConnectPipe/FeedInput) before
+// a process starts.
+func (t *fdTable) replace(n int, fd *FD) {
+	if old, ok := t.fds[n]; ok {
+		old.decref()
+	}
+	t.fds[n] = fd
+	fd.incref()
 }
 
 // clone duplicates the table for fork: descriptions are shared.

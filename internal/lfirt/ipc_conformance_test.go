@@ -1,0 +1,291 @@
+package lfirt
+
+import (
+	"fmt"
+	"testing"
+
+	"lfi/internal/core"
+	"lfi/internal/progs"
+)
+
+// Hostcall conformance suite for the IPC runtime calls. Every case is a
+// guest program driving one call into a failure (bad fd, bad pointer,
+// oversized length, closed peer, self-connect, full ring, post-kill …)
+// and exiting with the negated errno, which the driver checks exactly.
+// After each case the driver also verifies no runtime-state corruption:
+// the process table drains and a fresh sandbox still runs in the same
+// runtime. Each new RT call carries at least 6 negative cases
+// (TestIPCConformanceCoverage pins the floor).
+
+type confCase struct {
+	call core.RuntimeCall
+	name string
+	src  string
+	want int // expected exit status: the errno, or a marker value
+}
+
+// Assembly snippet helpers.
+
+// mkSock emits socket(typ, capacity) and moves the fd into reg.
+func mkSock(reg string, typ, capacity int) string {
+	return fmt.Sprintf("\tmov x0, #%d\n\tmov x1, #%d\n", typ, capacity) +
+		progs.RTCall(core.RTSocket) + "\tmov " + reg + ", x0\n"
+}
+
+// rc2 emits a two-argument runtime call; a0/a1 are "#imm" or registers.
+func rc2(call core.RuntimeCall, a0, a1 string) string {
+	return "\tmov x0, " + a0 + "\n\tmov x1, " + a1 + "\n" + progs.RTCall(call)
+}
+
+// rc3 emits a three-argument runtime call.
+func rc3(call core.RuntimeCall, a0, a1, a2 string) string {
+	return "\tmov x0, " + a0 + "\n\tmov x1, " + a1 + "\n\tmov x2, " + a2 + "\n" +
+		progs.RTCall(call)
+}
+
+const (
+	ckZero  = "\tcbnz x0, fail\n"             // previous call must have returned 0
+	negExit = "\tneg x0, x0\n"                // exit with the negated (positive) errno
+	badPtr  = "\tmovz x1, #0x4000, lsl #16\n" // 0x40000000: unmapped sandbox middle
+)
+
+// ringPair establishes a paired ring channel: x19 = passive (bound at
+// port 7), x20 = active (connected), capacity 64.
+func ringPair() string {
+	return mkSock("x19", SockRing, 64) + mkSock("x20", SockRing, 64) +
+		rc2(core.RTBind, "x19", "#7") + ckZero +
+		rc2(core.RTConnect, "x20", "#7") + ckZero
+}
+
+// prog wraps a case body with the standard prologue, failure sink, and
+// a scratch buffer.
+func prog(body string) string {
+	return "_start:\n" + body + progs.Exit() + `
+fail:
+	mov x0, #99
+` + progs.Exit() + `
+.bss
+buf:
+	.space 64
+`
+}
+
+func la2(reg string) string {
+	return "\tadrp " + reg + ", buf\n\tadd " + reg + ", " + reg + ", :lo12:buf\n"
+}
+
+func ipcConformanceCases() []confCase {
+	// Oversized values that need movz/movk staging.
+	const hugeCap = `	movz x1, #0x10, lsl #16
+	add x1, x1, #1
+`
+	const hugeLen = `	movz x2, #0x10, lsl #16
+	add x2, x2, #1
+`
+	const port70000 = `	movz x1, #0x1170
+	movk x1, #0x1, lsl #16
+`
+	sendBuf := func(fd, n string) string {
+		return "\tmov x0, " + fd + "\n" + la2("x1") + "\tmov x2, " + n + "\n" + progs.RTCall(core.RTSend)
+	}
+	recvBuf := func(fd, n string) string {
+		return "\tmov x0, " + fd + "\n" + la2("x1") + "\tmov x2, " + n + "\n" + progs.RTCall(core.RTRecv)
+	}
+
+	return []confCase{
+		// ---- RTSocket ----
+		{core.RTSocket, "bad-type-3", prog(rc2(core.RTSocket, "#3", "#0") + negExit), EINVAL},
+		{core.RTSocket, "bad-type-99", prog(rc2(core.RTSocket, "#99", "#0") + negExit), EINVAL},
+		{core.RTSocket, "negative-type", prog(`	mov x9, #1
+	neg x9, x9
+	mov x0, x9
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + negExit), EINVAL},
+		{core.RTSocket, "negative-cap", prog(`	mov x9, #1
+	neg x9, x9
+	mov x0, #1
+	mov x1, x9
+` + progs.RTCall(core.RTSocket) + negExit), EINVAL},
+		{core.RTSocket, "cap-too-big", prog("\tmov x0, #2\n" + hugeCap + progs.RTCall(core.RTSocket) + negExit), EINVAL},
+		{core.RTSocket, "fd-exhaustion", prog(`	mov x19, #0
+eloop:
+	mov x0, #1
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `	tbnz x0, #63, edone
+	add x19, x19, #1
+	b eloop
+edone:
+` + negExit), EMFILE},
+
+		// ---- RTBind ----
+		{core.RTBind, "bad-fd", prog(rc2(core.RTBind, "#99", "#5") + negExit), EBADF},
+		{core.RTBind, "not-a-socket", prog(rc2(core.RTBind, "#1", "#5") + negExit), ENOTSOCK},
+		{core.RTBind, "port-zero", prog(mkSock("x19", SockDgram, 0) + rc2(core.RTBind, "x19", "#0") + negExit), EINVAL},
+		{core.RTBind, "port-out-of-range", prog(mkSock("x19", SockDgram, 0) +
+			"\tmov x0, x19\n" + port70000 + progs.RTCall(core.RTBind) + negExit), EINVAL},
+		{core.RTBind, "double-bind", prog(mkSock("x19", SockStream, 0) +
+			rc2(core.RTBind, "x19", "#5") + ckZero +
+			rc2(core.RTBind, "x19", "#6") + negExit), EINVAL},
+		{core.RTBind, "port-in-use", prog(mkSock("x19", SockStream, 0) + mkSock("x20", SockStream, 0) +
+			rc2(core.RTBind, "x19", "#5") + ckZero +
+			rc2(core.RTBind, "x20", "#5") + negExit), EADDRINUSE},
+		{core.RTBind, "already-connected", prog(ringPair() +
+			rc2(core.RTBind, "x20", "#8") + negExit), EISCONN},
+
+		// ---- RTConnect ----
+		{core.RTConnect, "bad-fd", prog(rc2(core.RTConnect, "#99", "#5") + negExit), EBADF},
+		{core.RTConnect, "not-a-socket", prog(rc2(core.RTConnect, "#1", "#5") + negExit), ENOTSOCK},
+		{core.RTConnect, "port-zero", prog(mkSock("x19", SockDgram, 0) + rc2(core.RTConnect, "x19", "#0") + negExit), EINVAL},
+		{core.RTConnect, "no-binder", prog(mkSock("x19", SockDgram, 0) + rc2(core.RTConnect, "x19", "#5") + negExit), ECONNREFUSED},
+		{core.RTConnect, "type-mismatch", prog(mkSock("x19", SockStream, 0) + mkSock("x20", SockDgram, 0) +
+			rc2(core.RTBind, "x19", "#5") + ckZero +
+			rc2(core.RTConnect, "x20", "#5") + negExit), ECONNREFUSED},
+		{core.RTConnect, "self-connect", prog(mkSock("x19", SockDgram, 0) +
+			rc2(core.RTBind, "x19", "#5") + ckZero +
+			rc2(core.RTConnect, "x19", "#5") + negExit), EINVAL},
+		{core.RTConnect, "already-connected", prog(ringPair() +
+			rc2(core.RTConnect, "x20", "#7") + negExit), EISCONN},
+		{core.RTConnect, "ring-already-paired", prog(ringPair() + mkSock("x25", SockRing, 64) +
+			rc2(core.RTConnect, "x25", "#7") + negExit), ECONNREFUSED},
+		{core.RTConnect, "post-kill-binder-gone", prog(progs.RTCall(core.RTFork) + `	cbz x0, child
+	mov x0, #0
+	mov x1, #0
+` + progs.RTCall(core.RTWait) + mkSock("x19", SockRing, 0) +
+			rc2(core.RTConnect, "x19", "#6") + negExit + progs.Exit() + `
+child:
+` + mkSock("x25", SockRing, 0) + rc2(core.RTBind, "x25", "#6") + ckZero + "\tmov x0, #0\n"), ECONNREFUSED},
+
+		// ---- RTAccept ----
+		{core.RTAccept, "bad-fd", prog("\tmov x0, #99\n" + progs.RTCall(core.RTAccept) + negExit), EBADF},
+		{core.RTAccept, "not-a-socket", prog("\tmov x0, #2\n" + progs.RTCall(core.RTAccept) + negExit), ENOTSOCK},
+		{core.RTAccept, "unbound-stream", prog(mkSock("x19", SockStream, 0) +
+			"\tmov x0, x19\n" + progs.RTCall(core.RTAccept) + negExit), EINVAL},
+		{core.RTAccept, "bound-dgram", prog(mkSock("x19", SockDgram, 0) +
+			rc2(core.RTBind, "x19", "#5") + ckZero +
+			"\tmov x0, x19\n" + progs.RTCall(core.RTAccept) + negExit), EINVAL},
+		{core.RTAccept, "active-ring", prog(ringPair() +
+			"\tmov x0, x20\n" + progs.RTCall(core.RTAccept) + negExit), EINVAL},
+		{core.RTAccept, "passive-ring", prog(ringPair() +
+			"\tmov x0, x19\n" + progs.RTCall(core.RTAccept) + negExit), EINVAL},
+
+		// ---- RTSend ----
+		{core.RTSend, "bad-fd", prog(rc3(core.RTSend, "#99", "#0", "#0") + negExit), EBADF},
+		{core.RTSend, "not-a-socket", prog(rc3(core.RTSend, "#1", "#0", "#0") + negExit), ENOTSOCK},
+		{core.RTSend, "stream-not-connected", prog(mkSock("x19", SockStream, 0) +
+			sendBuf("x19", "#4") + negExit), ENOTCONN},
+		{core.RTSend, "dgram-not-connected", prog(mkSock("x19", SockDgram, 0) +
+			sendBuf("x19", "#4") + negExit), ENOTCONN},
+		{core.RTSend, "bad-pointer", prog(ringPair() +
+			"\tmov x0, x20\n" + badPtr + "\tmov x2, #8\n" + progs.RTCall(core.RTSend) + negExit), EFAULT},
+		{core.RTSend, "oversized-length", prog(ringPair() +
+			"\tmov x0, x20\n" + la2("x1") + hugeLen + progs.RTCall(core.RTSend) + negExit), EMSGSIZE},
+		{core.RTSend, "bigger-than-ring", prog(ringPair() +
+			sendBuf("x20", "#65") + negExit), EMSGSIZE},
+		{core.RTSend, "full-ring-backpressure", prog(ringPair() +
+			sendBuf("x20", "#48") + `	cmp x0, #48
+	b.ne fail
+` + sendBuf("x20", "#32") + negExit), EAGAIN},
+		{core.RTSend, "closed-peer", prog(ringPair() +
+			"\tmov x0, x19\n" + progs.RTCall(core.RTClose) + ckZero +
+			sendBuf("x20", "#4") + negExit), EPIPE},
+		{core.RTSend, "post-kill-peer", prog(mkSock("x19", SockRing, 0) +
+			rc2(core.RTBind, "x19", "#7") + ckZero +
+			progs.RTCall(core.RTFork) + `	cbz x0, child
+	mov x0, #0
+	mov x1, #0
+` + progs.RTCall(core.RTWait) + sendBuf("x19", "#4") + negExit + progs.Exit() + `
+child:
+` + mkSock("x25", SockRing, 0) + rc2(core.RTConnect, "x25", "#7") + ckZero + "\tmov x0, #0\n"), EPIPE},
+
+		// ---- RTRecv ----
+		{core.RTRecv, "bad-fd", prog(rc3(core.RTRecv, "#99", "#0", "#0") + negExit), EBADF},
+		{core.RTRecv, "not-a-socket", prog(rc3(core.RTRecv, "#1", "#0", "#0") + negExit), ENOTSOCK},
+		{core.RTRecv, "stream-not-connected", prog(mkSock("x19", SockStream, 0) +
+			recvBuf("x19", "#4") + negExit), ENOTCONN},
+		{core.RTRecv, "dgram-not-bound", prog(mkSock("x19", SockDgram, 0) +
+			recvBuf("x19", "#4") + negExit), ENOTCONN},
+		{core.RTRecv, "listener", prog(mkSock("x19", SockStream, 0) +
+			rc2(core.RTBind, "x19", "#5") + ckZero +
+			recvBuf("x19", "#4") + negExit), EINVAL},
+		{core.RTRecv, "bad-pointer-preserves-data", prog(ringPair() +
+			sendBuf("x20", "#8") + `	cmp x0, #8
+	b.ne fail
+	mov x0, x19
+` + badPtr + "\tmov x2, #8\n" + progs.RTCall(core.RTRecv) + `	neg x9, x0
+` + recvBuf("x19", "#16") + `	cmp x0, #8
+	b.ne fail
+	mov x0, x9
+`), EFAULT},
+		{core.RTRecv, "odd-lengths-exact", prog(ringPair() +
+			sendBuf("x20", "#5") + `	cmp x0, #5
+	b.ne fail
+` + recvBuf("x19", "#3") + `	cmp x0, #3
+	b.ne fail
+` + recvBuf("x19", "#3") + `	cmp x0, #2
+	b.ne fail
+	mov x0, #60
+`), 60},
+		{core.RTRecv, "post-kill-eof", prog(mkSock("x19", SockRing, 0) +
+			rc2(core.RTBind, "x19", "#7") + ckZero +
+			progs.RTCall(core.RTFork) + `	cbz x0, child
+	mov x0, #0
+	mov x1, #0
+` + progs.RTCall(core.RTWait) + recvBuf("x19", "#8") + `	cmp x0, #2
+	b.ne fail
+` + recvBuf("x19", "#8") + `	cbnz x0, fail
+	mov x0, #77
+` + progs.Exit() + `
+child:
+` + mkSock("x25", SockRing, 0) + rc2(core.RTConnect, "x25", "#7") + ckZero +
+			sendBuf("x25", "#2") + `	cmp x0, #2
+	b.ne fail
+	mov x0, #0
+`), 77},
+	}
+}
+
+func TestIPCConformance(t *testing.T) {
+	for _, tc := range ipcConformanceCases() {
+		t.Run(tc.call.String()+"/"+tc.name, func(t *testing.T) {
+			rt := newRT(t)
+			p, err := rt.Load(build(t, tc.src))
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			status, err := rt.RunProc(p)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if status != tc.want {
+				t.Errorf("exit status = %d, want %d", status, tc.want)
+			}
+			// No runtime-state corruption: everything drains, and the same
+			// runtime still serves a fresh sandbox.
+			if err := rt.Run(); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			if n := len(rt.Procs()); n != 0 {
+				t.Errorf("%d processes leaked", n)
+			}
+			if s := loadRun(t, rt, "_start:\n"+progs.ExitCode(42)); s != 42 {
+				t.Errorf("runtime corrupted: followup sandbox exited %d, want 42", s)
+			}
+		})
+	}
+}
+
+// TestIPCConformanceCoverage pins the suite's floor: every IPC runtime
+// call carries at least 6 negative cases.
+func TestIPCConformanceCoverage(t *testing.T) {
+	counts := map[core.RuntimeCall]int{}
+	for _, tc := range ipcConformanceCases() {
+		counts[tc.call]++
+	}
+	for _, rc := range []core.RuntimeCall{
+		core.RTSocket, core.RTBind, core.RTConnect, core.RTAccept, core.RTSend, core.RTRecv,
+	} {
+		if counts[rc] < 6 {
+			t.Errorf("%s: %d conformance cases, want >= 6", rc, counts[rc])
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package lfirt
+
+import (
+	"testing"
+	"time"
+
+	"lfi/internal/core"
+	"lfi/internal/progs"
+)
+
+// TestRingStressProducersConsumers runs N=4 producers and M=3 consumers
+// over one shared ring channel under a small timeslice. Each producer
+// deposits 16 records of 8 identical bytes (the record's global id,
+// 0..63); deposits are all-or-nothing, so records must never tear even
+// when producers race. Consumers validate record integrity, count and
+// sum what they consume, and report back over a datagram socket; the
+// root checks that exactly 64 records with id-sum 2016 arrived — no
+// loss, no duplication. The run is wrapped in a hang detector (the same
+// discipline as internal/fuzz's waitOrHang) and must preempt.
+func TestRingStressProducersConsumers(t *testing.T) {
+	const (
+		producers = 4
+		consumers = 3
+		perProd   = 16
+		records   = producers * perProd         // 64
+		idSum     = records * (records - 1) / 2 // 2016
+	)
+
+	cfg := DefaultConfig()
+	cfg.Timeslice = 2_000
+	cfg.StackSize = 1 << 20
+	rt := New(cfg)
+
+	src := `
+_start:
+	// sA (fd 3): passive ring, bound at port 1, capacity 64 (8 records)
+	mov x0, #2
+	mov x1, #64
+` + progs.RTCall(core.RTSocket) + `
+	mov x0, #3
+	mov x1, #1
+` + progs.RTCall(core.RTBind) + `
+	cbnz x0, rfail
+	// sB (fd 4): active ring, paired with sA
+	mov x0, #2
+	mov x1, #64
+` + progs.RTCall(core.RTSocket) + `
+	mov x0, #4
+	mov x1, #1
+` + progs.RTCall(core.RTConnect) + `
+	cbnz x0, rfail
+	// rD (fd 5): bound dgram socket for consumer result reports
+	mov x0, #1
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `
+	mov x0, #5
+	mov x1, #9
+` + progs.RTCall(core.RTBind) + `
+	cbnz x0, rfail
+
+	// Fork 7 children; each inherits its index in x28.
+	mov x28, #0
+rfork:
+	cmp x28, #7
+	b.eq rparent
+` + progs.RTCall(core.RTFork) + `
+	cbz x0, childsel
+	add x28, x28, #1
+	b rfork
+
+rparent:
+	// Drop the root's ring ends: the channel must die with the workers.
+	mov x0, #3
+` + progs.RTCall(core.RTClose) + `
+	mov x0, #4
+` + progs.RTCall(core.RTClose) + `
+	// Reap all 7 children.
+	mov x26, #7
+rwait:
+	mov x0, #0
+` + progs.RTCall(core.RTWait) + `
+	tbnz x0, #63, rfail
+	subs x26, x26, #1
+	b.ne rwait
+	// Collect the 3 consumer reports: buf[0]=count, buf[1..2]=sum.
+	mov x26, #0               // total count
+	mov x27, #0               // total sum
+	mov x25, #3               // reports outstanding
+rcollect:
+	mov x0, #5
+` + la("x1", "buf") + `	mov x2, #8
+` + progs.RTCall(core.RTRecv) + `
+	cmp x0, #3
+	b.ne rfail
+` + la("x9", "buf") + `	ldrb w10, [x9]
+	add x26, x26, x10
+	ldrb w10, [x9, #1]
+	add x27, x27, x10
+	ldrb w10, [x9, #2]
+	add x27, x27, x10, lsl #8
+	subs x25, x25, #1
+	b.ne rcollect
+	// Verdict: count == 64 and sum == 2016.
+	cmp x26, #64
+	b.ne rbadcount
+	movz x9, #2016
+	cmp x27, x9
+	b.ne rbadsum
+	mov x0, #0
+` + progs.Exit() + `
+rbadcount:
+	mov x0, #91
+` + progs.Exit() + `
+rbadsum:
+	mov x0, #92
+` + progs.Exit() + `
+rfail:
+	mov x0, #90
+` + progs.Exit() + `
+
+childsel:
+	cmp x28, #4
+	b.lt producer
+	b consumer
+
+producer:
+	// Producer x28 (0..3): 16 records of 8 bytes, value = x28*16 + seq.
+	mov x0, #3
+` + progs.RTCall(core.RTClose) + `
+	mov x0, #5
+` + progs.RTCall(core.RTClose) + `
+	mov x26, #0               // seq
+pprod:
+	lsl x9, x28, #4
+	add x9, x9, x26           // gid
+` + la("x10", "buf") + `	strb w9, [x10]
+	strb w9, [x10, #1]
+	strb w9, [x10, #2]
+	strb w9, [x10, #3]
+	strb w9, [x10, #4]
+	strb w9, [x10, #5]
+	strb w9, [x10, #6]
+	strb w9, [x10, #7]
+	// Burn enough straight-line work to guarantee preemption under the
+	// 2k timeslice.
+	movz x11, #2000
+pspin:
+	subs x11, x11, #1
+	b.ne pspin
+psend:
+	mov x0, #4
+` + la("x1", "buf") + `	mov x2, #8
+` + progs.RTCall(core.RTSend) + `
+	tbnz x0, #63, pagain
+	add x26, x26, #1
+	cmp x26, #16
+	b.ne pprod
+	mov x0, #0
+` + progs.Exit() + `
+pagain:
+	// Only EAGAIN (full ring) is retryable; anything else is a bug.
+	neg x9, x0
+	cmp x9, #11
+	b.ne pfail
+	mov x0, #0
+` + progs.RTCall(core.RTYield) + `
+	b psend
+pfail:
+	mov x0, #89
+` + progs.Exit() + `
+
+consumer:
+	// Consumer: drain records until EOF, validate, report, exit.
+	mov x0, #4
+` + progs.RTCall(core.RTClose) + `
+	mov x26, #0               // count
+	mov x27, #0               // sum
+crecv:
+	mov x0, #3
+` + la("x1", "buf") + `	mov x2, #8
+` + progs.RTCall(core.RTRecv) + `
+	cbz x0, cdone
+	tbnz x0, #63, cfail
+	cmp x0, #8
+	b.ne cfail                // a record tore across deposits
+` + la("x9", "buf") + `	ldrb w10, [x9]
+	ldrb w11, [x9, #1]
+	cmp w10, w11
+	b.ne cfail
+	ldrb w11, [x9, #3]
+	cmp w10, w11
+	b.ne cfail
+	ldrb w11, [x9, #5]
+	cmp w10, w11
+	b.ne cfail
+	ldrb w11, [x9, #7]
+	cmp w10, w11
+	b.ne cfail
+	add x27, x27, x10
+	add x26, x26, #1
+	b crecv
+cdone:
+	// Report: [count, sum&0xff, sum>>8] to the root's dgram port.
+` + la("x9", "buf") + `	strb w26, [x9]
+	strb w27, [x9, #1]
+	lsr x10, x27, #8
+	strb w10, [x9, #2]
+	mov x0, #1
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `
+	mov x25, x0
+	mov x0, x25
+	mov x1, #9
+` + progs.RTCall(core.RTConnect) + `
+	cbnz x0, cfail
+	mov x0, x25
+` + la("x1", "buf") + `	mov x2, #3
+` + progs.RTCall(core.RTSend) + `
+	cmp x0, #3
+	b.ne cfail
+	mov x0, #0
+` + progs.Exit() + `
+cfail:
+	mov x0, #88
+` + progs.Exit() + `
+.bss
+buf:
+	.space 16
+`
+	root, err := rt.Load(build(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hang detector: the whole run must finish well within 30s.
+	type res struct {
+		status int
+		err    error
+	}
+	done := make(chan res, 1)
+	go func() {
+		status, err := rt.RunProc(root)
+		done <- res{status, err}
+	}()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("run: %v", r.err)
+		}
+		if r.status != 0 {
+			t.Fatalf("root verdict = %d, want 0 (91=lost/dup count, 92=bad sum)", r.status)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress run hung: no completion within 30s")
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if n := len(rt.Procs()); n != 0 {
+		t.Errorf("%d processes leaked", n)
+	}
+	if rt.Preempts == 0 {
+		t.Error("no preemptions under a 2k-instruction timeslice")
+	}
+}

@@ -1,0 +1,453 @@
+package lfirt
+
+import (
+	"bytes"
+	"testing"
+
+	"lfi/internal/core"
+	"lfi/internal/obs"
+	"lfi/internal/progs"
+)
+
+// Functional tests for the cross-sandbox IPC subsystem: ring channels,
+// stream sockets with accept, datagram sockets, EOF propagation, the
+// send→recv direct handoff, and the host-side pipeline wiring APIs.
+
+// la loads the address of sym into reg (adrp+add pair).
+func la(reg, sym string) string {
+	return "\tadrp " + reg + ", " + sym + "\n\tadd " + reg + ", " + reg + ", :lo12:" + sym + "\n"
+}
+
+func TestRingPairSameProc(t *testing.T) {
+	rt := newRT(t)
+	src := `
+_start:
+	// a = socket(ring, 64) — passive side
+	mov x0, #2
+	mov x1, #64
+` + progs.RTCall(core.RTSocket) + `
+	mov x19, x0
+	// b = socket(ring, 64) — active side
+	mov x0, #2
+	mov x1, #64
+` + progs.RTCall(core.RTSocket) + `
+	mov x20, x0
+	// bind(a, 7); connect(b, 7)
+	mov x0, x19
+	mov x1, #7
+` + progs.RTCall(core.RTBind) + `
+	cbnz x0, fail
+	mov x0, x20
+	mov x1, #7
+` + progs.RTCall(core.RTConnect) + `
+	cbnz x0, fail
+	// send(b, msg, 5)
+	mov x0, x20
+` + la("x1", "msg") + `	mov x2, #5
+` + progs.RTCall(core.RTSend) + `
+	cmp x0, #5
+	b.ne fail
+	// recv(a, buf, 16) — must return exactly the 5 deposited bytes
+	mov x0, x19
+` + la("x1", "buf") + `	mov x2, #16
+` + progs.RTCall(core.RTRecv) + `
+	cmp x0, #5
+	b.ne fail
+` + la("x9", "buf") + `	ldrb w0, [x9]
+	ldrb w10, [x9, #4]
+	add x0, x0, x10           // 'h' + 'o' = 215
+` + progs.Exit() + `
+fail:
+	mov x0, #99
+` + progs.Exit() + `
+.rodata
+msg:
+	.ascii "hello"
+.bss
+buf:
+	.space 16
+`
+	if status := loadRun(t, rt, src); status != 'h'+'o' {
+		t.Errorf("ring transfer status = %d, want %d", status, 'h'+'o')
+	}
+}
+
+func TestRingPingPongHandoff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Obs = obs.New()
+	rt := New(cfg)
+
+	passive := `
+_start:
+	mov x0, #2
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `
+	mov x19, x0
+	mov x0, x19
+	mov x1, #5
+` + progs.RTCall(core.RTBind) + `
+	mov x26, #20              // rounds
+ploop:
+	mov x0, x19
+` + la("x1", "buf") + `	mov x2, #1
+` + progs.RTCall(core.RTRecv) + `
+	cmp x0, #1
+	b.ne pfail
+	mov x0, x19
+` + la("x1", "buf") + `	mov x2, #1
+` + progs.RTCall(core.RTSend) + `
+	subs x26, x26, #1
+	b.ne ploop
+	mov x0, #0
+` + progs.Exit() + `
+pfail:
+	mov x0, #98
+` + progs.Exit() + `
+.bss
+buf:
+	.space 8
+`
+	active := `
+_start:
+	mov x0, #2
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `
+	mov x19, x0
+	mov x0, x19
+	mov x1, #5
+` + progs.RTCall(core.RTConnect) + `
+	cbnz x0, afail
+	mov x26, #20
+aloop:
+	mov x0, x19
+` + la("x1", "buf") + `	mov x2, #1
+` + progs.RTCall(core.RTSend) + `
+	cmp x0, #1
+	b.ne afail
+	mov x0, x19
+` + la("x1", "buf") + `	mov x2, #1
+` + progs.RTCall(core.RTRecv) + `
+	cmp x0, #1
+	b.ne afail
+	subs x26, x26, #1
+	b.ne aloop
+	mov x0, #0
+` + progs.Exit() + `
+afail:
+	mov x0, #97
+` + progs.Exit() + `
+.bss
+buf:
+	.space 8
+`
+	p1, err := rt.Load(build(t, passive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := rt.Load(build(t, active))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if p1.ExitStatus() != 0 || p2.ExitStatus() != 0 {
+		t.Errorf("statuses = %d, %d; want 0, 0", p1.ExitStatus(), p2.ExitStatus())
+	}
+	reg := cfg.Obs.Registry()
+	if v := reg.Counter("rt.ipc.handoffs").Value(); v == 0 {
+		t.Error("no direct send→recv handoffs recorded")
+	}
+	if v := reg.Counter("rt.ipc.sends").Value(); v < 40 {
+		t.Errorf("sends counter = %d, want >= 40", v)
+	}
+	if v := reg.Counter("rt.ipc.recvs").Value(); v < 40 {
+		t.Errorf("recvs counter = %d, want >= 40", v)
+	}
+}
+
+func TestStreamAcceptEcho(t *testing.T) {
+	rt := newRT(t)
+	server := `
+_start:
+	mov x0, #0
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `
+	mov x19, x0
+	mov x0, x19
+	mov x1, #9
+` + progs.RTCall(core.RTBind) + `
+	// accept blocks until the client connects
+	mov x0, x19
+` + progs.RTCall(core.RTAccept) + `
+	tbnz x0, #63, sfail
+	mov x20, x0
+	// echo one message
+	mov x0, x20
+` + la("x1", "buf") + `	mov x2, #8
+` + progs.RTCall(core.RTRecv) + `
+	cmp x0, #2
+	b.ne sfail
+	mov x0, x20
+` + la("x1", "buf") + `	mov x2, #2
+` + progs.RTCall(core.RTSend) + `
+	// second recv sees EOF once the client exits
+	mov x0, x20
+` + la("x1", "buf") + `	mov x2, #8
+` + progs.RTCall(core.RTRecv) + `
+	cbnz x0, sfail
+	mov x0, #0
+` + progs.Exit() + `
+sfail:
+	mov x0, #96
+` + progs.Exit() + `
+.bss
+buf:
+	.space 8
+`
+	client := `
+_start:
+	mov x0, #0
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `
+	mov x19, x0
+	mov x0, x19
+	mov x1, #9
+` + progs.RTCall(core.RTConnect) + `
+	cbnz x0, cfail
+	mov x0, x19
+` + la("x1", "msg") + `	mov x2, #2
+` + progs.RTCall(core.RTSend) + `
+	cmp x0, #2
+	b.ne cfail
+	mov x0, x19
+` + la("x1", "buf") + `	mov x2, #8
+` + progs.RTCall(core.RTRecv) + `
+	cmp x0, #2
+	b.ne cfail
+` + la("x9", "buf") + `	ldrb w0, [x9]             // 'h'
+` + progs.Exit() + `
+cfail:
+	mov x0, #95
+` + progs.Exit() + `
+.rodata
+msg:
+	.ascii "hi"
+.bss
+buf:
+	.space 8
+`
+	ps, err := rt.Load(build(t, server))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := rt.Load(build(t, client))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if ps.ExitStatus() != 0 {
+		t.Errorf("server status = %d, want 0", ps.ExitStatus())
+	}
+	if pc.ExitStatus() != 'h' {
+		t.Errorf("client status = %d, want %d", pc.ExitStatus(), 'h')
+	}
+	if n := len(rt.Procs()); n != 0 {
+		t.Errorf("%d processes leaked", n)
+	}
+}
+
+func TestDgramBoundariesAndTruncation(t *testing.T) {
+	rt := newRT(t)
+	src := `
+_start:
+	// s1 = bound dgram socket, s2 connected to it
+	mov x0, #1
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `
+	mov x19, x0
+	mov x0, x19
+	mov x1, #3
+` + progs.RTCall(core.RTBind) + `
+	mov x0, #1
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `
+	mov x20, x0
+	mov x0, x20
+	mov x1, #3
+` + progs.RTCall(core.RTConnect) + `
+	// send "abc" then "de"
+	mov x0, x20
+` + la("x1", "msg") + `	mov x2, #3
+` + progs.RTCall(core.RTSend) + `
+	mov x0, x20
+` + la("x1", "msg2") + `	mov x2, #2
+` + progs.RTCall(core.RTSend) + `
+	// recv with a big buffer: exactly one 3-byte datagram
+	mov x0, x19
+` + la("x1", "buf") + `	mov x2, #16
+` + progs.RTCall(core.RTRecv) + `
+	cmp x0, #3
+	b.ne fail
+	// recv with a 1-byte buffer: truncated to 1, message consumed whole
+	mov x0, x19
+` + la("x1", "buf") + `	mov x2, #1
+` + progs.RTCall(core.RTRecv) + `
+	cmp x0, #1
+	b.ne fail
+` + la("x9", "buf") + `	ldrb w0, [x9]             // 'd'
+` + progs.Exit() + `
+fail:
+	mov x0, #94
+` + progs.Exit() + `
+.rodata
+msg:
+	.ascii "abc"
+msg2:
+	.ascii "de"
+.bss
+buf:
+	.space 16
+`
+	if status := loadRun(t, rt, src); status != 'd' {
+		t.Errorf("dgram status = %d, want %d", status, 'd')
+	}
+}
+
+func TestRingEOFAfterClose(t *testing.T) {
+	rt := newRT(t)
+	src := `
+_start:
+	mov x0, #2
+	mov x1, #64
+` + progs.RTCall(core.RTSocket) + `
+	mov x19, x0               // passive
+	mov x0, #2
+	mov x1, #64
+` + progs.RTCall(core.RTSocket) + `
+	mov x20, x0               // active
+	mov x0, x19
+	mov x1, #4
+` + progs.RTCall(core.RTBind) + `
+	mov x0, x20
+	mov x1, #4
+` + progs.RTCall(core.RTConnect) + `
+	// deposit 2 bytes, then close the sender
+	mov x0, x20
+` + la("x1", "msg") + `	mov x2, #2
+` + progs.RTCall(core.RTSend) + `
+	mov x0, x20
+` + progs.RTCall(core.RTClose) + `
+	// buffered data survives the close...
+	mov x0, x19
+` + la("x1", "buf") + `	mov x2, #2
+` + progs.RTCall(core.RTRecv) + `
+	cmp x0, #2
+	b.ne fail
+	// ...and the drained channel reads EOF, not a block
+	mov x0, x19
+` + la("x1", "buf") + `	mov x2, #2
+` + progs.RTCall(core.RTRecv) + `
+	cbnz x0, fail
+	mov x0, #55
+` + progs.Exit() + `
+fail:
+	mov x0, #93
+` + progs.Exit() + `
+.rodata
+msg:
+	.ascii "ok"
+.bss
+buf:
+	.space 8
+`
+	if status := loadRun(t, rt, src); status != 55 {
+		t.Errorf("EOF status = %d, want 55", status)
+	}
+}
+
+// filterSrc reads stdin byte by byte until EOF, incrementing each byte
+// and writing it to stdout. Used by the pipeline-wiring tests.
+const filterTail = `
+floop:
+	mov x0, #0
+` + "%READ%" + `
+	cmp x0, #1
+	b.ne fdone
+` + "%BUMP%" + `
+fdone:
+	mov x0, #0
+`
+
+func filterSrc() string {
+	read := la("x1", "fbuf") + "\tmov x2, #1\n" + progs.RTCall(core.RTRead)
+	bump := la("x9", "fbuf") + `	ldrb w10, [x9]
+	add w10, w10, #1
+	strb w10, [x9]
+	mov x0, #1
+` + la("x1", "fbuf") + "\tmov x2, #1\n" + progs.RTCall(core.RTWrite) + "\tb floop\n"
+	body := "_start:\n" + filterTail + progs.Exit() + "\n.bss\nfbuf:\n\t.space 8\n"
+	body = replace(body, "%READ%", read)
+	body = replace(body, "%BUMP%", bump)
+	return body
+}
+
+func replace(s, old, new string) string {
+	return string(bytes.ReplaceAll([]byte(s), []byte(old), []byte(new)))
+}
+
+func TestFeedInput(t *testing.T) {
+	rt := newRT(t)
+	p, err := rt.Load(build(t, filterSrc()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.FeedInput(p, []byte("abc"))
+	status, err := rt.RunProc(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 0 {
+		t.Errorf("filter status = %d", status)
+	}
+	if got := string(p.Stdout()); got != "bcd" {
+		t.Errorf("filter output = %q, want %q", got, "bcd")
+	}
+}
+
+func TestConnectPipeStages(t *testing.T) {
+	rt := newRT(t)
+	source := `
+_start:
+	mov x0, #1
+` + la("x1", "msg") + `	mov x2, #3
+` + progs.RTCall(core.RTWrite) + `
+	mov x0, #0
+` + progs.Exit() + `
+.rodata
+msg:
+	.ascii "abc"
+`
+	src, err := rt.Load(build(t, source))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := rt.Load(build(t, filterSrc()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := rt.Load(build(t, filterSrc()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.ConnectPipe(src, mid)
+	rt.ConnectPipe(mid, sink)
+	if err := rt.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := string(sink.Stdout()); got != "cde" {
+		t.Errorf("3-stage pipeline output = %q, want %q", got, "cde")
+	}
+}

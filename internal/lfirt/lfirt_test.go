@@ -327,12 +327,60 @@ loop:
 		t.Fatal(err)
 	}
 	if err := rt.Run(); err != nil {
-		// One side may be left yielding to a dead peer; tolerate only
-		// clean completion here.
+		// The last yield of the slower side targets an already-exited
+		// peer; that returns -ESRCH to the yielder (pinned by
+		// TestYieldDeadPeer) and never aborts the run.
 		t.Fatalf("run: %v", err)
 	}
 	if p1.ExitStatus() != 10 || p2.ExitStatus() != 10 {
 		t.Errorf("ping-pong counts = %d, %d; want 10, 10", p1.ExitStatus(), p2.ExitStatus())
+	}
+}
+
+// TestYieldDeadPeer pins the defined error for yielding to a peer that
+// cannot receive control: a zombie and a never-existing pid both return
+// -ESRCH, and the yielder keeps running.
+func TestYieldDeadPeer(t *testing.T) {
+	rt := newRT(t)
+	dead, err := rt.Load(build(t, "_start:\n"+progs.ExitCode(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	yielder := `
+_start:
+	// yield to pid 1 once it is dead -> -ESRCH
+	mov x0, #1
+` + progs.RTCall(core.RTYield) + `
+	mov x19, x0
+	// yield to a pid that never existed -> -ESRCH
+	mov x0, #77
+` + progs.RTCall(core.RTYield) + `
+	mov x20, x0
+	// exit 0 iff both returned -ESRCH
+	neg x19, x19
+	neg x20, x20
+	cmp x19, #3               // ESRCH
+	b.ne bad
+	cmp x20, #3
+	b.ne bad
+	mov x0, #0
+` + progs.Exit() + `
+bad:
+	mov x0, #1
+` + progs.Exit()
+	p, err := rt.Load(build(t, yielder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RunProc(dead); err != nil {
+		t.Fatal(err)
+	}
+	status, err := rt.RunProc(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 0 {
+		t.Errorf("dead-peer yields did not both return -ESRCH (status %d)", status)
 	}
 }
 

@@ -89,6 +89,19 @@ func (s ProcState) String() string {
 	return [...]string{"ready", "running", "blocked", "zombie"}[s]
 }
 
+// blockKind says what a ProcBlocked process is waiting for, so
+// wakeBlocked knows which operation to retry and snapshot/restore can
+// give a restored process defined resume semantics.
+type blockKind uint8
+
+const (
+	blockNone   blockKind = iota
+	blockRead             // RTRead on an empty pipe with live writers
+	blockRecv             // RTRecv on an empty channel with a live peer
+	blockAccept           // RTAccept with no pending connection
+	blockChild            // RTWait for a child to exit
+)
+
 // Regs is the saved architectural state of a descheduled process.
 type Regs struct {
 	X     [31]uint64
@@ -114,9 +127,9 @@ type Proc struct {
 	mmap uint64 // next mmap address (sandbox-relative)
 
 	// Blocking state.
-	waitingFD   int  // fd the proc blocks on for read
-	waitingWait bool // blocked in wait()
-	waitStatus  uint64
+	block      blockKind // what a ProcBlocked process waits for
+	waitingFD  int       // fd the proc blocks on (blockRead/Recv/Accept)
+	waitStatus uint64    // status pointer of a blocked wait()
 
 	children map[int]*Proc
 
@@ -166,6 +179,7 @@ type Runtime struct {
 	deadline uint64
 
 	fs     *FS
+	ipc    *ipcState
 	stdout bytes.Buffer
 	stderr bytes.Buffer
 
@@ -232,6 +246,7 @@ func New(cfg Config) *Runtime {
 		cpu.Timing = rt.Tim
 	}
 	reg := cfg.Obs.Registry()
+	rt.ipc = newIPCState(reg, cfg.ObsTag)
 	rt.tracer = cfg.Obs.Trace()
 	rt.mHostCalls = reg.Counter("rt.host_calls")
 	rt.mPreempts = reg.Counter("rt.preempts")
@@ -464,7 +479,7 @@ func (rt *Runtime) kill(p *Proc, status int) {
 	// memory can go either way; release it eagerly.
 	rt.releaseMemory(p)
 	// Wake a parent blocked in wait().
-	if p.parent != nil && p.parent.State == ProcBlocked && p.parent.waitingWait {
+	if p.parent != nil && p.parent.State == ProcBlocked && p.parent.block == blockChild {
 		rt.completeWait(p.parent)
 	}
 	// Reparent children to nobody; zombies among them are reaped now.
@@ -489,3 +504,22 @@ func (rt *Runtime) releaseMemory(p *Proc) {
 
 // ExitStatus returns a finished process's status.
 func (p *Proc) ExitStatus() int { return p.Exit }
+
+// ConnectPipe wires producer's stdout (fd 1) to consumer's stdin (fd 0)
+// through a fresh pipe, replacing whatever descriptions were there.
+// Both processes must be quiescent (not currently executing) — the
+// serving pool calls it while assembling a pipeline, before Start.
+func (rt *Runtime) ConnectPipe(producer, consumer *Proc) {
+	pp := &pipe{readers: 1, writers: 1}
+	producer.fds.replace(1, &FD{kind: fdPipeWrite, pipe: pp})
+	consumer.fds.replace(0, &FD{kind: fdPipeRead, pipe: pp})
+}
+
+// FeedInput replaces p's stdin (fd 0) with a pipe preloaded with data
+// and no writers: reads drain the data, then see EOF. The process must
+// be quiescent.
+func (rt *Runtime) FeedInput(p *Proc, data []byte) {
+	pp := &pipe{readers: 1, writers: 0}
+	pp.buf.Write(data)
+	p.fds.replace(0, &FD{kind: fdPipeRead, pipe: pp})
+}

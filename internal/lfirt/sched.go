@@ -137,24 +137,37 @@ func (rt *Runtime) pickNext() *Proc {
 	return nil
 }
 
-// wakeBlocked retries blocked readers whose pipes now have data or EOF.
+// wakeBlocked retries fd-blocked processes — readers whose pipes now
+// have data or EOF, receivers whose channels filled or lost their peer,
+// accepters with a pending connection. wait()-blocked processes are
+// woken by kill() directly.
 func (rt *Runtime) wakeBlocked() {
 	for _, p := range rt.procs {
-		if p.State != ProcBlocked || p.waitingWait {
+		if p.State != ProcBlocked || p.block == blockChild {
 			continue
 		}
 		fd := p.fds.get(p.waitingFD)
 		if fd == nil {
-			// fd vanished: fail the read with EBADF.
+			// fd vanished: fail the operation with EBADF.
 			p.Regs.X[0] = errRet(EBADF)
 			rt.makeReady(p)
 			continue
 		}
-		if fd.kind == fdPipeRead && fd.pipe.buf.Len() == 0 && fd.pipe.writers > 0 {
-			continue // still nothing to read
+		var n int64
+		switch p.block {
+		case blockRead:
+			if fd.kind == fdPipeRead && fd.pipe.buf.Len() == 0 && fd.pipe.writers > 0 {
+				continue // still nothing to read
+			}
+			// Retry the read against the saved arguments.
+			n = rt.doRead(p, fd, p.Regs.X[1], p.Regs.X[2])
+		case blockRecv:
+			n = rt.doRecv(p, fd, p.Regs.X[1], p.Regs.X[2])
+		case blockAccept:
+			n = rt.doAccept(p, fd)
+		default:
+			continue
 		}
-		// Retry the read against the saved arguments.
-		n := rt.doRead(p, fd, p.Regs.X[1], p.Regs.X[2])
 		if n == -EAGAIN {
 			continue
 		}
@@ -165,7 +178,7 @@ func (rt *Runtime) wakeBlocked() {
 
 func (rt *Runtime) makeReady(p *Proc) {
 	p.State = ProcReady
-	p.waitingWait = false
+	p.block = blockNone
 	rt.ready = append(rt.ready, p)
 }
 

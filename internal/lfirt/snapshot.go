@@ -29,6 +29,11 @@ type Snapshot struct {
 	mmap     uint64
 	segHi    uint64
 	pageSize uint64
+	// blocked records what the process was waiting on when snapshotted
+	// (blockNone for a runnable process). Descriptors are not part of a
+	// snapshot, so a restore cannot resurrect the wait; Restore instead
+	// completes the parked call with a defined error (see Restore).
+	blocked blockKind
 }
 
 // Pages reports how many pages the snapshot holds (for diagnostics).
@@ -58,6 +63,7 @@ func (rt *Runtime) Snapshot(p *Proc) (*Snapshot, error) {
 		mmap:     p.mmap,
 		segHi:    p.segHi,
 		pageSize: rt.cfg.PageSize,
+		blocked:  p.block,
 	}, nil
 }
 
@@ -113,6 +119,20 @@ func (rt *Runtime) Restore(s *Snapshot) (*Proc, error) {
 	p.Regs.X[30] = rebase(p.Regs.X[30])
 	p.Regs.SP = rebase(p.Regs.SP)
 	p.Regs.PC = rebase(p.Regs.PC)
+
+	// A process snapshotted while blocked (in RTRead/RTRecv/RTAccept or
+	// RTWait) held a descriptor or child that does not exist in the fresh
+	// runtime. Its PC is already at the call's return point with the
+	// arguments staged; complete the call with a defined error rather
+	// than letting it resume against a stale fd: -EPIPE for channel and
+	// pipe waits (the peer is gone — reconnect), -ECHILD for wait().
+	switch s.blocked {
+	case blockNone:
+	case blockChild:
+		p.Regs.X[0] = errRet(ECHILD)
+	default:
+		p.Regs.X[0] = errRet(EPIPE)
+	}
 
 	rt.procs[p.PID] = p
 	return p, nil

@@ -1,0 +1,253 @@
+package lfirt
+
+import (
+	"testing"
+
+	"lfi/internal/core"
+	"lfi/internal/progs"
+)
+
+// Snapshot × IPC interaction tests. Descriptors are not part of a
+// snapshot, so a process saved while parked in a channel or pipe wait
+// cannot have its wait resurrected on restore: the defined semantics
+// (snapshot.go) are that the parked call completes with -EPIPE (and a
+// wait() with -ECHILD), after which the program may reconnect over
+// fresh descriptors. These tests pin that contract for every blocking
+// kind reachable through the IPC surface.
+
+// blockedDeadlock loads src, runs the scheduler until it reports a
+// deadlock with exactly n blocked processes, and returns the loaded
+// root process.
+func blockedDeadlock(t *testing.T, rt *Runtime, src string, n int) *Proc {
+	t.Helper()
+	p, err := rt.Load(build(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Run()
+	dl, ok := err.(*ErrDeadlock)
+	if !ok {
+		t.Fatalf("Run = %v, want deadlock", err)
+	}
+	if dl.Blocked != n {
+		t.Fatalf("deadlock with %d blocked procs, want %d", dl.Blocked, n)
+	}
+	return p
+}
+
+// TestSnapshotBlockedRecvRestoresEPIPE snapshots a process parked in
+// RTRecv on an empty (but connected) ring, restores it into a fresh
+// runtime, and checks that the recv completes with -EPIPE — not a read
+// against a stale descriptor — and that the process can then build a
+// brand-new datagram pair and communicate normally.
+func TestSnapshotBlockedRecvRestoresEPIPE(t *testing.T) {
+	src := `
+_start:
+	// Paired ring: fd 3 passive (port 1), fd 4 active.
+	mov x0, #2
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `
+	mov x0, #3
+	mov x1, #1
+` + progs.RTCall(core.RTBind) + `
+	cbnz x0, fail
+	mov x0, #2
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `
+	mov x0, #4
+	mov x1, #1
+` + progs.RTCall(core.RTConnect) + `
+	cbnz x0, fail
+	// Ring is empty and nobody else can fill it: parks the process.
+	mov x0, #3
+` + la("x1", "buf") + `	mov x2, #8
+` + progs.RTCall(core.RTRecv) + `
+	// Reached only after restore: the wait must resolve to -EPIPE.
+	neg x9, x0
+	cmp x9, #32
+	b.ne fail
+	// The snapshotted descriptors are gone; reconnect over a fresh
+	// dgram pair and prove IPC still works end to end.
+	mov x0, #1
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `
+	mov x19, x0
+	mov x0, x19
+	mov x1, #5
+` + progs.RTCall(core.RTBind) + `
+	cbnz x0, fail
+	mov x0, #1
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `
+	mov x20, x0
+	mov x0, x20
+	mov x1, #5
+` + progs.RTCall(core.RTConnect) + `
+	cbnz x0, fail
+` + la("x9", "buf") + `	mov w10, #20
+	strb w10, [x9]
+	mov w10, #22
+	strb w10, [x9, #1]
+	mov x0, x20
+` + la("x1", "buf") + `	mov x2, #2
+` + progs.RTCall(core.RTSend) + `
+	cmp x0, #2
+	b.ne fail
+	mov x0, x19
+` + la("x1", "buf2") + `	mov x2, #8
+` + progs.RTCall(core.RTRecv) + `
+	cmp x0, #2
+	b.ne fail
+` + la("x9", "buf2") + `	ldrb w0, [x9]
+	ldrb w10, [x9, #1]
+	add w0, w0, w10
+` + progs.Exit() + `
+fail:
+	mov x0, #70
+` + progs.Exit() + `
+.bss
+buf:
+	.space 8
+buf2:
+	.space 8
+`
+	rt := newRT(t)
+	p := blockedDeadlock(t, rt, src, 1)
+	if p.block != blockRecv {
+		t.Fatalf("root parked with kind %d, want blockRecv", p.block)
+	}
+	snap, err := rt.Snapshot(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh runtime and into the runtime that still holds
+	// the blocked original: both clones must resolve to -EPIPE and then
+	// finish the dgram round-trip (20 + 22 = 42).
+	for name, dst := range map[string]*Runtime{"cross": newRT(t), "same": rt} {
+		q, err := dst.Restore(snap)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dst.Start(q)
+		status, err := dst.RunProc(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if status != 42 {
+			t.Errorf("%s: restored clone exited %d, want 42 (70=wrong errno or reconnect failed)", name, status)
+		}
+	}
+}
+
+// TestSnapshotBlockedAcceptRestoresEPIPE does the same for a process
+// parked in RTAccept on a stream listener.
+func TestSnapshotBlockedAcceptRestoresEPIPE(t *testing.T) {
+	src := `
+_start:
+	mov x0, #0
+	mov x1, #0
+` + progs.RTCall(core.RTSocket) + `
+	mov x0, #3
+	mov x1, #2
+` + progs.RTCall(core.RTBind) + `
+	cbnz x0, fail
+	mov x0, #3
+` + progs.RTCall(core.RTAccept) + `
+	// Reached only after restore.
+	neg x9, x0
+	cmp x9, #32
+	b.ne fail
+	mov x0, #0
+` + progs.Exit() + `
+fail:
+	mov x0, #74
+` + progs.Exit() + `
+`
+	rt := newRT(t)
+	p := blockedDeadlock(t, rt, src, 1)
+	if p.block != blockAccept {
+		t.Fatalf("root parked with kind %d, want blockAccept", p.block)
+	}
+	snap, err := rt.Snapshot(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newRT(t)
+	q, err := dst.Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Start(q)
+	if status, err := dst.RunProc(q); err != nil || status != 0 {
+		t.Fatalf("restored clone: status=%d err=%v", status, err)
+	}
+}
+
+// TestSnapshotBlockedPipeReadAndWaitRules covers the remaining blocking
+// kinds in one deadlocked family: the parent parks in wait() on a child
+// that itself parks in a pipe read. Snapshotting the parent must be
+// refused (live children); snapshotting the child must succeed, and the
+// restored child's read must resolve to -EPIPE.
+func TestSnapshotBlockedPipeReadAndWaitRules(t *testing.T) {
+	src := `
+_start:
+` + progs.RTCall(core.RTFork) + `
+	cbz x0, child
+	mov x0, #0
+` + progs.RTCall(core.RTWait) + `
+	mov x0, #72
+` + progs.Exit() + `
+child:
+` + la("x0", "fds") + progs.RTCall(core.RTPipe) + `
+` + la("x9", "fds") + `	ldr w19, [x9]
+	mov x0, x19
+` + la("x1", "buf") + `	mov x2, #1
+` + progs.RTCall(core.RTRead) + `
+	// Reached only after restore.
+	neg x9, x0
+	cmp x9, #32
+	b.ne badchild
+	mov x0, #0
+` + progs.Exit() + `
+badchild:
+	mov x0, #73
+` + progs.Exit() + `
+.bss
+fds:
+	.space 8
+buf:
+	.space 8
+`
+	rt := newRT(t)
+	parent := blockedDeadlock(t, rt, src, 2)
+	if parent.block != blockChild {
+		t.Fatalf("parent parked with kind %d, want blockChild", parent.block)
+	}
+	var child *Proc
+	for _, p := range rt.Procs() {
+		if p != parent {
+			child = p
+		}
+	}
+	if child == nil || child.block != blockRead {
+		t.Fatalf("no child parked in pipe read")
+	}
+
+	if _, err := rt.Snapshot(parent); err == nil {
+		t.Error("snapshot of a wait-blocked parent with a live child must fail")
+	}
+	snap, err := rt.Snapshot(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := newRT(t)
+	q, err := dst.Restore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Start(q)
+	if status, err := dst.RunProc(q); err != nil || status != 0 {
+		t.Fatalf("restored child: status=%d err=%v (73=wrong errno)", status, err)
+	}
+}

@@ -1,0 +1,586 @@
+package lfirt
+
+import (
+	"fmt"
+
+	"lfi/internal/obs"
+)
+
+// Cross-sandbox IPC (§5.3). The paper's runtime is "a small in-process
+// Unix" whose fast direct yield exists to make microkernel-style IPC
+// cheap; this file supplies the data plane that rides on it. Endpoints
+// are socket descriptors in the ordinary fdTable, so they are shared
+// across fork, closed by kill, and reference counted like every other
+// description. Three endpoint types:
+//
+//   - SockStream: connection-oriented byte streams. A bound socket is a
+//     listener; RTConnect enqueues a connection that RTAccept pops.
+//   - SockDgram: connectionless framed messages to a bound port. Message
+//     boundaries are preserved; each RTRecv returns one message.
+//   - SockRing: a bounded shared-memory ring channel pair between two
+//     co-scheduled sandboxes. Rendezvous is bind/connect with no accept
+//     step: the first connector pairs directly with the binder.
+//
+// All transfers are copied by the runtime between sandboxes in the one
+// shared address space — no host kernel crossing, which is the property
+// the paper's IPC numbers depend on. Sends are all-or-nothing: a message
+// larger than the remaining ring space returns -EAGAIN (backpressure)
+// rather than depositing a partial record, so concurrent producers never
+// interleave mid-record.
+
+// Socket types (RTSocket's first argument).
+const (
+	SockStream = 0
+	SockDgram  = 1
+	SockRing   = 2
+)
+
+const (
+	// MaxPort bounds the runtime-wide port namespace (1..MaxPort).
+	MaxPort = 65535
+	// DefaultChanCap is the ring/queue capacity when RTSocket's second
+	// argument is zero.
+	DefaultChanCap = 16 * 1024
+	// MaxChanCap bounds a requested channel capacity.
+	MaxChanCap = 1 << 20
+	// acceptBacklog bounds pending un-accepted stream connections.
+	acceptBacklog = 16
+	// maxChanGauges caps how many per-channel depth gauges a runtime
+	// registers; channels beyond it are still counted in the aggregate
+	// metrics but do not get a dedicated gauge (the registry keeps every
+	// name forever, so unbounded per-channel names would leak in
+	// long-lived serving runtimes).
+	maxChanGauges = 32
+)
+
+// ipcState is the runtime-wide IPC state: the port table and the
+// observability instruments shared by all sockets of one runtime.
+type ipcState struct {
+	binds   map[int]*sock // port → bound socket
+	chanSeq int           // channel ids handed to rings/queues
+
+	reg           *obs.Registry
+	obsTag        int
+	mSends        *obs.Counter // completed RTSend deposits
+	mRecvs        *obs.Counter // completed RTRecv transfers
+	mHandoffs     *obs.Counter // sends that direct-switched to a blocked receiver
+	mBackpressure *obs.Counter // sends rejected with -EAGAIN (ring full)
+}
+
+func newIPCState(reg *obs.Registry, tag int) *ipcState {
+	return &ipcState{
+		binds:         make(map[int]*sock),
+		reg:           reg,
+		obsTag:        tag,
+		mSends:        reg.Counter("rt.ipc.sends"),
+		mRecvs:        reg.Counter("rt.ipc.recvs"),
+		mHandoffs:     reg.Counter("rt.ipc.handoffs"),
+		mBackpressure: reg.Counter("rt.ipc.backpressure"),
+	}
+}
+
+// depthGauge returns the per-channel depth gauge for a new channel id,
+// or nil once the per-runtime gauge budget is spent.
+func (ipc *ipcState) depthGauge(id int) *obs.Gauge {
+	if id >= maxChanGauges {
+		return nil
+	}
+	return ipc.reg.Gauge(fmt.Sprintf("rt.chan.%d.%d.depth", ipc.obsTag, id))
+}
+
+// chanRing is one direction of a bounded byte channel. Deposits are
+// all-or-nothing; depth is mirrored into an obs gauge when one exists.
+type chanRing struct {
+	data  []byte
+	cap   int
+	depth *obs.Gauge
+}
+
+func (ipc *ipcState) newRing(capacity int) *chanRing {
+	ipc.chanSeq++
+	return &chanRing{cap: capacity, depth: ipc.depthGauge(ipc.chanSeq - 1)}
+}
+
+func (r *chanRing) len() int  { return len(r.data) }
+func (r *chanRing) free() int { return r.cap - len(r.data) }
+
+func (r *chanRing) push(p []byte) {
+	r.data = append(r.data, p...)
+	r.depth.Set(int64(len(r.data)))
+}
+
+// peek copies up to len(p) bytes without consuming them (so a faulting
+// destination pointer cannot lose data), returning the count.
+func (r *chanRing) peek(p []byte) int { return copy(p, r.data) }
+
+func (r *chanRing) consume(n int) {
+	r.data = r.data[n:]
+	r.depth.Set(int64(len(r.data)))
+}
+
+// msgq is a bounded queue of framed datagrams owned by a bound dgram
+// socket. Capacity is accounted in payload bytes.
+type msgq struct {
+	msgs  [][]byte
+	bytes int
+	cap   int
+	depth *obs.Gauge
+}
+
+func (ipc *ipcState) newMsgq(capacity int) *msgq {
+	ipc.chanSeq++
+	return &msgq{cap: capacity, depth: ipc.depthGauge(ipc.chanSeq - 1)}
+}
+
+func (q *msgq) push(m []byte) {
+	q.msgs = append(q.msgs, m)
+	q.bytes += len(m)
+	q.depth.Set(int64(q.bytes))
+}
+
+func (q *msgq) pop() {
+	q.bytes -= len(q.msgs[0])
+	q.msgs = q.msgs[1:]
+	q.depth.Set(int64(q.bytes))
+}
+
+// sconn is one established connection: two rings, one per direction.
+// buf[i] holds the bytes readable by side i; open[i] reports whether
+// side i's endpoint is still open.
+type sconn struct {
+	buf  [2]*chanRing
+	open [2]bool
+}
+
+func (ipc *ipcState) newConn(capacity int) *sconn {
+	return &sconn{
+		buf:  [2]*chanRing{ipc.newRing(capacity), ipc.newRing(capacity)},
+		open: [2]bool{true, true},
+	}
+}
+
+// sock is the state behind one socket descriptor.
+type sock struct {
+	typ int
+	ipc *ipcState
+	cap int
+
+	port int // bound port (0 = unbound)
+
+	// Established connection endpoint (stream after connect/accept, ring
+	// after pairing). side selects which direction of conn we read.
+	conn *sconn
+	side int
+
+	// Stream listener state: pending un-accepted connections.
+	accq []*sconn
+
+	// Dgram state: peer set by connect (send destination), q owned by a
+	// bound socket (recv source).
+	peer *sock
+	q    *msgq
+
+	closed bool
+}
+
+// close tears the socket down once its last descriptor reference drops:
+// the port unbinds, the connected peer observes EOF/EPIPE, and pending
+// un-accepted connections are refused.
+func (s *sock) close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.port != 0 && s.ipc.binds[s.port] == s {
+		delete(s.ipc.binds, s.port)
+	}
+	if s.conn != nil {
+		s.conn.open[s.side] = false
+	}
+	for _, c := range s.accq {
+		c.open[1] = false // listener died before accepting
+	}
+	s.accq = nil
+	if s.q != nil {
+		// Drop queued datagrams; the gauge reads zero for a dead channel.
+		s.q.msgs = nil
+		s.q.bytes = 0
+		s.q.depth.Set(0)
+	}
+}
+
+// sysSocket creates an endpoint: RTSocket(type, capacity) → fd.
+func (rt *Runtime) sysSocket(p *Proc, typ, capacity uint64) int64 {
+	t := int(int64(typ))
+	switch t {
+	case SockStream, SockDgram, SockRing:
+	default:
+		return -EINVAL
+	}
+	c := int64(capacity)
+	if c < 0 || c > MaxChanCap {
+		return -EINVAL
+	}
+	if c == 0 {
+		c = DefaultChanCap
+	}
+	s := &sock{typ: t, ipc: rt.ipc, cap: int(c)}
+	return int64(p.fds.alloc(&FD{kind: fdSock, sock: s}))
+}
+
+// sysBind attaches a socket to a runtime-wide port: RTBind(fd, port).
+// A bound stream socket is a listener; a bound dgram socket owns the
+// receive queue for its port; a bound ring socket is the passive side
+// of a rendezvous.
+func (rt *Runtime) sysBind(p *Proc, fdn, port uint64) int64 {
+	fd := p.fds.get(int(int32(uint32(fdn))))
+	if fd == nil {
+		return -EBADF
+	}
+	s := fd.sock
+	if s == nil {
+		return -ENOTSOCK
+	}
+	pt := int(int64(port))
+	if pt <= 0 || pt > MaxPort {
+		return -EINVAL
+	}
+	if s.conn != nil || s.peer != nil {
+		return -EISCONN
+	}
+	if s.port != 0 {
+		return -EINVAL // already bound
+	}
+	if rt.ipc.binds[pt] != nil {
+		return -EADDRINUSE
+	}
+	rt.ipc.binds[pt] = s
+	s.port = pt
+	if s.typ == SockDgram {
+		s.q = rt.ipc.newMsgq(s.cap)
+	}
+	return 0
+}
+
+// sysConnect establishes communication with the socket bound at port:
+// RTConnect(fd, port). Streams enqueue a connection for the listener to
+// accept (data may flow immediately); dgrams set the default send
+// destination; rings pair directly with the binder.
+func (rt *Runtime) sysConnect(p *Proc, fdn, port uint64) int64 {
+	fd := p.fds.get(int(int32(uint32(fdn))))
+	if fd == nil {
+		return -EBADF
+	}
+	s := fd.sock
+	if s == nil {
+		return -ENOTSOCK
+	}
+	pt := int(int64(port))
+	if pt <= 0 || pt > MaxPort {
+		return -EINVAL
+	}
+	if s.conn != nil || s.peer != nil {
+		return -EISCONN
+	}
+	b := rt.ipc.binds[pt]
+	if b == nil || b.closed {
+		return -ECONNREFUSED
+	}
+	if b == s {
+		return -EINVAL // self-connect
+	}
+	if b.typ != s.typ {
+		return -ECONNREFUSED
+	}
+	switch s.typ {
+	case SockDgram:
+		s.peer = b
+		return 0
+	case SockStream:
+		if s.port != 0 {
+			return -EINVAL // a listener cannot also connect
+		}
+		if len(b.accq) >= acceptBacklog {
+			return -ECONNREFUSED
+		}
+		c := rt.ipc.newConn(b.cap)
+		s.conn, s.side = c, 0
+		b.accq = append(b.accq, c)
+		return 0
+	default: // SockRing
+		if s.port != 0 {
+			return -EINVAL // the bound ring is the passive side
+		}
+		if b.conn != nil {
+			return -ECONNREFUSED // already paired
+		}
+		c := rt.ipc.newConn(b.cap)
+		b.conn, b.side = c, 1
+		s.conn, s.side = c, 0
+		return 0
+	}
+}
+
+// doAccept attempts to pop one pending connection; -EAGAIN means the
+// caller should block. Shared by the syscall path and wakeBlocked.
+func (rt *Runtime) doAccept(p *Proc, fd *FD) int64 {
+	s := fd.sock
+	if s == nil {
+		return -ENOTSOCK
+	}
+	if s.typ != SockStream || s.port == 0 {
+		return -EINVAL
+	}
+	if len(s.accq) == 0 {
+		return -EAGAIN
+	}
+	ns := &sock{typ: SockStream, ipc: s.ipc, cap: s.cap, conn: s.accq[0], side: 1}
+	n := p.fds.alloc(&FD{kind: fdSock, sock: ns})
+	if n < 0 {
+		return int64(n) // table full; leave the connection pending
+	}
+	s.accq = s.accq[1:]
+	return int64(n)
+}
+
+// sysAccept pops a pending stream connection, blocking the caller until
+// one arrives: RTAccept(fd) → new fd.
+func (rt *Runtime) sysAccept(p *Proc, fdn uint64) action {
+	fd := p.fds.get(int(int32(uint32(fdn))))
+	if fd == nil {
+		return rt.resume(p, errRet(EBADF))
+	}
+	n := rt.doAccept(p, fd)
+	if n == -EAGAIN {
+		rt.block(p, blockAccept, int(int32(uint32(fdn))), fdn, 0, 0)
+		return actResched
+	}
+	return rt.resume(p, uint64(n))
+}
+
+// doSend deposits the message, returning bytes sent or -errno, plus a
+// predicate matching sockets whose blocked readers the deposit can
+// satisfy (nil when nothing was deposited).
+func (rt *Runtime) doSend(p *Proc, fd *FD, ptr, n uint64) (int64, func(*sock) bool) {
+	s := fd.sock
+	if s == nil {
+		return -ENOTSOCK, nil
+	}
+	if n > maxIOSize {
+		return -EMSGSIZE, nil
+	}
+	switch s.typ {
+	case SockDgram:
+		dst := s.peer
+		if dst == nil {
+			return -ENOTCONN, nil
+		}
+		if dst.closed || dst.q == nil {
+			return -EPIPE, nil
+		}
+		if int(n) > dst.q.cap {
+			return -EMSGSIZE, nil
+		}
+		if dst.q.bytes+int(n) > dst.q.cap {
+			return -EAGAIN, nil
+		}
+		msg := make([]byte, n)
+		if n > 0 {
+			if f := rt.AS.ReadAt(msg, p.maskPtr(ptr)); f != nil {
+				return -EFAULT, nil
+			}
+		}
+		dst.q.push(msg)
+		return int64(n), func(r *sock) bool { return r == dst }
+	default: // SockStream, SockRing
+		if s.conn == nil {
+			if s.typ == SockStream && s.port != 0 {
+				return -EINVAL, nil // a listener does not carry data
+			}
+			return -ENOTCONN, nil // incl. a not-yet-paired passive ring
+		}
+		c, dstSide := s.conn, 1-s.side
+		if !c.open[dstSide] {
+			return -EPIPE, nil
+		}
+		ring := c.buf[dstSide]
+		if int(n) > ring.cap {
+			return -EMSGSIZE, nil
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		if int(n) > ring.free() {
+			return -EAGAIN, nil
+		}
+		buf := make([]byte, n)
+		if f := rt.AS.ReadAt(buf, p.maskPtr(ptr)); f != nil {
+			return -EFAULT, nil
+		}
+		ring.push(buf)
+		return int64(n), func(r *sock) bool { return r.conn == c && r.side == dstSide }
+	}
+}
+
+// doRecv attempts one receive; -EAGAIN means the caller should block.
+// The destination pointer is validated before any data is consumed, so
+// an -EFAULT recv never loses bytes. Shared by the syscall path,
+// wakeBlocked, and the send-side handoff.
+func (rt *Runtime) doRecv(p *Proc, fd *FD, ptr, n uint64) int64 {
+	s := fd.sock
+	if s == nil {
+		return -ENOTSOCK
+	}
+	if n > maxIOSize {
+		n = maxIOSize
+	}
+	switch s.typ {
+	case SockDgram:
+		if s.port == 0 || s.q == nil {
+			return -ENOTCONN
+		}
+		if s.closed {
+			return 0
+		}
+		if len(s.q.msgs) == 0 {
+			return -EAGAIN
+		}
+		msg := s.q.msgs[0]
+		k := int(n)
+		if k > len(msg) {
+			k = len(msg)
+		}
+		if k > 0 {
+			if f := rt.AS.WriteAt(msg[:k], p.maskPtr(ptr)); f != nil {
+				return -EFAULT
+			}
+		}
+		s.q.pop() // a datagram is consumed whole; excess bytes are truncated
+		rt.ipc.mRecvs.Inc()
+		rt.tracer.Record(obs.Event{Kind: obs.EvRecv, Worker: rt.cfg.ObsTag, PID: p.PID, Arg: uint64(k)})
+		return int64(k)
+	default: // SockStream, SockRing
+		if s.conn == nil {
+			if s.typ == SockRing && s.port != 0 {
+				return -EAGAIN // bound passive ring: block until rendezvous
+			}
+			if s.port != 0 {
+				return -EINVAL // a stream listener does not carry data
+			}
+			return -ENOTCONN
+		}
+		ring := s.conn.buf[s.side]
+		if ring.len() == 0 {
+			if !s.conn.open[1-s.side] {
+				return 0 // peer closed and drained: EOF
+			}
+			return -EAGAIN
+		}
+		if n == 0 {
+			return 0
+		}
+		buf := make([]byte, n)
+		k := ring.peek(buf)
+		if f := rt.AS.WriteAt(buf[:k], p.maskPtr(ptr)); f != nil {
+			return -EFAULT
+		}
+		ring.consume(k)
+		rt.ipc.mRecvs.Inc()
+		rt.tracer.Record(obs.Event{Kind: obs.EvRecv, Worker: rt.cfg.ObsTag, PID: p.PID, Arg: uint64(k)})
+		return int64(k)
+	}
+}
+
+// sysRecv receives bytes (stream/ring) or one datagram: RTRecv(fd, ptr,
+// len). An empty channel with a live peer parks the process in the
+// scheduler until a send arrives.
+func (rt *Runtime) sysRecv(p *Proc, fdn, ptr, n uint64) action {
+	fd := p.fds.get(int(int32(uint32(fdn))))
+	if fd == nil {
+		return rt.resume(p, errRet(EBADF))
+	}
+	r := rt.doRecv(p, fd, ptr, n)
+	if r == -EAGAIN {
+		rt.block(p, blockRecv, int(int32(uint32(fdn))), fdn, ptr, n)
+		return actResched
+	}
+	return rt.resume(p, uint64(r))
+}
+
+// sysSend deposits bytes into the peer's ring (or the destination dgram
+// queue): RTSend(fd, ptr, len). When the deposit satisfies a receiver
+// blocked in RTRecv, control transfers to it directly on the paper's
+// fast yield path — no scheduler pass — charged at the yield cost.
+func (rt *Runtime) sysSend(p *Proc, fdn, ptr, n uint64) action {
+	fd := p.fds.get(int(int32(uint32(fdn))))
+	if fd == nil {
+		return rt.resume(p, errRet(EBADF))
+	}
+	sent, match := rt.doSend(p, fd, ptr, n)
+	if sent < 0 {
+		if sent == -EAGAIN {
+			rt.ipc.mBackpressure.Inc()
+		}
+		return rt.resume(p, uint64(sent))
+	}
+	rt.ipc.mSends.Inc()
+	rt.tracer.Record(obs.Event{Kind: obs.EvSend, Worker: rt.cfg.ObsTag, PID: p.PID, Arg: uint64(sent)})
+	if sent == 0 || match == nil {
+		return rt.resume(p, uint64(sent))
+	}
+
+	t := rt.findRecvWaiter(match)
+	if t == nil {
+		return rt.resume(p, uint64(sent))
+	}
+	// Complete the receiver's parked recv against its staged arguments,
+	// then hand off directly: requeue the sender, switch to the receiver.
+	tfd := t.fds.get(t.waitingFD)
+	r := rt.doRecv(t, tfd, t.Regs.X[1], t.Regs.X[2])
+	if r == -EAGAIN {
+		return rt.resume(p, uint64(sent)) // racing consumer drained it first
+	}
+	t.Regs.X[0] = uint64(r)
+	t.block = blockNone
+	rt.charge(rt.CostYield - rt.CostHostCall)
+	rt.ipc.mHandoffs.Inc()
+	rt.resume(p, uint64(sent))
+	rt.saveRegs(p)
+	rt.makeReady(p)
+	rt.switchTarget = t
+	return actSwitch
+}
+
+// findRecvWaiter returns the lowest-PID process blocked in RTRecv on a
+// socket the predicate matches (lowest-PID keeps handoff deterministic
+// under multiple consumers).
+func (rt *Runtime) findRecvWaiter(match func(*sock) bool) *Proc {
+	var best *Proc
+	for _, q := range rt.procs {
+		if q.State != ProcBlocked || q.block != blockRecv {
+			continue
+		}
+		fd := q.fds.get(q.waitingFD)
+		if fd == nil || fd.sock == nil || !match(fd.sock) {
+			continue
+		}
+		if best == nil || q.PID < best.PID {
+			best = q
+		}
+	}
+	return best
+}
+
+// block parks p in the scheduler mid-call: the return point is staged,
+// registers are saved with the original call arguments in X[0..2] so
+// wakeBlocked (and the send handoff) can retry the operation later.
+func (rt *Runtime) block(p *Proc, kind blockKind, fdn int, a0, a1, a2 uint64) {
+	rt.resume(p, 0) // position PC at the return point first
+	rt.saveRegs(p)
+	p.Regs.X[0] = a0
+	p.Regs.X[1] = a1
+	p.Regs.X[2] = a2
+	p.State = ProcBlocked
+	p.block = kind
+	p.waitingFD = fdn
+}

@@ -27,6 +27,9 @@ const (
 	EvPreempt  // timeslice preemption; Arg = PID
 	EvTrap     // fatal sandbox trap; Arg = exit status
 	EvHostCall // runtime call; Arg = call number
+	// Cross-sandbox IPC.
+	EvSend // completed RTSend deposit; Arg = bytes
+	EvRecv // completed RTRecv transfer; Arg = bytes
 )
 
 var eventNames = [...]string{
@@ -45,6 +48,8 @@ var eventNames = [...]string{
 	EvPreempt:    "preempt",
 	EvTrap:       "trap",
 	EvHostCall:   "host_call",
+	EvSend:       "send",
+	EvRecv:       "recv",
 }
 
 func (k EventKind) String() string {
@@ -86,6 +91,17 @@ type Span struct {
 	Canceled    bool   `json:"canceled,omitempty"`
 	Instrs      uint64 `json:"instrs"`
 	Err         string `json:"err,omitempty"`
+	// Stages carries per-stage accounting for pipeline jobs (nil for
+	// single-image jobs).
+	Stages []SpanStage `json:"stages,omitempty"`
+}
+
+// SpanStage is the per-stage slice of a pipeline job's span.
+type SpanStage struct {
+	Image   string `json:"image,omitempty"` // image key prefix
+	PID     int    `json:"pid"`
+	Status  int    `json:"status"`
+	WarmHit bool   `json:"warm_hit"`
 }
 
 // Tracer keeps the most recent events and job spans in bounded ring

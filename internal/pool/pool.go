@@ -126,16 +126,51 @@ func (c Config) runtimeConfig() lfirt.Config {
 	return rc
 }
 
-// Job is one execution request.
+// Job is one execution request: either a single image (Image) or a
+// multi-stage pipeline (Images). Exactly one of the two must be set.
 type Job struct {
-	// Image is the program to run (required).
+	// Image is the program to run (single-stage jobs).
 	Image *Image
+	// Images names a pipeline: the worker co-loads every stage into its
+	// one runtime, wires stage N's stdout to stage N+1's stdin over an
+	// in-runtime pipe, and the job's result is the final stage's. This
+	// is the paper's cheap-transition story applied across a request:
+	// all stages share one address space, so a byte moves between them
+	// for the cost of a host call, not an IPC round-trip.
+	Images []*Image
+	// Input is fed to the first stage's stdin (EOF after the last byte).
+	Input []byte
 	// Budget overrides the pool's default instruction budget (0 = use
-	// the pool default).
+	// the pool default). For pipelines it covers all stages together.
 	Budget uint64
 	// Cold bypasses the snapshot path and loads the ELF from scratch,
 	// re-verifying it — the baseline the warm path is measured against.
 	Cold bool
+}
+
+// stages normalizes the two job forms to a stage list.
+func (j Job) stages() []*Image {
+	if len(j.Images) > 0 {
+		return j.Images
+	}
+	return []*Image{j.Image}
+}
+
+// StageResult is one pipeline stage's outcome. Intermediate stages'
+// stdout is consumed by the next stage, so only Stderr is captured per
+// stage; the final stage's output is the job's Stdout.
+type StageResult struct {
+	// Image is the stage's short image tag.
+	Image string
+	// PID is the stage's process id in the worker runtime.
+	PID int
+	// Status is the stage's exit status; a stage still running when the
+	// final stage finished is killed with a SIGPIPE-style 128+13.
+	Status int
+	// WarmHit reports the stage came from a pre-restored sandbox.
+	WarmHit bool
+	// Stderr is the stage's own captured stderr.
+	Stderr []byte
 }
 
 // Result is the outcome of one job.
@@ -148,8 +183,12 @@ type Result struct {
 	Instrs uint64
 	// Worker identifies the worker that served the job.
 	Worker int
-	// WarmHit reports that the job ran in a pre-restored sandbox.
+	// WarmHit reports that the job ran in a pre-restored sandbox (for
+	// pipelines: every stage did).
 	WarmHit bool
+	// Stages is the per-stage breakdown, one entry per image in job
+	// order (a single-image job has one entry).
+	Stages []StageResult
 	// Err is nil on success; *lfirt.ErrDeadline if the job exceeded its
 	// budget; an error matching ErrCanceled if its context fired;
 	// otherwise a load/restore failure.
@@ -212,6 +251,8 @@ type Stats struct {
 	ColdLoads  uint64        `json:"cold_loads"`  // full ELF loads (Cold jobs)
 	Evictions  uint64        `json:"evictions"`   // warm clones evicted under MaxWarm pressure
 	Instrs     uint64        `json:"instrs"`      // total instructions retired serving jobs
+	Pipelines  uint64        `json:"pipelines"`   // multi-stage jobs served
+	Stages     uint64        `json:"stages"`      // total pipeline stages served
 	QueueDepth int           `json:"queue_depth"` // jobs currently queued
 	Workers    []WorkerStats `json:"workers"`
 }
@@ -232,6 +273,7 @@ type poolMetrics struct {
 	warmHits, warmMisses           *obs.Counter
 	restores, coldLoads, evictions *obs.Counter
 	instrs                         *obs.Counter
+	plJobs, plStages               *obs.Counter
 	queueDepth, parked             *obs.Gauge
 	queueWait, restore, run, total *obs.Histogram
 }
@@ -251,6 +293,8 @@ func newPoolMetrics(reg *obs.Registry) poolMetrics {
 		coldLoads:  reg.Counter("pool.cold_loads"),
 		evictions:  reg.Counter("pool.warm.evictions"),
 		instrs:     reg.Counter("pool.instrs"),
+		plJobs:     reg.Counter("pool.pipeline.jobs"),
+		plStages:   reg.Counter("pool.pipeline.stages"),
 		queueDepth: reg.Gauge("pool.queue.depth"),
 		parked:     reg.Gauge("pool.warm.parked"),
 		queueWait:  reg.Histogram("pool.latency.queue_wait_ns", lat),
@@ -376,8 +420,16 @@ func (p *Pool) Submit(j Job) (*Ticket, error) {
 // every case the resulting error matches ErrCanceled and wraps ctx's own
 // error.
 func (p *Pool) SubmitCtx(ctx context.Context, j Job) (*Ticket, error) {
-	if j.Image == nil {
+	switch {
+	case j.Image == nil && len(j.Images) == 0:
 		return nil, fmt.Errorf("pool: job has no image")
+	case j.Image != nil && len(j.Images) > 0:
+		return nil, fmt.Errorf("pool: job sets both Image and Images")
+	}
+	for i, img := range j.Images {
+		if img == nil {
+			return nil, fmt.Errorf("pool: pipeline stage %d has no image", i)
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("%w before submit (%w)", ErrCanceled, err)
@@ -459,6 +511,8 @@ func (p *Pool) Stats() Stats {
 		ColdLoads:  p.m.coldLoads.Value(),
 		Evictions:  p.m.evictions.Value(),
 		Instrs:     p.m.instrs.Value(),
+		Pipelines:  p.m.plJobs.Value(),
+		Stages:     p.m.plStages.Value(),
 		QueueDepth: int(p.m.queueDepth.Value()),
 	}
 	for i, ws := range p.wstats {
@@ -539,10 +593,11 @@ func (w *worker) serve(t *task) *Result {
 	p.m.queueWait.Observe(uint64(queueWait.Nanoseconds()))
 	tr.Record(obs.Event{Kind: obs.EvJobDequeue, Job: t.id, Worker: w.id, DurNS: queueWait.Nanoseconds()})
 
+	stages := j.stages()
 	res := &Result{Worker: w.id}
 	span := obs.Span{
 		Job:         t.id,
-		Image:       imageTag(j.Image),
+		Image:       imageTag(stages[len(stages)-1]), // the stage whose output is the result
 		Worker:      w.id,
 		EnqueueNS:   t.enq.UnixNano(),
 		QueueWaitNS: queueWait.Nanoseconds(),
@@ -578,53 +633,49 @@ func (w *worker) serve(t *task) *Result {
 		budget = p.cfg.Budget
 	}
 
-	var proc *lfirt.Proc
-	var err error
-	acquireStart := time.Now()
-	switch {
-	case j.Cold:
-		// Baseline path: parse, verify, and load the ELF from scratch.
-		proc, err = w.rt.Load(j.Image.ELF)
-		span.RestoreNS = time.Since(acquireStart).Nanoseconds()
-		p.m.restore.Observe(uint64(span.RestoreNS))
-		p.m.coldLoads.Inc()
-		w.stats.coldLoads.Inc()
-		tr.Record(obs.Event{Kind: obs.EvColdLoad, Job: t.id, Worker: w.id, DurNS: span.RestoreNS})
-	default:
-		if clones := w.warm[j.Image.Key]; len(clones) > 0 {
-			proc = clones[len(clones)-1]
-			w.warm[j.Image.Key] = clones[:len(clones)-1]
-			w.warmCount--
-			p.m.parked.Add(-1)
-			w.stats.parked.Add(-1)
-			res.WarmHit = true
-			span.WarmHit = true
-			p.m.warmHits.Inc()
-			w.stats.warmHits.Inc()
-			tr.Record(obs.Event{Kind: obs.EvWarmHit, Job: t.id, Worker: w.id})
-		} else {
-			p.m.warmMisses.Inc()
-			tr.Record(obs.Event{Kind: obs.EvWarmMiss, Job: t.id, Worker: w.id})
-			proc, err = w.rt.Restore(j.Image.Snap)
-			span.RestoreNS = time.Since(acquireStart).Nanoseconds()
-			p.m.restore.Observe(uint64(span.RestoreNS))
-			p.m.restores.Inc()
-			w.stats.restores.Inc()
-			tr.Record(obs.Event{Kind: obs.EvRestore, Job: t.id, Worker: w.id, DurNS: span.RestoreNS})
+	// Acquire every stage up front; a pipeline that cannot be fully
+	// staffed fails without running anything.
+	if len(stages) > 1 {
+		p.m.plJobs.Inc()
+		p.m.plStages.Add(uint64(len(stages)))
+	}
+	procs := make([]*lfirt.Proc, 0, len(stages))
+	allWarm := !j.Cold
+	for _, img := range stages {
+		proc, warm, err := w.acquire(t, &span, img, j.Cold)
+		if err != nil {
+			for _, pr := range procs {
+				w.rt.KillProcess(pr, 128+9)
+			}
+			p.m.failures.Inc()
+			w.stats.failures.Inc()
+			res.Err = err
+			return finish()
 		}
+		allWarm = allWarm && warm
+		procs = append(procs, proc)
+		span.Stages = append(span.Stages, obs.SpanStage{Image: imageTag(img), PID: proc.PID, WarmHit: warm})
 	}
-	if err != nil {
-		p.m.failures.Inc()
-		w.stats.failures.Inc()
-		res.Err = err
-		return finish()
-	}
+	res.WarmHit = allWarm
+	span.WarmHit = allWarm
 
-	w.rt.Start(proc)
-	tr.Record(obs.Event{Kind: obs.EvJobStart, Job: t.id, Worker: w.id, PID: proc.PID})
+	// Wire the request through the stages: Input feeds stage 0's stdin,
+	// stage N's stdout becomes stage N+1's stdin, and only the final
+	// stage's stdout reaches the result.
+	if len(j.Input) > 0 {
+		w.rt.FeedInput(procs[0], j.Input)
+	}
+	for k := 0; k+1 < len(procs); k++ {
+		w.rt.ConnectPipe(procs[k], procs[k+1])
+	}
+	for _, pr := range procs {
+		w.rt.Start(pr)
+		tr.Record(obs.Event{Kind: obs.EvJobStart, Job: t.id, Worker: w.id, PID: pr.PID})
+	}
+	last := procs[len(procs)-1]
 	runStart := time.Now()
 	before := w.rt.CPU.Instrs
-	status, err := w.rt.RunProcCancel(proc, budget, t.ctx.Done())
+	status, err := w.rt.RunProcCancel(last, budget, t.ctx.Done())
 	span.RunNS = time.Since(runStart).Nanoseconds()
 	p.m.run.Observe(uint64(span.RunNS))
 	res.Instrs = w.rt.CPU.Instrs - before
@@ -639,7 +690,7 @@ func (w *worker) serve(t *task) *Result {
 		span.Canceled = true
 		p.m.canceled.Inc()
 		w.stats.canceled.Inc()
-		tr.Record(obs.Event{Kind: obs.EvJobCancel, Job: t.id, Worker: w.id, PID: proc.PID})
+		tr.Record(obs.Event{Kind: obs.EvJobCancel, Job: t.id, Worker: w.id, PID: last.PID})
 	case errors.As(err, &de):
 		p.m.deadlines.Inc()
 		w.stats.deadlines.Inc()
@@ -647,15 +698,81 @@ func (w *worker) serve(t *task) *Result {
 		p.m.failures.Inc()
 		w.stats.failures.Inc()
 	}
+	// Settle upstream stages. With the final stage gone the pipeline's
+	// output sink no longer exists; anything still live is reaped with a
+	// SIGPIPE-style status, mirroring what a shell pipeline does to a
+	// producer whose consumer exited.
+	for _, pr := range procs[:len(procs)-1] {
+		if pr.State != lfirt.ProcZombie {
+			w.rt.KillProcess(pr, 128+13)
+		}
+	}
+	for k, pr := range procs {
+		span.Stages[k].Status = pr.ExitStatus()
+		res.Stages = append(res.Stages, StageResult{
+			Image:   span.Stages[k].Image,
+			PID:     pr.PID,
+			Status:  pr.ExitStatus(),
+			WarmHit: span.Stages[k].WarmHit,
+			Stderr:  append([]byte(nil), pr.Stderr()...),
+		})
+	}
 	// The proc's buffers survive the proc's death; copy them out so the
 	// result owns its bytes.
-	res.Stdout = append([]byte(nil), proc.Stdout()...)
-	res.Stderr = append([]byte(nil), proc.Stderr()...)
+	res.Stdout = append([]byte(nil), last.Stdout()...)
+	res.Stderr = append([]byte(nil), last.Stderr()...)
 
 	if !j.Cold {
-		w.replenish(j.Image)
+		seen := make(map[string]bool, len(stages))
+		for _, img := range stages {
+			if !seen[img.Key] {
+				seen[img.Key] = true
+				w.replenish(img)
+			}
+		}
 	}
 	return finish()
+}
+
+// acquire materializes one stage's sandbox: a full ELF load for cold
+// jobs, a parked warm clone when one is available, or an inline snapshot
+// restore otherwise. The bool reports a warm hit.
+func (w *worker) acquire(t *task, span *obs.Span, img *Image, cold bool) (*lfirt.Proc, bool, error) {
+	p := w.pool
+	tr := p.obs.Trace()
+	start := time.Now()
+	if cold {
+		// Baseline path: parse, verify, and load the ELF from scratch.
+		proc, err := w.rt.Load(img.ELF)
+		d := time.Since(start).Nanoseconds()
+		span.RestoreNS += d
+		p.m.restore.Observe(uint64(d))
+		p.m.coldLoads.Inc()
+		w.stats.coldLoads.Inc()
+		tr.Record(obs.Event{Kind: obs.EvColdLoad, Job: t.id, Worker: w.id, DurNS: d})
+		return proc, false, err
+	}
+	if clones := w.warm[img.Key]; len(clones) > 0 {
+		proc := clones[len(clones)-1]
+		w.warm[img.Key] = clones[:len(clones)-1]
+		w.warmCount--
+		p.m.parked.Add(-1)
+		w.stats.parked.Add(-1)
+		p.m.warmHits.Inc()
+		w.stats.warmHits.Inc()
+		tr.Record(obs.Event{Kind: obs.EvWarmHit, Job: t.id, Worker: w.id})
+		return proc, true, nil
+	}
+	p.m.warmMisses.Inc()
+	tr.Record(obs.Event{Kind: obs.EvWarmMiss, Job: t.id, Worker: w.id})
+	proc, err := w.rt.Restore(img.Snap)
+	d := time.Since(start).Nanoseconds()
+	span.RestoreNS += d
+	p.m.restore.Observe(uint64(d))
+	p.m.restores.Inc()
+	w.stats.restores.Inc()
+	tr.Record(obs.Event{Kind: obs.EvRestore, Job: t.id, Worker: w.id, DurNS: d})
+	return proc, false, err
 }
 
 // replenish grows this worker's warm set for img back to WarmPerImage and

@@ -122,3 +122,75 @@ loop:
 	mov x0, #0
 %s`, peer, n&0xffff, (n>>16)&0xffff, progs.RTCall(core.RTYield), progs.Exit())
 }
+
+// RingPingPassive binds a ring channel on port 5 and echoes n one-byte
+// messages back to the sender. Together with RingPingActive it measures
+// the cross-sandbox IPC round trip: each hop is a send whose payload is
+// handed directly to the blocked receiver (a yield plus channel
+// bookkeeping). Load the passive side first so the port is bound before
+// the active side connects.
+func RingPingPassive(n int) string {
+	return fmt.Sprintf(`
+.globl _start
+_start:
+	mov x0, #2
+	mov x1, #0
+%s	mov x19, x0
+	mov x0, x19
+	mov x1, #5
+%s	movz x20, #%d
+	movk x20, #%d, lsl #16
+loop:
+	mov x0, x19
+	adrp x1, buf
+	add x1, x1, :lo12:buf
+	mov x2, #1
+%s	mov x0, x19
+	adrp x1, buf
+	add x1, x1, :lo12:buf
+	mov x2, #1
+%s	subs x20, x20, #1
+	b.ne loop
+	mov x0, #0
+%s
+.bss
+buf:
+	.space 8
+`, progs.RTCall(core.RTSocket), progs.RTCall(core.RTBind),
+		n&0xffff, (n>>16)&0xffff,
+		progs.RTCall(core.RTRecv), progs.RTCall(core.RTSend), progs.Exit())
+}
+
+// RingPingActive connects to the ring channel on port 5 and ping-pongs
+// one byte n times: the peer of RingPingPassive.
+func RingPingActive(n int) string {
+	return fmt.Sprintf(`
+.globl _start
+_start:
+	mov x0, #2
+	mov x1, #0
+%s	mov x19, x0
+	mov x0, x19
+	mov x1, #5
+%s	movz x20, #%d
+	movk x20, #%d, lsl #16
+loop:
+	mov x0, x19
+	adrp x1, buf
+	add x1, x1, :lo12:buf
+	mov x2, #1
+%s	mov x0, x19
+	adrp x1, buf
+	add x1, x1, :lo12:buf
+	mov x2, #1
+%s	subs x20, x20, #1
+	b.ne loop
+	mov x0, #0
+%s
+.bss
+buf:
+	.space 8
+`, progs.RTCall(core.RTSocket), progs.RTCall(core.RTConnect),
+		n&0xffff, (n>>16)&0xffff,
+		progs.RTCall(core.RTSend), progs.RTCall(core.RTRecv), progs.Exit())
+}

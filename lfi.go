@@ -361,6 +361,15 @@ const (
 	CallPipe   = core.RTPipe
 	CallKill   = core.RTKill
 	CallUsleep = core.RTUsleep
+
+	// Cross-sandbox IPC calls (§5.3): sockets and shared-memory ring
+	// channels between sandboxes of one runtime.
+	CallSocket  = core.RTSocket
+	CallBind    = core.RTBind
+	CallConnect = core.RTConnect
+	CallAccept  = core.RTAccept
+	CallSend    = core.RTSend
+	CallRecv    = core.RTRecv
 )
 
 // CallSequence returns the two-instruction assembly sequence that invokes
@@ -407,6 +416,9 @@ type Job = pool.Job
 // JobResult is the outcome of one pool job, including the job's own
 // captured stdout/stderr.
 type JobResult = pool.Result
+
+// JobStage is one pipeline stage's outcome within a JobResult.
+type JobStage = pool.StageResult
 
 // JobTicket is a pending job's handle; Wait blocks for its result.
 type JobTicket = pool.Ticket
