@@ -34,4 +34,33 @@ go test -run '^$' -bench 'BenchmarkEmu' -benchtime=1x .
 echo '== fuzz smoke (lfi-fuzz -iters 2000 -seed 1)'
 go run ./cmd/lfi-fuzz -iters 2000 -seed 1
 
+echo '== serve race suite (go test -race ./internal/serve)'
+go test -race ./internal/serve
+
+echo '== serve smoke (lfi-serve -listen + lfi-loadgen -smoke)'
+bindir=$(mktemp -d)
+servelog="$bindir/serve.log"
+go build -o "$bindir/lfi-serve" ./cmd/lfi-serve
+go build -o "$bindir/lfi-loadgen" ./cmd/lfi-loadgen
+"$bindir/lfi-serve" -listen 127.0.0.1:0 2>"$servelog" &
+servepid=$!
+addr=''
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's|.*serving on http://\([^/]*\)/v1/jobs.*|\1|p' "$servelog")
+    [ -n "$addr" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo 'lfi-serve did not come up:'
+    cat "$servelog"
+    kill "$servepid" 2>/dev/null || true
+    exit 1
+fi
+"$bindir/lfi-loadgen" -smoke -addr "$addr"
+kill -TERM "$servepid"
+wait "$servepid" || true
+rm -rf "$bindir"
+
 echo 'ok'

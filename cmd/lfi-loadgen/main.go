@@ -1,0 +1,562 @@
+// lfi-loadgen drives an lfi-serve network server with concurrent
+// sandbox jobs and reports the latency/throughput curve. It is the
+// measurement half of the serving stack: closed-loop (a fixed number of
+// in-flight requests, each worker issuing its next request as soon as
+// the previous resolves) or open-loop (a fixed arrival rate regardless
+// of completions), over HTTP JSON or the binary protocol.
+//
+// Usage:
+//
+//	lfi-loadgen [-addr host:port] [-bin-addr host:port]
+//	            [-c 8,64,256,1024] [-duration 3s] [-requests n]
+//	            [-rate r] [-tenants a,b] [-image name] [-budget n]
+//	            [-shards n] [-workers n] [-max-pending n]
+//	            [-json file] [-smoke]
+//
+// With no -addr, loadgen starts an in-process server on a loopback port
+// and drives it over real sockets — the self-contained benchmark mode.
+// Against an external server it first registers its workload image via
+// POST /v1/images, so any running lfi-serve works as a target. -bin-addr
+// switches job submission to the binary protocol (registration and
+// status still use HTTP).
+//
+// Each -c level runs for -duration (or -requests, whichever ends
+// first); p50/p95/p99 latency, throughput, and a terminal-outcome
+// breakdown are printed per level and written as JSON with -json. Every
+// request must reach a terminal outcome — transport errors or hangs
+// count as lost, and any lost request fails the run. -smoke shrinks the
+// workload for CI (low concurrency, a few hundred requests) while
+// keeping the zero-lost check.
+//
+// -tenants spreads requests round-robin across tenant names, and the
+// per-level report breaks outcomes down per tenant — run the server
+// with weighted -tenants to watch fair queueing and rate quotas act.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lfi/internal/core"
+	"lfi/internal/pool"
+	"lfi/internal/progs"
+	"lfi/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "target lfi-serve HTTP address (empty = in-process server)")
+	binTarget := flag.String("bin-addr", "", "submit jobs over the binary protocol at this address")
+	levels := flag.String("c", "8,64,256,1024", "closed-loop concurrency levels, comma-separated")
+	duration := flag.Duration("duration", 3*time.Second, "measurement window per level")
+	requests := flag.Int("requests", 0, "cap requests per level (0 = duration-bound)")
+	rate := flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
+	tenants := flag.String("tenants", "", "tenant names to spread requests across, comma-separated")
+	image := flag.String("image", "", "submit jobs against this image (empty = register a built-in)")
+	budget := flag.Uint64("budget", 0, "per-job instruction budget override")
+	shards := flag.Int("shards", 2, "in-process server: shard count")
+	workers := flag.Int("workers", 4, "in-process server: workers per shard")
+	maxPending := flag.Int("max-pending", 2048, "in-process server: per-tenant per-shard queue bound")
+	jsonPath := flag.String("json", "", "write the latency/throughput curve to this file")
+	smoke := flag.Bool("smoke", false, "CI smoke: low concurrency, a few hundred requests")
+	flag.Parse()
+
+	if *smoke {
+		*levels = "4,16"
+		*duration = time.Second
+		if *requests == 0 {
+			*requests = 200
+		}
+	}
+
+	var tenantNames []string
+	for _, t := range strings.Split(*tenants, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tenantNames = append(tenantNames, t)
+		}
+	}
+	var concs []int
+	for _, f := range strings.Split(*levels, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fatal(fmt.Errorf("bad -c level %q", f))
+		}
+		concs = append(concs, n)
+	}
+
+	// Resolve the target: an external server, or an in-process one on
+	// loopback ports (still driven over real sockets).
+	httpAddr, binAddr := *addr, *binTarget
+	if httpAddr == "" {
+		s := serve.New(serve.Config{
+			Shards: *shards,
+			Pool:   pool.Config{Workers: *workers},
+			Tenants: []serve.TenantConfig{
+				// Declared contracts for multi-tenant runs; undeclared
+				// names fall through to the default (weight 1, no limit).
+				{Name: "pro", Weight: 4},
+				{Name: "free", Weight: 1},
+			},
+			MaxPending: *maxPending,
+		})
+		defer s.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		go http.Serve(ln, s.Mux())
+		httpAddr = ln.Addr().String()
+		bln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		go s.ServeBinary(bln)
+		// "-bin-addr self" targets the in-process binary listener.
+		if *binTarget == "self" {
+			binAddr = bln.Addr().String()
+		}
+		fmt.Fprintf(os.Stderr, "lfi-loadgen: in-process server on %s (binary %s)\n", httpAddr, bln.Addr())
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4096,
+		MaxIdleConnsPerHost: 4096,
+	}}
+
+	img := *image
+	if img == "" {
+		img = registerImage(client, httpAddr)
+	}
+
+	proto := "http"
+	if binAddr != "" {
+		proto = "binary"
+	}
+	bench := &benchDoc{
+		Server:   httpAddr,
+		Protocol: proto,
+		Image:    img,
+		Mode:     "closed",
+		Tenants:  tenantNames,
+	}
+	if *rate > 0 {
+		bench.Mode = "open"
+	}
+
+	lost := 0
+	for _, c := range concs {
+		lv := runLevel(levelConfig{
+			client:   client,
+			httpAddr: httpAddr,
+			binAddr:  binAddr,
+			image:    img,
+			budget:   *budget,
+			tenants:  tenantNames,
+			conc:     c,
+			duration: *duration,
+			requests: *requests,
+			rate:     *rate,
+		})
+		bench.Levels = append(bench.Levels, lv)
+		lost += lv.Lost
+		fmt.Printf("c=%-5d %8.0f jobs/s  p50=%6.2fms p95=%6.2fms p99=%6.2fms  ok=%d %s lost=%d\n",
+			c, lv.JobsPerSec, lv.P50Ms, lv.P95Ms, lv.P99Ms, lv.Outcomes["ok"], errSummary(lv.Outcomes), lv.Lost)
+		for name, ts := range lv.PerTenant {
+			fmt.Printf("        tenant %-10s sent=%-6d ok=%-6d quota=%-5d overloaded=%d\n",
+				name, ts.Sent, ts.OK, ts.Quota, ts.Overloaded)
+		}
+	}
+
+	if *jsonPath != "" {
+		b, _ := json.MarshalIndent(bench, "", "  ")
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "lfi-loadgen: wrote %s\n", *jsonPath)
+	}
+	if lost > 0 {
+		fatal(fmt.Errorf("%d requests lost (no terminal response)", lost))
+	}
+	totalOK := 0
+	for _, lv := range bench.Levels {
+		totalOK += lv.Outcomes["ok"]
+	}
+	if totalOK == 0 {
+		fatal(fmt.Errorf("no request succeeded"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lfi-loadgen:", err)
+	os.Exit(1)
+}
+
+// registerImage installs the workload program on the target server and
+// returns its registered name.
+func registerImage(client *http.Client, addr string) string {
+	body, _ := json.Marshal(map[string]string{"name": "loadgen", "source": loadgenSource()})
+	resp, err := client.Post("http://"+addr+"/v1/images", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(fmt.Errorf("register image: %w", err))
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		fatal(fmt.Errorf("register image: %s: %s", resp.Status, b))
+	}
+	return "loadgen"
+}
+
+// benchDoc is the BENCH_serve.json document.
+type benchDoc struct {
+	Server   string        `json:"server"`
+	Protocol string        `json:"protocol"`
+	Image    string        `json:"image"`
+	Mode     string        `json:"mode"`
+	Tenants  []string      `json:"tenants,omitempty"`
+	Levels   []levelResult `json:"levels"`
+}
+
+type tenantResult struct {
+	Sent       int `json:"sent"`
+	OK         int `json:"ok"`
+	Quota      int `json:"quota"`
+	Overloaded int `json:"overloaded"`
+}
+
+type levelResult struct {
+	Concurrency int                     `json:"concurrency"`
+	Requests    int                     `json:"requests"`
+	DurationS   float64                 `json:"duration_s"`
+	JobsPerSec  float64                 `json:"jobs_per_sec"`
+	P50Ms       float64                 `json:"p50_ms"`
+	P95Ms       float64                 `json:"p95_ms"`
+	P99Ms       float64                 `json:"p99_ms"`
+	MeanMs      float64                 `json:"mean_ms"`
+	Outcomes    map[string]int          `json:"outcomes"`
+	PerTenant   map[string]tenantResult `json:"per_tenant,omitempty"`
+	Lost        int                     `json:"lost"`
+}
+
+type levelConfig struct {
+	client   *http.Client
+	httpAddr string
+	binAddr  string
+	image    string
+	budget   uint64
+	tenants  []string
+	conc     int
+	duration time.Duration
+	requests int
+	rate     float64
+}
+
+// outcome is one request's terminal classification and latency.
+type outcome struct {
+	kind   string // error_kind, or "lost" for transport failures
+	tenant string
+	lat    time.Duration
+}
+
+// runLevel drives one concurrency level and aggregates its results.
+func runLevel(cfg levelConfig) levelResult {
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.duration)
+	defer cancel()
+
+	outcomes := make([]outcome, 0, 4096)
+	var mu sync.Mutex
+	record := func(o outcome) {
+		mu.Lock()
+		outcomes = append(outcomes, o)
+		mu.Unlock()
+	}
+
+	var seq, issued int64
+	var seqMu sync.Mutex
+	// nextTenant hands out requests round-robin across tenants; it also
+	// enforces the optional per-level request cap.
+	next := func() (string, bool) {
+		seqMu.Lock()
+		defer seqMu.Unlock()
+		if cfg.requests > 0 && issued >= int64(cfg.requests) {
+			return "", false
+		}
+		issued++
+		t := ""
+		if len(cfg.tenants) > 0 {
+			t = cfg.tenants[seq%int64(len(cfg.tenants))]
+		}
+		seq++
+		return t, true
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	if cfg.rate > 0 {
+		runOpenLoop(ctx, cfg, next, record, &wg)
+	} else {
+		for i := 0; i < cfg.conc; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				worker(ctx, cfg, next, record)
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	lv := levelResult{
+		Concurrency: cfg.conc,
+		DurationS:   elapsed.Seconds(),
+		Outcomes:    map[string]int{},
+	}
+	if len(cfg.tenants) > 0 {
+		lv.PerTenant = map[string]tenantResult{}
+	}
+	var lats []float64
+	var sum float64
+	for _, o := range outcomes {
+		lv.Requests++
+		if o.kind == "lost" {
+			lv.Lost++
+			continue
+		}
+		lv.Outcomes[o.kind]++
+		ms := float64(o.lat.Nanoseconds()) / 1e6
+		lats = append(lats, ms)
+		sum += ms
+		if lv.PerTenant != nil {
+			ts := lv.PerTenant[o.tenant]
+			ts.Sent++
+			switch o.kind {
+			case "ok":
+				ts.OK++
+			case "quota":
+				ts.Quota++
+			case "overloaded":
+				ts.Overloaded++
+			}
+			lv.PerTenant[o.tenant] = ts
+		}
+	}
+	sort.Float64s(lats)
+	if n := len(lats); n > 0 {
+		lv.P50Ms = lats[n/2]
+		lv.P95Ms = lats[min(n-1, n*95/100)]
+		lv.P99Ms = lats[min(n-1, n*99/100)]
+		lv.MeanMs = sum / float64(n)
+	}
+	lv.JobsPerSec = float64(lv.Outcomes["ok"]) / elapsed.Seconds()
+	return lv
+}
+
+// worker is one closed-loop client: issue, wait, repeat.
+func worker(ctx context.Context, cfg levelConfig, next func() (string, bool), record func(outcome)) {
+	var bc *binconn
+	if cfg.binAddr != "" {
+		var err error
+		if bc, err = dialBin(cfg.binAddr); err != nil {
+			record(outcome{kind: "lost"})
+			return
+		}
+		defer bc.close()
+	}
+	for ctx.Err() == nil {
+		tenant, ok := next()
+		if !ok {
+			return
+		}
+		t0 := time.Now()
+		var kind string
+		var err error
+		if bc != nil {
+			kind, err = bc.do(tenant, cfg.image, cfg.budget)
+		} else {
+			kind, err = doHTTP(ctx, cfg.client, cfg.httpAddr, tenant, cfg.image, cfg.budget)
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return // window closed mid-request; not a loss
+			}
+			record(outcome{kind: "lost", tenant: tenant})
+			continue
+		}
+		record(outcome{kind: kind, tenant: tenant, lat: time.Since(t0)})
+	}
+}
+
+// runOpenLoop issues requests on a fixed arrival schedule, regardless
+// of completions — the load pattern that exposes queueing collapse.
+func runOpenLoop(ctx context.Context, cfg levelConfig, next func() (string, bool), record func(outcome), wg *sync.WaitGroup) {
+	interval := time.Duration(float64(time.Second) / cfg.rate)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			tenant, ok := next()
+			if !ok {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				t0 := time.Now()
+				kind, err := doHTTP(context.Background(), cfg.client, cfg.httpAddr, tenant, cfg.image, cfg.budget)
+				if err != nil {
+					record(outcome{kind: "lost", tenant: tenant})
+					return
+				}
+				record(outcome{kind: kind, tenant: tenant, lat: time.Since(t0)})
+			}()
+		}
+	}
+}
+
+// doHTTP submits one sync job over HTTP JSON and returns its error_kind.
+func doHTTP(ctx context.Context, client *http.Client, addr, tenant, image string, budget uint64) (string, error) {
+	body, _ := json.Marshal(map[string]any{"tenant": tenant, "image": image, "budget": budget})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+addr+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		ErrorKind string `json:"error_kind"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "", err
+	}
+	if doc.ErrorKind == "" {
+		return "", fmt.Errorf("response without error_kind (HTTP %d)", resp.StatusCode)
+	}
+	return doc.ErrorKind, nil
+}
+
+// binconn is a minimal binary-protocol client doing one request at a
+// time per connection (each closed-loop worker owns one).
+type binconn struct {
+	c  net.Conn
+	br *bufio.Reader
+	id uint64
+}
+
+func dialBin(addr string) (*binconn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &binconn{c: c, br: bufio.NewReaderSize(c, 64<<10)}, nil
+}
+
+func (bc *binconn) close() { bc.c.Close() }
+
+// do submits one job and waits for its terminal frame, returning the
+// error kind name. Framing mirrors internal/serve/frame.go.
+func (bc *binconn) do(tenant, image string, budget uint64) (string, error) {
+	bc.id++
+	payload := appendLP(nil, []byte(tenant))
+	payload = appendLP(payload, []byte(image))
+	payload = binary.AppendUvarint(payload, budget)
+	payload = append(payload, 0) // flags
+	payload = appendLP(payload, nil)
+
+	hdr := make([]byte, 16)
+	binary.BigEndian.PutUint16(hdr[0:], 0x4C46)
+	hdr[2] = 1 // version
+	hdr[3] = 1 // frameReq
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	binary.BigEndian.PutUint64(hdr[8:], bc.id)
+	if _, err := bc.c.Write(append(hdr, payload...)); err != nil {
+		return "", err
+	}
+	for {
+		if _, err := io.ReadFull(bc.br, hdr); err != nil {
+			return "", err
+		}
+		n := binary.BigEndian.Uint32(hdr[4:])
+		body := make([]byte, n)
+		if _, err := io.ReadFull(bc.br, body); err != nil {
+			return "", err
+		}
+		if hdr[3] != 2 { // not frameRes: skip stream chunks etc.
+			continue
+		}
+		if len(body) < 1 {
+			return "", fmt.Errorf("empty response frame")
+		}
+		return kindName(body[0]), nil
+	}
+}
+
+func appendLP(b, v []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(v)))
+	return append(b, v...)
+}
+
+// kindName mirrors the server's wire codes (internal/serve/frame.go).
+func kindName(code byte) string {
+	names := []string{"ok", "deadline", "quota", "overloaded", "canceled",
+		"verify", "unknown_image", "closed", "queue_full", "bad_request", "internal"}
+	if int(code) < len(names) {
+		return names[code]
+	}
+	return "internal"
+}
+
+func errSummary(outcomes map[string]int) string {
+	keys := make([]string, 0, len(outcomes))
+	for k := range outcomes {
+		if k != "ok" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, outcomes[k])
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return strings.Join(parts, " ")
+}
+
+// loadgenSource is the workload program: write a short line, exit 0.
+// Small on purpose — the benchmark measures serving overhead, not
+// sandbox time. Built server-side through POST /v1/images.
+func loadgenSource() string {
+	msg := "loadgen\n"
+	return fmt.Sprintf(`
+_start:
+	mov x0, #1
+	adrp x1, msg
+	add x1, x1, :lo12:msg
+	mov x2, #%d
+%s%s
+.rodata
+msg:
+	.ascii %q
+`, len(msg), progs.RTCall(core.RTWrite), progs.ExitCode(0), msg)
+}

@@ -21,30 +21,54 @@
 //	          [-cold] [-pipeline [-input s]] [-v] [-http addr [-linger]]
 //	          [prog.s|prog.elf ...]
 //
-// With -http, the process serves two observability endpoints while jobs
-// run: /metrics is a JSON snapshot of the pool's metrics registry
-// (counters, gauges, latency histograms) and /statusz reports pool and
-// per-worker serving state plus recent per-job trace spans. -linger
-// keeps the endpoints up after the batch finishes (scrape, then ^C).
+//	lfi-serve -listen addr [-bin addr] [-shards n] [-tenants spec]
+//	          [-max-pending n] [-workers n] [-queue n] [-budget n]
+//	          [prog.s|prog.elf ...]
+//
+// With -listen, lfi-serve is a network server instead of a batch
+// driver: jobs arrive as POST /v1/jobs (sync, async, or streaming),
+// images register over POST /v1/images, and the job endpoints,
+// /metrics, /statusz, and /healthz all share the one listener — no
+// second observability port. -bin adds a second listener speaking the
+// length-prefixed binary protocol for the hot path. -shards routes jobs
+// across that many independent pools by image hash; -tenants declares
+// QoS contracts as name[:weight[:rate[:burst]]],... Arguments
+// pre-register images under their base names (demo images with none).
+// The server drains gracefully on SIGINT/SIGTERM: queued jobs are
+// rejected, in-flight jobs finish, then the process exits.
+//
+// Without -listen, the classic batch mode runs. With -http, it serves
+// two observability endpoints while jobs run: /metrics is a JSON
+// snapshot of the pool's metrics registry (counters, gauges, latency
+// histograms) and /statusz reports pool and per-worker serving state
+// plus recent per-job trace spans. -linger keeps the endpoints up after
+// the batch finishes (scrape, then ^C).
 package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"lfi"
+	"lfi/internal/core"
 	"lfi/internal/obs"
+	"lfi/internal/pool"
+	"lfi/internal/serve"
 )
 
 func main() {
-	workers := flag.Int("workers", 4, "concurrent worker runtimes")
+	workers := flag.Int("workers", 4, "concurrent worker runtimes (per shard in serve mode)")
 	queue := flag.Int("queue", 0, "submission queue depth (0 = 4x workers)")
 	budget := flag.Uint64("budget", 0, "per-job instruction budget (0 = 50M)")
 	warm := flag.Int("warm", 0, "pre-restored sandboxes kept per image per worker (0 = 1)")
@@ -55,7 +79,33 @@ func main() {
 	verbose := flag.Bool("v", false, "print each job's captured output")
 	httpAddr := flag.String("http", "", "serve /metrics and /statusz on this address (e.g. :8080)")
 	linger := flag.Bool("linger", false, "with -http: keep serving endpoints after the batch")
+	listen := flag.String("listen", "", "serve jobs over HTTP on this address (serve mode)")
+	binAddr := flag.String("bin", "", "with -listen: also speak the binary protocol on this address")
+	shards := flag.Int("shards", 1, "with -listen: independent pools to route across")
+	tenants := flag.String("tenants", "", "with -listen: tenant QoS as name[:weight[:rate[:burst]]],...")
+	maxPending := flag.Int("max-pending", 0, "with -listen: per-tenant per-shard queue bound (0 = 256)")
 	flag.Parse()
+
+	if *listen != "" {
+		if *httpAddr != "" {
+			// Satellite of the serve mode: one listener carries /v1/jobs,
+			// /metrics, and /statusz alike, so a second port is pointless.
+			fmt.Fprintln(os.Stderr, "lfi-serve: -http ignored with -listen; /metrics and /statusz share the -listen address")
+		}
+		runServe(serveOptions{
+			listen:     *listen,
+			binAddr:    *binAddr,
+			shards:     *shards,
+			tenants:    *tenants,
+			maxPending: *maxPending,
+			workers:    *workers,
+			queue:      *queue,
+			budget:     *budget,
+			warm:       *warm,
+			args:       flag.Args(),
+		})
+		return
+	}
 
 	p := lfi.NewPool(lfi.PoolConfig{
 		Workers:      *workers,
@@ -186,6 +236,123 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lfi-serve: batch done, endpoints still serving (^C to exit)")
 		select {}
 	}
+}
+
+// serveOptions collects the serve-mode flags.
+type serveOptions struct {
+	listen, binAddr, tenants string
+	shards, maxPending       int
+	workers, queue, warm     int
+	budget                   uint64
+	args                     []string
+}
+
+// runServe is the network serving mode: a sharded serve.Server behind
+// one HTTP listener (jobs + observability) and optionally a binary
+// listener, draining gracefully on SIGINT/SIGTERM.
+func runServe(o serveOptions) {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "lfi-serve:", err)
+		os.Exit(1)
+	}
+	var tcs []serve.TenantConfig
+	if o.tenants != "" {
+		var err error
+		if tcs, err = serve.ParseTenants(o.tenants); err != nil {
+			fail(err)
+		}
+	}
+	s := serve.New(serve.Config{
+		Shards: o.shards,
+		Pool: pool.Config{
+			Workers:      o.workers,
+			QueueDepth:   o.queue,
+			Budget:       o.budget,
+			WarmPerImage: o.warm,
+		},
+		Tenants:    tcs,
+		MaxPending: o.maxPending,
+	})
+	if err := registerImages(s, o.args); err != nil {
+		fail(err)
+	}
+	for name, key := range s.Images() {
+		fmt.Fprintf(os.Stderr, "lfi-serve: image %-16s %s\n", name, key)
+	}
+
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		fail(err)
+	}
+	srv := &http.Server{Handler: s.Mux()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "lfi-serve: http:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "lfi-serve: %d shard(s) x %d workers serving on http://%s/v1/jobs (metrics: /metrics, status: /statusz)\n",
+		s.Shards(), o.workers, ln.Addr())
+	if o.binAddr != "" {
+		bln, err := net.Listen("tcp", o.binAddr)
+		if err != nil {
+			fail(err)
+		}
+		go func() {
+			if err := s.ServeBinary(bln); err != nil {
+				fmt.Fprintln(os.Stderr, "lfi-serve: binary:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "lfi-serve: binary protocol on %s\n", bln.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	fmt.Fprintln(os.Stderr, "lfi-serve: draining...")
+	shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(shctx)
+	s.Close()
+	fmt.Fprintln(os.Stderr, "lfi-serve: drained")
+}
+
+// registerImages pre-registers the argument programs under their base
+// names (demo images with no arguments), so clients can submit jobs by
+// name immediately.
+func registerImages(s *serve.Server, args []string) error {
+	opts := core.Options{Opt: core.O2}
+	if len(args) == 0 {
+		for i := 1; i <= 3; i++ {
+			if _, err := s.BuildImage(fmt.Sprintf("demo-tenant-%d", i), demoTenant(i), opts); err != nil {
+				return err
+			}
+		}
+		if _, err := s.BuildImage("demo-runaway", demoSpin, opts); err != nil {
+			return err
+		}
+		if _, err := s.BuildImage("demo-source", demoSource, opts); err != nil {
+			return err
+		}
+		_, err := s.BuildImage("demo-filter", demoFilter, opts)
+		return err
+	}
+	for _, path := range args {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		if bytes.HasPrefix(b, []byte("\x7fELF")) {
+			_, err = s.ImageFromELF(name, b)
+		} else {
+			_, err = s.BuildImage(name, string(b), opts)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
 }
 
 // statusz is the /statusz payload: pool-level counters with per-worker

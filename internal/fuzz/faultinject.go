@@ -27,6 +27,9 @@ type FaultOptions struct {
 	// IPCTrials is the number of mid-IPC kill/cancel trials against an
 	// echo pair over a ring channel (0 = 12).
 	IPCTrials int
+	// ServeRounds is the number of network-serving rounds driven through
+	// the HTTP protocol layer against a live listener (0 = 2).
+	ServeRounds int
 }
 
 func (o FaultOptions) withDefaults() FaultOptions {
@@ -39,23 +42,30 @@ func (o FaultOptions) withDefaults() FaultOptions {
 	if o.IPCTrials == 0 {
 		o.IPCTrials = 12
 	}
+	if o.ServeRounds == 0 {
+		o.ServeRounds = 2
+	}
 	return o
 }
 
 // FaultReport summarizes a fault-injection run.
 type FaultReport struct {
-	Submitted  int // jobs admitted across all pool rounds
-	Resolved   int // tickets that resolved with an allowed outcome
-	Kills      int // processes killed mid-run in the snapshot driver
-	Restores   int // snapshot restores after a kill
-	IPCFaults  int // echo peers killed or canceled mid-IPC
-	IPCDrains  int // surviving peers that drained to a clean exit
+	Submitted int // jobs admitted across all pool rounds
+	Resolved  int // tickets that resolved with an allowed outcome
+	Kills     int // processes killed mid-run in the snapshot driver
+	Restores  int // snapshot restores after a kill
+	IPCFaults int // echo peers killed or canceled mid-IPC
+	IPCDrains int // surviving peers that drained to a clean exit
+
+	ServeRequests int // HTTP jobs issued across all serve rounds
+	ServeTerminal int // serve requests that reached a terminal outcome
+
 	Violations []string
 }
 
 func (r *FaultReport) String() string {
-	return fmt.Sprintf("faults: %d submitted, %d resolved, %d kills, %d restores, %d ipc faults, %d ipc drains, %d violations",
-		r.Submitted, r.Resolved, r.Kills, r.Restores, r.IPCFaults, r.IPCDrains, len(r.Violations))
+	return fmt.Sprintf("faults: %d submitted, %d resolved, %d kills, %d restores, %d ipc faults, %d ipc drains, %d serve reqs, %d serve terminal, %d violations",
+		r.Submitted, r.Resolved, r.Kills, r.Restores, r.IPCFaults, r.IPCDrains, r.ServeRequests, r.ServeTerminal, len(r.Violations))
 }
 
 const faultTenant = `
@@ -90,6 +100,9 @@ func InjectFaults(opts FaultOptions) *FaultReport {
 	}
 	snapshotDriver(rng.Int63(), opts.SnapshotTrials, rep)
 	ipcRound(rng.Int63(), opts.IPCTrials, rep)
+	for round := 0; round < opts.ServeRounds; round++ {
+		serveRound(rng.Int63(), rep)
+	}
 	return rep
 }
 

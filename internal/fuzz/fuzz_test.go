@@ -51,6 +51,7 @@ func TestFaultInjection(t *testing.T) {
 	if testing.Short() {
 		opts.Rounds = 1
 		opts.SnapshotTrials = 5
+		opts.ServeRounds = 1
 	}
 	rep := InjectFaults(opts)
 	for _, v := range rep.Violations {
@@ -61,6 +62,9 @@ func TestFaultInjection(t *testing.T) {
 	}
 	if rep.Restores == 0 {
 		t.Errorf("vacuous snapshot driver: %s", rep)
+	}
+	if rep.ServeRequests == 0 || rep.ServeTerminal == 0 {
+		t.Errorf("vacuous serve round: %s", rep)
 	}
 	t.Log(rep)
 }

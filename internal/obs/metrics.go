@@ -306,3 +306,23 @@ func (s *Snapshot) MarshalJSON() ([]byte, error) {
 	type alias Snapshot // avoid recursion
 	return json.Marshal((*alias)(s))
 }
+
+// Merge copies every instrument of other into s with its name prefixed —
+// "shard.0." + "pool.jobs.completed" → "shard.0.pool.jobs.completed".
+// A sharded server uses it to publish several registries (one per shard
+// pool, plus its own) as one /metrics document. Same-name collisions
+// overwrite, so callers choose distinct prefixes.
+func (s *Snapshot) Merge(prefix string, other *Snapshot) {
+	if other == nil {
+		return
+	}
+	for name, v := range other.Counters {
+		s.Counters[prefix+name] = v
+	}
+	for name, v := range other.Gauges {
+		s.Gauges[prefix+name] = v
+	}
+	for name, h := range other.Histograms {
+		s.Histograms[prefix+name] = h
+	}
+}

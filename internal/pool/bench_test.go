@@ -14,7 +14,7 @@ import (
 // sandbox is killed after each instantiation so slots recycle, exactly
 // as a serving worker cycles them.
 func measureInstantiation(t testing.TB, iters int) (cold, warm time.Duration) {
-	cfg := Config{}.withDefaults().runtimeConfig()
+	cfg := Config{}.withDefaults().RuntimeConfig()
 	cache := NewCache(cfg)
 	img, err := cache.Build(bigTenantSrc(1, 1500), core.Options{Opt: core.O2})
 	if err != nil {
@@ -59,7 +59,7 @@ func measureInstantiation(t testing.TB, iters int) (cold, warm time.Duration) {
 // BenchmarkInstantiateColdLoad measures per-request cold instantiation
 // (ELF parse + verify + page-by-page load).
 func BenchmarkInstantiateColdLoad(b *testing.B) {
-	cfg := Config{}.withDefaults().runtimeConfig()
+	cfg := Config{}.withDefaults().RuntimeConfig()
 	cache := NewCache(cfg)
 	img, err := cache.Build(bigTenantSrc(1, 1500), core.Options{Opt: core.O2})
 	if err != nil {
@@ -79,7 +79,7 @@ func BenchmarkInstantiateColdLoad(b *testing.B) {
 // BenchmarkInstantiateRestore measures per-request warm instantiation
 // (snapshot restore into a fresh slot).
 func BenchmarkInstantiateRestore(b *testing.B) {
-	cfg := Config{}.withDefaults().runtimeConfig()
+	cfg := Config{}.withDefaults().RuntimeConfig()
 	cache := NewCache(cfg)
 	img, err := cache.Build(bigTenantSrc(1, 1500), core.Options{Opt: core.O2})
 	if err != nil {

@@ -54,6 +54,22 @@ func (c *Cache) setObs(o *obs.Obs) {
 	c.mMisses = o.Registry().Counter("pool.image.misses")
 }
 
+// SetObs points the cache's hit/miss counters at an external
+// observability bundle. Callers sharing one cache across several pools
+// (Config.SharedCache) use this to report into the router-level registry
+// instead of any one shard's.
+func (c *Cache) SetObs(o *obs.Obs) { c.setObs(o) }
+
+// Lookup returns the image already cached under key, if any. It never
+// builds: serving front-ends use it to resolve client-supplied image
+// keys to prepared images.
+func (c *Cache) Lookup(key string) (*Image, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	img, ok := c.images[key]
+	return img, ok
+}
+
 // NewCache creates an image cache whose snapshots are taken under cfg.
 // The page size and stack size must match the runtimes that will restore
 // them.

@@ -79,6 +79,19 @@ type Config struct {
 	// pool-private one (pool metrics are always collected — the recording
 	// cost is per job, not per instruction).
 	Obs *obs.Obs
+	// SharedCache supplies an externally owned image cache instead of a
+	// pool-private one, so several pools (the shards of a serving router)
+	// deduplicate builds once and restore the same immutable snapshots.
+	// The cache must have been created with this pool's RuntimeConfig —
+	// snapshots only restore into runtimes configured like the one that
+	// took them.
+	SharedCache *Cache
+	// OnJobDone, when set, is called by the serving worker after each
+	// admitted job resolves — after its ticket is delivered, including
+	// jobs dropped at shutdown. A sharded router uses it as the
+	// backpressure signal that queue capacity has freed up; it runs on
+	// the worker goroutine, so it must not block.
+	OnJobDone func(*Result)
 }
 
 func (c Config) withDefaults() Config {
@@ -106,10 +119,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// runtimeConfig builds the lfirt configuration shared by the worker
+// RuntimeConfig builds the lfirt configuration shared by the worker
 // runtimes and the image cache's scratch runtime (snapshots only restore
 // correctly into runtimes configured like the one that took them).
-func (c Config) runtimeConfig() lfirt.Config {
+// Callers sharing one image cache across several pools (Config.
+// SharedCache) create the cache with this configuration.
+func (c Config) RuntimeConfig() lfirt.Config {
+	c = c.withDefaults()
 	rc := lfirt.DefaultConfig()
 	rc.StackSize = c.StackSize
 	rc.Timeslice = c.Timeslice
@@ -241,6 +257,7 @@ type WorkerStats struct {
 type Stats struct {
 	Submitted  uint64        `json:"submitted"`   // jobs accepted into the queue
 	Rejected   uint64        `json:"rejected"`    // jobs refused by admission control
+	Shed       uint64        `json:"shed"`        // jobs a router shed on this pool's behalf
 	Completed  uint64        `json:"completed"`   // jobs finished (any outcome)
 	Canceled   uint64        `json:"canceled"`    // jobs stopped by their context
 	Deadlines  uint64        `json:"deadlines"`   // jobs killed for exceeding their budget
@@ -269,6 +286,7 @@ type task struct {
 // live in workerStats).
 type poolMetrics struct {
 	submitted, rejected, completed *obs.Counter
+	shed                           *obs.Counter
 	canceled, deadlines, failures  *obs.Counter
 	warmHits, warmMisses           *obs.Counter
 	restores, coldLoads, evictions *obs.Counter
@@ -283,6 +301,7 @@ func newPoolMetrics(reg *obs.Registry) poolMetrics {
 	return poolMetrics{
 		submitted:  reg.Counter("pool.jobs.submitted"),
 		rejected:   reg.Counter("pool.jobs.rejected"),
+		shed:       reg.Counter("pool.jobs.shed"),
 		completed:  reg.Counter("pool.jobs.completed"),
 		canceled:   reg.Counter("pool.jobs.canceled"),
 		deadlines:  reg.Counter("pool.jobs.deadline_kills"),
@@ -353,16 +372,22 @@ type Pool struct {
 // New creates a pool and starts its workers.
 func New(cfg Config) *Pool {
 	cfg = cfg.withDefaults()
-	rc := cfg.runtimeConfig()
+	rc := cfg.RuntimeConfig()
 	rc.Obs = cfg.Obs
+	cache := cfg.SharedCache
+	if cache == nil {
+		cache = NewCache(rc)
+		// A shared cache keeps the observability wiring of whoever built
+		// it; only a pool-private cache reports into this pool's registry.
+		cache.setObs(cfg.Obs)
+	}
 	p := &Pool{
 		cfg:   cfg,
-		cache: NewCache(rc),
+		cache: cache,
 		jobs:  make(chan *task, cfg.QueueDepth),
 		obs:   cfg.Obs,
 		m:     newPoolMetrics(cfg.Obs.Registry()),
 	}
-	p.cache.setObs(cfg.Obs)
 	for i := 0; i < cfg.Workers; i++ {
 		ws := newWorkerStats(cfg.Obs.Registry(), i)
 		p.wstats = append(p.wstats, ws)
@@ -453,6 +478,17 @@ func (p *Pool) SubmitCtx(ctx context.Context, j Job) (*Ticket, error) {
 	}
 }
 
+// RecordShed counts a job that an upstream router refused on this pool's
+// behalf — load-shedding before the job ever reached the submission
+// queue. It only affects the "pool.jobs.shed" counter (Stats.Shed), so
+// shedding decisions made outside the pool stay observable next to the
+// pool's own ErrQueueFull rejections.
+func (p *Pool) RecordShed() { p.m.shed.Inc() }
+
+// QueueDepth reports the number of jobs currently queued (the
+// "pool.queue.depth" gauge).
+func (p *Pool) QueueDepth() int { return int(p.m.queueDepth.Value()) }
+
 // Do submits a job and waits for its result.
 func (p *Pool) Do(j Job) (*Result, error) {
 	return p.DoCtx(context.Background(), j)
@@ -501,6 +537,7 @@ func (p *Pool) Stats() Stats {
 	st := Stats{
 		Submitted:  p.m.submitted.Value(),
 		Rejected:   p.m.rejected.Value(),
+		Shed:       p.m.shed.Value(),
 		Completed:  p.m.completed.Value(),
 		Canceled:   p.m.canceled.Value(),
 		Deadlines:  p.m.deadlines.Value(),
@@ -553,13 +590,19 @@ type worker struct {
 func (w *worker) loop() {
 	defer w.pool.wg.Done()
 	for t := range w.pool.jobs {
+		var res *Result
 		if w.pool.closing.Load() {
-			t.ticket.ch <- w.drop(t)
-			continue
+			res = w.drop(t)
+			t.ticket.ch <- res
+		} else {
+			w.stats.busy.Store(true)
+			res = w.serve(t)
+			t.ticket.ch <- res
+			w.stats.busy.Store(false)
 		}
-		w.stats.busy.Store(true)
-		t.ticket.ch <- w.serve(t)
-		w.stats.busy.Store(false)
+		if f := w.pool.cfg.OnJobDone; f != nil {
+			f(res)
+		}
 	}
 }
 

@@ -1,0 +1,65 @@
+package pool
+
+import (
+	"testing"
+
+	"lfi/internal/core"
+)
+
+// TestShedAndQueueDepthSurface pins the router-facing observability
+// contract: RecordShed lands in Stats.Shed and the pool.jobs.shed
+// counter, and queue depth is published as the pool.queue.depth gauge.
+func TestShedAndQueueDepthSurface(t *testing.T) {
+	p := New(Config{Workers: 1})
+	defer p.Close()
+
+	p.RecordShed()
+	p.RecordShed()
+	if got := p.Stats().Shed; got != 2 {
+		t.Errorf("Stats().Shed = %d, want 2", got)
+	}
+	snap := p.Metrics()
+	if got := snap.Counters["pool.jobs.shed"]; got != 2 {
+		t.Errorf("pool.jobs.shed = %d, want 2", got)
+	}
+	if _, ok := snap.Gauges["pool.queue.depth"]; !ok {
+		t.Error("pool.queue.depth gauge missing from metrics")
+	}
+	if got := p.QueueDepth(); got != 0 {
+		t.Errorf("QueueDepth() = %d on an idle pool", got)
+	}
+}
+
+// TestSharedCacheAcrossPools pins the shard-router contract: two pools
+// built on one SharedCache deduplicate builds and serve each other's
+// images (snapshots restore anywhere the runtime config matches).
+func TestSharedCacheAcrossPools(t *testing.T) {
+	cfg := Config{Workers: 1}
+	cache := NewCache(cfg.RuntimeConfig())
+	a := New(Config{Workers: 1, SharedCache: cache})
+	defer a.Close()
+	b := New(Config{Workers: 1, SharedCache: cache})
+	defer b.Close()
+
+	img, err := a.BuildImage(tenantSrc(11), core.Options{Opt: core.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := cache.Lookup(img.Key)
+	if !ok || got != img {
+		t.Fatal("build did not land in the shared cache")
+	}
+	// Pool b serves the image a built, warm path included.
+	for i := 0; i < 2; i++ {
+		res, err := b.Do(Job{Image: img})
+		if err != nil || res.Err != nil {
+			t.Fatal(err, res)
+		}
+		if res.Status != 11 || string(res.Stdout) != tenantOut(11) {
+			t.Errorf("cross-pool serve: %+v", res)
+		}
+	}
+	if b.Stats().WarmHits == 0 {
+		t.Error("no warm hit serving a shared-cache image")
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Async job states reported by GET /v1/jobs/{id}.
+const (
+	// JobStatePending: admitted, queued or running; no result yet.
+	JobStatePending = "pending"
+	// JobStateDone: terminal; the stored response is final (it may still
+	// describe a failed execution — see its error_kind).
+	JobStateDone = "done"
+)
+
+// asyncJob is one async submission's lifecycle record.
+type asyncJob struct {
+	id     string
+	cancel context.CancelFunc
+
+	mu   sync.Mutex
+	resp *JobResponse // nil until done
+}
+
+// jobTable tracks async jobs by id. Completed results are retained for
+// polling and evicted oldest-first beyond the retain bound; jobs still
+// running are never evicted.
+type jobTable struct {
+	mu     sync.Mutex
+	seq    uint64
+	jobs   map[string]*asyncJob
+	doneQ  []string // completed ids, oldest first
+	retain int
+}
+
+func newJobTable(retain int) *jobTable {
+	return &jobTable{jobs: make(map[string]*asyncJob), retain: retain}
+}
+
+// add registers a new async job and returns its handle.
+func (t *jobTable) add(cancel context.CancelFunc) *asyncJob {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	j := &asyncJob{id: fmt.Sprintf("j%08d", t.seq), cancel: cancel}
+	t.jobs[j.id] = j
+	return j
+}
+
+// complete stores a job's terminal response and evicts the oldest
+// completed results beyond the retain bound.
+func (t *jobTable) complete(j *asyncJob, resp *JobResponse) {
+	j.mu.Lock()
+	j.resp = resp
+	j.mu.Unlock()
+	t.mu.Lock()
+	t.doneQ = append(t.doneQ, j.id)
+	for len(t.doneQ) > t.retain {
+		delete(t.jobs, t.doneQ[0])
+		t.doneQ = t.doneQ[1:]
+	}
+	t.mu.Unlock()
+}
+
+// get returns a job's id, state, and (when done) its stored response.
+func (t *jobTable) get(id string) (*asyncJob, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	return j, ok
+}
+
+// counts reports (active, done) job totals.
+func (t *jobTable) counts() (active, done int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.jobs) - len(t.doneQ), len(t.doneQ)
+}
+
+// state returns the job's current state and response (nil while pending).
+func (j *asyncJob) state() (string, *JobResponse) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.resp != nil {
+		return JobStateDone, j.resp
+	}
+	return JobStatePending, nil
+}

@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lfi/internal/pool"
+)
+
+// pending is one admitted job waiting for shard dispatch. The dispatcher
+// resolves it exactly once: with a pool ticket (tkCh) once submitted, or
+// with an admission-path error (errCh). Both channels are buffered so
+// resolution never blocks on a waiter that already gave up.
+type pending struct {
+	spec *jobSpec
+	ctx  context.Context
+	enq  time.Time
+
+	// start and finish are the job's weighted-fair-queueing virtual
+	// tags: start = max(shard vtime, tenant's last finish), finish =
+	// start + 1/weight. Dispatch order is ascending finish tag, which
+	// serves tenants capacity proportional to their weights.
+	start, finish float64
+
+	tkCh  chan *pool.Ticket
+	errCh chan error
+}
+
+// tenantQ is one tenant's bounded FIFO on one shard, plus its WFQ
+// bookkeeping.
+type tenantQ struct {
+	t          *tenant
+	q          []*pending
+	lastFinish float64
+}
+
+// shard owns one pool and schedules admitted jobs onto it with weighted
+// fair queueing across tenants. A single dispatcher goroutine drains the
+// per-tenant queues in virtual-time order and submits to the pool,
+// stalling on pool.ErrQueueFull until the pool's OnJobDone hook signals
+// freed capacity — that stall is the backpressure that fills the tenant
+// queues and ultimately triggers shedding at enqueue.
+type shard struct {
+	id     int
+	server *Server
+	pool   *pool.Pool
+
+	mu      sync.Mutex
+	queues  map[string]*tenantQ
+	vtime   float64
+	queued  int
+	closing bool
+
+	// wake (buffered 1) nudges the dispatcher when work arrives or the
+	// shard starts closing; capCh (buffered 1) nudges it when a pool job
+	// finishes and queue capacity may have freed.
+	wake  chan struct{}
+	capCh chan struct{}
+	done  chan struct{}
+}
+
+func newShard(id int, s *Server) *shard {
+	return &shard{
+		id:     id,
+		server: s,
+		queues: make(map[string]*tenantQ),
+		wake:   make(chan struct{}, 1),
+		capCh:  make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+}
+
+// onJobDone is this shard pool's OnJobDone hook: one non-blocking
+// capacity signal per resolved job.
+func (sh *shard) onJobDone(*pool.Result) {
+	select {
+	case sh.capCh <- struct{}{}:
+	default:
+	}
+}
+
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// enqueue admits a pending job to its tenant's queue, stamping its WFQ
+// tags. It sheds with ErrOverloaded when the tenant queue is at its
+// bound and rejects with ErrServerClosed while draining.
+func (sh *shard) enqueue(pd *pending) error {
+	t := pd.spec.tenant
+	sh.mu.Lock()
+	if sh.closing {
+		sh.mu.Unlock()
+		return ErrServerClosed
+	}
+	tq := sh.queues[t.cfg.Name]
+	if tq == nil {
+		tq = &tenantQ{t: t, lastFinish: sh.vtime}
+		sh.queues[t.cfg.Name] = tq
+	}
+	if len(tq.q) >= t.cfg.MaxPending {
+		sh.mu.Unlock()
+		sh.pool.RecordShed()
+		return fmt.Errorf("%w (tenant %s, shard %d: %d pending)",
+			ErrOverloaded, t.cfg.Name, sh.id, t.cfg.MaxPending)
+	}
+	pd.start = sh.vtime
+	if tq.lastFinish > pd.start {
+		pd.start = tq.lastFinish
+	}
+	pd.finish = pd.start + 1/float64(t.cfg.Weight)
+	tq.lastFinish = pd.finish
+	tq.q = append(tq.q, pd)
+	sh.queued++
+	sh.mu.Unlock()
+	signal(sh.wake)
+	return nil
+}
+
+// next blocks until a job is dispatchable and returns the one with the
+// minimum virtual finish tag, advancing the shard's virtual time. It
+// returns nil once the shard is closing and empty.
+func (sh *shard) next() *pending {
+	for {
+		sh.mu.Lock()
+		var best *tenantQ
+		for _, tq := range sh.queues {
+			if len(tq.q) == 0 {
+				continue
+			}
+			if best == nil || tq.q[0].finish < best.q[0].finish {
+				best = tq
+			}
+		}
+		if best != nil {
+			pd := best.q[0]
+			best.q = best.q[1:]
+			sh.queued--
+			if pd.start > sh.vtime {
+				sh.vtime = pd.start
+			}
+			sh.mu.Unlock()
+			return pd
+		}
+		closing := sh.closing
+		sh.mu.Unlock()
+		if closing {
+			return nil
+		}
+		<-sh.wake
+	}
+}
+
+// dispatch is the shard's scheduler loop: pick the WFQ-next job, submit
+// it to the pool, and hand the ticket to the waiter. pool.ErrQueueFull
+// stalls the loop (backpressure) until a completion signal.
+func (sh *shard) dispatch() {
+	defer close(sh.done)
+	for {
+		pd := sh.next()
+		if pd == nil {
+			return
+		}
+		if err := pd.ctx.Err(); err != nil {
+			pd.errCh <- fmt.Errorf("%w before dispatch (%w)", pool.ErrCanceled, err)
+			continue
+		}
+		sh.server.m.queueWait.Observe(uint64(sh.server.cfg.now().Sub(pd.enq).Nanoseconds()))
+		job := pool.Job{Input: pd.spec.input, Budget: pd.spec.budget, Cold: pd.spec.cold}
+		if len(pd.spec.images) == 1 {
+			job.Image = pd.spec.images[0]
+		} else {
+			job.Images = pd.spec.images
+		}
+		for {
+			tk, err := sh.pool.SubmitCtx(pd.ctx, job)
+			if err == nil {
+				pd.tkCh <- tk
+				break
+			}
+			if !isQueueFull(err) {
+				pd.errCh <- err
+				break
+			}
+			// The pool queue is full: every in-flight job's completion
+			// sends one capacity signal, and jobs always terminate (budget
+			// kills bound runaways), so this wait always ends. The job's
+			// own cancellation also unblocks it.
+			select {
+			case <-sh.capCh:
+			case <-pd.ctx.Done():
+			}
+		}
+	}
+}
+
+func isQueueFull(err error) bool {
+	return errors.Is(err, pool.ErrQueueFull)
+}
+
+// queuedFor reports one tenant's queue depth on this shard.
+func (sh *shard) queuedFor(tenant string) int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if tq := sh.queues[tenant]; tq != nil {
+		return len(tq.q)
+	}
+	return 0
+}
+
+// queuedTotal reports the shard's total queued jobs.
+func (sh *shard) queuedTotal() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.queued
+}
+
+// close drains the shard: queued-but-unsubmitted jobs resolve with
+// ErrServerClosed (mirroring the pool's own shutdown contract for queued
+// work), the dispatcher exits, and the pool closes — completing every
+// job it had accepted.
+func (sh *shard) close() {
+	sh.mu.Lock()
+	sh.closing = true
+	var dropped []*pending
+	for _, tq := range sh.queues {
+		dropped = append(dropped, tq.q...)
+		tq.q = nil
+	}
+	sh.queued = 0
+	sh.mu.Unlock()
+	for _, pd := range dropped {
+		pd.errCh <- fmt.Errorf("%w: job dropped at shutdown", ErrServerClosed)
+	}
+	signal(sh.wake)
+	<-sh.done
+	sh.pool.Close()
+}

@@ -1,0 +1,531 @@
+// Package serve is the network serving front-end: it puts the sandbox
+// pool behind a wire protocol so jobs arrive over TCP instead of from a
+// batch driver. Three layers cooperate, all stdlib-only:
+//
+//   - a wire protocol: HTTP JSON (POST /v1/jobs, sync, async, and
+//     streaming; GET /v1/jobs/{id} for async results) plus a
+//     length-prefixed binary framing for the hot path (frame.go,
+//     binary.go), both mapping the full serving error taxonomy to
+//     distinct status codes / error kinds;
+//
+//   - a sharded router: jobs are routed across several pool.Pools keyed
+//     by image hash, so each image's warm snapshot clones concentrate on
+//     one shard (warm-cache affinity). Within a shard, tenants compete
+//     through weighted fair queueing over bounded per-tenant queues, and
+//     a token bucket per tenant enforces rate quotas up front;
+//
+//   - backpressure and load shedding: the shard dispatcher feeds the
+//     pool's bounded queue and stalls on pool.ErrQueueFull (resumed by
+//     the pool's OnJobDone hook), so pressure backs up into the
+//     per-tenant queues; when a tenant's queue is full the router sheds
+//     the job with ErrOverloaded instead of queueing unboundedly, and
+//     the shed is recorded on the target shard (pool.jobs.shed).
+//
+// The paper positions LFI as sandboxing practical enough for real
+// services; "Isolation Without Taxation" argues the payoff comes when
+// instantiation and transitions are amortized over many fine-grained
+// requests. This package is where that amortization meets traffic: every
+// downstream subsystem — warm pools, snapshots, pipelines, IPC,
+// cancellation — already sits behind Pool.SubmitCtx and becomes
+// network-reachable here at once.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"lfi/internal/core"
+	"lfi/internal/lfirt"
+	"lfi/internal/obs"
+	"lfi/internal/pool"
+)
+
+// Errors returned by the serving layer. Together with the pool taxonomy
+// (pool.ErrCanceled, pool.ErrQueueFull, pool.ErrClosed, lfirt.ErrVerify,
+// *lfirt.ErrDeadline) they form the complete set of terminal outcomes a
+// request can observe; ErrorKind maps each to a wire code.
+var (
+	// ErrTenantQuota rejects a request that exceeded its tenant's
+	// token-bucket rate quota (HTTP 429).
+	ErrTenantQuota = errors.New("serve: tenant over rate quota")
+	// ErrOverloaded sheds a request because the tenant's bounded queue on
+	// the target shard is full — backpressure from the pool has stacked
+	// up and admitting more would grow an unbounded backlog (HTTP 503).
+	ErrOverloaded = errors.New("serve: overloaded, job shed")
+	// ErrServerClosed rejects submissions to a closing server; jobs still
+	// queued (not yet submitted to a pool) when Close begins also resolve
+	// with it (HTTP 503).
+	ErrServerClosed = errors.New("serve: server closed")
+	// ErrUnknownImage rejects a job naming an image key or alias the
+	// server does not hold (HTTP 404).
+	ErrUnknownImage = errors.New("serve: unknown image")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Shards is the number of independent pools jobs are routed across
+	// (0 = 1). Each shard owns Pool.Workers worker runtimes.
+	Shards int
+	// Pool configures each shard's pool. Obs, SharedCache, and OnJobDone
+	// are owned by the server and must be left unset.
+	Pool pool.Config
+	// Tenants declares the known tenants. Requests from undeclared
+	// tenants run under DefaultTenant.
+	Tenants []TenantConfig
+	// DefaultTenant is the QoS contract applied to undeclared tenants
+	// (zero value: weight 1, no rate limit, server MaxPending).
+	DefaultTenant TenantConfig
+	// MaxPending is the default per-tenant per-shard queue bound; beyond
+	// it requests are shed with ErrOverloaded (0 = 256).
+	MaxPending int
+	// AsyncRetain bounds how many completed async job results are kept
+	// for GET /v1/jobs/{id}; older completed results are evicted
+	// oldest-first (0 = 256).
+	AsyncRetain int
+
+	// now overrides the clock (tests).
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 256
+	}
+	if c.AsyncRetain <= 0 {
+		c.AsyncRetain = 256
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// tenant is one tenant's runtime state: its QoS contract, rate bucket,
+// and router-level counters.
+type tenant struct {
+	cfg    TenantConfig
+	bucket *bucket
+
+	requests  *obs.Counter // jobs that reached admission
+	admitted  *obs.Counter // jobs enqueued on a shard
+	completed *obs.Counter // jobs that resolved through a pool
+	quota     *obs.Counter // rate-quota rejections
+	shed      *obs.Counter // overload sheds
+}
+
+// Server routes wire-protocol jobs across sharded pools under tenant
+// QoS. Create with New, expose Mux over HTTP and/or ServeBinary over a
+// raw listener, and Close to drain.
+type Server struct {
+	cfg    Config
+	obs    *obs.Obs
+	cache  *pool.Cache
+	shards []*shard
+	jobs   *jobTable
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+	aliases map[string]string // image name → cache key
+	closed  bool
+
+	// baseCtx parents async and binary job contexts; canceling it is NOT
+	// part of Close (drain semantics: in-flight jobs finish), it exists so
+	// tests can abandon everything.
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup // async waiters + binary conns
+
+	connMu    sync.Mutex
+	conns     map[*binConn]struct{}
+	listeners map[net.Listener]struct{}
+
+	m serverMetrics
+}
+
+type serverMetrics struct {
+	httpReqs  *obs.Counter
+	binConns  *obs.Counter
+	binFrames *obs.Counter
+	syncJobs  *obs.Counter
+	asyncJobs *obs.Counter
+	e2e       *obs.Histogram // admission→resolution latency
+	queueWait *obs.Histogram // admission→pool-submit latency
+}
+
+// New creates a serving front-end: one shared image cache, Shards pools,
+// and a WFQ dispatcher per shard. Close it when done.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	o := obs.New()
+	pc := cfg.Pool
+	rc := pc.RuntimeConfig()
+	cache := pool.NewCache(rc)
+	cache.SetObs(o)
+
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		obs:     o,
+		cache:   cache,
+		jobs:    newJobTable(cfg.AsyncRetain),
+		tenants: make(map[string]*tenant),
+		aliases: make(map[string]string),
+		baseCtx: ctx,
+		stop:    stop,
+		conns:   make(map[*binConn]struct{}),
+	}
+	reg := o.Registry()
+	lat := obs.DurationBounds()
+	s.m = serverMetrics{
+		httpReqs:  reg.Counter("serve.http.requests"),
+		binConns:  reg.Counter("serve.bin.conns"),
+		binFrames: reg.Counter("serve.bin.frames"),
+		syncJobs:  reg.Counter("serve.jobs.sync"),
+		asyncJobs: reg.Counter("serve.jobs.async"),
+		e2e:       reg.Histogram("serve.latency.e2e_ns", lat),
+		queueWait: reg.Histogram("serve.latency.queue_wait_ns", lat),
+	}
+	for _, tc := range cfg.Tenants {
+		s.addTenant(tc)
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		sh := newShard(i, s)
+		spc := pc
+		spc.Obs = obs.New()
+		spc.SharedCache = cache
+		spc.OnJobDone = sh.onJobDone
+		sh.pool = pool.New(spc)
+		s.shards = append(s.shards, sh)
+		go sh.dispatch()
+	}
+	return s
+}
+
+func (s *Server) addTenant(tc TenantConfig) *tenant {
+	tc = tc.withDefaults(s.cfg.MaxPending)
+	reg := s.obs.Registry()
+	n := func(field string) string { return "serve.tenant." + tc.Name + "." + field }
+	t := &tenant{
+		cfg:       tc,
+		bucket:    newBucket(tc.Rate, tc.Burst, s.cfg.now()),
+		requests:  reg.Counter(n("requests")),
+		admitted:  reg.Counter(n("admitted")),
+		completed: reg.Counter(n("completed")),
+		quota:     reg.Counter(n("quota_rejects")),
+		shed:      reg.Counter(n("shed")),
+	}
+	s.tenants[tc.Name] = t
+	return t
+}
+
+// tenantFor resolves a wire tenant name, registering undeclared tenants
+// under the default contract on first sight ("" is the tenant "default").
+func (s *Server) tenantFor(name string) *tenant {
+	if name == "" {
+		name = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t
+	}
+	tc := s.cfg.DefaultTenant
+	tc.Name = name
+	return s.addTenant(tc)
+}
+
+// BuildImage compiles source through the shared cache and registers the
+// result under name (and its content key). Safe before and during serving.
+func (s *Server) BuildImage(name, src string, opts core.Options) (*pool.Image, error) {
+	img, err := s.cache.Build(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.registerAlias(name, img.Key)
+	return img, nil
+}
+
+// ImageFromELF verifies and registers a prebuilt executable under name.
+func (s *Server) ImageFromELF(name string, elfBytes []byte) (*pool.Image, error) {
+	img, err := s.cache.FromELF(elfBytes)
+	if err != nil {
+		return nil, err
+	}
+	s.registerAlias(name, img.Key)
+	return img, nil
+}
+
+func (s *Server) registerAlias(name, key string) {
+	if name == "" {
+		return
+	}
+	s.mu.Lock()
+	s.aliases[name] = key
+	s.mu.Unlock()
+}
+
+// Images returns the registered name → image-key aliases.
+func (s *Server) Images() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.aliases))
+	for k, v := range s.aliases {
+		out[k] = v
+	}
+	return out
+}
+
+// resolveImage maps a wire image reference (alias or cache key) to a
+// prepared image.
+func (s *Server) resolveImage(ref string) (*pool.Image, error) {
+	s.mu.Lock()
+	if key, ok := s.aliases[ref]; ok {
+		ref = key
+	}
+	s.mu.Unlock()
+	if img, ok := s.cache.Lookup(ref); ok {
+		return img, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownImage, ref)
+}
+
+// jobSpec is a fully resolved execution request, ready for a shard.
+type jobSpec struct {
+	tenant *tenant
+	images []*pool.Image
+	input  []byte
+	budget uint64
+	cold   bool
+}
+
+// shardFor picks the shard serving a spec: the image key hash, so
+// repeated requests for one image land where its warm clones are parked.
+func (s *Server) shardFor(spec *jobSpec) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(spec.images[len(spec.images)-1].Key))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// run is the protocol-independent serving core: admission (rate quota),
+// routing, fair queueing, pool execution. It returns the pool result
+// (whose Err may itself be a taxonomy error such as *lfirt.ErrDeadline)
+// or an admission/shed error, plus the shard that handled the job.
+func (s *Server) run(ctx context.Context, spec *jobSpec) (*pool.Result, int, error) {
+	t := spec.tenant
+	t.requests.Inc()
+	start := s.cfg.now()
+	if !t.bucket.take(start) {
+		t.quota.Inc()
+		return nil, -1, ErrTenantQuota
+	}
+	sh := s.shardFor(spec)
+	pd := &pending{
+		spec: spec,
+		ctx:  ctx,
+		enq:  start,
+		tkCh: make(chan *pool.Ticket, 1),
+		// errCh is buffered so the dispatcher can resolve a pending whose
+		// waiter already gave up (client gone) without blocking.
+		errCh: make(chan error, 1),
+	}
+	if err := sh.enqueue(pd); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			t.shed.Inc()
+		}
+		return nil, sh.id, err
+	}
+	t.admitted.Inc()
+	select {
+	case tk := <-pd.tkCh:
+		// Submitted to the pool under the request ctx: the pool guarantees
+		// prompt resolution on cancellation, so waiting on the ticket alone
+		// is safe.
+		res := tk.Wait()
+		t.completed.Inc()
+		s.m.e2e.Observe(uint64(s.cfg.now().Sub(start).Nanoseconds()))
+		return res, sh.id, nil
+	case err := <-pd.errCh:
+		if errors.Is(err, ErrOverloaded) {
+			t.shed.Inc()
+		}
+		return nil, sh.id, err
+	case <-ctx.Done():
+		// Still queued when the client went away; the dispatcher will skip
+		// it when it reaches the head.
+		return nil, sh.id, fmt.Errorf("%w while queued (%w)", pool.ErrCanceled, ctx.Err())
+	}
+}
+
+// Close drains the server: new submissions are rejected, jobs still in
+// tenant queues resolve with ErrServerClosed, jobs already submitted to
+// a pool run to completion, and every shard pool shuts down. Close does
+// not stop HTTP listeners (the caller owns those); once it returns, all
+// in-flight requests have terminal results.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	// Stop accepting new binary connections up front; in-flight work on
+	// existing connections drains below.
+	s.connMu.Lock()
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.connMu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.close()
+		}(sh)
+	}
+	wg.Wait()
+	s.stop()
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.closeConn()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) closing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// MetricsSnapshot merges the router registry with every shard pool's
+// registry (prefixed "shard.<i>.") into the one /metrics document.
+func (s *Server) MetricsSnapshot() *obs.Snapshot {
+	snap := s.obs.Registry().Snapshot()
+	for _, sh := range s.shards {
+		snap.Merge(fmt.Sprintf("shard.%d.", sh.id), sh.pool.Metrics())
+	}
+	return snap
+}
+
+// TenantStatus is one tenant's /statusz entry.
+type TenantStatus struct {
+	Name         string  `json:"name"`
+	Weight       int     `json:"weight"`
+	Rate         float64 `json:"rate,omitempty"`
+	Requests     uint64  `json:"requests"`
+	Admitted     uint64  `json:"admitted"`
+	Completed    uint64  `json:"completed"`
+	QuotaRejects uint64  `json:"quota_rejects"`
+	Shed         uint64  `json:"shed"`
+	Queued       int     `json:"queued"`
+}
+
+// ShardStatus is one shard's /statusz entry.
+type ShardStatus struct {
+	Shard  int        `json:"shard"`
+	Queued int        `json:"queued"`
+	Pool   pool.Stats `json:"pool"`
+}
+
+// Status is the /statusz document of a serving front-end.
+type Status struct {
+	Draining    bool           `json:"draining"`
+	Tenants     []TenantStatus `json:"tenants"`
+	Shards      []ShardStatus  `json:"shards"`
+	AsyncActive int            `json:"async_active"`
+	AsyncDone   int            `json:"async_done"`
+}
+
+// Status reports the router's serving state: per-tenant QoS counters and
+// queue occupancy, per-shard pool stats, and the async job table.
+func (s *Server) Status() Status {
+	st := Status{Draining: s.closing()}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tenants := make([]*tenant, 0, len(names))
+	for _, name := range names {
+		tenants = append(tenants, s.tenants[name])
+	}
+	s.mu.Unlock()
+	for _, t := range tenants {
+		queued := 0
+		for _, sh := range s.shards {
+			queued += sh.queuedFor(t.cfg.Name)
+		}
+		st.Tenants = append(st.Tenants, TenantStatus{
+			Name:         t.cfg.Name,
+			Weight:       t.cfg.Weight,
+			Rate:         t.cfg.Rate,
+			Requests:     t.requests.Value(),
+			Admitted:     t.admitted.Value(),
+			Completed:    t.completed.Value(),
+			QuotaRejects: t.quota.Value(),
+			Shed:         t.shed.Value(),
+			Queued:       queued,
+		})
+	}
+	for _, sh := range s.shards {
+		st.Shards = append(st.Shards, ShardStatus{Shard: sh.id, Queued: sh.queuedTotal(), Pool: sh.pool.Stats()})
+	}
+	st.AsyncActive, st.AsyncDone = s.jobs.counts()
+	return st
+}
+
+// ShardStats returns the pool stats of one shard (tests, statusz).
+func (s *Server) ShardStats(i int) pool.Stats { return s.shards[i].pool.Stats() }
+
+// Shards returns the number of shards.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// ErrorKind classifies any serving-layer error into its wire code and
+// HTTP status. It understands the full taxonomy: admission errors from
+// this package, pool errors, and runtime errors carried in Result.Err.
+func ErrorKind(err error) (kind string, httpStatus int) {
+	var dl *lfirt.ErrDeadline
+	switch {
+	case err == nil:
+		return "ok", http.StatusOK
+	case errors.Is(err, ErrTenantQuota):
+		return "quota", http.StatusTooManyRequests
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded", http.StatusServiceUnavailable
+	case errors.Is(err, ErrServerClosed), errors.Is(err, pool.ErrClosed):
+		return "closed", http.StatusServiceUnavailable
+	case errors.Is(err, pool.ErrQueueFull):
+		return "queue_full", http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownImage):
+		return "unknown_image", http.StatusNotFound
+	case errors.Is(err, lfirt.ErrVerify):
+		return "verify", http.StatusBadRequest
+	case errors.Is(err, pool.ErrCanceled), errors.Is(err, lfirt.ErrCanceled):
+		return "canceled", statusClientClosedRequest
+	case errors.As(err, &dl):
+		return "deadline", http.StatusRequestTimeout
+	default:
+		return "internal", http.StatusInternalServerError
+	}
+}
+
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before the response"; there is no standard code for it.
+const statusClientClosedRequest = 499
