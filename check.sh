@@ -21,8 +21,12 @@ go build ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race ./internal/pool ./internal/lfirt ./internal/obs'
-go test -race ./internal/pool ./internal/lfirt ./internal/obs
+echo '== go test -race ./internal/pool ./internal/lfirt ./internal/obs ./internal/emu'
+go test -race ./internal/pool ./internal/lfirt ./internal/obs ./internal/emu
+
+echo '== emu dispatch knobs (EMU_CHAIN/EMU_TRACE/EMU_FUSE off-variants)'
+EMU_CHAIN=off EMU_TRACE=off EMU_FUSE=off go test -count=1 ./internal/emu
+EMU_TRACE=off go test -count=1 ./internal/emu ./internal/lfirt
 
 echo '== IPC suite under race (conformance, stress, pipelines, snapshot regressions)'
 go test -race -run 'TestIPC|TestRing|TestStream|TestDgram|TestPipeline|TestSnapshotBlocked|TestYield' \
@@ -30,6 +34,9 @@ go test -race -run 'TestIPC|TestRing|TestStream|TestDgram|TestPipeline|TestSnaps
 
 echo '== bench smoke (go test -bench=BenchmarkEmu -benchtime=1x)'
 go test -run '^$' -bench 'BenchmarkEmu' -benchtime=1x .
+
+echo '== emu ablation smoke (lfi-bench -emu -ablate -scale 0.02)'
+go run ./cmd/lfi-bench -emu -ablate -scale 0.02
 
 echo '== fuzz smoke (lfi-fuzz -iters 2000 -seed 1)'
 go run ./cmd/lfi-fuzz -iters 2000 -seed 1

@@ -29,11 +29,14 @@ type EmuReport struct {
 	Machine   string   `json:"machine"`
 	Scale     float64  `json:"scale"`
 	Fastpath  bool     `json:"fastpath"`
+	Chaining  bool     `json:"chaining"`
+	Tracing   bool     `json:"tracing"`
+	Fusion    bool     `json:"fusion"`
 	Workloads []EmuRow `json:"workloads"`
 	Total     EmuRow   `json:"total"`
 	// Emu aggregates the emulator's cache/dispatch counters across all
-	// workloads (block-cache and translation-cache hit rates, fastpath
-	// vs slowpath dispatches).
+	// workloads (block-cache and translation-cache hit rates, chain and
+	// superblock activity, fastpath vs slowpath dispatches).
 	Emu emu.Stats `json:"emu"`
 }
 
@@ -55,11 +58,46 @@ func emuRow(name string, instrs uint64, cycles float64, wall time.Duration) EmuR
 	return r
 }
 
+// EmuOptions selects which dispatch layers an EmuThroughput run enables.
+// The zero value means "everything off"; Default() is the production
+// configuration.
+type EmuOptions struct {
+	Fastpath bool // predecoded-block loop vs per-step interpreter
+	Chaining bool // direct block chaining
+	Tracing  bool // hot-trace superblocks
+	Fusion   bool // guard-idiom fusion
+}
+
+// DefaultEmuOptions is the production configuration: all layers on.
+func DefaultEmuOptions() EmuOptions {
+	return EmuOptions{Fastpath: true, Chaining: true, Tracing: true, Fusion: true}
+}
+
+// emuReps is how many times each workload runs per measurement; the
+// fastest repetition is reported.
+const emuReps = 5
+
 // EmuThroughput runs every workload once under a timed runtime and
 // measures the simulator's own execution rate. fastpath selects the
-// predecoded-block loop or the per-step reference interpreter.
+// predecoded-block loop (with all second-generation layers enabled) or
+// the per-step reference interpreter.
 func EmuThroughput(machine string, model *emu.CoreModel, scale float64, fastpath bool) (*EmuReport, error) {
-	rep := &EmuReport{Machine: machine, Scale: scale, Fastpath: fastpath}
+	opts := DefaultEmuOptions()
+	opts.Fastpath = fastpath
+	return EmuThroughputOpts(machine, model, scale, opts)
+}
+
+// EmuThroughputOpts is EmuThroughput with per-layer control, for ablation
+// runs (chaining alone, +superblocks, +fusion).
+func EmuThroughputOpts(machine string, model *emu.CoreModel, scale float64, opts EmuOptions) (*EmuReport, error) {
+	rep := &EmuReport{
+		Machine:  machine,
+		Scale:    scale,
+		Fastpath: opts.Fastpath,
+		Chaining: opts.Chaining,
+		Tracing:  opts.Tracing,
+		Fusion:   opts.Fusion,
+	}
 	var totInstrs uint64
 	var totCycles float64
 	var totWall time.Duration
@@ -68,22 +106,39 @@ func EmuThroughput(machine string, model *emu.CoreModel, scale float64, fastpath
 		if err != nil {
 			return nil, err
 		}
-		cfg := lfirt.DefaultConfig()
-		cfg.Model = model
-		rt := lfirt.New(cfg)
-		rt.CPU.SetFastpath(fastpath)
-		p, err := rt.Load(res.ELF)
-		if err != nil {
-			return nil, err
+		// Each workload runs emuReps times in a fresh runtime and the
+		// fastest run is reported. Workloads are deterministic — instrs
+		// and cycles are identical across repetitions — so only wall time
+		// varies, and the minimum is the measurement least polluted by
+		// host noise (GC, scheduling, cold caches on shared CI machines).
+		var instrs uint64
+		var cycles float64
+		var wall time.Duration
+		for r := 0; r < emuReps; r++ {
+			cfg := lfirt.DefaultConfig()
+			cfg.Model = model
+			rt := lfirt.New(cfg)
+			rt.CPU.SetFastpath(opts.Fastpath)
+			rt.CPU.SetChaining(opts.Chaining)
+			rt.CPU.SetTracing(opts.Tracing)
+			rt.CPU.SetFusion(opts.Fusion)
+			p, err := rt.Load(res.ELF)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := rt.RunProc(p); err != nil {
+				return nil, err
+			}
+			w := time.Since(start)
+			if r == 0 {
+				instrs, cycles, wall = rt.CPU.Instrs, rt.CPU.Timing.Cycles(), w
+				rep.Emu.Add(rt.CPU.Stat)
+			} else if w < wall {
+				wall = w
+			}
 		}
-		start := time.Now()
-		if _, err := rt.RunProc(p); err != nil {
-			return nil, err
-		}
-		wall := time.Since(start)
-		instrs, cycles := rt.CPU.Instrs, rt.CPU.Timing.Cycles()
 		rep.Workloads = append(rep.Workloads, emuRow(w.Name, instrs, cycles, wall))
-		rep.Emu.Add(rt.CPU.Stat)
 		totInstrs += instrs
 		totCycles += cycles
 		totWall += wall

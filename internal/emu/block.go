@@ -1,56 +1,107 @@
-// Predecoded basic-block fast path.
+// Predecoded basic-block fast path, second generation.
 //
 // The per-step interpreter (Step) pays for a host-call range check, a PC
 // alignment check, an icache map lookup, and full timing-metadata
 // classification on every instruction. The fast path amortises all of that
-// to block boundaries: straight-line runs are decoded once into flat
-// superblocks whose slots carry the decoded instruction plus its cached
-// retire metadata, and a tight inner loop executes the slots back to back.
-// Blocks end at anything that can redirect or stop the flow: branches, SVC,
-// BRK, undecodable words, page boundaries (the next page may be unmapped or
-// remapped independently), and the host-call window.
+// to block boundaries and beyond, in three stacked layers:
+//
+//  1. Predecode (PR 2): straight-line runs are decoded once into flat
+//     blocks whose slots carry the decoded instruction plus its cached
+//     retire metadata, and a tight inner loop executes the slots back to
+//     back. Blocks end at anything that can redirect or stop the flow:
+//     branches, SVC, BRK, undecodable words, page boundaries (the next
+//     page may be unmapped or remapped independently), and the host-call
+//     window.
+//
+//  2. Direct block chaining: when a block exit leads to a block that is
+//     already predecoded, a direct pointer is patched into the exiting
+//     block's chain slots, keyed by the observed next PC. Dispatch then
+//     jumps block-to-block without re-hashing the PC or re-running the
+//     host-call/alignment checks — both were proven when the link was
+//     installed (the window only changes via SetHostCallRegion, which
+//     flushes; the target PC is a constant). Links are validated on use
+//     by comparing the target's pc (conflict eviction refills entries),
+//     so a stale link can only miss, never misdirect.
+//
+//  3. Hot-trace superblocks (trace.go): blocks entered more than
+//     traceThreshold times get the observed hot path — across
+//     unconditional and strongly biased conditional branches, with tight
+//     loops unrolled — stitched into a single superblock that executes
+//     with one budget check at entry and per-branch side-exit checks.
+//
+// Guard-idiom fusion (fuse.go) runs at predecode time inside layers 1 and
+// 3: the rewriter's staged-address guard sequences are marked so the
+// dispatch loops execute them through specialised accessors instead of the
+// general exec switch.
 //
 // Equivalence with the slow path is exact, not approximate:
-//   - exec() itself is shared, so architectural state transitions are the
-//     same code in both paths.
+//   - exec() itself is shared (the fused executors replicate its
+//     load/store semantics instruction for instruction and still write
+//     every intermediate register), so architectural state transitions
+//     are identical.
 //   - retire metadata is model-independent (scoreboard slots + latency
 //     class); retireWith runs the identical arithmetic in the identical
 //     order as per-step retire, so Timing.Cycles() is bit-identical.
-//   - the instruction budget is applied with exact carry-in: a block is
-//     clipped to the remaining budget, so TrapBudget lands on the same
+//   - the instruction budget is applied with exact carry-in: blocks and
+//     superblocks are clipped to the remaining budget (fused pairs split
+//     when the clip lands between them), so TrapBudget lands on the same
 //     instruction as the slow loop.
 //
-// All caches here (block cache, page-translation caches, the slow path's
-// icache) are guarded by the AddrSpace epoch, which bumps on any mapping
-// mutation.
+// All caches here (block cache, chain links, superblocks, page-translation
+// caches, the slow path's icache) are guarded by the AddrSpace epoch,
+// which bumps on any mapping mutation or host-side forced write. The
+// chained inner loop checks the epoch only at outer dispatches: mappings
+// cannot mutate during a single Run call, because every mutation path
+// (host calls, the scheduler, snapshot restore) first returns a trap out
+// of Run.
 package emu
 
 import (
+	"encoding/binary"
 	"os"
 
 	"lfi/internal/arm64"
 	"lfi/internal/mem"
 )
 
-// defaultFastpath is the process-wide default for new CPUs; EMU_FASTPATH=off
-// is the escape hatch back to the per-step interpreter.
-var defaultFastpath = os.Getenv("EMU_FASTPATH") != "off"
+// Process-wide defaults for new CPUs; each env knob is the escape hatch
+// back to the previous dispatch generation (EMU_FASTPATH=off selects the
+// per-step interpreter; EMU_CHAIN/EMU_TRACE/EMU_FUSE=off disable one
+// layer each).
+var (
+	defaultFastpath = os.Getenv("EMU_FASTPATH") != "off"
+	defaultChaining = os.Getenv("EMU_CHAIN") != "off"
+	defaultTracing  = os.Getenv("EMU_TRACE") != "off"
+	defaultFusion   = os.Getenv("EMU_FUSE") != "off"
+)
 
 const (
 	// bcacheSize is the number of direct-mapped block cache entries.
 	bcacheSize = 512
-	// maxBlockInsts caps superblock length so one block cannot monopolise
+	// maxBlockInsts caps block length so one block cannot monopolise
 	// a budget slice's granularity beyond a page of straight-line code.
 	maxBlockInsts = 512
 	// tcacheSize is the number of direct-mapped page-translation entries
-	// per access kind.
-	tcacheSize = 64
+	// per access kind. Sized to cover a multi-MiB working set of 16KiB
+	// pages: pointer-chasing workloads (505.mcf) touch hundreds of pages
+	// and previously thrashed a 64-entry cache straight into the
+	// AddrSpace map lookup.
+	tcacheSize = 512
+	// chainWays is the number of chain links per block: two covers both
+	// arms of a conditional branch (and memoizes up to two indirect
+	// targets).
+	chainWays = 2
+	// defaultTraceThreshold is the number of block entries before the hot
+	// successor sequence is stitched into a superblock.
+	defaultTraceThreshold = 64
 )
 
-// instSlot is one predecoded instruction plus its cached retire metadata.
+// instSlot is one predecoded instruction plus its cached retire metadata
+// and fusion mark.
 type instSlot struct {
 	inst arm64.Inst
 	meta retireMeta
+	fuse fuseInfo
 }
 
 // bcEntry is a direct-mapped block cache entry; valid iff len(insts) > 0
@@ -58,6 +109,64 @@ type instSlot struct {
 type bcEntry struct {
 	pc    uint64
 	insts []instSlot
+
+	// Chain links: resolved successor blocks keyed by the next PC.
+	// Validated on use (target pc + validity), so conflict eviction of
+	// the target is detected, never followed.
+	chainPC  [chainWays]uint64
+	chainTo  [chainWays]*bcEntry
+	chainClk uint8
+
+	// Trace-formation state: entry counter, last observed successor PC
+	// and its stability streak, and the stitched superblock (if any).
+	enters   uint32
+	stable   uint8
+	sbTries  uint8
+	sbFailed bool
+	lastNext uint64
+	sb       *superblock
+}
+
+// reset invalidates e and clears chain/trace state for reuse at pc.
+func (e *bcEntry) reset(pc uint64) {
+	e.pc = pc
+	e.insts = e.insts[:0]
+	e.chainPC = [chainWays]uint64{}
+	e.chainTo = [chainWays]*bcEntry{}
+	e.chainClk = 0
+	e.enters, e.stable, e.sbTries = 0, 0, 0
+	e.sbFailed = false
+	e.lastNext = 0
+	e.sb = nil
+}
+
+// chainNext returns the already-validated successor block for pc, or nil.
+// A link whose target was evicted (pc mismatch) or flushed (empty) is
+// dropped so the slot can be reused.
+func (e *bcEntry) chainNext(pc uint64) *bcEntry {
+	for i := range e.chainTo {
+		if t := e.chainTo[i]; t != nil && e.chainPC[i] == pc {
+			if t.pc == pc && len(t.insts) > 0 {
+				return t
+			}
+			e.chainTo[i] = nil
+		}
+	}
+	return nil
+}
+
+// chain installs t as the successor for pc, replacing round-robin when
+// both ways are taken.
+func (e *bcEntry) chain(pc uint64, t *bcEntry) {
+	for i := range e.chainTo {
+		if e.chainTo[i] == nil || e.chainPC[i] == pc {
+			e.chainPC[i], e.chainTo[i] = pc, t
+			return
+		}
+	}
+	i := int(e.chainClk) % chainWays
+	e.chainClk++
+	e.chainPC[i], e.chainTo[i] = pc, t
 }
 
 // tcEntry caches the backing slice of one translated page for one access
@@ -90,14 +199,11 @@ func (c *CPU) memRead(addr uint64, size int) (uint64, *mem.Fault) {
 		case 1:
 			return uint64(d[0]), nil
 		case 2:
-			return uint64(d[0]) | uint64(d[1])<<8, nil
+			return uint64(binary.LittleEndian.Uint16(d)), nil
 		case 4:
-			return uint64(d[0]) | uint64(d[1])<<8 | uint64(d[2])<<16 |
-				uint64(d[3])<<24, nil
+			return uint64(binary.LittleEndian.Uint32(d)), nil
 		case 8:
-			return uint64(d[0]) | uint64(d[1])<<8 | uint64(d[2])<<16 |
-				uint64(d[3])<<24 | uint64(d[4])<<32 | uint64(d[5])<<40 |
-				uint64(d[6])<<48 | uint64(d[7])<<56, nil
+			return binary.LittleEndian.Uint64(d), nil
 		}
 	}
 	// Page-crossing access: defer to the general path.
@@ -127,21 +233,20 @@ func (c *CPU) memWrite(addr uint64, v uint64, size int) *mem.Fault {
 			d[0] = byte(v)
 			return nil
 		case 2:
-			d[0], d[1] = byte(v), byte(v>>8)
+			binary.LittleEndian.PutUint16(d, uint16(v))
 			return nil
 		case 4:
-			d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			binary.LittleEndian.PutUint32(d, uint32(v))
 			return nil
 		case 8:
-			d[0], d[1], d[2], d[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
-			d[4], d[5], d[6], d[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+			binary.LittleEndian.PutUint64(d, v)
 			return nil
 		}
 	}
 	return c.Mem.Write(addr, v, size)
 }
 
-// blockEnd reports whether the instruction terminates a superblock.
+// blockEnd reports whether the instruction terminates a block.
 func blockEnd(i *arm64.Inst) bool {
 	return i.Op.IsBranch() || i.Op == arm64.SVC || i.Op == arm64.BRK
 }
@@ -151,8 +256,7 @@ func blockEnd(i *arm64.Inst) bool {
 // slow path would raise there; later ones just end the block early so the
 // trap is raised when (and only if) execution actually reaches that pc.
 func (c *CPU) decodeBlock(pc uint64, e *bcEntry) *Trap {
-	e.pc = pc
-	e.insts = e.insts[:0]
+	e.reset(pc)
 	for p := pc; len(e.insts) < maxBlockInsts; {
 		w, f := c.Mem.Fetch32(p)
 		if f != nil {
@@ -184,22 +288,66 @@ func (c *CPU) decodeBlock(pc uint64, e *bcEntry) *Trap {
 			break
 		}
 	}
+	if c.fusion {
+		annotateFusion(e.insts)
+	}
 	return nil
 }
 
-// runBlocks is the fast-path Run loop. Check order per iteration matches
-// the slow path exactly: budget, then host-call window, then alignment.
+// runSlots executes a clipped run of predecoded slots back to back,
+// dispatching fused idioms through their specialised executors. Fused
+// pairs whose partner fell outside the clip execute the head generically,
+// so a budget expiry between the two instructions still lands exactly.
+func (c *CPU) runSlots(slots []instSlot) *Trap {
+	n := len(slots)
+	for k := 0; k < n; k++ {
+		s := &slots[k]
+		switch s.fuse.kind {
+		case fuseNone:
+			if tr := c.exec(&s.inst, &s.meta); tr != nil {
+				return tr
+			}
+		case fuseAccess:
+			if tr := c.execFastMem(s); tr != nil {
+				return tr
+			}
+		default: // pair head
+			if k+1 < n {
+				// execFusedPair counts the guard itself; the Instrs++
+				// below counts the access.
+				if tr := c.execFusedPair(s, &slots[k+1]); tr != nil {
+					return tr
+				}
+				k++
+			} else if tr := c.exec(&s.inst, &s.meta); tr != nil {
+				// Partner clipped out: run the head alone, generically.
+				return tr
+			}
+		}
+		c.Instrs++
+	}
+	return nil
+}
+
+// runBlocks is the fast-path Run loop. The outer loop's check order per
+// iteration matches the slow path exactly: budget, then host-call window,
+// then alignment. The inner loop follows chain links and enters
+// superblocks, re-checking only the budget: chained targets were proven
+// aligned and outside the host-call window when the link was installed,
+// and the epoch cannot move mid-Run (see the package comment).
 func (c *CPU) runBlocks(maxInstrs uint64) *Trap {
 	end := ^uint64(0)
 	if maxInstrs != 0 {
 		end = c.Instrs + maxInstrs
 	}
+	var prev *bcEntry // block whose exit led here; chain install point
 	for {
 		if c.Instrs >= end {
 			return c.hotTrap(TrapBudget, c.PC)
 		}
 		if e := c.Mem.Epoch(); e != c.memEpoch {
 			c.flushDecoded(e)
+			prev = nil
 		}
 		pc := c.PC
 		if c.hostCallLen != 0 && pc-c.hostCallBase < c.hostCallLen {
@@ -218,18 +366,66 @@ func (c *CPU) runBlocks(maxInstrs uint64) *Trap {
 		} else {
 			c.Stat.BlockHits++
 		}
-		// Clip the block to the remaining budget (exact carry-in), then
-		// execute slots back to back with per-step checks hoisted out.
-		slots := e.insts
-		if rem := end - c.Instrs; rem < uint64(len(slots)) {
-			slots = slots[:rem]
+		if prev != nil {
+			prev.chain(pc, e)
+			prev = nil
 		}
-		for k := range slots {
-			s := &slots[k]
-			if tr := c.exec(&s.inst, &s.meta); tr != nil {
+		for {
+			if tr := c.runEntry(e, end); tr != nil {
 				return tr
 			}
-			c.Instrs++
+			if c.Instrs >= end {
+				return c.hotTrap(TrapBudget, c.PC)
+			}
+			npc := c.PC
+			if e.sb == nil {
+				// Successor statistics feed trace formation; frozen once
+				// a superblock covers the block.
+				if npc == e.lastNext {
+					if e.stable < 255 {
+						e.stable++
+					}
+				} else {
+					e.lastNext, e.stable = npc, 0
+				}
+			}
+			if !c.chaining {
+				break
+			}
+			if next := e.chainNext(npc); next != nil {
+				c.Stat.ChainHits++
+				e = next
+				continue
+			}
+			c.Stat.ChainMisses++
+			prev = e
+			break
 		}
 	}
+}
+
+// runEntry executes one dispatched block: its superblock when one is
+// stitched (stitching it first if the block just crossed the threshold),
+// otherwise its predecoded slots clipped to the remaining budget.
+func (c *CPU) runEntry(e *bcEntry, end uint64) *Trap {
+	if c.tracing {
+		if e.sb != nil {
+			return c.runSuperblock(e.sb, end)
+		}
+		e.enters++
+		// Each failed stitch attempt doubles the entry count required for
+		// the next one (conditional exits need a stability streak that
+		// only more entries can provide).
+		if !e.sbFailed && e.enters>>e.sbTries >= c.traceThreshold {
+			c.buildTrace(e)
+			if e.sb != nil {
+				return c.runSuperblock(e.sb, end)
+			}
+		}
+	}
+	slots := e.insts
+	if rem := end - c.Instrs; rem < uint64(len(slots)) {
+		slots = slots[:rem]
+	}
+	return c.runSlots(slots)
 }

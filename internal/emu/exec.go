@@ -198,6 +198,14 @@ func (c *CPU) effAddr(i *arm64.Inst) (addr uint64, wb bool, wbVal uint64) {
 // exec executes one instruction. md, when non-nil, is the predecoded
 // retire metadata for i (block fast path); when nil the timing model
 // derives it on the fly.
+//
+// Keep in sync with fuse.go: execFastMem replicates the load/store path
+// below (effAddr subset, access ordering, fault-before-retire, sign
+// extension, register write-back) and execFusedPair replicates the
+// flagless ADD/SUB/AND/ORR/EOR register forms. Any semantic change to
+// those paths here must be mirrored there, or the fused executors will
+// diverge from this one — the fastdiff and fuzz lockstep suites compare
+// them bit-for-bit.
 func (c *CPU) exec(i *arm64.Inst, md *retireMeta) *Trap {
 	pc := c.PC
 	var eff effects

@@ -5,6 +5,7 @@ package emu
 // the exact instruction at which every trap (including TrapBudget) lands.
 
 import (
+	"os"
 	"reflect"
 	"testing"
 
@@ -106,16 +107,28 @@ func compareTraps(t *testing.T, slow, fast *Trap, when string) {
 	}
 }
 
-// lockstep runs the program on two identical machines — per-step reference
-// vs fast path — in deliberately awkward budget slices so TrapBudget lands
-// mid-block, comparing the complete architectural state after every slice
-// and the final memory image at the end. Returns the final trap.
+// lockstep runs the program on three identical machines — per-step
+// reference, blocks-only fast path, and the full chained/traced/fused
+// configuration (with a tiny trace threshold so superblocks actually form
+// within short tests) — in deliberately awkward budget slices so
+// TrapBudget lands mid-block and mid-superblock, comparing the complete
+// architectural state after every slice and the final memory image at the
+// end. Returns the final trap.
 func lockstep(t *testing.T, src string) *Trap {
 	t.Helper()
 	slow := loadProgram(t, src)
 	slow.SetFastpath(false)
 	fast := loadProgram(t, src)
 	fast.SetFastpath(true)
+	fast.SetChaining(false)
+	fast.SetTracing(false)
+	fast.SetFusion(false)
+	full := loadProgram(t, src)
+	full.SetFastpath(true)
+	full.SetChaining(true)
+	full.SetTracing(true)
+	full.SetFusion(true)
+	full.SetTraceThreshold(2)
 
 	// Prime slice sizes defeat any alignment with block boundaries.
 	slices := []uint64{1, 2, 3, 5, 7, 11, 13, 17, 23, 97, 251, 1021}
@@ -124,8 +137,11 @@ func lockstep(t *testing.T, src string) *Trap {
 		n := slices[i%len(slices)]
 		str := slow.Run(n)
 		ftr := fast.Run(n)
-		compareTraps(t, str, ftr, "mid-run")
-		compareCPUs(t, slow, fast, "mid-run")
+		ctr := full.Run(n)
+		compareTraps(t, str, ftr, "mid-run (blocks)")
+		compareCPUs(t, slow, fast, "mid-run (blocks)")
+		compareTraps(t, str, ctr, "mid-run (chained)")
+		compareCPUs(t, slow, full, "mid-run (chained)")
 		if str.Kind != TrapBudget {
 			final = str
 			break
@@ -143,8 +159,15 @@ func lockstep(t *testing.T, src string) *Trap {
 	if err != nil {
 		t.Fatal(err)
 	}
+	cm, err := full.Mem.SnapshotRange(0, 0x900000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(sm, fm) {
-		t.Fatal("final memory snapshots diverge")
+		t.Fatal("final memory snapshots diverge (blocks)")
+	}
+	if !reflect.DeepEqual(sm, cm) {
+		t.Fatal("final memory snapshots diverge (chained)")
 	}
 	return final
 }
@@ -386,6 +409,208 @@ func TestDiffEpochInvalidation(t *testing.T) {
 		if c.X[0] != 2 {
 			t.Fatalf("fastpath=%v: stale decode survived remap: x0 = %d, want 2", fastpath, c.X[0])
 		}
+	}
+}
+
+// assembleText assembles src with the standard test layout and returns the
+// raw text bytes (for rewrite-in-place scenarios).
+func assembleText(t *testing.T, src string) []byte {
+	t.Helper()
+	f, err := arm64.ParseFile(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	img, err := arm64.Assemble(f, arm64.Layout{TextBase: textBase, PageSize: 16384})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return img.Text
+}
+
+// TestDiffChainEpochInvalidation checks that chain links and superblocks —
+// not just raw block decodes — are dropped when the address-space epoch
+// bumps, in both mutation scenarios: remapping the text page, and
+// rewriting text in place with WriteForce (which cannot change mappings
+// but must still bump the epoch).
+func TestDiffChainEpochInvalidation(t *testing.T) {
+	const loop1 = `
+_start:
+	mov x0, #0
+	mov x1, #200
+loop:
+	add x0, x0, #1
+	subs x1, x1, #1
+	b.ne loop
+	brk #0
+`
+	const loop2 = `
+_start:
+	mov x0, #0
+	mov x1, #200
+loop:
+	add x0, x0, #3
+	subs x1, x1, #1
+	b.ne loop
+	brk #0
+`
+	for _, scenario := range []string{"remap", "rewrite-in-place"} {
+		c := loadProgram(t, loop1)
+		// Force every layer on regardless of EMU_* env knobs: this test is
+		// about invalidating chains and superblocks, so they must exist.
+		c.SetFastpath(true)
+		c.SetChaining(true)
+		c.SetTracing(true)
+		c.SetFusion(true)
+		c.SetTraceThreshold(2)
+		entry := c.PC
+		if tr := c.Run(0); tr == nil || tr.Kind != TrapBRK {
+			t.Fatalf("%s: first run trap = %v, want brk", scenario, tr)
+		}
+		if c.X[0] != 200 {
+			t.Fatalf("%s: x0 = %d, want 200", scenario, c.X[0])
+		}
+		// The run must actually have exercised the layers being tested.
+		if c.Stat.ChainHits == 0 {
+			t.Fatalf("%s: no chain hits recorded; chaining not exercised", scenario)
+		}
+		if c.Stat.SBEnters == 0 {
+			t.Fatalf("%s: no superblock entries recorded; tracing not exercised", scenario)
+		}
+
+		text2 := assembleText(t, loop2)
+		switch scenario {
+		case "remap":
+			if err := c.Mem.Unmap(textBase, 16384); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Mem.Map(textBase, 16384, mem.PermRX); err != nil {
+				t.Fatal(err)
+			}
+			if f := c.Mem.WriteForce(text2, textBase); f != nil {
+				t.Fatal(f)
+			}
+		case "rewrite-in-place":
+			// No mapping mutation at all: WriteForce alone must invalidate
+			// the warm chains and superblocks.
+			if f := c.Mem.WriteForce(text2, textBase); f != nil {
+				t.Fatal(f)
+			}
+		}
+		c.PC = entry
+		if tr := c.Run(0); tr == nil || tr.Kind != TrapBRK {
+			t.Fatalf("%s: second run trap = %v, want brk", scenario, tr)
+		}
+		if c.X[0] != 600 {
+			t.Fatalf("%s: stale chained/traced code survived: x0 = %d, want 600", scenario, c.X[0])
+		}
+	}
+}
+
+// TestDiffSnapshotMidSuperblock stops a machine whose hot loop runs inside
+// an unrolled superblock at a budget trap that necessarily lands mid-trace,
+// snapshots memory and architectural state, rebuilds a machine from the
+// snapshot, and runs both forward in lockstep: the restored machine must
+// resume at the exact PC and stay bit-identical to the original.
+func TestDiffSnapshotMidSuperblock(t *testing.T) {
+	const src = `
+_start:
+	mov x0, #0
+	mov x1, #20000
+loop:
+	add x0, x0, #1
+	eor x2, x0, x1
+	subs x1, x1, #1
+	b.ne loop
+	brk #0
+`
+	a := loadProgram(t, src)
+	a.Timing = nil // timing scoreboards are not part of a snapshot
+	// Force every layer on regardless of EMU_* env knobs: the point of the
+	// test is to snapshot while executing inside a superblock.
+	a.SetFastpath(true)
+	a.SetChaining(true)
+	a.SetTracing(true)
+	a.SetFusion(true)
+	a.SetTraceThreshold(2)
+	// Warm up until the loop runs inside a superblock; the 4-instruction
+	// loop unrolls far past the 97-instruction slices, so every budget trap
+	// from here on lands mid-superblock.
+	for i := 0; i < 20; i++ {
+		if tr := a.Run(97); tr.Kind != TrapBudget {
+			t.Fatalf("warmup trap = %v, want budget", tr)
+		}
+	}
+	if a.Stat.SBEnters == 0 {
+		t.Fatal("superblock never entered during warmup")
+	}
+
+	pages, err := a.Mem.SnapshotRange(0, 0x900000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := mem.NewAddrSpace(16384)
+	if err := as.RestoreRange(0, pages); err != nil {
+		t.Fatal(err)
+	}
+	b := New(as)
+	b.SetFastpath(true)
+	b.SetChaining(true)
+	b.SetTracing(true)
+	b.SetFusion(true)
+	b.SetTraceThreshold(2)
+	b.X, b.SP, b.V = a.X, a.SP, a.V
+	b.FlagN, b.FlagZ, b.FlagC, b.FlagV = a.FlagN, a.FlagZ, a.FlagC, a.FlagV
+	b.PC = a.PC
+	b.Instrs = a.Instrs
+
+	for i := 0; ; i++ {
+		atr := a.Run(97)
+		btr := b.Run(97)
+		compareTraps(t, atr, btr, "post-restore")
+		if a.X != b.X || a.SP != b.SP || a.PC != b.PC || a.Instrs != b.Instrs {
+			t.Fatalf("post-restore state diverges at slice %d: a.pc=%#x b.pc=%#x a.x0=%d b.x0=%d",
+				i, a.PC, b.PC, a.X[0], b.X[0])
+		}
+		if atr.Kind == TrapBRK {
+			break
+		}
+		if atr.Kind != TrapBudget {
+			t.Fatalf("trap = %v, want budget or brk", atr)
+		}
+	}
+	if a.X[0] != 20000 {
+		t.Fatalf("x0 = %d, want 20000", a.X[0])
+	}
+}
+
+// TestDispatchKnobs checks the per-layer escape hatches and their getters.
+func TestDispatchKnobs(t *testing.T) {
+	c := loadProgram(t, `
+_start:
+	brk #0
+`)
+	// Defaults follow the EMU_* env knobs: each layer is on unless its
+	// knob is the literal string "off".
+	wantFast := os.Getenv("EMU_FASTPATH") != "off"
+	wantChain := os.Getenv("EMU_CHAIN") != "off"
+	wantTrace := os.Getenv("EMU_TRACE") != "off"
+	wantFuse := os.Getenv("EMU_FUSE") != "off"
+	if c.Fastpath() != wantFast || c.Chaining() != wantChain || c.Tracing() != wantTrace || c.Fusion() != wantFuse {
+		t.Fatalf("defaults: fastpath=%v chaining=%v tracing=%v fusion=%v, want %v %v %v %v (from EMU_* env)",
+			c.Fastpath(), c.Chaining(), c.Tracing(), c.Fusion(),
+			wantFast, wantChain, wantTrace, wantFuse)
+	}
+	c.SetChaining(false)
+	c.SetTracing(false)
+	c.SetFusion(false)
+	if c.Chaining() || c.Tracing() || c.Fusion() {
+		t.Fatal("setters did not disable layers")
+	}
+	c.SetTraceThreshold(0) // clamps to 1
+	c.SetChaining(true)
+	c.SetTracing(true)
+	if tr := c.Run(10); tr == nil || tr.Kind != TrapBRK {
+		t.Fatalf("trap = %v, want brk", tr)
 	}
 }
 

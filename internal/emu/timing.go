@@ -117,6 +117,15 @@ type Timing struct {
 	tlb        []uint64
 	walkerFree float64 // page-table walker is not pipelined
 
+	// Model-derived constants, precomputed by NewTiming so the per-retire
+	// path does no divisions or switch dispatch. The values are the exact
+	// doubles the direct expressions would produce, so cycle accounting is
+	// unchanged.
+	issueInc     float64                 // 1 / IssueWidth
+	issueIncHalf float64                 // 0.5 / IssueWidth
+	latTab       [latBarrier + 1]float64 // classLat by latClass
+	sePenalize   bool                    // ShiftExtLat > ALULat
+
 	// Statistics.
 	Mispredicts uint64
 	TLBMisses   uint64
@@ -166,6 +175,12 @@ func NewTiming(m *CoreModel) *Timing {
 	for i := range t.bimodal {
 		t.bimodal[i] = 1 // weakly not-taken
 	}
+	t.issueInc = 1 / float64(m.IssueWidth)
+	t.issueIncHalf = 0.5 / float64(m.IssueWidth)
+	for cl := latClass(0); cl <= latBarrier; cl++ {
+		t.latTab[cl] = t.classLat(cl)
+	}
+	t.sePenalize = m.ShiftExtLat > m.ALULat
 	return t
 }
 
@@ -370,13 +385,18 @@ func (t *Timing) retire(c *CPU, i *arm64.Inst, pc uint64, eff *effects) {
 }
 
 // retireWith charges one instruction described by md to the scoreboard.
+// Every dispatch generation retires through here — the per-step path (via
+// retire), predecoded blocks, superblocks, and the fused executors in
+// fuse.go all pass the instruction's real pc and predecoded metadata, so
+// cycle accounting is bit-identical no matter which engine executed the
+// instruction.
 func (t *Timing) retireWith(pc uint64, eff *effects, md *retireMeta) {
 	m := t.Model
 	t.Retired++
 
 	// Front-end issue slot.
 	start := t.issueAt
-	t.issueAt += 1 / float64(m.IssueWidth)
+	t.issueAt += t.issueInc
 
 	// Wait for source operands.
 	for k := int8(0); k < md.nsrc; k++ {
@@ -388,7 +408,7 @@ func (t *Timing) retireWith(pc uint64, eff *effects, md *retireMeta) {
 		start = t.ready[slotFlags]
 	}
 
-	lat := t.classLat(md.class)
+	lat := t.latTab[md.class]
 
 	// TLB lookup for memory operations.
 	if eff.hasMem && len(t.tlb) > 0 {
@@ -417,8 +437,8 @@ func (t *Timing) retireWith(pc uint64, eff *effects, md *retireMeta) {
 	// Extended-register guards execute on a subset of the ALU ports
 	// (reduced throughput, per the optimization guides the paper cites):
 	// charge half an extra issue slot.
-	if lat == m.ShiftExtLat && m.ShiftExtLat > m.ALULat {
-		t.issueAt += 0.5 / float64(m.IssueWidth)
+	if t.sePenalize && lat == m.ShiftExtLat {
+		t.issueAt += t.issueIncHalf
 	}
 
 	done := start + lat

@@ -1,0 +1,189 @@
+// Hot-trace superblocks.
+//
+// Chaining (block.go) removes the PC re-hash between hot blocks, but every
+// block transfer still pays a budget check, successor bookkeeping, and a
+// chain-link probe. For genuinely hot code — a pointer-chase loop retiring
+// four instructions per iteration — that dispatch overhead is comparable
+// to the work itself. Superblocks remove it: once a block has been entered
+// traceThreshold times, the observed hot successor sequence is stitched
+// into one flat slot array that executes with a single budget clip at
+// entry. Tight loops are unrolled into the trace (the successor is allowed
+// to revisit stitched blocks), so a 4-instruction loop becomes a ~512-slot
+// superblock whose per-iteration dispatch cost is one slot-array step.
+//
+// Stitching follows: the fall-through for blocks ended by a page boundary
+// or length cap, the static target for B/BL, and the recorded hot
+// successor for conditional/indirect exits once it has stayed stable for
+// traceStableMin consecutive transfers. It stops at SVC/BRK, at the
+// host-call window, and at blocks not currently warm in the block cache —
+// buildTrace never decodes new blocks, because decodeBlock could evict the
+// head or an already-stitched entry mid-build.
+//
+// Exactness (the same invariants block.go documents):
+//   - slots carry their real pc, so exec/retireWith see the same pc stream
+//     as normal dispatch — the bimodal predictor and BTB indices, and
+//     therefore Cycles, are bit-identical.
+//   - entry clips the slot count to the remaining budget (splitting fused
+//     pairs when the clip lands between them), so TrapBudget lands on the
+//     exact instruction; c.PC is architecturally current after every slot,
+//     so a snapshot taken at any trap mid-superblock resumes correctly.
+//   - after a branch slot, execution continues only if the architectural
+//     PC equals the next stitched slot's pc; otherwise the superblock side
+//     exits to normal dispatch. A mispredicted stitch can only cost a side
+//     exit, never a wrong path.
+//   - superblocks hold copies of the decoded slots, so later eviction of a
+//     constituent block cache entry cannot corrupt a built trace; epoch
+//     flushes drop every superblock along with the block cache.
+package emu
+
+import "lfi/internal/arm64"
+
+const (
+	// traceStableMin is the consecutive-same-successor streak required
+	// before a conditional or indirect block exit is stitched across.
+	traceStableMin = 8
+	// traceMaxInsts caps superblock length (and so the worst-case distance
+	// between budget checks at one Run-loop dispatch).
+	traceMaxInsts = 512
+	// traceMaxBlocks caps how many block bodies one trace may stitch.
+	traceMaxBlocks = 128
+	// maxSuperblocks bounds live superblocks between flushes.
+	maxSuperblocks = 128
+	// sbMaxTries is how many failed stitch attempts a block gets before
+	// trace formation is disabled for it. Each failure doubles the entry
+	// count required for the next attempt (see runEntry), so early
+	// failures from a not-yet-stable successor streak are retried cheaply
+	// while genuinely unstitchable blocks stop consuming build attempts.
+	sbMaxTries = 8
+)
+
+// sbSlot is one superblock instruction: the predecoded slot plus its real
+// program counter (blocks know their slots' pcs implicitly; a stitched
+// trace must carry them).
+type sbSlot struct {
+	instSlot
+	pc uint64
+}
+
+type superblock struct {
+	slots []sbSlot
+}
+
+// traceSucc picks the successor pc to stitch after block e, or ok=false
+// to end the trace. endPC is the pc one past e's last slot.
+func traceSucc(e *bcEntry, endPC uint64) (uint64, bool) {
+	last := &e.insts[len(e.insts)-1]
+	switch last.inst.Op {
+	case arm64.SVC, arm64.BRK:
+		// Always traps; nothing executes after it.
+		return 0, false
+	}
+	switch last.meta.branch {
+	case brNone:
+		// Block ended at a page boundary or the length cap; execution
+		// falls through.
+		return endPC, true
+	case brUncond:
+		return endPC - 4 + uint64(last.inst.Imm), true
+	default: // brCond, brIndirect
+		if e.stable < traceStableMin {
+			return 0, false
+		}
+		return e.lastNext, true
+	}
+}
+
+// buildTrace stitches the hot path starting at head into head.sb, or
+// records a failed attempt so formation retries after the next threshold's
+// worth of entries (and gives up after sbMaxTries).
+func (c *CPU) buildTrace(head *bcEntry) {
+	if c.sbCount >= maxSuperblocks {
+		head.sbFailed = true
+		return
+	}
+	slots := make([]sbSlot, 0, traceMaxInsts)
+	e := head
+	for blocks := 0; blocks < traceMaxBlocks; blocks++ {
+		if len(slots)+len(e.insts) > traceMaxInsts {
+			break
+		}
+		pc := e.pc
+		for k := range e.insts {
+			slots = append(slots, sbSlot{instSlot: e.insts[k], pc: pc})
+			pc += 4
+		}
+		succ, ok := traceSucc(e, pc)
+		if !ok || succ%4 != 0 {
+			break
+		}
+		// The outer dispatch loop checks the host-call window per pc; a
+		// stitched transfer skips that check, so prove it here (the window
+		// only changes via SetHostCallRegion, which flushes superblocks).
+		if c.hostCallLen != 0 && succ-c.hostCallBase < c.hostCallLen {
+			break
+		}
+		t := &c.bcache[(succ>>2)&(bcacheSize-1)]
+		if t.pc != succ || len(t.insts) == 0 {
+			break // cold successor; never decode during a build
+		}
+		e = t
+	}
+	if len(slots) <= len(head.insts) {
+		// The trace never got past the head block; not worth a superblock.
+		// Back off exponentially rather than resetting the entry counter:
+		// a conditional exit only needs a longer stability streak, which
+		// more entries will provide.
+		head.sbTries++
+		if head.sbTries >= sbMaxTries {
+			head.sbFailed = true
+		}
+		return
+	}
+	head.sb = &superblock{slots: slots}
+	c.sbCount++
+	c.Stat.SBBuilds++
+}
+
+// runSuperblock executes sb, clipped to the remaining budget. Dispatch
+// mirrors runSlots (block.go) plus the per-branch side-exit check.
+func (c *CPU) runSuperblock(sb *superblock, end uint64) *Trap {
+	c.Stat.SBEnters++
+	slots := sb.slots
+	n := len(slots)
+	if rem := end - c.Instrs; rem < uint64(n) {
+		n = int(rem)
+	}
+	for k := 0; k < n; k++ {
+		s := &slots[k]
+		switch s.fuse.kind {
+		case fuseNone:
+			if tr := c.exec(&s.inst, &s.meta); tr != nil {
+				return tr
+			}
+		case fuseAccess:
+			if tr := c.execFastMem(&s.instSlot); tr != nil {
+				return tr
+			}
+		default: // pair head
+			if k+1 < n {
+				// execFusedPair counts the guard; the Instrs++ below
+				// counts the access, which never branches — the side-exit
+				// check below is a no-op for it.
+				if tr := c.execFusedPair(&s.instSlot, &slots[k+1].instSlot); tr != nil {
+					return tr
+				}
+				k++
+				s = &slots[k]
+			} else if tr := c.exec(&s.inst, &s.meta); tr != nil {
+				// Partner clipped out: run the head alone, generically.
+				return tr
+			}
+		}
+		c.Instrs++
+		if s.meta.branch != brNone && k+1 < n && c.PC != slots[k+1].pc {
+			c.Stat.SBSideExits++
+			return nil
+		}
+	}
+	return nil
+}

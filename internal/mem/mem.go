@@ -146,9 +146,12 @@ func (as *AddrSpace) invalidate() {
 }
 
 // Epoch returns the mapping-mutation counter. Any Map, Unmap, UnmapRange,
-// Protect, CopyRange, or RestoreRange bumps it; page *contents* changes do
-// not. A cache of page translations or decoded text is coherent as long as
-// the epoch it was filled under is still current.
+// Protect, CopyRange, or RestoreRange bumps it, as does WriteForce — the
+// host-side escape hatch that can rewrite text in place under a read/exec
+// mapping. Sandbox-initiated page *contents* changes (ordinary stores) do
+// not: sandboxed code cannot write executable pages, so they cannot
+// invalidate decoded text. A cache of page translations or decoded text is
+// coherent as long as the epoch it was filled under is still current.
 func (as *AddrSpace) Epoch() uint64 { return as.epoch }
 
 // PageSlice returns the backing bytes of the mapped page containing addr,
@@ -190,8 +193,17 @@ func (as *AddrSpace) Map(addr, size uint64, perm Perm) error {
 			return fmt.Errorf("mem: page %#x already mapped", (first+i)<<as.pageShift)
 		}
 	}
+	// Back the whole mapping with one slab, sliced per page. The slab is
+	// virtual until touched (the OS demand-zeroes it 4KiB at a time), so
+	// sparse mappings — 8MiB stacks of which a process uses a few pages —
+	// cost nothing; but the per-page allocation and 16KiB zeroing that
+	// lazy materialization used to do inside the emulator's load/store
+	// path now happen here, attributable to the map call that created the
+	// mapping instead of to whatever emulated instruction touched the
+	// page first.
+	slab := make([]byte, size)
 	for i := uint64(0); i < n; i++ {
-		as.pages[first+i] = &page{perm: perm} // demand-zero
+		as.pages[first+i] = &page{perm: perm, data: slab[i<<as.pageShift : (i+1)<<as.pageShift : (i+1)<<as.pageShift]}
 	}
 	as.invalidate()
 	return nil
@@ -310,8 +322,12 @@ func (as *AddrSpace) WriteAt(b []byte, addr uint64) *Fault {
 }
 
 // WriteForce copies b to addr ignoring permissions (loader use only; the
-// pages must exist).
+// pages must exist). Because it can rewrite pages mapped read/exec — the
+// one way text changes without a mapping mutation — it bumps the epoch so
+// decoded-block caches, chain links, and superblocks built over the old
+// bytes are dropped.
 func (as *AddrSpace) WriteForce(b []byte, addr uint64) *Fault {
+	defer as.invalidate()
 	for len(b) > 0 {
 		idx := addr >> as.pageShift
 		pg, ok := as.pages[idx]
