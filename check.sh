@@ -32,6 +32,12 @@ echo '== IPC suite under race (conformance, stress, pipelines, snapshot regressi
 go test -race -run 'TestIPC|TestRing|TestStream|TestDgram|TestPipeline|TestSnapshotBlocked|TestYield' \
     ./internal/lfirt ./internal/pool
 
+echo '== transition suite under race (vectored calls, handoff, wake coalescing)'
+go test -race -run 'TestVSubmit|TestHandoff|TestWake|TestCallTableSync' ./internal/lfirt
+
+echo '== transition micro-bench smoke (direct handoff <= 1.5x bare yield)'
+go test -count=1 -run TestTransitionRatios ./internal/bench
+
 echo '== bench smoke (go test -bench=BenchmarkEmu -benchtime=1x)'
 go test -run '^$' -bench 'BenchmarkEmu' -benchtime=1x .
 

@@ -364,6 +364,39 @@ func Table5(model *emu.CoreModel, hw *hwmodel.Machine, n int) ([]MicroRow, error
 		return rt.Tim.Cycles() / ops / model.FreqGHz, nil
 	}
 
+	// pairPerOp runs two sandboxes (passive loaded first) to completion
+	// in one runtime and reports cycles per op in ns. Both sides must
+	// exit 0 — a short batch or failed handshake invalidates the number.
+	pairPerOp := func(name, src1, src2 string, ops float64) (float64, error) {
+		b1, err := progs.Build(src1, core.Options{Opt: core.O2})
+		if err != nil {
+			return 0, fmt.Errorf("%s bench: %w", name, err)
+		}
+		b2, err := progs.Build(src2, core.Options{Opt: core.O2})
+		if err != nil {
+			return 0, fmt.Errorf("%s bench: %w", name, err)
+		}
+		m := *model
+		cfg := lfirt.DefaultConfig()
+		cfg.Model = &m
+		rt := lfirt.New(cfg)
+		p1, err := rt.Load(b1.ELF)
+		if err != nil {
+			return 0, err
+		}
+		p2, err := rt.Load(b2.ELF)
+		if err != nil {
+			return 0, err
+		}
+		if err := rt.Run(); err != nil {
+			return 0, fmt.Errorf("%s bench: %w", name, err)
+		}
+		if s1, s2 := p1.ExitStatus(), p2.ExitStatus(); s1 != 0 || s2 != 0 {
+			return 0, fmt.Errorf("%s bench: exits %d/%d, want 0/0", name, s1, s2)
+		}
+		return rt.Tim.Cycles() / ops / model.FreqGHz, nil
+	}
+
 	syscall, err := perOp(workloads.SyscallLoop(n), float64(n))
 	if err != nil {
 		return nil, fmt.Errorf("syscall bench: %w", err)
@@ -388,60 +421,47 @@ func Table5(model *emu.CoreModel, hw *hwmodel.Machine, n int) ([]MicroRow, error
 	pipe := rt.Tim.Cycles() / float64(2*n) / model.FreqGHz
 
 	// Yield: two sandboxes ping-ponging directly.
-	y1, err := progs.Build(workloads.YieldPing(n, 2), core.Options{Opt: core.O2})
+	yield, err := pairPerOp("yield", workloads.YieldPing(n, 2), workloads.YieldPing(n, 1), float64(2*n))
 	if err != nil {
 		return nil, err
 	}
-	y2, err := progs.Build(workloads.YieldPing(n, 1), core.Options{Opt: core.O2})
-	if err != nil {
-		return nil, err
-	}
-	m2 := *model
-	cfg2 := lfirt.DefaultConfig()
-	cfg2.Model = &m2
-	rt2 := lfirt.New(cfg2)
-	if _, err := rt2.Load(y1.ELF); err != nil {
-		return nil, err
-	}
-	if _, err := rt2.Load(y2.ELF); err != nil {
-		return nil, err
-	}
-	if err := rt2.Run(); err != nil {
-		return nil, fmt.Errorf("yield bench: %w", err)
-	}
-	yield := rt2.Tim.Cycles() / float64(2*n) / model.FreqGHz
 
 	// IPC: a ring-channel ping-pong between two sandboxes. Each of the
 	// 2n hops is a send handed directly to the blocked receiver, so the
 	// delta over the yield row is the channel bookkeeping per message.
-	r1, err := progs.Build(workloads.RingPingPassive(n), core.Options{Opt: core.O2})
+	ipc, err := pairPerOp("ipc", workloads.RingPingPassive(n), workloads.RingPingActive(n), float64(2*n))
 	if err != nil {
 		return nil, err
 	}
-	r2, err := progs.Build(workloads.RingPingActive(n), core.Options{Opt: core.O2})
+
+	// Direct handoff: the same ping-pong through RTVSubmit at batch 1 —
+	// one trap per message instead of one per send plus one per recv,
+	// with the send→recv handoff and blocked-side hand-back replacing
+	// every scheduler pass.
+	handoff, err := pairPerOp("direct handoff",
+		workloads.VSubmitPing(n, 1, false), workloads.VSubmitPing(n, 1, true), float64(2*n))
 	if err != nil {
 		return nil, err
 	}
-	m3 := *model
-	cfg3 := lfirt.DefaultConfig()
-	cfg3.Model = &m3
-	rt3 := lfirt.New(cfg3)
-	if _, err := rt3.Load(r1.ELF); err != nil {
+
+	// Vectored IPC: batch 8 — 16 messages per trap, amortizing the
+	// transition cost across the batch. The denominator counts messages
+	// (a send plus its matching recv), like the scalar ipc row.
+	const vbatch = 8
+	vectored, err := pairPerOp("vectored ipc",
+		workloads.VSubmitPing(n, vbatch, false), workloads.VSubmitPing(n, vbatch, true),
+		float64(2*vbatch*n))
+	if err != nil {
 		return nil, err
 	}
-	if _, err := rt3.Load(r2.ELF); err != nil {
-		return nil, err
-	}
-	if err := rt3.Run(); err != nil {
-		return nil, fmt.Errorf("ipc bench: %w", err)
-	}
-	ipc := rt3.Tim.Cycles() / float64(2*n) / model.FreqGHz
 
 	rows := []MicroRow{
 		{Benchmark: "syscall", LFInS: syscall, LinuxNS: hw.LinuxSyscallNS()},
 		{Benchmark: "pipe", LFInS: pipe, LinuxNS: hw.LinuxPipeNS()},
 		{Benchmark: "yield", LFInS: yield},
 		{Benchmark: "ipc", LFInS: ipc, LinuxNS: hw.LinuxPipeNS()},
+		{Benchmark: "direct handoff", LFInS: handoff},
+		{Benchmark: "vectored ipc", LFInS: vectored},
 	}
 	if g, ok := hw.GVisorSyscallNS(); ok {
 		rows[0].GVisorNS = g

@@ -118,10 +118,12 @@ func EmuThroughputOpts(machine string, model *emu.CoreModel, scale float64, opts
 			cfg := lfirt.DefaultConfig()
 			cfg.Model = model
 			rt := lfirt.New(cfg)
-			rt.CPU.SetFastpath(opts.Fastpath)
-			rt.CPU.SetChaining(opts.Chaining)
-			rt.CPU.SetTracing(opts.Tracing)
-			rt.CPU.SetFusion(opts.Fusion)
+			eo := emu.DefaultOptions()
+			eo.Fastpath = opts.Fastpath
+			eo.Chaining = opts.Chaining
+			eo.Tracing = opts.Tracing
+			eo.Fusion = opts.Fusion
+			rt.CPU.Apply(eo)
 			p, err := rt.Load(res.ELF)
 			if err != nil {
 				return nil, err

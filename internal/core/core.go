@@ -142,21 +142,110 @@ const (
 	RTAccept
 	RTSend
 	RTRecv
+	// RTVSubmit is the vectored runtime call (near-zero-cost transitions):
+	// the sandbox submits a batch of I/O/IPC operations in one trap via a
+	// fixed-layout submission ring in its own memory. Arguments are the
+	// ring's sandbox offset and the number of slots; the ring is validated
+	// once per batch against the guard windows, ops execute in order with
+	// per-op status written back into each slot, and the call returns the
+	// number of ops completed. Blocking ops park the whole batch (resumed
+	// in place); partial failure is well-defined per slot.
+	RTVSubmit
 	NumRuntimeCalls
 )
 
-var rtNames = [...]string{
-	"exit", "write", "read", "open", "close", "brk", "mmap", "munmap",
-	"fork", "wait", "yield", "getpid", "pipe", "kill", "usleep",
-	"socket", "bind", "connect", "accept", "send", "recv",
+// BlockClass describes a runtime call's scheduling behavior: whether
+// dispatching it can park the calling process or switch directly to
+// another sandbox. The fuzzer and the dispatch-sync test consume this.
+type BlockClass int
+
+const (
+	// BlockNever: the call always returns to the caller without parking.
+	BlockNever BlockClass = iota
+	// BlockMay: the call may park the caller until a wakeup (read on an
+	// empty pipe, recv with no data, wait with live children, usleep).
+	BlockMay
+	// BlockSwitch: the call may transfer control directly to another
+	// sandbox on the fast-yield/handoff path without a scheduler pass.
+	BlockSwitch
+	// BlockExit: the call terminates the process; it never returns.
+	BlockExit
+)
+
+// CallInfo is one row of the runtime-call ABI: the call's number, its
+// canonical name, how many argument registers (x0..) it consumes, and its
+// blocking class. The table is the single source of truth for the ABI;
+// String(), the dispatch layer, and the sync tests all derive from it.
+type CallInfo struct {
+	Num   RuntimeCall
+	Name  string
+	Args  int
+	Block BlockClass
+}
+
+// CallTable is the declarative runtime-call ABI, indexed by call number.
+var CallTable = [NumRuntimeCalls]CallInfo{
+	RTExit:    {RTExit, "exit", 1, BlockExit},
+	RTWrite:   {RTWrite, "write", 3, BlockNever},
+	RTRead:    {RTRead, "read", 3, BlockMay},
+	RTOpen:    {RTOpen, "open", 2, BlockNever},
+	RTClose:   {RTClose, "close", 1, BlockNever},
+	RTBrk:     {RTBrk, "brk", 1, BlockNever},
+	RTMmap:    {RTMmap, "mmap", 2, BlockNever},
+	RTMunmap:  {RTMunmap, "munmap", 2, BlockNever},
+	RTFork:    {RTFork, "fork", 0, BlockNever},
+	RTWait:    {RTWait, "wait", 1, BlockMay},
+	RTYield:   {RTYield, "yield", 1, BlockSwitch},
+	RTGetPID:  {RTGetPID, "getpid", 0, BlockNever},
+	RTPipe:    {RTPipe, "pipe", 1, BlockNever},
+	RTKill:    {RTKill, "kill", 1, BlockNever},
+	RTUsleep:  {RTUsleep, "usleep", 1, BlockMay},
+	RTSocket:  {RTSocket, "socket", 2, BlockNever},
+	RTBind:    {RTBind, "bind", 2, BlockNever},
+	RTConnect: {RTConnect, "connect", 2, BlockNever},
+	RTAccept:  {RTAccept, "accept", 1, BlockMay},
+	RTSend:    {RTSend, "send", 3, BlockSwitch},
+	RTRecv:    {RTRecv, "recv", 3, BlockMay},
+	RTVSubmit: {RTVSubmit, "vsubmit", 2, BlockSwitch},
 }
 
 func (rc RuntimeCall) String() string {
-	if rc >= 0 && int(rc) < len(rtNames) {
-		return rtNames[rc]
+	if rc >= 0 && rc < NumRuntimeCalls {
+		return CallTable[rc].Name
 	}
 	return fmt.Sprintf("rtcall(%d)", int(rc))
 }
+
+// Vectored submission ring layout (RTVSubmit). The ring is an array of
+// fixed-size slots in sandbox memory; each slot is one operation. The
+// runtime validates the whole ring against the sandbox bounds once per
+// batch, then reads op/fd/buf/len/flags from each slot and writes the
+// per-op status word back.
+const (
+	// VSubmitSlotSize is the byte size of one submission slot.
+	VSubmitSlotSize = uint64(64)
+	// VSubmitMaxOps bounds a single batch.
+	VSubmitMaxOps = uint64(64)
+
+	// Field offsets within a slot.
+	VOffOp     = uint64(0)  // operation code (VOp*)
+	VOffFD     = uint64(8)  // file/socket descriptor
+	VOffBuf    = uint64(16) // buffer address (sandbox offset)
+	VOffLen    = uint64(24) // buffer length
+	VOffFlags  = uint64(32) // per-op flags (VFlag*)
+	VOffStatus = uint64(40) // written back: bytes moved or -errno
+
+	// Operation codes.
+	VOpNop   = uint64(0)
+	VOpSend  = uint64(1)
+	VOpRecv  = uint64(2)
+	VOpWrite = uint64(3)
+	VOpRead  = uint64(4)
+
+	// VFlagNonblock makes a would-block op fail with -EAGAIN in its
+	// status word instead of parking the batch.
+	VFlagNonblock = uint64(1)
+)
 
 // TableOffset returns the call-table byte offset of rc.
 func (rc RuntimeCall) TableOffset() int64 { return int64(rc) * 8 }

@@ -156,16 +156,63 @@ func TestRuntimeCallTable(t *testing.T) {
 			t.Errorf("call %d offset %d", rc, rc.TableOffset())
 		}
 	}
-	if RTExit.String() != "exit" || RTYield.String() != "yield" {
+	if RTExit.String() != "exit" || RTYield.String() != "yield" || RTVSubmit.String() != "vsubmit" {
 		t.Error("canonical call names broken")
 	}
 	if RuntimeCall(999).String() == "" {
 		t.Error("out-of-range call must still print")
 	}
+	// The declarative ABI table must be fully populated and self-indexed.
+	for rc := RuntimeCall(0); rc < NumRuntimeCalls; rc++ {
+		ci := CallTable[rc]
+		if ci.Num != rc {
+			t.Errorf("CallTable[%d].Num = %d (table not indexed by number)", rc, ci.Num)
+		}
+		if ci.Name == "" {
+			t.Errorf("CallTable[%d] has no name", rc)
+		}
+		if ci.Args < 0 || ci.Args > 3 {
+			t.Errorf("call %v takes %d args; the ABI passes at most x0..x2", rc, ci.Args)
+		}
+		if ci.Block < BlockNever || ci.Block > BlockExit {
+			t.Errorf("call %v has invalid block class %d", rc, ci.Block)
+		}
+	}
+	if CallTable[RTExit].Block != BlockExit {
+		t.Error("exit must be BlockExit")
+	}
+	if CallTable[RTSend].Block != BlockSwitch || CallTable[RTVSubmit].Block != BlockSwitch {
+		t.Error("send/vsubmit ride the direct-handoff path; must be BlockSwitch")
+	}
 	// The Wasm-baseline context words live in the call-table page but
 	// beyond the dispatch entries.
 	if CtxHeapBaseOff < uint64(MaxTableOffset) || CtxTypeTagOff >= CallTableSize {
 		t.Error("context words collide with the dispatch table or page")
+	}
+}
+
+func TestVSubmitRingLayout(t *testing.T) {
+	// Every field must fit in its slot, status last among the defined
+	// fields so hostile overlapping writes cannot corrupt already-parsed
+	// inputs of the same op.
+	offs := []uint64{VOffOp, VOffFD, VOffBuf, VOffLen, VOffFlags, VOffStatus}
+	for i, off := range offs {
+		if off%8 != 0 || off+8 > VSubmitSlotSize {
+			t.Errorf("field %d at offset %d breaks slot layout", i, off)
+		}
+		for j := i + 1; j < len(offs); j++ {
+			if off == offs[j] {
+				t.Errorf("fields %d and %d overlap at %d", i, j, off)
+			}
+		}
+	}
+	// A maximal ring must be addressable with 32-bit sandbox offsets and
+	// far smaller than the sandbox itself.
+	if VSubmitMaxOps*VSubmitSlotSize >= SandboxSize {
+		t.Error("maximal ring cannot fit in a sandbox")
+	}
+	if VSubmitMaxOps == 0 || VSubmitSlotSize == 0 {
+		t.Error("degenerate ring constants")
 	}
 }
 

@@ -58,21 +58,9 @@ package emu
 
 import (
 	"encoding/binary"
-	"os"
 
 	"lfi/internal/arm64"
 	"lfi/internal/mem"
-)
-
-// Process-wide defaults for new CPUs; each env knob is the escape hatch
-// back to the previous dispatch generation (EMU_FASTPATH=off selects the
-// per-step interpreter; EMU_CHAIN/EMU_TRACE/EMU_FUSE=off disable one
-// layer each).
-var (
-	defaultFastpath = os.Getenv("EMU_FASTPATH") != "off"
-	defaultChaining = os.Getenv("EMU_CHAIN") != "off"
-	defaultTracing  = os.Getenv("EMU_TRACE") != "off"
-	defaultFusion   = os.Getenv("EMU_FUSE") != "off"
 )
 
 const (

@@ -1,0 +1,84 @@
+package emu
+
+import "os"
+
+// Options is the consolidated emulator dispatch configuration: every
+// layer toggle that used to live behind an individual setter and EMU_*
+// environment variable. A CPU is created with the process-wide boot
+// options (OptionsFromEnv, read once at startup) and reconfigured
+// atomically with Apply — one flush, no ordering concerns between
+// toggles.
+type Options struct {
+	// Fastpath selects the predecoded-block dispatch loop. Off selects
+	// the per-step interpreter, the bit-identical differential-testing
+	// reference (EMU_FASTPATH=off).
+	Fastpath bool
+	// Chaining links blocks directly so hot transfers skip the outer
+	// dispatch (EMU_CHAIN=off disables).
+	Chaining bool
+	// Tracing stitches hot block sequences into superblocks
+	// (EMU_TRACE=off disables).
+	Tracing bool
+	// Fusion executes guard+access idiom pairs as one fused step
+	// (EMU_FUSE=off disables).
+	Fusion bool
+	// TraceThreshold is the number of block entries before a hot trace
+	// is stitched (tests and fuzzing use low values to form superblocks
+	// quickly). Apply clamps values below 1 to 1.
+	TraceThreshold uint32
+}
+
+// DefaultOptions returns the full dispatch stack: every layer on, with
+// the production trace threshold.
+func DefaultOptions() Options {
+	return Options{
+		Fastpath:       true,
+		Chaining:       true,
+		Tracing:        true,
+		Fusion:         true,
+		TraceThreshold: defaultTraceThreshold,
+	}
+}
+
+// OptionsFromEnv reads the EMU_* escape hatches: each layer is on unless
+// its variable is the literal string "off" (EMU_FASTPATH, EMU_CHAIN,
+// EMU_TRACE, EMU_FUSE). The environment is read at call time; New uses
+// the value captured once at process start.
+func OptionsFromEnv() Options {
+	o := DefaultOptions()
+	o.Fastpath = os.Getenv("EMU_FASTPATH") != "off"
+	o.Chaining = os.Getenv("EMU_CHAIN") != "off"
+	o.Tracing = os.Getenv("EMU_TRACE") != "off"
+	o.Fusion = os.Getenv("EMU_FUSE") != "off"
+	return o
+}
+
+// bootOptions seeds every new CPU; captured once so a test's Setenv
+// cannot skew CPUs created later in the process.
+var bootOptions = OptionsFromEnv()
+
+// Apply reconfigures the dispatch stack in one step and drops all cached
+// decodes — stale chain links, superblocks, and fusion marks from the
+// previous configuration can never be reused.
+func (c *CPU) Apply(o Options) {
+	if o.TraceThreshold < 1 {
+		o.TraceThreshold = 1
+	}
+	c.fastpath = o.Fastpath
+	c.chaining = o.Chaining
+	c.tracing = o.Tracing
+	c.fusion = o.Fusion
+	c.traceThreshold = o.TraceThreshold
+	c.flushDecoded(c.Mem.Epoch())
+}
+
+// Options returns the CPU's current dispatch configuration.
+func (c *CPU) Options() Options {
+	return Options{
+		Fastpath:       c.fastpath,
+		Chaining:       c.chaining,
+		Tracing:        c.tracing,
+		Fusion:         c.fusion,
+		TraceThreshold: c.traceThreshold,
+	}
+}

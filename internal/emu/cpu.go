@@ -93,7 +93,7 @@ type CPU struct {
 	// Decoded-instruction cache, keyed by page index. Pages are decoded
 	// lazily. Coherence is by AddrSpace epoch: any Map/Unmap/Protect/
 	// restore bumps the epoch and the next Step/Run flushes stale decodes,
-	// so remapping text pages needs no manual FlushICache call.
+	// so remapping text pages needs no manual flush call.
 	icache    map[uint64][]cachedInst
 	pageShift uint
 	pageSize  uint64
@@ -205,26 +205,27 @@ func New(m *mem.AddrSpace) *CPU {
 		pageShift:      shift,
 		pageSize:       ps,
 		memEpoch:       m.Epoch(),
-		fastpath:       defaultFastpath,
-		chaining:       defaultChaining,
-		tracing:        defaultTracing,
-		fusion:         defaultFusion,
-		traceThreshold: defaultTraceThreshold,
+		fastpath:       bootOptions.Fastpath,
+		chaining:       bootOptions.Chaining,
+		tracing:        bootOptions.Tracing,
+		fusion:         bootOptions.Fusion,
+		traceThreshold: bootOptions.TraceThreshold,
 	}
 }
 
-// SetFastpath toggles the predecoded-block dispatch loop (on by default;
-// the EMU_FASTPATH=off environment variable flips the default). The slow
-// per-step interpreter computes bit-identical results and exists as the
-// escape hatch and differential-testing reference.
+// SetFastpath toggles the predecoded-block dispatch loop.
+//
+// Deprecated: use Apply with an Options struct; the individual setters
+// remain as thin wrappers.
 func (c *CPU) SetFastpath(on bool) { c.fastpath = on }
 
 // Fastpath reports whether the block dispatch loop is enabled.
 func (c *CPU) Fastpath() bool { return c.fastpath }
 
-// SetChaining toggles direct block chaining (on by default; EMU_CHAIN=off
-// flips the default). Decoded blocks are dropped so stale links from a
-// previous setting can never be followed.
+// SetChaining toggles direct block chaining. Decoded blocks are dropped
+// so stale links from a previous setting can never be followed.
+//
+// Deprecated: use Apply with an Options struct.
 func (c *CPU) SetChaining(on bool) {
 	c.chaining = on
 	c.flushDecoded(c.Mem.Epoch())
@@ -233,8 +234,10 @@ func (c *CPU) SetChaining(on bool) {
 // Chaining reports whether direct block chaining is enabled.
 func (c *CPU) Chaining() bool { return c.chaining }
 
-// SetTracing toggles hot-trace superblocks (on by default; EMU_TRACE=off
-// flips the default). Decoded blocks and stitched superblocks are dropped.
+// SetTracing toggles hot-trace superblocks. Decoded blocks and stitched
+// superblocks are dropped.
+//
+// Deprecated: use Apply with an Options struct.
 func (c *CPU) SetTracing(on bool) {
 	c.tracing = on
 	c.flushDecoded(c.Mem.Epoch())
@@ -243,9 +246,10 @@ func (c *CPU) SetTracing(on bool) {
 // Tracing reports whether hot-trace superblocks are enabled.
 func (c *CPU) Tracing() bool { return c.tracing }
 
-// SetFusion toggles guard-idiom fusion (on by default; EMU_FUSE=off flips
-// the default). Fusion marks are applied at predecode time, so toggling
-// drops decoded blocks.
+// SetFusion toggles guard-idiom fusion. Fusion marks are applied at
+// predecode time, so toggling drops decoded blocks.
+//
+// Deprecated: use Apply with an Options struct.
 func (c *CPU) SetFusion(on bool) {
 	c.fusion = on
 	c.flushDecoded(c.Mem.Epoch())
@@ -257,6 +261,8 @@ func (c *CPU) Fusion() bool { return c.fusion }
 // SetTraceThreshold overrides the number of block entries before a hot
 // trace is stitched (tests and fuzzing use low values to form superblocks
 // quickly). Values below 1 are clamped to 1.
+//
+// Deprecated: use Apply with an Options struct.
 func (c *CPU) SetTraceThreshold(n uint32) {
 	if n < 1 {
 		n = 1
@@ -269,13 +275,6 @@ func (c *CPU) SetTraceThreshold(n uint32) {
 // Cached blocks are dropped: block boundaries depend on the region.
 func (c *CPU) SetHostCallRegion(base, size uint64) {
 	c.hostCallBase, c.hostCallLen = base, size
-	c.flushDecoded(c.Mem.Epoch())
-}
-
-// FlushICache drops all cached decodes. Decode caches auto-invalidate via
-// the AddrSpace epoch whenever mappings change, so calling this after a
-// remap is no longer required; it remains as a compatible explicit flush.
-func (c *CPU) FlushICache() {
 	c.flushDecoded(c.Mem.Epoch())
 }
 

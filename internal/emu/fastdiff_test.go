@@ -612,6 +612,62 @@ _start:
 	if tr := c.Run(10); tr == nil || tr.Kind != TrapBRK {
 		t.Fatalf("trap = %v, want brk", tr)
 	}
+
+	// The consolidated entry point: Apply reconfigures every layer in one
+	// step and Options reads the configuration back verbatim (modulo the
+	// threshold clamp).
+	want := Options{Fastpath: true, Chaining: false, Tracing: true, Fusion: false, TraceThreshold: 7}
+	c.Apply(want)
+	if got := c.Options(); got != want {
+		t.Errorf("Options() = %+v after Apply(%+v)", got, want)
+	}
+	c.Apply(Options{}) // zero threshold clamps to 1
+	if got := c.Options(); got.TraceThreshold != 1 {
+		t.Errorf("Apply did not clamp TraceThreshold: %d", got.TraceThreshold)
+	}
+	c.Apply(DefaultOptions())
+	if got := c.Options(); got != DefaultOptions() {
+		t.Errorf("Options() = %+v after Apply(DefaultOptions())", got)
+	}
+	if tr := c.Run(10); tr == nil || tr.Kind != TrapBRK {
+		t.Fatalf("trap after Apply = %v, want brk", tr)
+	}
+
+	// Env contract: each EMU_* variable disables its layer only when set
+	// to the literal string "off", and OptionsFromEnv reads the
+	// environment at call time.
+	for _, k := range []string{"EMU_FASTPATH", "EMU_CHAIN", "EMU_TRACE", "EMU_FUSE"} {
+		t.Setenv(k, "")
+	}
+	if got := OptionsFromEnv(); got != DefaultOptions() {
+		t.Errorf("OptionsFromEnv() with empty env = %+v, want defaults", got)
+	}
+	t.Setenv("EMU_FASTPATH", "0") // not the literal "off": stays on
+	if !OptionsFromEnv().Fastpath {
+		t.Error(`EMU_FASTPATH="0" disabled the fastpath; only "off" should`)
+	}
+	envCases := []struct {
+		key string
+		get func(Options) bool
+	}{
+		{"EMU_FASTPATH", func(o Options) bool { return o.Fastpath }},
+		{"EMU_CHAIN", func(o Options) bool { return o.Chaining }},
+		{"EMU_TRACE", func(o Options) bool { return o.Tracing }},
+		{"EMU_FUSE", func(o Options) bool { return o.Fusion }},
+	}
+	for _, ec := range envCases {
+		t.Setenv(ec.key, "off")
+		o := OptionsFromEnv()
+		if ec.get(o) {
+			t.Errorf("%s=off did not disable its layer", ec.key)
+		}
+		for _, other := range envCases {
+			if other.key != ec.key && !other.get(o) {
+				t.Errorf("%s=off also disabled %s's layer", ec.key, other.key)
+			}
+		}
+		t.Setenv(ec.key, "")
+	}
 }
 
 // TestHotTrapReuse checks Run's budget/host-call traps reuse per-CPU

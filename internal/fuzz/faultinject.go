@@ -27,6 +27,12 @@ type FaultOptions struct {
 	// IPCTrials is the number of mid-IPC kill/cancel trials against an
 	// echo pair over a ring channel (0 = 12).
 	IPCTrials int
+	// VSubmitTrials is the number of mid-batch kill/cancel trials against
+	// an echo pair driven through vectored runtime calls (0 = 8).
+	VSubmitTrials int
+	// BatchSnapshotTrials is the number of snapshot/restore cycles against
+	// a process parked mid-RTVSubmit (0 = 6).
+	BatchSnapshotTrials int
 	// ServeRounds is the number of network-serving rounds driven through
 	// the HTTP protocol layer against a live listener (0 = 2).
 	ServeRounds int
@@ -41,6 +47,12 @@ func (o FaultOptions) withDefaults() FaultOptions {
 	}
 	if o.IPCTrials == 0 {
 		o.IPCTrials = 12
+	}
+	if o.VSubmitTrials == 0 {
+		o.VSubmitTrials = 8
+	}
+	if o.BatchSnapshotTrials == 0 {
+		o.BatchSnapshotTrials = 6
 	}
 	if o.ServeRounds == 0 {
 		o.ServeRounds = 2
@@ -57,6 +69,10 @@ type FaultReport struct {
 	IPCFaults int // echo peers killed or canceled mid-IPC
 	IPCDrains int // surviving peers that drained to a clean exit
 
+	VecFaults   int // vectored echo peers killed or canceled mid-batch
+	VecDrains   int // surviving vectored peers that drained cleanly
+	SnapBatches int // parked batches snapshotted and restored with -EPIPE
+
 	ServeRequests int // HTTP jobs issued across all serve rounds
 	ServeTerminal int // serve requests that reached a terminal outcome
 
@@ -64,8 +80,9 @@ type FaultReport struct {
 }
 
 func (r *FaultReport) String() string {
-	return fmt.Sprintf("faults: %d submitted, %d resolved, %d kills, %d restores, %d ipc faults, %d ipc drains, %d serve reqs, %d serve terminal, %d violations",
-		r.Submitted, r.Resolved, r.Kills, r.Restores, r.IPCFaults, r.IPCDrains, r.ServeRequests, r.ServeTerminal, len(r.Violations))
+	return fmt.Sprintf("faults: %d submitted, %d resolved, %d kills, %d restores, %d ipc faults, %d ipc drains, %d vec faults, %d vec drains, %d snap batches, %d serve reqs, %d serve terminal, %d violations",
+		r.Submitted, r.Resolved, r.Kills, r.Restores, r.IPCFaults, r.IPCDrains,
+		r.VecFaults, r.VecDrains, r.SnapBatches, r.ServeRequests, r.ServeTerminal, len(r.Violations))
 }
 
 const faultTenant = `
@@ -100,6 +117,8 @@ func InjectFaults(opts FaultOptions) *FaultReport {
 	}
 	snapshotDriver(rng.Int63(), opts.SnapshotTrials, rep)
 	ipcRound(rng.Int63(), opts.IPCTrials, rep)
+	vsubmitRound(rng.Int63(), opts.VSubmitTrials, rep)
+	batchSnapshotRound(opts.BatchSnapshotTrials, rep)
 	for round := 0; round < opts.ServeRounds; round++ {
 		serveRound(rng.Int63(), rep)
 	}
@@ -347,6 +366,126 @@ cbuf:
 `
 }
 
+// vsubmitSlot emits initialization of submission-ring slot idx (at
+// sandbox symbol vring, with the buffer at vbuf): op, fd from x19,
+// buf, len, zero flags and status.
+func vsubmitSlot(idx int, op uint64, length int) string {
+	off := idx * int(core.VSubmitSlotSize)
+	return fmt.Sprintf(`	adrp x9, vring
+	add x9, x9, :lo12:vring
+	adrp x10, vbuf
+	add x10, x10, :lo12:vbuf
+	mov x12, #%d
+	str x12, [x9, #%d]
+	str x19, [x9, #%d]
+	str x10, [x9, #%d]
+	mov x12, #%d
+	str x12, [x9, #%d]
+	mov x12, #0
+	str x12, [x9, #%d]
+	str x12, [x9, #%d]
+`, op, off+int(core.VOffOp), off+int(core.VOffFD), off+int(core.VOffBuf),
+		length, off+int(core.VOffLen), off+int(core.VOffFlags), off+int(core.VOffStatus))
+}
+
+// vsubmitEchoBody is the shared main loop of the vectored echo programs:
+// one RTVSubmit trap per iteration with a two-op batch whose statuses are
+// checked against the peer-death taxonomy. Status 0 (EOF) or -EPIPE on
+// either op is a clean peer-death exit; a short batch return only happens
+// for a parked batch completed from the host side (snapshot restore),
+// whose unfinished ops carry the same -EPIPE contract — also clean.
+// Anything else exits through the err label.
+func vsubmitEchoBody(loopTail string) string {
+	return `	adrp x0, vring
+	add x0, x0, :lo12:vring
+	mov x1, #2
+` + progs.RTCall(core.RTVSubmit) + `	tbnz x0, #63, verr
+	cmp x0, #2
+	b.ne vdone
+	adrp x9, vring
+	add x9, x9, :lo12:vring
+	ldr x11, [x9, #40]
+	cbz x11, vdone
+	tbnz x11, #63, vchk0
+	ldr x11, [x9, #104]
+	cbz x11, vdone
+	tbnz x11, #63, vchk1
+` + loopTail + `vchk0:
+	neg x12, x11
+	cmp x12, #32
+	b.eq vdone
+	b verr
+vchk1:
+	neg x12, x11
+	cmp x12, #32
+	b.eq vdone
+	b verr
+vdone:
+	mov x0, #0
+` + progs.Exit() + `
+verr:
+	mov x0, #93
+` + progs.Exit() + `
+.bss
+vring:
+	.space 128
+vbuf:
+	.space 16
+`
+}
+
+// vsubmitEchoServer is ipcEchoServer rebuilt on the vectored call: it
+// binds the ring channel at port 3 and echoes with one [recv, send]
+// batch per trap.
+var vsubmitEchoServer = `
+_start:
+	mov x0, #2
+	mov x1, #64
+` + progs.RTCall(core.RTSocket) + `
+	mov x19, x0
+	mov x0, x19
+	mov x1, #3
+` + progs.RTCall(core.RTBind) + `
+	cbnz x0, verr
+` + vsubmitSlot(0, core.VOpRecv, 8) + vsubmitSlot(1, core.VOpSend, 8) + `
+vloop:
+` + vsubmitEchoBody("\tb vloop\n")
+
+// vsubmitEchoClient connects to the vectored echo server and ping-pongs
+// with one [send, recv] batch per trap; rounds 0 means forever.
+func vsubmitEchoClient(rounds int) string {
+	loopTail := "\tb vloop\n"
+	init := ""
+	if rounds > 0 {
+		init = fmt.Sprintf("\tmov x27, #%d\n", rounds)
+		loopTail = "\tsubs x27, x27, #1\n\tb.ne vloop\n\tb vdone\n"
+	}
+	return `
+_start:
+	mov x0, #2
+	mov x1, #64
+` + progs.RTCall(core.RTSocket) + `
+	mov x19, x0
+` + init + `	movz x28, #1000           // bounded connect retries
+vconn:
+	mov x0, x19
+	mov x1, #3
+` + progs.RTCall(core.RTConnect) + `
+	cbz x0, vinit
+	neg x9, x0
+	cmp x9, #111              // ECONNREFUSED: binder not up (yet, or ever)
+	b.ne verr
+	subs x28, x28, #1
+	b.eq vdone                // binder never appeared: give up cleanly
+	mov x0, #0
+` + progs.RTCall(core.RTYield) + `
+	b vconn
+vinit:
+` + vsubmitSlot(0, core.VOpSend, 8) + vsubmitSlot(1, core.VOpRecv, 8) + `
+vloop:
+` + vsubmitEchoBody(loopTail)
+}
+
 // ipcRound kills one side of a live echo pair mid-IPC — by instruction
 // budget, by cancellation, or by direct KillProcess — and checks the
 // invariants: the surviving peer drains to a clean exit (no deadlock, no
@@ -354,9 +493,21 @@ cbuf:
 // communicates cleanly in the same runtime afterwards (the fault must
 // not leak a port binding or corrupt channel state).
 func ipcRound(seed int64, trials int, rep *FaultReport) {
+	echoPairRound(seed, trials, rep, "ipc", ipcEchoServer, ipcEchoClient(0), ipcEchoClient(5), false)
+}
+
+// vsubmitRound is ipcRound with the echo pair driven through vectored
+// runtime calls, so every injected fault lands against a batch that is
+// in flight or parked mid-submission.
+func vsubmitRound(seed int64, trials int, rep *FaultReport) {
+	echoPairRound(seed, trials, rep, "vsubmit",
+		vsubmitEchoServer, vsubmitEchoClient(0), vsubmitEchoClient(5), true)
+}
+
+func echoPairRound(seed int64, trials int, rep *FaultReport, tag, serverSrc, clientSrc, finiteSrc string, vec bool) {
 	rng := rand.New(rand.NewSource(seed))
 	violation := func(format string, args ...any) {
-		rep.Violations = append(rep.Violations, fmt.Sprintf("ipc "+format, args...))
+		rep.Violations = append(rep.Violations, fmt.Sprintf(tag+" "+format, args...))
 	}
 	build := func(src string) []byte {
 		res, err := progs.Build(src, core.Options{Opt: core.O2})
@@ -366,9 +517,9 @@ func ipcRound(seed int64, trials int, rep *FaultReport) {
 		}
 		return res.ELF
 	}
-	serverELF := build(ipcEchoServer)
-	clientELF := build(ipcEchoClient(0))
-	finiteELF := build(ipcEchoClient(5))
+	serverELF := build(serverSrc)
+	clientELF := build(clientSrc)
+	finiteELF := build(finiteSrc)
 	spinELF := build(faultSpin)
 	if serverELF == nil || clientELF == nil || finiteELF == nil || spinELF == nil {
 		return
@@ -434,16 +585,24 @@ func ipcRound(seed int64, trials int, rep *FaultReport) {
 		case 2: // direct host-side kill between dispatches
 			rt.KillProcess(target, 137)
 		}
-		rep.IPCFaults++
+		if vec {
+			rep.VecFaults++
+		} else {
+			rep.IPCFaults++
+		}
 
 		if !runDrained(rt, trial, "drain after fault") {
 			continue
 		}
 		if s := survivor.ExitStatus(); s != 0 {
-			violation("trial %d: survivor exited %d, want 0 (94/95 = wrong errno seen)", trial, s)
+			violation("trial %d: survivor exited %d, want 0 (93/94/95 = wrong errno seen)", trial, s)
 			continue
 		}
-		rep.IPCDrains++
+		if vec {
+			rep.VecDrains++
+		} else {
+			rep.IPCDrains++
+		}
 
 		// The runtime must still serve IPC: a fresh pair on the same
 		// port, with a finite client closing gracefully mid-stream.
@@ -547,5 +706,114 @@ func snapshotDriver(seed int64, trials int, rep *FaultReport) {
 			rep.Violations = append(rep.Violations,
 				fmt.Sprintf("snapshot trial %d: restored output %q, want %q", trial, re.Stdout(), wantOut))
 		}
+	}
+}
+
+// vsubmitParked is a guest that parks itself mid-batch: a same-process
+// ring pair (x19 bound at port 3, x20 connected), then a two-op batch
+// whose first op is a nop and whose second is a recv on the empty pair —
+// the batch parks at index 1 and the process deadlocks. The code after
+// the call runs only post-restore; it checks the -EPIPE contract exactly
+// (return 1, slot0 status 0, slot1 status -EPIPE) and exits 33.
+var vsubmitParked = `
+_start:
+	mov x0, #2
+	mov x1, #64
+` + progs.RTCall(core.RTSocket) + `
+	mov x19, x0
+	mov x0, #2
+	mov x1, #64
+` + progs.RTCall(core.RTSocket) + `
+	mov x20, x0
+	mov x0, x19
+	mov x1, #3
+` + progs.RTCall(core.RTBind) + `
+	cbnz x0, perr
+	mov x0, x20
+	mov x1, #3
+` + progs.RTCall(core.RTConnect) + `
+	cbnz x0, perr
+` + vsubmitSlot(0, core.VOpNop, 0) + vsubmitSlot(1, core.VOpRecv, 8) + `
+	adrp x0, vring
+	add x0, x0, :lo12:vring
+	mov x1, #2
+` + progs.RTCall(core.RTVSubmit) + `
+	cmp x0, #1
+	b.ne perr
+	adrp x9, vring
+	add x9, x9, :lo12:vring
+	ldr x11, [x9, #40]
+	cbnz x11, perr
+	ldr x11, [x9, #104]
+	neg x12, x11
+	cmp x12, #32
+	b.ne perr
+	mov x0, #33
+` + progs.Exit() + `
+perr:
+	mov x0, #96
+` + progs.Exit() + `
+.bss
+vring:
+	.space 128
+vbuf:
+	.space 16
+`
+
+// batchSnapshotRound snapshots a process parked mid-RTVSubmit and
+// restores it — alternating between a fresh runtime and the original one
+// (after killing the parked original) — checking that every restore
+// completes the batch under the documented contract: the call returns
+// the completed-op count with -EPIPE in each unfinished slot, verified
+// by the guest itself (exit 33).
+func batchSnapshotRound(trials int, rep *FaultReport) {
+	violation := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf("batch-snapshot "+format, args...))
+	}
+	res, err := progs.Build(vsubmitParked, core.Options{Opt: core.O2})
+	if err != nil {
+		violation("build: %v", err)
+		return
+	}
+	for trial := 0; trial < trials; trial++ {
+		rt := lfirt.New(lfirt.DefaultConfig())
+		p, err := rt.Load(res.ELF)
+		if err != nil {
+			violation("trial %d: load: %v", trial, err)
+			continue
+		}
+		var dl *lfirt.ErrDeadlock
+		if err := rt.Run(); !errors.As(err, &dl) {
+			violation("trial %d: run: %v, want deadlock with parked batch", trial, err)
+			continue
+		}
+		snap, err := rt.Snapshot(p)
+		if err != nil {
+			violation("trial %d: snapshot: %v", trial, err)
+			continue
+		}
+		rep.Kills++
+		target := rt
+		if trial%2 == 0 {
+			target = lfirt.New(lfirt.DefaultConfig())
+		} else {
+			rt.KillProcess(p, 137) // reclaim the parked original first
+		}
+		re, err := target.Restore(snap)
+		if err != nil {
+			violation("trial %d: restore: %v", trial, err)
+			continue
+		}
+		target.Start(re)
+		status, err := target.RunProc(re)
+		if err != nil {
+			violation("trial %d: restored run: %v", trial, err)
+			continue
+		}
+		if status != 33 {
+			violation("trial %d: restored batch exited %d, want 33 (96 = contract violated)", trial, status)
+			continue
+		}
+		rep.SnapBatches++
 	}
 }

@@ -63,6 +63,12 @@ func TestFaultInjection(t *testing.T) {
 	if rep.Restores == 0 {
 		t.Errorf("vacuous snapshot driver: %s", rep)
 	}
+	if rep.VecFaults == 0 || rep.VecDrains == 0 {
+		t.Errorf("vacuous vectored ipc round: %s", rep)
+	}
+	if rep.SnapBatches == 0 {
+		t.Errorf("vacuous batch snapshot round: %s", rep)
+	}
 	if rep.ServeRequests == 0 || rep.ServeTerminal == 0 {
 		t.Errorf("vacuous serve round: %s", rep)
 	}

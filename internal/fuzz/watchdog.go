@@ -73,16 +73,16 @@ func newWatchdog(img *arm64.Image, text []byte, slot uint64, mode wdMode) (*watc
 	}
 
 	c := emu.New(as)
-	c.SetFastpath(mode != wdSlow)
 	chained := mode == wdChained
-	c.SetChaining(chained)
-	c.SetTracing(chained)
-	c.SetFusion(chained)
-	if chained {
+	c.Apply(emu.Options{
+		Fastpath: mode != wdSlow,
+		Chaining: chained,
+		Tracing:  chained,
+		Fusion:   chained,
 		// Fuzz programs are short; stitch superblocks almost immediately so
 		// the trace machinery is actually exercised within a run.
-		c.SetTraceThreshold(2)
-	}
+		TraceThreshold: 2,
+	})
 	c.SetHostCallRegion(hostBase, 4096)
 	c.Timing = emu.NewTiming(emu.ModelM1())
 	c.PC = img.Entry

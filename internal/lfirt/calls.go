@@ -18,103 +18,165 @@ const maxIOSize = 1 << 20
 // maskPtr forces a sandbox-supplied pointer into the sandbox.
 func (p *Proc) maskPtr(ptr uint64) uint64 { return p.Base | (ptr & 0xffffffff) }
 
+// callHandler is the uniform dispatch signature: the call's first three
+// argument registers, pre-fetched from the CPU. Handlers needing fewer
+// arguments ignore the rest; core.CallTable records the real arity.
+type callHandler func(rt *Runtime, p *Proc, a0, a1, a2 uint64) action
+
+// callHandlers dispatches runtime calls by number. The table parallels
+// core.CallTable — TestCallTableSync pins that every ABI row has a
+// handler here and that the two tables agree on the call set.
+var callHandlers = [core.NumRuntimeCalls]callHandler{
+	core.RTExit:    (*Runtime).callExit,
+	core.RTWrite:   (*Runtime).callWrite,
+	core.RTRead:    (*Runtime).callRead,
+	core.RTOpen:    (*Runtime).callOpen,
+	core.RTClose:   (*Runtime).callClose,
+	core.RTBrk:     (*Runtime).callBrk,
+	core.RTMmap:    (*Runtime).callMmap,
+	core.RTMunmap:  (*Runtime).callMunmap,
+	core.RTFork:    (*Runtime).callFork,
+	core.RTWait:    (*Runtime).callWait,
+	core.RTYield:   (*Runtime).callYield,
+	core.RTGetPID:  (*Runtime).callGetPID,
+	core.RTPipe:    (*Runtime).callPipe,
+	core.RTKill:    (*Runtime).callKill,
+	core.RTUsleep:  (*Runtime).callUsleep,
+	core.RTSocket:  (*Runtime).callSocket,
+	core.RTBind:    (*Runtime).callBind,
+	core.RTConnect: (*Runtime).callConnect,
+	core.RTAccept:  (*Runtime).callAccept,
+	core.RTSend:    (*Runtime).callSend,
+	core.RTRecv:    (*Runtime).callRecv,
+	core.RTVSubmit: (*Runtime).callVSubmit,
+}
+
 func (rt *Runtime) syscall(p *Proc, call core.RuntimeCall) action {
 	c := rt.CPU
-	a0, a1, a2 := c.X[0], c.X[1], c.X[2]
-
-	switch call {
-	case core.RTExit:
+	if call < 0 || call >= core.NumRuntimeCalls || callHandlers[call] == nil {
 		rt.saveRegs(p)
-		rt.kill(p, int(int32(uint32(a0))))
-		return actResched
-
-	case core.RTWrite:
-		return rt.resume(p, uint64(rt.sysWrite(p, a0, a1, a2)))
-
-	case core.RTRead:
-		fd := p.fds.get(int(int32(uint32(a0))))
-		if fd == nil {
-			return rt.resume(p, errRet(EBADF))
-		}
-		n := rt.doRead(p, fd, a1, a2)
-		if n == -EAGAIN {
-			// Block with the arguments staged in Regs.X[0..2] so that
-			// wakeBlocked can retry the read later.
-			rt.block(p, blockRead, int(int32(uint32(a0))), a0, a1, a2)
-			return actResched
-		}
-		return rt.resume(p, uint64(n))
-
-	case core.RTOpen:
-		return rt.resume(p, uint64(rt.sysOpen(p, a0, a1)))
-
-	case core.RTClose:
-		return rt.resume(p, uint64(p.fds.close(int(int32(uint32(a0))))))
-
-	case core.RTBrk:
-		return rt.resume(p, rt.sysBrk(p, a0))
-
-	case core.RTMmap:
-		return rt.resume(p, rt.sysMmap(p, a1))
-
-	case core.RTMunmap:
-		return rt.resume(p, uint64(rt.sysMunmap(p, a0, a1)))
-
-	case core.RTFork:
-		return rt.sysFork(p)
-
-	case core.RTWait:
-		return rt.sysWait(p, a0)
-
-	case core.RTYield:
-		return rt.sysYield(p, a0)
-
-	case core.RTGetPID:
-		return rt.resume(p, uint64(p.PID))
-
-	case core.RTPipe:
-		return rt.resume(p, uint64(rt.sysPipe(p, a0)))
-
-	case core.RTKill:
-		if int(int32(uint32(a0))) == p.PID {
-			rt.saveRegs(p)
-			rt.kill(p, 128+9)
-			return actResched
-		}
-		return rt.resume(p, uint64(rt.sysKill(p, a0)))
-
-	case core.RTSocket:
-		return rt.resume(p, uint64(rt.sysSocket(p, a0, a1)))
-
-	case core.RTBind:
-		return rt.resume(p, uint64(rt.sysBind(p, a0, a1)))
-
-	case core.RTConnect:
-		return rt.resume(p, uint64(rt.sysConnect(p, a0, a1)))
-
-	case core.RTAccept:
-		return rt.sysAccept(p, a0)
-
-	case core.RTSend:
-		return rt.sysSend(p, a0, a1, a2)
-
-	case core.RTRecv:
-		return rt.sysRecv(p, a0, a1, a2)
-
-	case core.RTUsleep:
-		// Model the sleep as an immediate requeue plus elapsed virtual
-		// time; there are no timers to wait on in the simulation.
-		if rt.Tim != nil {
-			rt.Tim.AddCycles(float64(a0) * rt.Tim.Model.FreqGHz * 1000)
-		}
-		rt.resume(p, 0)
-		rt.saveRegs(p)
-		rt.makeReady(p)
+		rt.kill(p, 128+4)
 		return actResched
 	}
+	return callHandlers[call](rt, p, c.X[0], c.X[1], c.X[2])
+}
+
+func (rt *Runtime) callExit(p *Proc, a0, _, _ uint64) action {
 	rt.saveRegs(p)
-	rt.kill(p, 128+4)
+	rt.kill(p, int(int32(uint32(a0))))
 	return actResched
+}
+
+func (rt *Runtime) callWrite(p *Proc, a0, a1, a2 uint64) action {
+	return rt.resume(p, uint64(rt.sysWrite(p, a0, a1, a2)))
+}
+
+func (rt *Runtime) callRead(p *Proc, a0, a1, a2 uint64) action {
+	fd := p.fds.get(int(int32(uint32(a0))))
+	if fd == nil {
+		return rt.resume(p, errRet(EBADF))
+	}
+	n := rt.doRead(p, fd, a1, a2)
+	if n == -EAGAIN {
+		// Block with the arguments staged in Regs.X[0..2] so that
+		// wakeBlocked can retry the read later.
+		rt.block(p, blockRead, int(int32(uint32(a0))), a0, a1, a2)
+		return rt.blockSwitch(p)
+	}
+	return rt.resume(p, uint64(n))
+}
+
+func (rt *Runtime) callOpen(p *Proc, a0, a1, _ uint64) action {
+	return rt.resume(p, uint64(rt.sysOpen(p, a0, a1)))
+}
+
+func (rt *Runtime) callClose(p *Proc, a0, _, _ uint64) action {
+	r := p.fds.close(int(int32(uint32(a0))))
+	// Closing the write end of a pipe or a socket endpoint can deliver
+	// EOF/EPIPE to a blocked peer.
+	rt.markWake()
+	return rt.resume(p, uint64(r))
+}
+
+func (rt *Runtime) callBrk(p *Proc, a0, _, _ uint64) action {
+	return rt.resume(p, rt.sysBrk(p, a0))
+}
+
+func (rt *Runtime) callMmap(p *Proc, _, a1, _ uint64) action {
+	return rt.resume(p, rt.sysMmap(p, a1))
+}
+
+func (rt *Runtime) callMunmap(p *Proc, a0, a1, _ uint64) action {
+	return rt.resume(p, uint64(rt.sysMunmap(p, a0, a1)))
+}
+
+func (rt *Runtime) callFork(p *Proc, _, _, _ uint64) action {
+	return rt.sysFork(p)
+}
+
+func (rt *Runtime) callWait(p *Proc, a0, _, _ uint64) action {
+	return rt.sysWait(p, a0)
+}
+
+func (rt *Runtime) callYield(p *Proc, a0, _, _ uint64) action {
+	return rt.sysYield(p, a0)
+}
+
+func (rt *Runtime) callGetPID(p *Proc, _, _, _ uint64) action {
+	return rt.resume(p, uint64(p.PID))
+}
+
+func (rt *Runtime) callPipe(p *Proc, a0, _, _ uint64) action {
+	return rt.resume(p, uint64(rt.sysPipe(p, a0)))
+}
+
+func (rt *Runtime) callKill(p *Proc, a0, _, _ uint64) action {
+	if int(int32(uint32(a0))) == p.PID {
+		rt.saveRegs(p)
+		rt.kill(p, 128+9)
+		return actResched
+	}
+	return rt.resume(p, uint64(rt.sysKill(p, a0)))
+}
+
+func (rt *Runtime) callUsleep(p *Proc, a0, _, _ uint64) action {
+	// Model the sleep as an immediate requeue plus elapsed virtual
+	// time; there are no timers to wait on in the simulation.
+	if rt.Tim != nil {
+		rt.Tim.AddCycles(float64(a0) * rt.Tim.Model.FreqGHz * 1000)
+	}
+	rt.resume(p, 0)
+	rt.saveRegs(p)
+	rt.makeReady(p)
+	return actResched
+}
+
+func (rt *Runtime) callSocket(p *Proc, a0, a1, _ uint64) action {
+	return rt.resume(p, uint64(rt.sysSocket(p, a0, a1)))
+}
+
+func (rt *Runtime) callBind(p *Proc, a0, a1, _ uint64) action {
+	return rt.resume(p, uint64(rt.sysBind(p, a0, a1)))
+}
+
+func (rt *Runtime) callConnect(p *Proc, a0, a1, _ uint64) action {
+	return rt.resume(p, uint64(rt.sysConnect(p, a0, a1)))
+}
+
+func (rt *Runtime) callAccept(p *Proc, a0, _, _ uint64) action {
+	return rt.sysAccept(p, a0)
+}
+
+func (rt *Runtime) callSend(p *Proc, a0, a1, a2 uint64) action {
+	return rt.sysSend(p, a0, a1, a2)
+}
+
+func (rt *Runtime) callRecv(p *Proc, a0, a1, a2 uint64) action {
+	return rt.sysRecv(p, a0, a1, a2)
+}
+
+func (rt *Runtime) callVSubmit(p *Proc, a0, a1, _ uint64) action {
+	return rt.sysVSubmit(p, a0, a1)
 }
 
 func (rt *Runtime) sysWrite(p *Proc, fdn, ptr, n uint64) int64 {
@@ -129,7 +191,11 @@ func (rt *Runtime) sysWrite(p *Proc, fdn, ptr, n uint64) int64 {
 	if f := rt.AS.ReadAt(buf, p.maskPtr(ptr)); f != nil {
 		return -EFAULT
 	}
-	return fd.write(buf)
+	r := fd.write(buf)
+	if r > 0 {
+		rt.markWake() // a blocked pipe reader may now have data
+	}
+	return r
 }
 
 // doRead performs one read attempt; -EAGAIN means the caller should block.
@@ -313,7 +379,7 @@ func (rt *Runtime) sysWait(p *Proc, statusPtr uint64) action {
 	p.State = ProcBlocked
 	p.block = blockChild
 	p.waitStatus = statusPtr
-	return actResched
+	return rt.blockSwitch(p)
 }
 
 // reap collects a zombie child, writing its status if requested.
@@ -348,6 +414,10 @@ func (rt *Runtime) completeWait(p *Proc) {
 func (rt *Runtime) sysYield(p *Proc, target uint64) action {
 	// Charge the cheap path instead of the full host-call cost.
 	rt.charge(rt.CostYield - rt.CostHostCall)
+	// An explicit yield hands scheduling decisions back to the runtime;
+	// requeue any parked hand-back target so it stays schedulable (and so
+	// yielding *to* it finds it in a consistent state).
+	rt.reclaimHandoff()
 
 	var t *Proc
 	if target != 0 {

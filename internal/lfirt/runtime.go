@@ -95,11 +95,12 @@ func (s ProcState) String() string {
 type blockKind uint8
 
 const (
-	blockNone   blockKind = iota
-	blockRead             // RTRead on an empty pipe with live writers
-	blockRecv             // RTRecv on an empty channel with a live peer
-	blockAccept           // RTAccept with no pending connection
-	blockChild            // RTWait for a child to exit
+	blockNone    blockKind = iota
+	blockRead              // RTRead on an empty pipe with live writers
+	blockRecv              // RTRecv on an empty channel with a live peer
+	blockAccept            // RTAccept with no pending connection
+	blockChild             // RTWait for a child to exit
+	blockVSubmit           // RTVSubmit parked mid-batch on a blocking op
 )
 
 // Regs is the saved architectural state of a descheduled process.
@@ -171,6 +172,20 @@ type Runtime struct {
 	cur          *Proc
 	switchTarget *Proc // direct-yield destination
 
+	// handoff is the direct hand-back slot: a ProcReady process parked
+	// outside the ready queue because it just handed control to a peer
+	// (sender → receiver). When the peer blocks, control switches straight
+	// back at yield cost instead of taking a scheduler pass. Invariant:
+	// the occupant is ProcReady and not in rt.ready; reclaimHandoff
+	// requeues it whenever the scheduler proper takes over.
+	handoff *Proc
+
+	// wakeHint coalesces readiness wakeups: wakeBlocked scans the process
+	// table only after some state change could have unblocked a process
+	// (a deposit, a close, a connect, a kill). N completions between
+	// dispatches cost one scheduler pass instead of N.
+	wakeHint bool
+
 	// deadline is the absolute CPU.Instrs value at which the current
 	// RunProcDeadline budget expires (0 = none). The dispatcher clamps
 	// every emulator run — including re-entries after inline host calls —
@@ -188,6 +203,7 @@ type Runtime struct {
 	HostCalls uint64
 	Preempts  uint64
 	Traps     uint64 // fatal sandbox traps (mem fault, brk, svc/undefined)
+	WakeScans uint64 // wakeBlocked passes over the process table
 
 	// Observability handles, created once at New from cfg.Obs. All of
 	// them are nil-safe no-ops when observability is disabled, so the
@@ -208,6 +224,9 @@ type Runtime struct {
 	// CostSCXTNUM is the cost of one software-context-number change
 	// (two system register writes around each domain crossing, §7.1).
 	CostSCXTNUM float64
+	// CostVOp is the per-operation cost inside a vectored submission:
+	// a table dispatch plus ring access, with no trap of its own.
+	CostVOp float64
 }
 
 // New creates a runtime with an empty address space.
@@ -240,6 +259,8 @@ func New(cfg Config) *Runtime {
 		CostYield:    46,
 		CostSwitch:   60,
 		CostSCXTNUM:  25,
+		CostVOp:      6,
+		wakeHint:     true,
 	}
 	if cfg.Model != nil {
 		rt.Tim = emu.NewTiming(cfg.Model)
@@ -266,6 +287,7 @@ type RuntimeStats struct {
 	Preempts  uint64    `json:"preempts"`   // timeslice preemptions
 	Switches  uint64    `json:"switches"`   // context switches
 	Traps     uint64    `json:"traps"`      // fatal sandbox traps
+	WakeScans uint64    `json:"wake_scans"` // coalesced wakeup passes
 	Instrs    uint64    `json:"instrs"`     // retired instructions
 	Emu       emu.Stats `json:"emu"`        // emulator cache/dispatch counters
 }
@@ -278,6 +300,7 @@ func (rt *Runtime) Stats() RuntimeStats {
 		Preempts:  rt.Preempts,
 		Switches:  rt.Switches,
 		Traps:     rt.Traps,
+		WakeScans: rt.WakeScans,
 		Instrs:    rt.CPU.Instrs,
 		Emu:       rt.CPU.Stat,
 	}
@@ -475,6 +498,8 @@ func (rt *Runtime) kill(p *Proc, status int) {
 	p.State = ProcZombie
 	p.Exit = status
 	p.fds.closeAll()
+	// Closing descriptors can deliver EOF/EPIPE to blocked peers.
+	rt.markWake()
 	// Unmap the sandbox except when a parent may still wait on us — the
 	// memory can go either way; release it eagerly.
 	rt.releaseMemory(p)
@@ -513,6 +538,7 @@ func (rt *Runtime) ConnectPipe(producer, consumer *Proc) {
 	pp := &pipe{readers: 1, writers: 1}
 	producer.fds.replace(1, &FD{kind: fdPipeWrite, pipe: pp})
 	consumer.fds.replace(0, &FD{kind: fdPipeRead, pipe: pp})
+	rt.markWake()
 }
 
 // FeedInput replaces p's stdin (fd 0) with a pipe preloaded with data
@@ -522,4 +548,5 @@ func (rt *Runtime) FeedInput(p *Proc, data []byte) {
 	pp := &pipe{readers: 1, writers: 0}
 	pp.buf.Write(data)
 	p.fds.replace(0, &FD{kind: fdPipeRead, pipe: pp})
+	rt.markWake()
 }

@@ -35,7 +35,7 @@ func (e *ErrDeadlock) Error() string {
 // error on deadlock.
 func (rt *Runtime) Run() error {
 	for {
-		p := rt.pickNext()
+		p := rt.schedNext()
 		if p == nil {
 			blocked := 0
 			for _, q := range rt.procs {
@@ -56,7 +56,7 @@ func (rt *Runtime) Run() error {
 // scheduled as needed). It returns the exit status.
 func (rt *Runtime) RunProc(p *Proc) (int, error) {
 	for p.State != ProcZombie {
-		q := rt.pickNext()
+		q := rt.schedNext()
 		if q == nil {
 			return 0, &ErrDeadlock{}
 		}
@@ -115,7 +115,7 @@ func (rt *Runtime) RunProcCancel(p *Proc, budget uint64, done <-chan struct{}) (
 			rt.KillProcess(p, 128+24) // "SIGXCPU"
 			return 0, &ErrDeadline{PID: p.PID, Budget: budget}
 		}
-		q := rt.pickNext()
+		q := rt.schedNext()
 		if q == nil {
 			return 0, &ErrDeadlock{}
 		}
@@ -124,26 +124,117 @@ func (rt *Runtime) RunProcCancel(p *Proc, budget uint64, done <-chan struct{}) (
 	return p.Exit, nil
 }
 
+// schedNext is pickNext plus a forced, un-hinted wakeup scan before
+// giving up: the wake hint is an optimization and must never convert a
+// missed wakeup into a deadlock report.
+func (rt *Runtime) schedNext() *Proc {
+	p := rt.pickNext()
+	if p == nil {
+		rt.markWake()
+		p = rt.pickNext()
+	}
+	return p
+}
+
 // pickNext wakes any unblockable processes and pops the ready queue.
+// The hand-back slot is reclaimed both before and after the wakeup scan:
+// its occupant is runnable, and the scan itself can park a new one (a
+// resumed batch's send completing another receiver).
 func (rt *Runtime) pickNext() *Proc {
-	rt.wakeBlocked()
-	for len(rt.ready) > 0 {
-		p := rt.ready[0]
-		rt.ready = rt.ready[1:]
-		if p.State == ProcReady {
-			return p
+	for {
+		rt.reclaimHandoff()
+		rt.wakeBlocked()
+		rt.reclaimHandoff()
+		for len(rt.ready) > 0 {
+			p := rt.ready[0]
+			rt.ready = rt.ready[1:]
+			if p.State == ProcReady {
+				return p
+			}
+		}
+		// A wakeup pass can itself re-arm the hint (a resumed batch
+		// deposited bytes); rescan until the system quiesces. This
+		// terminates: a re-armed hint implies bytes moved, and rings,
+		// queues, and pipes are finitely full.
+		if !rt.wakeHint {
+			return nil
 		}
 	}
-	return nil
+}
+
+// markWake records that some state change may have unblocked a process,
+// arming the next wakeBlocked scan. Deposits, closes, connects, and
+// kills all mark it; N completions between dispatches then cost one
+// scheduler pass instead of N.
+func (rt *Runtime) markWake() { rt.wakeHint = true }
+
+// setHandback parks p (ProcReady, regs saved) in the hand-back slot,
+// requeueing any previous occupant.
+func (rt *Runtime) setHandback(p *Proc) {
+	if h := rt.handoff; h != nil && h != p && h.State == ProcReady {
+		rt.ready = append(rt.ready, h)
+	}
+	rt.handoff = p
+}
+
+// takeHandoff pops the hand-back occupant if it is still runnable.
+func (rt *Runtime) takeHandoff() *Proc {
+	h := rt.handoff
+	rt.handoff = nil
+	if h == nil || h.State != ProcReady || h == rt.cur {
+		return nil
+	}
+	return h
+}
+
+// reclaimHandoff returns the hand-back occupant to the ready queue (the
+// scheduler proper is taking over, so the direct-return optimization is
+// off the table for this occupant).
+func (rt *Runtime) reclaimHandoff() {
+	if h := rt.handoff; h != nil {
+		rt.handoff = nil
+		if h.State == ProcReady {
+			rt.ready = append(rt.ready, h)
+		}
+	}
+}
+
+// blockSwitch finishes a blocking call for a process that has already
+// been parked: if a hand-back target is waiting, control switches to it
+// directly at yield cost — the second half of the send→recv direct
+// handoff, which makes a ping-pong pair never take a scheduler pass.
+func (rt *Runtime) blockSwitch(p *Proc) action {
+	t := rt.takeHandoff()
+	if t == nil {
+		return actResched
+	}
+	rt.charge(rt.CostYield - rt.CostHostCall)
+	rt.ipc.mHandbacks.Inc()
+	rt.switchTarget = t
+	return actSwitch
 }
 
 // wakeBlocked retries fd-blocked processes — readers whose pipes now
 // have data or EOF, receivers whose channels filled or lost their peer,
-// accepters with a pending connection. wait()-blocked processes are
-// woken by kill() directly.
+// accepters with a pending connection, batches parked mid-RTVSubmit.
+// wait()-blocked processes are woken by kill() directly. The scan runs
+// only when the wake hint is armed; completions are coalesced.
 func (rt *Runtime) wakeBlocked() {
+	if !rt.wakeHint {
+		return
+	}
+	rt.wakeHint = false
+	rt.WakeScans++
 	for _, p := range rt.procs {
 		if p.State != ProcBlocked || p.block == blockChild {
+			continue
+		}
+		if p.block == blockVSubmit {
+			// Re-step the parked batch; a vanished fd surfaces as a
+			// per-op -EBADF status inside the step, so no fd check here.
+			if rt.resumeVBatchParked(p) {
+				rt.ready = append(rt.ready, p)
+			}
 			continue
 		}
 		fd := p.fds.get(p.waitingFD)

@@ -130,6 +130,17 @@ func (rt *Runtime) Restore(s *Snapshot) (*Proc, error) {
 	case blockNone:
 	case blockChild:
 		p.Regs.X[0] = errRet(ECHILD)
+	case blockVSubmit:
+		// A batch parked mid-RTVSubmit has its ring pointer, size, and
+		// resume index staged in X[0..2]. The blocking op's peer is gone,
+		// so complete the batch with the scalar calls' -EPIPE contract
+		// applied per op: every unfinished slot gets -EPIPE in its status
+		// word and the call returns the number of ops that completed.
+		ring, n, idx := p.Regs.X[0], p.Regs.X[1], p.Regs.X[2]
+		for i := idx; i < n; i++ {
+			rt.vputStatus(p, ring, i, -EPIPE)
+		}
+		p.Regs.X[0] = idx
 	default:
 		p.Regs.X[0] = errRet(EPIPE)
 	}

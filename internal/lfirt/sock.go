@@ -64,7 +64,10 @@ type ipcState struct {
 	mSends        *obs.Counter // completed RTSend deposits
 	mRecvs        *obs.Counter // completed RTRecv transfers
 	mHandoffs     *obs.Counter // sends that direct-switched to a blocked receiver
+	mHandbacks    *obs.Counter // blocks that direct-switched back to a parked sender
 	mBackpressure *obs.Counter // sends rejected with -EAGAIN (ring full)
+	mVSubmits     *obs.Counter // vectored batches accepted
+	mVOps         *obs.Counter // vectored operations executed
 }
 
 func newIPCState(reg *obs.Registry, tag int) *ipcState {
@@ -75,7 +78,10 @@ func newIPCState(reg *obs.Registry, tag int) *ipcState {
 		mSends:        reg.Counter("rt.ipc.sends"),
 		mRecvs:        reg.Counter("rt.ipc.recvs"),
 		mHandoffs:     reg.Counter("rt.ipc.handoffs"),
+		mHandbacks:    reg.Counter("rt.ipc.handbacks"),
 		mBackpressure: reg.Counter("rt.ipc.backpressure"),
+		mVSubmits:     reg.Counter("rt.ipc.vsubmits"),
+		mVOps:         reg.Counter("rt.ipc.vops"),
 	}
 }
 
@@ -306,6 +312,7 @@ func (rt *Runtime) sysConnect(p *Proc, fdn, port uint64) int64 {
 		c := rt.ipc.newConn(b.cap)
 		s.conn, s.side = c, 0
 		b.accq = append(b.accq, c)
+		rt.markWake() // a blocked accepter can pop this connection
 		return 0
 	default: // SockRing
 		if s.port != 0 {
@@ -317,6 +324,7 @@ func (rt *Runtime) sysConnect(p *Proc, fdn, port uint64) int64 {
 		c := rt.ipc.newConn(b.cap)
 		b.conn, b.side = c, 1
 		s.conn, s.side = c, 0
+		rt.markWake() // a recv parked on the passive ring can now pair
 		return 0
 	}
 }
@@ -353,7 +361,7 @@ func (rt *Runtime) sysAccept(p *Proc, fdn uint64) action {
 	n := rt.doAccept(p, fd)
 	if n == -EAGAIN {
 		rt.block(p, blockAccept, int(int32(uint32(fdn))), fdn, 0, 0)
-		return actResched
+		return rt.blockSwitch(p)
 	}
 	return rt.resume(p, uint64(n))
 }
@@ -391,6 +399,7 @@ func (rt *Runtime) doSend(p *Proc, fd *FD, ptr, n uint64) (int64, func(*sock) bo
 			}
 		}
 		dst.q.push(msg)
+		rt.markWake()
 		return int64(n), func(r *sock) bool { return r == dst }
 	default: // SockStream, SockRing
 		if s.conn == nil {
@@ -418,6 +427,7 @@ func (rt *Runtime) doSend(p *Proc, fd *FD, ptr, n uint64) (int64, func(*sock) bo
 			return -EFAULT, nil
 		}
 		ring.push(buf)
+		rt.markWake()
 		return int64(n), func(r *sock) bool { return r.conn == c && r.side == dstSide }
 	}
 }
@@ -502,7 +512,7 @@ func (rt *Runtime) sysRecv(p *Proc, fdn, ptr, n uint64) action {
 	r := rt.doRecv(p, fd, ptr, n)
 	if r == -EAGAIN {
 		rt.block(p, blockRecv, int(int32(uint32(fdn))), fdn, ptr, n)
-		return actResched
+		return rt.blockSwitch(p)
 	}
 	return rt.resume(p, uint64(r))
 }
@@ -530,34 +540,54 @@ func (rt *Runtime) sysSend(p *Proc, fdn, ptr, n uint64) action {
 	}
 
 	t := rt.findRecvWaiter(match)
-	if t == nil {
+	if t == nil || !rt.completeWaiter(t) {
 		return rt.resume(p, uint64(sent))
 	}
-	// Complete the receiver's parked recv against its staged arguments,
-	// then hand off directly: requeue the sender, switch to the receiver.
-	tfd := t.fds.get(t.waitingFD)
-	r := rt.doRecv(t, tfd, t.Regs.X[1], t.Regs.X[2])
-	if r == -EAGAIN {
-		return rt.resume(p, uint64(sent)) // racing consumer drained it first
-	}
-	t.Regs.X[0] = uint64(r)
-	t.block = blockNone
+	// The deposit satisfied a blocked receiver: hand off directly. The
+	// sender parks in the hand-back slot (ready, unqueued) so that when
+	// the receiver blocks again control returns to it at yield cost —
+	// a send→recv ping-pong then never takes a scheduler pass.
 	rt.charge(rt.CostYield - rt.CostHostCall)
 	rt.ipc.mHandoffs.Inc()
 	rt.resume(p, uint64(sent))
 	rt.saveRegs(p)
-	rt.makeReady(p)
+	p.State = ProcReady
+	rt.setHandback(p)
 	rt.switchTarget = t
 	return actSwitch
 }
 
-// findRecvWaiter returns the lowest-PID process blocked in RTRecv on a
-// socket the predicate matches (lowest-PID keeps handoff deterministic
-// under multiple consumers).
+// completeWaiter completes a blocked receiver t after a deposit matched
+// it: a parked RTRecv is retried against its staged arguments, a parked
+// RTVSubmit batch is re-stepped from its blocked op. Returns true when t
+// became ProcReady — left unqueued, so the caller decides whether to
+// switch to it, park it as the hand-back target, or requeue it.
+func (rt *Runtime) completeWaiter(t *Proc) bool {
+	switch t.block {
+	case blockRecv:
+		tfd := t.fds.get(t.waitingFD)
+		r := rt.doRecv(t, tfd, t.Regs.X[1], t.Regs.X[2])
+		if r == -EAGAIN {
+			return false // racing consumer drained it first
+		}
+		t.Regs.X[0] = uint64(r)
+		t.block = blockNone
+		t.State = ProcReady
+		return true
+	case blockVSubmit:
+		return rt.resumeVBatchParked(t)
+	}
+	return false
+}
+
+// findRecvWaiter returns the lowest-PID process blocked in RTRecv — or
+// parked mid-RTVSubmit on a recv op — against a socket the predicate
+// matches (lowest-PID keeps handoff deterministic under multiple
+// consumers).
 func (rt *Runtime) findRecvWaiter(match func(*sock) bool) *Proc {
 	var best *Proc
 	for _, q := range rt.procs {
-		if q.State != ProcBlocked || q.block != blockRecv {
+		if q.State != ProcBlocked || (q.block != blockRecv && q.block != blockVSubmit) {
 			continue
 		}
 		fd := q.fds.get(q.waitingFD)

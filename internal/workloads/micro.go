@@ -161,6 +161,85 @@ buf:
 		progs.RTCall(core.RTRecv), progs.RTCall(core.RTSend), progs.Exit())
 }
 
+// VSubmitPing measures the vectored transition path (Table 5 "direct
+// handoff" at batch 1, "vectored ipc" at batch 8): each iteration traps
+// once with an RTVSubmit batch of 2*batch one-byte ops over a ring
+// channel on port 5 — the active side batch sends then batch recvs, the
+// passive side the reverse. Slots are initialized once outside the
+// measured loop (the runtime only writes status words back), so the
+// steady-state cost is one trap plus per-op dispatch for 2*batch
+// operations, with send→recv handoffs replacing scheduler passes. Exits
+// 0 on success, 86 if a batch completes short. Load the passive side
+// first so the port is bound before the active side connects.
+func VSubmitPing(n, batch int, active bool) string {
+	slots := 2 * batch
+	setup := progs.RTCall(core.RTBind)
+	firstOp, secondOp := core.VOpRecv, core.VOpSend
+	if active {
+		setup = progs.RTCall(core.RTConnect)
+		firstOp, secondOp = core.VOpSend, core.VOpRecv
+	}
+	// initGroup emits one slot-initialization loop: count slots starting
+	// at the running slot pointer (x9) and buffer pointer (x10), all with
+	// the same op code. Slot layout: op, fd, buf, len=1, flags=0, status=0.
+	initGroup := func(label string, op uint64, count int) string {
+		return fmt.Sprintf(`	mov x12, #%d
+	mov x11, #%d
+%s:
+	str x12, [x9, #0]
+	str x19, [x9, #8]
+	str x10, [x9, #16]
+	mov x13, #1
+	str x13, [x9, #24]
+	mov x14, #0
+	str x14, [x9, #32]
+	str x14, [x9, #40]
+	add x9, x9, #64
+	add x10, x10, #1
+	subs x11, x11, #1
+	b.ne %s
+`, op, count, label, label)
+	}
+	return fmt.Sprintf(`
+.globl _start
+_start:
+	mov x0, #2
+	mov x1, #1024
+%s	mov x19, x0
+	mov x0, x19
+	mov x1, #5
+%s	adrp x9, vring
+	add x9, x9, :lo12:vring
+	adrp x10, vbuf
+	add x10, x10, :lo12:vbuf
+%s%s	movz x20, #%d
+	movk x20, #%d, lsl #16
+loop:
+	adrp x0, vring
+	add x0, x0, :lo12:vring
+	mov x1, #%d
+%s	cmp x0, #%d
+	b.ne fail
+	subs x20, x20, #1
+	b.ne loop
+	mov x0, #0
+%s
+fail:
+	mov x0, #86
+%s
+.bss
+vring:
+	.space %d
+vbuf:
+	.space %d
+`, progs.RTCall(core.RTSocket), setup,
+		initGroup("initg1", firstOp, batch), initGroup("initg2", secondOp, batch),
+		n&0xffff, (n>>16)&0xffff,
+		slots, progs.RTCall(core.RTVSubmit), slots,
+		progs.Exit(), progs.Exit(),
+		slots*64, slots)
+}
+
 // RingPingActive connects to the ring channel on port 5 and ping-pongs
 // one byte n times: the peer of RingPingPassive.
 func RingPingActive(n int) string {

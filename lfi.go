@@ -325,14 +325,6 @@ type EmuStats = emu.Stats
 // maintained; RuntimeConfig.Metrics is not required.
 func (r *Runtime) Stats() RuntimeStats { return r.rt.Stats() }
 
-// StatsCounters returns the legacy scheduler-counter tuple.
-//
-// Deprecated: use Stats, which returns the full RuntimeStats breakdown.
-func (r *Runtime) StatsCounters() (hostCalls, preempts, switches uint64) {
-	s := r.rt.Stats()
-	return s.HostCalls, s.Preempts, s.Switches
-}
-
 // Metrics returns a snapshot of the runtime's metrics registry, or an
 // empty snapshot unless RuntimeConfig.Metrics was set.
 func (r *Runtime) Metrics() *MetricsSnapshot { return r.o.Registry().Snapshot() }
@@ -370,6 +362,11 @@ const (
 	CallAccept  = core.RTAccept
 	CallSend    = core.RTSend
 	CallRecv    = core.RTRecv
+
+	// CallVSubmit is the vectored runtime call: a batch of I/O and IPC
+	// operations described in an in-sandbox submission ring, executed in
+	// one trap with per-op status words written back.
+	CallVSubmit = core.RTVSubmit
 )
 
 // CallSequence returns the two-instruction assembly sequence that invokes

@@ -109,10 +109,6 @@ func TestRuntimeMetricsOption(t *testing.T) {
 	if st.HostCalls != 2 || st.Instrs == 0 {
 		t.Errorf("Stats() = %+v", st)
 	}
-	hc, _, sw := off.StatsCounters()
-	if hc != st.HostCalls || sw != st.Switches {
-		t.Errorf("StatsCounters disagrees with Stats: %d/%d vs %+v", hc, sw, st)
-	}
 	if len(off.Metrics().Counters) != 0 || off.Events() != nil {
 		t.Error("metrics recorded without RuntimeConfig.Metrics")
 	}
