@@ -47,6 +47,13 @@ go run ./cmd/lfi-bench -emu -ablate -scale 0.02
 echo '== fuzz smoke (lfi-fuzz -iters 2000 -seed 1)'
 go run ./cmd/lfi-fuzz -iters 2000 -seed 1
 
+echo '== prove smoke (lfi-verify -prove: per-class sweep, zero counterexamples)'
+go run ./cmd/lfi-verify -prove
+if [ -n "${LFI_PROVE_FULL:-}" ]; then
+    echo '== prove full (LFI_PROVE_FULL set: full register/displacement sweep)'
+    go run ./cmd/lfi-verify -prove -full
+fi
+
 echo '== serve race suite (go test -race ./internal/serve)'
 go test -race ./internal/serve
 

@@ -4,21 +4,55 @@
 // Usage:
 //
 //	lfi-verify binary.elf...
+//	lfi-verify -prove [-full] [-class name]...
+//
+// The -prove mode runs the internal/prove soundness sweep instead of
+// verifying binaries: it enumerates the verifier's accepted instruction
+// classes, checks every accepted encoding against the runtime memory
+// layout, and exits 1 if any counterexample is found. -full widens the
+// sweep to the complete register/displacement dimensions (minutes).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lfi"
+	"lfi/internal/prove"
 )
+
+type classList []string
+
+func (c *classList) String() string     { return strings.Join(*c, ",") }
+func (c *classList) Set(s string) error { *c = append(*c, s); return nil }
 
 func main() {
 	quiet := flag.Bool("q", false, "suppress per-file output")
+	doProve := flag.Bool("prove", false, "run the per-class soundness sweep instead of verifying binaries")
+	full := flag.Bool("full", false, "with -prove: sweep the full register/displacement dimensions")
+	var classes classList
+	flag.Var(&classes, "class", "with -prove: restrict to this class (repeatable; default all: "+
+		strings.Join(prove.ClassNames(), ", ")+")")
 	flag.Parse()
+
+	if *doProve {
+		rep, err := prove.Run(prove.Options{Full: *full, Classes: classes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lfi-verify:", err)
+			os.Exit(2)
+		}
+		fmt.Print(rep.String())
+		if n := rep.Counterexamples(); n != 0 {
+			fmt.Fprintf(os.Stderr, "lfi-verify: %d counterexamples\n", n)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lfi-verify binary.elf...")
+		fmt.Fprintln(os.Stderr, "usage: lfi-verify binary.elf... | lfi-verify -prove")
 		os.Exit(2)
 	}
 	failed := false

@@ -1,0 +1,82 @@
+package core
+
+import "testing"
+
+// TestLayoutConstants pins the shared layout numbers. The runtime, the
+// fuzzing watchdog, and the soundness prover all consume these; a change
+// here must be deliberate and reviewed against all three.
+func TestLayoutConstants(t *testing.T) {
+	if DefaultPageSize != 16*1024 {
+		t.Errorf("DefaultPageSize = %d, want 16KiB", DefaultPageSize)
+	}
+	if HostCallStride != 16 {
+		t.Errorf("HostCallStride = %d, want 16", HostCallStride)
+	}
+	if HostCallRegionSize != uint64(NumRuntimeCalls)*16 {
+		t.Errorf("HostCallRegionSize = %d, want %d", HostCallRegionSize, uint64(NumRuntimeCalls)*16)
+	}
+	if StackTopOff != SandboxSize-GuardSize {
+		t.Errorf("StackTopOff = %#x, want just below the trailing guard", StackTopOff)
+	}
+	if StackTopOff%DefaultPageSize != 0 {
+		t.Errorf("StackTopOff = %#x is not page-aligned", StackTopOff)
+	}
+	if GuardSize%DefaultPageSize != 0 {
+		t.Errorf("GuardSize = %d is not a whole number of pages", GuardSize)
+	}
+	if SPMaxDrift != 2048 {
+		t.Errorf("SPMaxDrift = %d, want 2048", SPMaxDrift)
+	}
+}
+
+// TestSPDriftFixpoint re-derives the sp at-access envelope from the
+// verifier's acceptance conditions and checks that every sp-based access
+// it admits stays inside the data window. sp is not confined to the
+// slot: one add/sub sp,sp,#imm with imm < 1024 may be outstanding (the
+// same-basic-block elision), index writeback moves sp by up to ±1024,
+// and chains of elided adjustments interleaved with mapped accesses let
+// sp drift as far as the offsets themselves reach. The fixpoint over
+// "access retires only if sp+offset lands in the mapped slot" is:
+//
+//	sp_lo = -(offPosMax + elideMax)   // mapped access at +offPosMax, then one more elided sub
+//	sp_hi = slotTop + max(offNegMax, writebackMax) + elideMax
+//
+// internal/prove recomputes the same fixpoint from the swept encodings;
+// this test pins the arithmetic against the layout constants.
+func TestSPDriftFixpoint(t *testing.T) {
+	const elideMax = 1023     // verifier: add/sub sp, sp, #imm needs imm < 1024
+	const writebackMax = 1024 // widest encodable pre/post-index immediate
+	const offNegMax = 1024    // most negative encodable sp offset (q-pair imm7)
+	const qLast = 15          // last byte of a 16-byte access
+
+	offPosMax := int64(GuardSize) - 16 - int64(SPMaxDrift)
+	spImmLo := -(int64(GuardSize) - int64(SPMaxDrift))
+	if offNegMax > -spImmLo {
+		t.Fatalf("encodable negative offset %d exceeds the verifier bound %d", offNegMax, -spImmLo)
+	}
+
+	slotTop := int64(SandboxSize) - 1 // slot-relative
+	spLo := -(offPosMax + elideMax)
+	spHi := slotTop + max(offNegMax, writebackMax) + elideMax
+
+	// Data window, slot-relative and inclusive.
+	winLo := -int64(GuardSize)
+	winHi := int64(SandboxSize) + int64(GuardSize) - 1
+	if worst := spLo - offNegMax; worst < winLo {
+		t.Errorf("sp low reach escapes: worst %#x < window lo %#x", worst, winLo)
+	}
+	if worst := spHi + offPosMax + qLast; worst > winHi {
+		t.Errorf("sp high reach escapes: worst %#x > window hi %#x", worst, winHi)
+	}
+}
+
+// TestWindows pins the containment windows the watchdog and prover use.
+func TestWindows(t *testing.T) {
+	base := SlotBase(7)
+	if lo, hi := DataWindow(base); lo != base-GuardSize || hi != base+SandboxSize+GuardSize {
+		t.Errorf("DataWindow = [%#x, %#x)", lo, hi)
+	}
+	if lo, hi := ExecWindow(base); lo != base-CodeMargin || hi != base+SandboxSize {
+		t.Errorf("ExecWindow = [%#x, %#x)", lo, hi)
+	}
+}

@@ -85,6 +85,7 @@ func FuzzDecode(f *testing.F) {
 	f.Add(uint32(0x3dfffee0)) // ldr q0, [x23, #65520] (guard-escaping immediate)
 	f.Add(uint32(0x8b2142b2)) // add x18, x21, w1, uxtw (the guard idiom)
 	f.Add(uint32(0xf9400abe)) // ldr x30, [x21, #16] (runtime-call idiom)
+	f.Add(uint32(0xf8604abe)) // ldr x30, [x21, w0, uxtw] (x30 reg-offset escape)
 	f.Fuzz(func(t *testing.T, w uint32) {
 		inst, err := arm64.Decode(w)
 		if err != nil {
@@ -126,6 +127,12 @@ func FuzzVerify(f *testing.F) {
 	f.Add(^uint64(0)&^uint64(3), []byte{0x1f, 0x20, 0x03, 0xd5})      // aligned hostile TextOff
 	f.Add(uint64(core.MaxCodeOffset), []byte{0x1f, 0x20, 0x03, 0xd5}) // boundary
 	f.Add(uint64(core.MinCodeOffset), []byte{0xb2, 0x42, 0x21, 0x8b, 0xc0, 0x03, 0x5f, 0xd6})
+	// ldr x30, [x21, w0, uxtw]; ret — the reg-offset x30 load the prover
+	// caught: accepted pre-fix, jumps to an arbitrary loaded address.
+	f.Add(uint64(core.MinCodeOffset), []byte{0xbe, 0x4a, 0x60, 0xf8, 0xc0, 0x03, 0x5f, 0xd6})
+	// sub sp, sp, #1008; str q0, [sp, #49136] — the sp drift chain the
+	// old GuardSize-16 sp bound let escape past the guard band.
+	f.Add(uint64(core.MinCodeOffset), []byte{0xff, 0xc3, 0x0f, 0xd1, 0xe0, 0xff, 0xaf, 0x3d})
 	f.Fuzz(func(t *testing.T, textOff uint64, text []byte) {
 		cfg := verifier.DefaultConfig()
 		cfg.TextOff = textOff

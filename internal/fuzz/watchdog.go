@@ -12,7 +12,11 @@ import (
 )
 
 const (
-	pageSize = 16 * 1024
+	pageSize = core.DefaultPageSize
+	// hostBase is where the watchdog pretends the runtime's host-call
+	// region lives. Any out-of-slot address works (the watchdog never
+	// executes host code); the entry stride and region size are the
+	// runtime's real ones so the call-table contents match in shape.
 	hostBase = uint64(0x7000_0000_0000)
 )
 
@@ -47,7 +51,7 @@ func newWatchdog(img *arm64.Image, text []byte, slot uint64, mode wdMode) (*watc
 	}
 	for rc := core.RuntimeCall(0); rc < core.NumRuntimeCalls; rc++ {
 		b := make([]byte, 8)
-		binary.LittleEndian.PutUint64(b, hostBase+uint64(rc)*16)
+		binary.LittleEndian.PutUint64(b, hostBase+uint64(rc)*core.HostCallStride)
 		as.WriteForce(b, slot+uint64(rc.TableOffset()))
 	}
 	if err := as.Map(img.TextAddr, pageUp(uint64(len(text))), mem.PermRX); err != nil {
@@ -83,7 +87,7 @@ func newWatchdog(img *arm64.Image, text []byte, slot uint64, mode wdMode) (*watc
 		// the trace machinery is actually exercised within a run.
 		TraceThreshold: 2,
 	})
-	c.SetHostCallRegion(hostBase, 4096)
+	c.SetHostCallRegion(hostBase, core.HostCallRegionSize)
 	c.Timing = emu.NewTiming(emu.ModelM1())
 	c.PC = img.Entry
 	c.SP = stackTop
@@ -111,13 +115,12 @@ func (w *watchdog) contain(tr *emu.Trap) string {
 			return "memory fault with no fault record"
 		}
 		if tr.Fault.Access == mem.AccessExec {
-			lo, hi := w.slot-core.CodeMargin, w.slot+core.SandboxSize
+			lo, hi := core.ExecWindow(w.slot)
 			if tr.Fault.Addr < lo || tr.Fault.Addr >= hi {
 				return fmt.Sprintf("pc escaped sandbox: fetch at %#x", tr.Fault.Addr)
 			}
 		} else {
-			lo := w.slot - core.GuardSize
-			hi := w.slot + core.SandboxSize + core.GuardSize
+			lo, hi := core.DataWindow(w.slot)
 			if tr.Fault.Addr < lo || tr.Fault.Addr >= hi {
 				return fmt.Sprintf("data access escaped sandbox: %v at %#x", tr.Fault.Access, tr.Fault.Addr)
 			}

@@ -72,8 +72,10 @@ func DefaultConfig() Config {
 
 // Host-call dispatch: call-table entries point into the reserved runtime
 // slot (the last 4GiB slot of the 48-bit space; §3 footnote 2). Entry i
-// lives at hostCallStride*i past the base.
-const hostCallStride = 16
+// lives at hostCallStride*i past the base. The stride is part of the
+// shared layout model so the fuzz watchdog and the soundness prover see
+// the same call-table shape.
+const hostCallStride = core.HostCallStride
 
 // ProcState is a process's scheduler state.
 type ProcState uint8
@@ -232,7 +234,7 @@ type Runtime struct {
 // New creates a runtime with an empty address space.
 func New(cfg Config) *Runtime {
 	if cfg.PageSize == 0 {
-		cfg.PageSize = 16 * 1024
+		cfg.PageSize = core.DefaultPageSize
 	}
 	if cfg.Timeslice == 0 {
 		cfg.Timeslice = 200_000
@@ -275,7 +277,7 @@ func New(cfg Config) *Runtime {
 	rt.mTraps = reg.Counter("rt.traps")
 	rt.mVerifies = reg.Counter("rt.verifies")
 	rt.mSliceInstrs = reg.Histogram("rt.slice_instrs", obs.InstrBounds())
-	cpu.SetHostCallRegion(rt.hostBase, uint64(core.NumRuntimeCalls)*hostCallStride)
+	cpu.SetHostCallRegion(rt.hostBase, core.HostCallRegionSize)
 	return rt
 }
 
@@ -430,8 +432,7 @@ func (rt *Runtime) LoadExecutable(exe *elfobj.Executable) (*Proc, error) {
 	}
 
 	// Stack: below the trailing guard region.
-	stackTopOff := core.SandboxSize - core.GuardSize
-	stackTop := base + stackTopOff
+	stackTop := base + core.StackTopOff
 	if err := rt.AS.Map(stackTop-rt.cfg.StackSize, rt.cfg.StackSize, mem.PermRW); err != nil {
 		return nil, fmt.Errorf("lfirt: mapping stack: %w", err)
 	}

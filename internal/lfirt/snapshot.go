@@ -136,7 +136,14 @@ func (rt *Runtime) Restore(s *Snapshot) (*Proc, error) {
 		// so complete the batch with the scalar calls' -EPIPE contract
 		// applied per op: every unfinished slot gets -EPIPE in its status
 		// word and the call returns the number of ops that completed.
+		// The staged descriptor comes from the snapshot, not from a live
+		// sysVSubmit, so re-validate it: a tampered image with a huge n
+		// would otherwise drive the -EPIPE back-fill far past the ring.
 		ring, n, idx := p.Regs.X[0], p.Regs.X[1], p.Regs.X[2]
+		if !vbatchValid(ring, n, idx) {
+			p.Regs.X[0] = errRet(EINVAL)
+			break
+		}
 		for i := idx; i < n; i++ {
 			rt.vputStatus(p, ring, i, -EPIPE)
 		}

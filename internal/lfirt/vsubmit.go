@@ -143,6 +143,21 @@ func (rt *Runtime) vsend(p *Proc, fdn int, ptr, n uint64) int64 {
 	return sent
 }
 
+// vbatchValid reports whether a parked batch descriptor (ring, n, idx)
+// is one sysVSubmit could have staged: a nonzero batch within the op
+// limit, the whole ring inside the sandbox, and a resume index that has
+// not run past the end. Resume paths re-read the descriptor from guest
+// registers, so a snapshot restored with a tampered X[1] (or any other
+// rewrite of the staged state while parked) must fail here rather than
+// widen the batch — n*VSubmitSlotSize with a hostile n would otherwise
+// let vstep walk status writes far outside the ring.
+func vbatchValid(ring, n, idx uint64) bool {
+	if n == 0 || n > core.VSubmitMaxOps || idx > n {
+		return false
+	}
+	return (ring&0xffffffff)+n*core.VSubmitSlotSize <= core.SandboxSize
+}
+
 // resumeVBatchParked re-steps a parked vectored batch (staged state:
 // X[0]=ring, X[1]=n, X[2]=resume index). Returns true when the batch
 // finished and t is ProcReady — left unqueued, like completeWaiter. t's
@@ -151,6 +166,11 @@ func (rt *Runtime) vsend(p *Proc, fdn int, ptr, n uint64) int64 {
 func (rt *Runtime) resumeVBatchParked(t *Proc) bool {
 	ring, n, idx := t.Regs.X[0], t.Regs.X[1], t.Regs.X[2]
 	t.block = blockNone
+	if !vbatchValid(ring, n, idx) {
+		t.Regs.X[0] = errRet(EINVAL)
+		t.State = ProcReady
+		return true
+	}
 	nidx, fdn, res := rt.vstep(t, ring, n, idx)
 	switch res {
 	case vBlocked:

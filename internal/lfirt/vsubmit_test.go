@@ -329,6 +329,80 @@ func TestSnapshotBlockedVSubmit(t *testing.T) {
 	}
 }
 
+// vsubmitParkedEINVALSrc parks the same batch as vsubmitParkedSrc but
+// expects the host to complete the call with -EINVAL: the contract for a
+// batch whose staged descriptor was tampered with while parked.
+var vsubmitParkedEINVALSrc = vprog(ringPair() +
+	la("x9", "vring") + la("x10", "vbuf") +
+	vslotInit(0, core.VOpNop, "x19", 0, 0) +
+	vslotInit(1, core.VOpRecv, "x19", 4, 0) +
+	la("x0", "vring") + "\tmov x1, #2\n" + progs.RTCall(core.RTVSubmit) + fmt.Sprintf(`	neg x10, x0
+	cmp x10, #%d
+	b.ne fail
+	mov x0, #44
+`, EINVAL))
+
+// TestVSubmitParkedHostileResize rewrites the staged descriptor of a
+// parked batch and resumes it: the resume must complete the call with
+// -EINVAL rather than step the rewritten batch — a widened n would let
+// vstep walk status writes far outside the ring sysVSubmit validated.
+func TestVSubmitParkedHostileResize(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Proc)
+	}{
+		{"huge-n", func(p *Proc) { p.Regs.X[1] = 1 << 62 }},
+		{"zero-n", func(p *Proc) { p.Regs.X[1] = 0 }},
+		{"widened-n", func(p *Proc) { p.Regs.X[1] = core.VSubmitMaxOps + 1 }},
+		{"idx-past-n", func(p *Proc) { p.Regs.X[2] = 3 }},
+		{"ring-resized-out", func(p *Proc) {
+			p.Regs.X[0] = core.SandboxSize - core.VSubmitSlotSize
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := newRT(t)
+			p := blockedDeadlock(t, rt, vsubmitParkedEINVALSrc, 1)
+			tc.mutate(p)
+			if done := rt.resumeVBatchParked(p); !done {
+				t.Fatal("tampered batch re-parked instead of failing")
+			}
+			if got := p.Regs.X[0]; got != errRet(EINVAL) {
+				t.Errorf("X0 = %#x, want -EINVAL", got)
+			}
+			if p.State != ProcReady {
+				t.Errorf("state = %v, want ProcReady", p.State)
+			}
+		})
+	}
+}
+
+// TestSnapshotTamperedVSubmit restores a snapshot whose parked batch
+// descriptor was rewritten to a hostile size: Restore must complete the
+// call with -EINVAL (observed by the guest) instead of back-filling 2^62
+// status words through the sandbox.
+func TestSnapshotTamperedVSubmit(t *testing.T) {
+	rt := newRT(t)
+	p := blockedDeadlock(t, rt, vsubmitParkedEINVALSrc, 1)
+	p.Regs.X[1] = 1 << 62
+	snap, err := rt.Snapshot(p)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	rt2 := newRT(t)
+	q, err := rt2.Restore(snap)
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	rt2.Start(q)
+	status, err := rt2.RunProc(q)
+	if err != nil {
+		t.Fatalf("run restored: %v", err)
+	}
+	if status != 44 {
+		t.Errorf("restored tampered batch exited %d, want 44 (guest saw -EINVAL)", status)
+	}
+}
+
 // TestHandoffDirectReturn verifies the scalar IPC path also rides the
 // transition machinery: a ring ping-pong pair must transfer control via
 // send→recv handoffs and blocked-side hand-backs, not scheduler passes.

@@ -1,0 +1,848 @@
+package prove
+
+import (
+	"fmt"
+
+	"lfi/internal/arm64"
+	"lfi/internal/core"
+)
+
+// Register subsets for the sweeps. Smoke runs cover every register whose
+// identity the verifier's checks can depend on (the reserved registers,
+// the always-valid bases, sp/zr, and one plain register); full runs
+// widen the incidental dimensions.
+
+func (p *prover) baseRegs() []uint32 {
+	if p.opts.Full {
+		return allRegs()
+	}
+	return []uint32{0, 18, 21, 22, 23, 24, 25, 30, 31}
+}
+
+func allRegs() []uint32 {
+	rs := make([]uint32, 32)
+	for i := range rs {
+		rs[i] = uint32(i)
+	}
+	return rs
+}
+
+// reservedDsts are the destination registers whose writes the verifier
+// must police: the five reserved registers, the link register, and
+// sp/zr (encoding 31).
+var reservedDsts = []uint32{18, 21, 22, 23, 24, 30, 31}
+
+// sweepMem pushes one load/store-region word through the verifier and
+// checks any acceptance against the layout model.
+func (p *prover) sweepMem(w uint32, sp *spStats) {
+	p.cur.Swept++
+	inst, ctx, ok := p.probe(w)
+	if !ok {
+		return
+	}
+	p.cur.Accepted++
+	if !inst.Op.IsMemory() {
+		p.ce([]uint32{w}, 0, "non-memory word accepted in a memory sweep")
+		return
+	}
+	p.checkMem(w, &inst, ctx, sp)
+	p.checkAcceptedWrites(w, &inst, ctx)
+}
+
+// checkMem bounds the byte interval an accepted access can touch.
+func (p *prover) checkMem(w uint32, inst *arm64.Inst, ctx int, sp *spStats) {
+	m := &inst.Mem
+	switch m.Mode {
+	case arm64.AddrReg, arm64.AddrRegUXTW, arm64.AddrRegSXTW, arm64.AddrRegSXTX:
+		p.checkMemRegOff(w, inst)
+	case arm64.AddrLiteral:
+		p.checkMemLiteralAt(p.cfg.TextOff, w, inst)
+	case arm64.AddrNone:
+		// Exclusives and acquire/release address through Rn, offsetless.
+		p.checkMemBareBase(w, inst, sp)
+	default:
+		p.checkMemImmLike(w, inst, ctx, sp)
+	}
+}
+
+// checkMemBareBase handles offsetless accesses (exclusives): the base
+// register is Rn and every touched byte is within the access extent.
+func (p *prover) checkMemBareBase(w uint32, inst *arm64.Inst, sp *spStats) {
+	ext := extentOf(inst)
+	base := inst.Rn
+	if base.IsSP() {
+		if sp != nil {
+			sp.record(w, 0, ext)
+		}
+		return
+	}
+	if base == core.RegBase {
+		p.ce([]uint32{w}, 0, "x21 used as an exclusive-access base")
+		return
+	}
+	iv, ok := regInterval(base)
+	if !ok {
+		p.ce([]uint32{w}, 0, fmt.Sprintf("exclusive access through unconstrained base %v", base))
+		return
+	}
+	reach := interval{iv.lo, iv.hi + ext - 1}
+	if !reach.within(dataWin) {
+		p.ce([]uint32{w}, 0, fmt.Sprintf("exclusive reach %v escapes the data window %v", reach, dataWin))
+	}
+}
+
+// checkMemImmLike handles base, immediate, writeback, and exclusive
+// addressing: a known base interval displaced by a constant.
+func (p *prover) checkMemImmLike(w uint32, inst *arm64.Inst, ctx int, sp *spStats) {
+	m := &inst.Mem
+	ext := extentOf(inst)
+	imm := int64(m.Imm)
+	off := imm
+	if m.Mode == arm64.AddrPost || m.Mode == arm64.AddrBase {
+		off = 0 // writeback applies after the access; plain base has no offset
+	}
+	switch {
+	case m.Base.IsSP():
+		if sp != nil {
+			sp.record(w, off, ext)
+		}
+		if m.WritesBack() && (imm > wbMax || imm < -wbMax) {
+			p.ce([]uint32{w}, 0, fmt.Sprintf("sp writeback %d exceeds the claimed ±%d drift bound", imm, wbMax))
+		}
+	case m.Base == core.RegBase:
+		p.checkRTCallLoad(w, inst, ctx)
+	default:
+		if m.WritesBack() {
+			// Post-index writeback moves the base to an unmapped-unchecked
+			// value, voiding the always-valid invariant for later accesses.
+			p.ce([]uint32{w}, 0, "writeback accepted through a protected base register")
+			return
+		}
+		iv, ok := regInterval(m.Base)
+		if !ok {
+			p.ce([]uint32{w}, 0, fmt.Sprintf("access through unconstrained base %v", m.Base))
+			return
+		}
+		reach := interval{iv.lo + off, iv.hi + off + ext - 1}
+		if !reach.within(dataWin) {
+			p.ce([]uint32{w}, 0, fmt.Sprintf("reach %v escapes the data window %v", reach, dataWin))
+		}
+	}
+}
+
+// checkMemRegOff handles register-offset addressing: the only sound
+// accepted shape is the guard itself folded into the access, a 32-bit
+// zero-extended index on the x21 base.
+func (p *prover) checkMemRegOff(w uint32, inst *arm64.Inst) {
+	m := &inst.Mem
+	ext := extentOf(inst)
+	base, ok := regInterval(m.Base)
+	if !ok {
+		p.ce([]uint32{w}, 0, fmt.Sprintf("register-offset access through unconstrained base %v", m.Base))
+		return
+	}
+	var idx interval
+	switch {
+	case m.Mode == arm64.AddrRegUXTW:
+		idx = interval{0, slotMax}
+	case m.Mode == arm64.AddrRegSXTW:
+		idx = interval{-(1 << 31), 1<<31 - 1}
+	default: // 64-bit index (lsl or sxtx)
+		var iok bool
+		idx, iok = regInterval(m.Index)
+		if !iok {
+			p.ce([]uint32{w}, 0, fmt.Sprintf("register-offset access with unconstrained index %v", m.Index))
+			return
+		}
+	}
+	if m.Amount > 0 {
+		idx = interval{idx.lo << m.Amount, idx.hi << m.Amount}
+	}
+	reach := interval{base.lo + idx.lo, base.hi + idx.hi + ext - 1}
+	if !reach.within(dataWin) {
+		p.ce([]uint32{w}, 0, fmt.Sprintf("register-offset reach %v escapes the data window %v", reach, dataWin))
+	}
+}
+
+// checkMemLiteralAt handles pc-relative literal loads: the word is at
+// offset textOff, so the access window is textOff plus the displacement.
+func (p *prover) checkMemLiteralAt(textOff uint64, w uint32, inst *arm64.Inst) {
+	ext := extentOf(inst)
+	target := int64(textOff) + int64(inst.Mem.Imm)
+	reach := interval{target, target + ext - 1}
+	if !reach.within(dataWin) {
+		p.ceAt(textOff, []uint32{w}, 0, fmt.Sprintf("literal reach %v escapes the data window %v", reach, dataWin))
+	}
+}
+
+// checkRTCallLoad polices the only accepted use of x21 as a base: the
+// runtime-call table load ldr x30, [x21, #8k] immediately followed by
+// blr x30. A standalone acceptance would leave a host pointer in x30
+// with the sandbox still running.
+func (p *prover) checkRTCallLoad(w uint32, inst *arm64.Inst, ctx int) {
+	m := &inst.Mem
+	if ctx != ctxBLR || inst.Op != arm64.LDR || inst.Rd != arm64.X30 ||
+		(m.Mode != arm64.AddrImm && m.Mode != arm64.AddrBase) {
+		p.ce([]uint32{w}, 0, "x21-based access accepted outside the runtime-call idiom")
+		return
+	}
+	imm := int64(m.Imm)
+	if imm < 0 || imm%8 != 0 || imm >= core.MaxTableOffset {
+		p.ce([]uint32{w, p.blr}, 0, fmt.Sprintf("call-table offset %d outside the table [0, %d)", imm, core.MaxTableOffset))
+		return
+	}
+	if imm+7 >= int64(core.CallTableSize) {
+		p.ce([]uint32{w, p.blr}, 0, "call-table load reaches past the table page")
+	}
+}
+
+// checkAcceptedWrites polices property 2: every accepted write to a
+// protected register must provably preserve its invariant, either by
+// computing an in-range value under the register model or by being
+// immediately reguarded by the accepting context.
+func (p *prover) checkAcceptedWrites(w uint32, inst *arm64.Inst, ctx int) {
+	var dsts [4]arm64.Reg
+	for _, d := range inst.DestRegs(dsts[:0]) {
+		if d.IsSP() && d.Is64() {
+			p.checkSPWrite(w, inst, ctx)
+			continue
+		}
+		if !d.IsGP() {
+			continue
+		}
+		switch d.X() {
+		case core.RegBase:
+			p.ce([]uint32{w}, 0, "accepted write to x21 (sandbox base)")
+		case core.RegScratch, core.RegHoist1, core.RegHoist2:
+			if !d.Is64() {
+				p.ce([]uint32{w}, 0, fmt.Sprintf("32-bit write truncates always-valid register %v", d.X()))
+				continue
+			}
+			if iv, ok := p.valueInterval(inst); !ok || !iv.within(slotIv) {
+				p.ce([]uint32{w}, 0, fmt.Sprintf("write to %v leaves the always-valid range", d))
+			}
+		case arm64.X30:
+			if !d.Is64() {
+				p.ce([]uint32{w}, 0, "32-bit write truncates the link register")
+				continue
+			}
+			switch {
+			case ctx == ctxGuardX30:
+				// dirty x30 immediately reguarded into the slot
+			case inst.Op == arm64.BL || inst.Op == arm64.BLR:
+				// hardware link value: the next pc, inside the code region
+			case inst.Op.IsLoad() && ctx == ctxBLR:
+				// runtime-call table load, validated by checkRTCallLoad
+			default:
+				if iv, ok := p.valueInterval(inst); !ok || !iv.within(slotIv) {
+					p.ce([]uint32{w}, 0, "unguarded write to x30 leaves the always-valid range")
+				}
+			}
+		case core.RegAddr32:
+			if !d.Is64() {
+				continue // w22 writes zero-extend, preserving the invariant
+			}
+			if iv, ok := p.valueInterval(inst); !ok || !iv.within(slotIv) {
+				p.ce([]uint32{w}, 0, "64-bit write to x22 may set upper bits")
+			}
+		}
+	}
+}
+
+// checkSPWrite polices sp writes: reguarded by the following pair,
+// an elidable add/sub within the drift budget, a guard-shaped compute
+// landing in the slot, or memory writeback (checked in checkMemImmLike).
+func (p *prover) checkSPWrite(w uint32, inst *arm64.Inst, ctx int) {
+	if inst.Op.IsMemory() {
+		return // writeback drift is bounded by the wbMax check
+	}
+	switch ctx {
+	case ctxSPGuardPair:
+		// sp is truncated and rebased before any use
+	case ctxSPAccess:
+		if (inst.Op == arm64.ADD || inst.Op == arm64.SUB) &&
+			inst.Rm == arm64.RegNone && inst.Rn.IsSP() &&
+			inst.Imm >= 0 && inst.Imm <= elideMax {
+			return // elided adjustment, within the claimed drift budget
+		}
+		p.ce([]uint32{w, p.strSP}, 0, "un-reguarded sp write exceeds the elision budget")
+	default:
+		if iv, ok := p.valueInterval(inst); !ok || !iv.within(slotIv) {
+			p.ce([]uint32{w}, 0, "standalone sp write leaves the slot")
+		}
+	}
+}
+
+// valueInterval bounds the value an accepted add/sub computes under the
+// register model. Anything it cannot bound returns ok=false; an accepted
+// protected-register write the model cannot bound is a counterexample.
+func (p *prover) valueInterval(inst *arm64.Inst) (interval, bool) {
+	if inst.Op != arm64.ADD && inst.Op != arm64.SUB {
+		return interval{}, false
+	}
+	rn, ok := regInterval(inst.Rn)
+	if !ok {
+		return interval{}, false
+	}
+	if inst.Rm == arm64.RegNone {
+		d := inst.Imm
+		if inst.Op == arm64.SUB {
+			d = -d
+		}
+		return rn.add(d), true
+	}
+	var rm interval
+	switch {
+	case inst.Ext == arm64.ExtUXTW:
+		rm = interval{0, slotMax}
+	case inst.Ext == arm64.ExtSXTW:
+		rm = interval{-(1 << 31), 1<<31 - 1}
+	default:
+		if rm, ok = regInterval(inst.Rm); !ok {
+			return interval{}, false
+		}
+	}
+	if inst.Amount > 0 {
+		rm = interval{rm.lo << inst.Amount, rm.hi << inst.Amount}
+	}
+	if inst.Op == arm64.SUB {
+		return interval{rn.lo - rm.hi, rn.hi - rm.lo}, true
+	}
+	return interval{rn.lo + rm.lo, rn.hi + rm.hi}, true
+}
+
+// --- class sweeps ---
+
+// classMemImm sweeps the single-register and pair load/store families
+// exhaustively over their immediate, mode, size, and base fields, then
+// closes the sp drift fixpoint over the accepted sp offsets.
+func (p *prover) classMemImm() {
+	var sp spStats
+	bases := p.baseRegs()
+	rts := []uint32{0}
+	if p.opts.Full {
+		rts = []uint32{0, 1, 18, 21, 22, 23, 24, 30, 31}
+	}
+	// Single-register: size(2) 111 V(1) 0 b24 opc(2) low12 Rn Rt. low12
+	// covers the scaled imm12 field and the imm9+mode and register-offset
+	// subfamilies (the latter are classified by decode and checked by the
+	// register-offset rules).
+	for _, rt := range rts {
+		for size := uint32(0); size < 4; size++ {
+			for v := uint32(0); v < 2; v++ {
+				for b24 := uint32(0); b24 < 2; b24++ {
+					for opc := uint32(0); opc < 4; opc++ {
+						for low := uint32(0); low < 1<<12; low++ {
+							for _, rn := range bases {
+								w := size<<30 | 0x7<<27 | v<<26 | b24<<24 | opc<<22 | low<<10 | rn<<5 | rt
+								p.sweepMem(w, &sp)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Pairs: opc(2) 101 V(1) 0 mode(2) L imm7 Rt2 Rn Rt.
+	for _, rt := range rts {
+		for opc := uint32(0); opc < 4; opc++ {
+			for v := uint32(0); v < 2; v++ {
+				for mode := uint32(0); mode < 4; mode++ {
+					for l := uint32(0); l < 2; l++ {
+						for imm7 := uint32(0); imm7 < 1<<7; imm7++ {
+							for _, rn := range bases {
+								w := opc<<30 | 0x5<<27 | v<<26 | mode<<23 | l<<22 | imm7<<15 | 1<<10 | rn<<5 | rt
+								p.sweepMem(w, &sp)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sp.check(p)
+	p.fact("always-valid bases bounded to %v + accepted offsets stay within %v", slotIv, dataWin)
+}
+
+// classMemRegOffset sweeps the register-offset family exhaustively over
+// size, extend option, shift, index, and base fields.
+func (p *prover) classMemRegOffset() {
+	bases := p.baseRegs()
+	for size := uint32(0); size < 4; size++ {
+		for v := uint32(0); v < 2; v++ {
+			for opc := uint32(0); opc < 4; opc++ {
+				for rm := uint32(0); rm < 32; rm++ {
+					for opt := uint32(0); opt < 8; opt++ {
+						for s := uint32(0); s < 2; s++ {
+							for _, rn := range bases {
+								w := size<<30 | 0x7<<27 | v<<26 | opc<<22 | 1<<21 | rm<<16 | opt<<13 | s<<12 | 2<<10 | rn<<5 | 0
+								p.sweepMem(w, nil)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	p.fact("accepted register-offset accesses are zero-extended 32-bit indexes off x21: reach within %v", dataWin)
+}
+
+// classMemLiteral sweeps pc-relative literal loads over the full imm19
+// displacement at both ends of the code region (plus every opc/V combo
+// at the displacement boundaries).
+func (p *prover) classMemLiteral() {
+	offs := []uint64{core.MinCodeOffset, core.MaxCodeOffset - 4}
+	type combo struct{ opc, v uint32 }
+	combos := []combo{{1, 0}, {2, 1}} // ldr xN, lit / ldr qN, lit
+	full19 := true
+	if p.opts.Full {
+		combos = nil
+		for opc := uint32(0); opc < 4; opc++ {
+			for v := uint32(0); v < 2; v++ {
+				combos = append(combos, combo{opc, v})
+			}
+		}
+	}
+	boundary := []uint32{0, 1, 2, 1<<18 - 1, 1 << 18, 1<<19 - 1, 1<<19 - 2}
+	for _, off := range offs {
+		for _, c := range combos {
+			sweep := func(imm19 uint32) {
+				w := c.opc<<30 | 0x3<<27 | c.v<<26 | imm19<<5 | 0
+				p.cur.Swept++
+				inst, err := arm64.Decode(w)
+				if err != nil {
+					return
+				}
+				if !p.acceptsAt(off, w) {
+					return
+				}
+				p.cur.Accepted++
+				p.checkMemLiteralAt(off, w, &inst)
+			}
+			if full19 {
+				for imm19 := uint32(0); imm19 < 1<<19; imm19++ {
+					sweep(imm19)
+				}
+			}
+			for _, imm19 := range boundary {
+				sweep(imm19)
+			}
+		}
+	}
+	p.fact("literal loads swept at textoff %#x and %#x: accepted targets within %v", offs[0], offs[1], dataWin)
+}
+
+// classMemExclusive sweeps the load/store-exclusive and acquire/release
+// family exhaustively over its option bits and base field.
+func (p *prover) classMemExclusive() {
+	bases := p.baseRegs()
+	for size := uint32(0); size < 4; size++ {
+		for o2 := uint32(0); o2 < 2; o2++ {
+			for l := uint32(0); l < 2; l++ {
+				for o1 := uint32(0); o1 < 2; o1++ {
+					for o0 := uint32(0); o0 < 2; o0++ {
+						for _, rs := range []uint32{0, 31} {
+							for _, rn := range bases {
+								w := size<<30 | 0x08<<24 | o2<<23 | l<<22 | o1<<21 | rs<<16 | o0<<15 | 0x1f<<10 | rn<<5 | 0
+								p.sweepMem(w, nil)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	p.fact("exclusives are offsetless: accepted bases always-valid, reach within %v", dataWin)
+}
+
+// sweepDP probes one data-processing word and checks accepted writes.
+func (p *prover) sweepDP(w uint32) {
+	p.cur.Swept++
+	inst, ctx, ok := p.probe(w)
+	if !ok {
+		return
+	}
+	p.cur.Accepted++
+	p.checkAcceptedWrites(w, &inst, ctx)
+}
+
+// classReservedWrites sweeps every data-processing family that can name
+// a protected destination register, exhaustively over operand registers
+// and immediate subfields, plus loads targeting protected registers.
+func (p *prover) classReservedWrites() {
+	// add/sub extended register (the guard family): full Rm/option/shift/Rn.
+	for sfops := uint32(0); sfops < 8; sfops++ {
+		for rm := uint32(0); rm < 32; rm++ {
+			for opt := uint32(0); opt < 8; opt++ {
+				for imm3 := uint32(0); imm3 < 8; imm3++ {
+					for rn := uint32(0); rn < 32; rn++ {
+						for _, rd := range reservedDsts {
+							w := sfops<<29 | 0x0b<<24 | 1<<21 | rm<<16 | opt<<13 | imm3<<10 | rn<<5 | rd
+							p.sweepDP(w)
+						}
+					}
+				}
+			}
+		}
+	}
+	// add/sub immediate: full sh+imm12.
+	for sfops := uint32(0); sfops < 8; sfops++ {
+		for hi := uint32(0); hi < 1<<14; hi++ {
+			for _, rn := range []uint32{31, 21, 18, 0} {
+				for _, rd := range reservedDsts {
+					w := sfops<<29 | 0x11<<24 | hi<<10 | rn<<5 | rd
+					p.sweepDP(w)
+				}
+			}
+		}
+	}
+	// logical immediate: full N/immr/imms.
+	for sfopc := uint32(0); sfopc < 8; sfopc++ {
+		for nrs := uint32(0); nrs < 1<<13; nrs++ {
+			for _, rd := range reservedDsts {
+				w := sfopc<<29 | 0x24<<23 | nrs<<10 | 0<<5 | rd
+				p.sweepDP(w)
+			}
+		}
+	}
+	// logical shifted register.
+	for sfopc := uint32(0); sfopc < 8; sfopc++ {
+		for shiftN := uint32(0); shiftN < 8; shiftN++ {
+			for _, rm := range []uint32{0, 21, 31} {
+				for _, imm6 := range []uint32{0, 1, 31, 63} {
+					for _, rd := range reservedDsts {
+						w := sfopc<<29 | 0x0a<<24 | shiftN<<21 | rm<<16 | imm6<<10 | 0<<5 | rd
+						p.sweepDP(w)
+					}
+				}
+			}
+		}
+	}
+	// move wide (movn/movz/movk).
+	imm16s := []uint32{0, 1, 0x7fff, 0x8000, 0xffff}
+	if p.opts.Full {
+		imm16s = nil
+		for i := uint32(0); i < 1<<16; i++ {
+			imm16s = append(imm16s, i)
+		}
+	}
+	for sfopc := uint32(0); sfopc < 8; sfopc++ {
+		for hw := uint32(0); hw < 4; hw++ {
+			for _, imm16 := range imm16s {
+				for _, rd := range reservedDsts {
+					w := sfopc<<29 | 0x25<<23 | hw<<21 | imm16<<5 | rd
+					p.sweepDP(w)
+				}
+			}
+		}
+	}
+	// bitfield: full N/immr/imms.
+	for sfopc := uint32(0); sfopc < 8; sfopc++ {
+		for nrs := uint32(0); nrs < 1<<13; nrs++ {
+			for _, rd := range reservedDsts {
+				w := sfopc<<29 | 0x26<<23 | nrs<<10 | 0<<5 | rd
+				p.sweepDP(w)
+			}
+		}
+	}
+	// extract (extr).
+	for sf := uint32(0); sf < 2; sf++ {
+		for n := uint32(0); n < 2; n++ {
+			for imms := uint32(0); imms < 64; imms++ {
+				for _, rd := range reservedDsts {
+					w := sf<<31 | 0x27<<23 | n<<22 | 0<<16 | imms<<10 | 0<<5 | rd
+					p.sweepDP(w)
+				}
+			}
+		}
+	}
+	// data-processing 1- and 2-source: full opcode space.
+	for sf := uint32(0); sf < 2; sf++ {
+		for one := uint32(0); one < 2; one++ {
+			for s := uint32(0); s < 2; s++ {
+				for op := uint32(0); op < 1<<11; op++ {
+					for _, rd := range reservedDsts {
+						w := sf<<31 | one<<30 | s<<29 | 0xd6<<21 | op<<10 | 0<<5 | rd
+						p.sweepDP(w)
+					}
+				}
+			}
+		}
+	}
+	// conditional select.
+	for sfops := uint32(0); sfops < 8; sfops++ {
+		for _, rm := range []uint32{0, 31} {
+			for cond := uint32(0); cond < 16; cond++ {
+				for op2 := uint32(0); op2 < 4; op2++ {
+					for _, rd := range reservedDsts {
+						w := sfops<<29 | 0xd4<<21 | rm<<16 | cond<<12 | op2<<10 | 0<<5 | rd
+						p.sweepDP(w)
+					}
+				}
+			}
+		}
+	}
+	// 3-source (madd family).
+	for sf := uint32(0); sf < 2; sf++ {
+		for op := uint32(0); op < 8; op++ {
+			for o0 := uint32(0); o0 < 2; o0++ {
+				for _, ra := range []uint32{0, 18, 31} {
+					for _, rd := range reservedDsts {
+						w := sf<<31 | 0x1b<<24 | op<<21 | 0<<16 | o0<<15 | ra<<10 | 0<<5 | rd
+						p.sweepDP(w)
+					}
+				}
+			}
+		}
+	}
+	// adr/adrp.
+	for op := uint32(0); op < 2; op++ {
+		for immlo := uint32(0); immlo < 4; immlo++ {
+			for _, immhi := range []uint32{0, 1, 1<<19 - 1} {
+				for _, rd := range reservedDsts {
+					w := op<<31 | immlo<<29 | 0x10<<24 | immhi<<5 | rd
+					p.sweepDP(w)
+				}
+			}
+		}
+	}
+	// fp/int moves and conversions writing a general register.
+	for sf := uint32(0); sf < 2; sf++ {
+		for ftype := uint32(0); ftype < 4; ftype++ {
+			for rmode := uint32(0); rmode < 4; rmode++ {
+				for op := uint32(0); op < 8; op++ {
+					for _, rd := range reservedDsts {
+						w := sf<<31 | 0x1e<<24 | ftype<<22 | 1<<21 | rmode<<19 | op<<16 | 0<<5 | rd
+						p.sweepDP(w)
+					}
+				}
+			}
+		}
+	}
+	// loads targeting protected registers (full imm/mode fields).
+	for _, rn := range []uint32{18, 21} {
+		for size := uint32(0); size < 4; size++ {
+			for v := uint32(0); v < 2; v++ {
+				for b24 := uint32(0); b24 < 2; b24++ {
+					for opc := uint32(0); opc < 4; opc++ {
+						for low := uint32(0); low < 1<<12; low++ {
+							for _, rt := range reservedDsts {
+								w := size<<30 | 0x7<<27 | v<<26 | b24<<24 | opc<<22 | low<<10 | rn<<5 | rt
+								p.sweepMem(w, nil)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	p.fact("accepted protected-register writes are guard-shaped: value within %v or reguarded by context", slotIv)
+}
+
+// classSPWrites sweeps sp-targeted arithmetic in each accepting context
+// and verifies the elision drift budget the fixpoint model claims.
+func (p *prover) classSPWrites() {
+	maxDelta := int64(0)
+	var exDelta uint32
+	// add/sub sp, Rn, #imm over the full sh+imm12 field.
+	for sfops := uint32(0); sfops < 8; sfops++ {
+		for hi := uint32(0); hi < 1<<14; hi++ {
+			for _, rn := range []uint32{31, 21, 18, 0} {
+				w := sfops<<29 | 0x11<<24 | hi<<10 | rn<<5 | 31
+				p.cur.Swept++
+				inst, ctx, ok := p.probe(w)
+				if !ok {
+					continue
+				}
+				p.cur.Accepted++
+				var dsts [4]arm64.Reg
+				spDst := false
+				for _, d := range inst.DestRegs(dsts[:0]) {
+					if d.IsSP() && d.Is64() {
+						spDst = true
+					}
+				}
+				if spDst && ctx == ctxSPAccess && inst.Imm > maxDelta {
+					maxDelta, exDelta = inst.Imm, w
+				}
+				p.checkAcceptedWrites(w, &inst, ctx)
+			}
+		}
+	}
+	// add sp, Rn, Rm extended (the sp guard shape) over full fields.
+	for sfops := uint32(0); sfops < 8; sfops++ {
+		for rm := uint32(0); rm < 32; rm++ {
+			for opt := uint32(0); opt < 8; opt++ {
+				for imm3 := uint32(0); imm3 < 8; imm3++ {
+					for rn := uint32(0); rn < 32; rn++ {
+						w := sfops<<29 | 0x0b<<24 | 1<<21 | rm<<16 | opt<<13 | imm3<<10 | rn<<5 | 31
+						p.sweepDP(w)
+					}
+				}
+			}
+		}
+	}
+	if maxDelta > elideMax {
+		p.ce([]uint32{exDelta, p.strSP}, 0, fmt.Sprintf("accepted un-reguarded sp delta %d exceeds the claimed elision budget %d", maxDelta, elideMax))
+	}
+	p.fact("max accepted un-reguarded sp delta %d within the claimed elision budget %d", maxDelta, elideMax)
+}
+
+// classBranches establishes the direct-branch containment argument
+// symbolically from the layout constants, sweeps displacement boundaries
+// through the verifier, and sweeps the indirect-branch family.
+func (p *prover) classBranches() {
+	// Symbolic: a direct branch from anywhere in [MinCodeOffset,
+	// MaxCodeOffset) lands inside the exec window; fetch faults in the
+	// code margin are contained.
+	maxB := int64(core.MaxCodeOffset) - 4 + (1<<27 - 4) // B/BL: +((2^25-1)*4)
+	minB := int64(core.MinCodeOffset) - 1<<27
+	if maxB > execWin.hi || minB < execWin.lo {
+		p.ce([]uint32{0x15ffffff}, 0, fmt.Sprintf("direct-branch reach [%#x, %#x] escapes the exec window %v", minB, maxB, execWin))
+	}
+	p.fact("direct-branch reach [%#x, %#x] within the exec window %v", minB, maxB, execWin)
+
+	offs := []uint64{core.MinCodeOffset, core.MaxCodeOffset - 4}
+	checkDirect := func(off uint64, w uint32) {
+		p.cur.Swept++
+		inst, err := arm64.Decode(w)
+		if err != nil || !p.acceptsAt(off, w) {
+			return
+		}
+		p.cur.Accepted++
+		target := int64(off) + inst.Imm
+		if target < execWin.lo || target > execWin.hi {
+			p.ceAt(off, []uint32{w}, 0, fmt.Sprintf("branch target %#x escapes the exec window %v", target, execWin))
+		}
+	}
+	// B/BL imm26: boundaries plus a stride sweep (full: every value).
+	stride := uint32(4099)
+	if p.opts.Full {
+		stride = 1
+	}
+	for _, off := range offs {
+		for _, op := range []uint32{0x05, 0x25} {
+			for imm26 := uint32(0); imm26 < 1<<26; imm26 += stride {
+				checkDirect(off, op<<26|imm26)
+			}
+			for _, imm26 := range []uint32{0, 1, 1<<25 - 1, 1 << 25, 1<<26 - 1} {
+				checkDirect(off, op<<26|imm26)
+			}
+		}
+	}
+	// b.cond imm19, cbz/cbnz imm19, tbz/tbnz imm14 at the boundaries.
+	for _, off := range offs {
+		for _, imm19 := range []uint32{0, 1, 1<<18 - 1, 1 << 18, 1<<19 - 1} {
+			for cond := uint32(0); cond < 16; cond++ {
+				checkDirect(off, 0x54<<24|imm19<<5|cond)
+			}
+			for sf := uint32(0); sf < 2; sf++ {
+				for op := uint32(0); op < 2; op++ {
+					checkDirect(off, sf<<31|0x1a<<25|op<<24|imm19<<5|0)
+				}
+			}
+		}
+		for _, imm14 := range []uint32{0, 1, 1<<13 - 1, 1 << 13, 1<<14 - 1} {
+			for b5 := uint32(0); b5 < 2; b5++ {
+				for op := uint32(0); op < 2; op++ {
+					checkDirect(off, b5<<31|0x1b<<25|op<<24|imm14<<5|0)
+				}
+			}
+		}
+	}
+	// Indirect: br/blr/ret over the full op and Rn fields.
+	for op := uint32(0); op < 16; op++ {
+		for rn := uint32(0); rn < 32; rn++ {
+			w := 0x6b<<25 | op<<21 | 0x1f<<16 | rn<<5
+			p.cur.Swept++
+			inst, ctx, ok := p.probe(w)
+			if !ok {
+				continue
+			}
+			p.cur.Accepted++
+			iv, rok := regInterval(inst.Rn)
+			if !rok || !iv.within(interval{execWin.lo, execWin.hi}) {
+				p.ce([]uint32{w}, 0, fmt.Sprintf("indirect branch through %v not bounded to the exec window", inst.Rn))
+			}
+			p.checkAcceptedWrites(w, &inst, ctx)
+		}
+	}
+	p.fact("accepted indirect branches go through always-valid registers: targets within %v", execWin)
+}
+
+// classRuntimeCalls sweeps every x21-based load encoding over the full
+// imm12 field with both a bare and a blr-following context.
+func (p *prover) classRuntimeCalls() {
+	accepted := map[int64]bool{}
+	for size := uint32(0); size < 4; size++ {
+		for v := uint32(0); v < 2; v++ {
+			for b24 := uint32(0); b24 < 2; b24++ {
+				for opc := uint32(0); opc < 4; opc++ {
+					for low := uint32(0); low < 1<<12; low++ {
+						for _, rt := range []uint32{30, 0} {
+							w := size<<30 | 0x7<<27 | v<<26 | b24<<24 | opc<<22 | low<<10 | 21<<5 | rt
+							p.cur.Swept++
+							inst, ctx, ok := p.probe(w)
+							if !ok {
+								continue
+							}
+							p.cur.Accepted++
+							if inst.Op.IsMemory() && inst.Mem.Base == core.RegBase &&
+								(inst.Mem.Mode == arm64.AddrImm || inst.Mem.Mode == arm64.AddrBase) {
+								before := len(p.cur.CEs)
+								p.checkRTCallLoad(w, &inst, ctx)
+								if len(p.cur.CEs) == before {
+									accepted[int64(inst.Mem.Imm)] = true
+								}
+							} else {
+								p.checkMem(w, &inst, ctx, nil)
+							}
+							p.checkAcceptedWrites(w, &inst, ctx)
+						}
+					}
+				}
+			}
+		}
+	}
+	if int64(len(accepted)) != int64(core.NumRuntimeCalls) {
+		p.fact("NOTE: %d distinct accepted table offsets, runtime defines %d calls", len(accepted), core.NumRuntimeCalls)
+	} else {
+		p.fact("accepted table offsets: exactly %d (8-byte stride over [0, %d)), each entry within the host-call region model", len(accepted), core.MaxTableOffset)
+	}
+}
+
+// classSysregs sweeps the full 15-bit system-register space for both mrs
+// and msr (the PR-4 scan, now a standing prover class).
+func (p *prover) classSysregs() {
+	const (
+		sysTPIDR  = 1<<14 | 3<<11 | 13<<7 | 0<<3 | 2
+		sysCNTVCT = 1<<14 | 3<<11 | 14<<7 | 0<<3 | 2
+	)
+	for _, rt := range []uint32{0, 18, 30} {
+		for imm := uint32(0); imm < 1<<15; imm++ {
+			for _, mrs := range []bool{true, false} {
+				var w uint32
+				if mrs {
+					w = 0xd53<<20 | imm<<5 | rt
+				} else {
+					w = 0xd51<<20 | imm<<5 | rt
+				}
+				p.cur.Swept++
+				inst, ctx, ok := p.probe(w)
+				if !ok {
+					continue
+				}
+				p.cur.Accepted++
+				if mrs {
+					if imm != sysTPIDR && imm != sysCNTVCT {
+						p.ce([]uint32{w}, 0, fmt.Sprintf("read of system register %#x outside the allowlist", imm))
+					}
+				} else if imm != sysTPIDR {
+					p.ce([]uint32{w}, 0, fmt.Sprintf("write of system register %#x outside the allowlist", imm))
+				}
+				p.checkAcceptedWrites(w, &inst, ctx)
+			}
+		}
+	}
+	p.fact("system-register allowlist: mrs {tpidr_el0, cntvct_el0}, msr {tpidr_el0}")
+}

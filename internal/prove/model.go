@@ -1,0 +1,151 @@
+package prove
+
+import (
+	"fmt"
+
+	"lfi/internal/arm64"
+	"lfi/internal/core"
+)
+
+// The abstract domain: inclusive intervals of slot-relative values. The
+// verifier's invariants give every register the code can form an address
+// from a guaranteed interval, and an accepted instruction is sound when
+// the interval of every byte it can touch stays inside the layout window
+// from internal/core.
+
+// interval is an inclusive range of slot-relative addresses or values.
+type interval struct{ lo, hi int64 }
+
+func (iv interval) add(d int64) interval   { return interval{iv.lo + d, iv.hi + d} }
+func (iv interval) within(o interval) bool { return iv.lo >= o.lo && iv.hi <= o.hi }
+func (iv interval) String() string         { return fmt.Sprintf("[%#x, %#x]", iv.lo, iv.hi) }
+
+const slotMax = int64(core.SandboxSize) - 1
+
+// Claimed drift constants, cross-checked by the sweeps: the sp-writes
+// class verifies no accepted un-guarded sp adjustment exceeds elideMax,
+// and the memory classes verify no accepted sp writeback exceeds wbMax.
+const (
+	elideMax = 1023 // verifier accepts add/sub sp, sp, #imm only for imm < 1024
+	wbMax    = 1024 // widest encodable pre/post-index immediate (q-pair imm7)
+)
+
+// dataWin and execWin are the slot-relative, inclusive containment
+// windows derived from the shared layout model.
+var (
+	dataWin = interval{-int64(core.GuardSize), int64(core.SandboxSize) + int64(core.GuardSize) - 1}
+	execWin = interval{-int64(core.CodeMargin), slotMax}
+)
+
+// slotIv is the interval of an always-valid sandbox address.
+var slotIv = interval{0, slotMax}
+
+// regInterval returns the value interval the verifier's invariants
+// guarantee for reads of r at any instruction boundary, or ok=false if
+// the register is unconstrained. sp is handled separately (spStats).
+func regInterval(r arm64.Reg) (interval, bool) {
+	if r.IsSP() {
+		return interval{}, false // callers must use the sp drift envelope
+	}
+	if !r.Is64() {
+		if r.IsGP() && !r.IsZR() {
+			// Any w-register read is zero-extended into 32 bits.
+			return interval{0, slotMax}, true
+		}
+		if r.IsZR() {
+			return interval{0, 0}, true
+		}
+		return interval{}, false
+	}
+	switch r {
+	case core.RegBase:
+		return interval{0, 0}, true // bottom 32 bits of the base are zero
+	case core.RegScratch, core.RegHoist1, core.RegHoist2, arm64.X30:
+		return slotIv, true
+	case core.RegAddr32:
+		return interval{0, slotMax}, true // upper 32 bits always zero
+	}
+	return interval{}, false
+}
+
+// extentOf returns the number of bytes the access touches.
+func extentOf(inst *arm64.Inst) int64 {
+	switch inst.Op {
+	case arm64.LDRB, arm64.STRB, arm64.LDRSB:
+		return 1
+	case arm64.LDRH, arm64.STRH, arm64.LDRSH:
+		return 2
+	case arm64.LDRSW:
+		return 4
+	case arm64.LDP, arm64.STP:
+		return 2 * regBytes(inst.Rd)
+	default: // LDR, STR, exclusives, acquire/release
+		return regBytes(inst.Rd)
+	}
+}
+
+func regBytes(r arm64.Reg) int64 {
+	if r.IsFP() {
+		return int64(r.FPBits() / 8)
+	}
+	if r.Is64() {
+		return 8
+	}
+	return 4
+}
+
+// spStats accumulates the accepted sp-based offsets seen by a sweep and
+// computes the resulting stack-pointer drift fixpoint. sp is not
+// confined to the slot: one elided add/sub sp (|delta| <= elideMax) may
+// be outstanding, writeback moves sp by up to wbMax, and chains of
+// elided adjustments interleaved with mapped accesses drag sp as far as
+// the accepted offsets reach (an access retires, letting the chain
+// continue, only if sp+offset lands in the mapped slot).
+type spStats struct {
+	offPos  int64 // largest accepted positive sp offset
+	offNeg  int64 // largest magnitude accepted negative sp offset
+	reachHi int64 // largest accepted sp offset+extent-1
+
+	exOffPos, exOffNeg, exReachHi uint32 // exemplar encodings
+}
+
+func (s *spStats) record(word uint32, off, ext int64) {
+	if off > s.offPos {
+		s.offPos, s.exOffPos = off, word
+	}
+	if off < 0 && -off > s.offNeg {
+		s.offNeg, s.exOffNeg = -off, word
+	}
+	if off+ext-1 > s.reachHi {
+		s.reachHi, s.exReachHi = off+ext-1, word
+	}
+}
+
+// envelope returns the at-access sp interval implied by the recorded
+// offsets:
+//
+//	lo = -(offPos + elideMax)            mapped access at +offPos, then one more elided sub
+//	hi = slotMax + max(offNeg, wbMax) + elideMax
+func (s *spStats) envelope() interval {
+	return interval{
+		lo: -(s.offPos + elideMax),
+		hi: slotMax + max(s.offNeg, wbMax) + elideMax,
+	}
+}
+
+// check closes the fixpoint: every accepted sp-based access, issued from
+// anywhere in the envelope, must stay inside the data window. Violations
+// are attributed to the exemplar encodings that set the extreme bounds.
+func (s *spStats) check(p *prover) {
+	env := s.envelope()
+	p.fact("sp offsets swept: [-%d, +%d], max reach +%d; at-access envelope %v",
+		s.offNeg, s.offPos, s.reachHi, env)
+	if worst := env.lo - s.offNeg; worst < dataWin.lo {
+		p.ce([]uint32{s.exOffNeg}, 0, fmt.Sprintf(
+			"sp low reach %#x escapes the data window %v (envelope %v)", worst, dataWin, env))
+	}
+	if worst := env.hi + s.reachHi; worst > dataWin.hi {
+		p.ce([]uint32{s.exReachHi}, 0, fmt.Sprintf(
+			"sp high reach %#x escapes the data window %v (envelope %v)", worst, dataWin, env))
+	}
+}

@@ -1,0 +1,300 @@
+// Package prove machine-checks the verifier's acceptance conditions
+// against the shared runtime memory-layout model in internal/core.
+//
+// Where the fuzzing oracle (internal/fuzz) samples behaviors, this
+// package enumerates the verifier's accepted instruction classes and
+// bounds every accepted encoding's worst-case effect with a small
+// abstract interpretation over slot-relative intervals:
+//
+//	x21 (base)       [0, 0]          bottom 32 bits of the base are zero
+//	x18/x23/x24/x30  [0, 2^32-1]     always-valid sandbox addresses
+//	x22 / wN reads   [0, 2^32-1]     zero-extended 32-bit values
+//	sp               drift fixpoint computed from the sweep itself
+//
+// Each class pushes real encodings through the real verifier
+// (internal/verifier.Verify), in minimal context programs where the
+// class needs one (a guard after an x30 write, an sp access after an
+// elidable sp adjustment, a blr after a runtime-call load, the sp guard
+// pair after an arbitrary sp write). Every accepted word's reachable
+// byte interval is then checked against core.DataWindow/ExecWindow and
+// the register invariants; an accepted word whose worst case escapes is
+// emitted as a disassembled counterexample.
+//
+// Classes whose fields are small are swept exhaustively. The memory and
+// reserved-register classes are swept exhaustively over their immediate
+// and base/operand register fields with the transfer register fixed to
+// representative values; Options.Full (LFI_PROVE_FULL=1) additionally
+// sweeps the entire 2^30 load/store region and the full imm26 direct
+// branch displacement field.
+package prove
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"lfi/internal/arm64"
+	"lfi/internal/core"
+	"lfi/internal/verifier"
+)
+
+// Options configures a prover run.
+type Options struct {
+	// Full sweeps the large register/transfer dimensions too (the whole
+	// load/store region, all imm26 branch displacements). Minutes, not
+	// seconds; gate behind LFI_PROVE_FULL.
+	Full bool
+
+	// Classes restricts the run to the named classes (nil = all).
+	Classes []string
+}
+
+// A Counterexample is a program the verifier accepts whose worst-case
+// effect under the layout model escapes the sandbox invariants.
+type Counterexample struct {
+	Words   []uint32 // the accepted program
+	Idx     int      // offending word
+	TextOff uint64
+	Asm     string // disassembly of the offending word
+	Reason  string
+}
+
+func (c Counterexample) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "textoff=%#x:", c.TextOff)
+	for i, w := range c.Words {
+		mark := " "
+		if i == c.Idx {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%s%#08x", mark, w)
+	}
+	fmt.Fprintf(&sb, " (%s): %s", c.Asm, c.Reason)
+	return sb.String()
+}
+
+// ClassResult reports one instruction class.
+type ClassResult struct {
+	Name     string
+	Swept    uint64 // encodings pushed through the verifier
+	Accepted uint64 // encodings the verifier accepted (in some context)
+	Facts    []string
+	CEs      []Counterexample
+}
+
+// Report is the result of a prover run.
+type Report struct {
+	Full    bool
+	Classes []ClassResult
+}
+
+// Counterexamples returns the total number of counterexamples found.
+func (r *Report) Counterexamples() int {
+	n := 0
+	for _, c := range r.Classes {
+		n += len(c.CEs)
+	}
+	return n
+}
+
+func (r *Report) String() string {
+	var sb strings.Builder
+	mode := "smoke"
+	if r.Full {
+		mode = "full"
+	}
+	fmt.Fprintf(&sb, "soundness prover (%s sweep)\n", mode)
+	fmt.Fprintf(&sb, "%-16s %12s %12s %6s\n", "class", "swept", "accepted", "ce")
+	var swept, accepted uint64
+	for _, c := range r.Classes {
+		fmt.Fprintf(&sb, "%-16s %12d %12d %6d\n", c.Name, c.Swept, c.Accepted, len(c.CEs))
+		swept += c.Swept
+		accepted += c.Accepted
+	}
+	fmt.Fprintf(&sb, "%-16s %12d %12d %6d\n", "total", swept, accepted, r.Counterexamples())
+	for _, c := range r.Classes {
+		for _, f := range c.Facts {
+			fmt.Fprintf(&sb, "  [%s] %s\n", c.Name, f)
+		}
+	}
+	for _, c := range r.Classes {
+		for _, ce := range c.CEs {
+			fmt.Fprintf(&sb, "  [%s] COUNTEREXAMPLE %s\n", c.Name, ce)
+		}
+	}
+	return sb.String()
+}
+
+// Context kinds: the minimal accepting context a probed word needed.
+const (
+	ctxNone        = iota // the word alone
+	ctxGuardX30           // followed by add x30, x21, w30, uxtw
+	ctxSPAccess           // followed by str x0, [sp]
+	ctxBLR                // followed by blr x30
+	ctxSPGuardPair        // followed by mov w22, wsp; add sp, x21, x22
+)
+
+type prover struct {
+	opts Options
+	cfg  verifier.Config
+	buf  []byte
+
+	guardX30 uint32
+	strSP    uint32
+	blr      uint32
+	spGuard  [2]uint32
+
+	cur *ClassResult
+}
+
+func newProver(opts Options) *prover {
+	p := &prover{opts: opts, cfg: verifier.DefaultConfig()}
+	p.cfg.TextOff = core.MinCodeOffset
+	enc := func(inst arm64.Inst) uint32 {
+		w, err := arm64.Encode(&inst)
+		if err != nil {
+			panic(fmt.Sprintf("prove: encoding context word %v: %v", &inst, err))
+		}
+		return w
+	}
+	p.guardX30 = enc(core.GuardInto(arm64.X30, arm64.X30))
+	p.strSP = enc(arm64.Inst{
+		Op: arm64.STR, Rd: arm64.X0, Ra: arm64.RegNone, Amount: -1,
+		Mem: arm64.Mem{Mode: arm64.AddrImm, Base: arm64.SP},
+	})
+	p.blr = enc(arm64.Inst{Op: arm64.BLR, Rn: arm64.X30, Ra: arm64.RegNone, Amount: -1})
+	sg := core.SPGuard()
+	p.spGuard[0], p.spGuard[1] = enc(sg[0]), enc(sg[1])
+	return p
+}
+
+// accepts reports whether the verifier accepts the program words at the
+// prover's text offset.
+func (p *prover) accepts(words ...uint32) bool {
+	return p.acceptsAt(p.cfg.TextOff, words...)
+}
+
+func (p *prover) acceptsAt(textOff uint64, words ...uint32) bool {
+	if cap(p.buf) < 4*len(words) {
+		p.buf = make([]byte, 4*len(words))
+	}
+	buf := p.buf[:4*len(words)]
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(buf[4*i:], w)
+	}
+	cfg := p.cfg
+	cfg.TextOff = textOff
+	_, err := verifier.Verify(buf, cfg)
+	return err == nil
+}
+
+// probe finds the minimal context that makes the verifier accept word w,
+// trying only the contexts the decoded instruction could need. Undecodable
+// words are rejected outright (the verifier rejects them too, but skipping
+// the call keeps the big sweeps fast).
+func (p *prover) probe(w uint32) (inst arm64.Inst, ctx int, ok bool) {
+	inst, err := arm64.Decode(w)
+	if err != nil {
+		return inst, 0, false
+	}
+	if p.accepts(w) {
+		return inst, ctxNone, true
+	}
+	var dsts [4]arm64.Reg
+	for _, d := range inst.DestRegs(dsts[:0]) {
+		switch {
+		case d == arm64.X30:
+			if p.accepts(w, p.guardX30) {
+				return inst, ctxGuardX30, true
+			}
+			if inst.Op.IsLoad() && p.accepts(w, p.blr) {
+				return inst, ctxBLR, true
+			}
+		case d.IsSP() && d.Is64():
+			if p.accepts(w, p.strSP) {
+				return inst, ctxSPAccess, true
+			}
+			if p.accepts(w, p.spGuard[0], p.spGuard[1]) {
+				return inst, ctxSPGuardPair, true
+			}
+		}
+	}
+	return inst, 0, false
+}
+
+// fact records a machine-checked fact on the current class.
+func (p *prover) fact(format string, args ...any) {
+	p.cur.Facts = append(p.cur.Facts, fmt.Sprintf(format, args...))
+}
+
+// ce records a counterexample: words is the accepted program, idx the
+// offending word.
+func (p *prover) ce(words []uint32, idx int, reason string) {
+	p.ceAt(p.cfg.TextOff, words, idx, reason)
+}
+
+func (p *prover) ceAt(textOff uint64, words []uint32, idx int, reason string) {
+	asm := fmt.Sprintf("%#08x", words[idx])
+	if inst, err := arm64.Decode(words[idx]); err == nil {
+		asm = inst.String()
+	}
+	p.cur.CEs = append(p.cur.CEs, Counterexample{
+		Words: words, Idx: idx, TextOff: textOff, Asm: asm, Reason: reason,
+	})
+}
+
+// classes is the registry; order matters only for reporting.
+var classes = []struct {
+	name string
+	fn   func(*prover)
+}{
+	{"mem-imm", (*prover).classMemImm},
+	{"mem-regoffset", (*prover).classMemRegOffset},
+	{"mem-literal", (*prover).classMemLiteral},
+	{"mem-exclusive", (*prover).classMemExclusive},
+	{"reserved-writes", (*prover).classReservedWrites},
+	{"sp-writes", (*prover).classSPWrites},
+	{"branches", (*prover).classBranches},
+	{"runtime-calls", (*prover).classRuntimeCalls},
+	{"sysregs", (*prover).classSysregs},
+}
+
+// ClassNames returns the available class names.
+func ClassNames() []string {
+	names := make([]string, len(classes))
+	for i, c := range classes {
+		names[i] = c.name
+	}
+	return names
+}
+
+// Run enumerates the configured classes and returns the report.
+func Run(opts Options) (*Report, error) {
+	want := map[string]bool{}
+	for _, n := range opts.Classes {
+		found := false
+		for _, c := range classes {
+			if c.name == n {
+				found = true
+			}
+		}
+		if !found {
+			known := ClassNames()
+			sort.Strings(known)
+			return nil, fmt.Errorf("prove: unknown class %q (have %s)", n, strings.Join(known, ", "))
+		}
+		want[n] = true
+	}
+	rep := &Report{Full: opts.Full}
+	for _, c := range classes {
+		if len(want) > 0 && !want[c.name] {
+			continue
+		}
+		p := newProver(opts)
+		p.cur = &ClassResult{Name: c.name}
+		c.fn(p)
+		rep.Classes = append(rep.Classes, *p.cur)
+	}
+	return rep, nil
+}

@@ -1,0 +1,191 @@
+package prove
+
+import (
+	"os"
+	"testing"
+
+	"lfi/internal/arm64"
+)
+
+// TestSmokeNoCounterexamples is the headline property: every class sweep
+// finds zero accepted encodings whose worst case escapes the layout
+// model. LFI_PROVE_FULL=1 widens to the full register/displacement
+// dimensions (minutes).
+func TestSmokeNoCounterexamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps millions of encodings")
+	}
+	rep, err := Run(Options{Full: os.Getenv("LFI_PROVE_FULL") != ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Classes) < 5 {
+		t.Errorf("only %d classes enumerated, want >= 5", len(rep.Classes))
+	}
+	for _, c := range rep.Classes {
+		if c.Swept == 0 {
+			t.Errorf("class %s swept nothing", c.Name)
+		}
+		if c.Accepted == 0 {
+			t.Errorf("class %s accepted nothing: sweep is vacuous", c.Name)
+		}
+	}
+	if n := rep.Counterexamples(); n != 0 {
+		t.Errorf("%d counterexamples found", n)
+	}
+	t.Logf("\n%s", rep.String())
+}
+
+// The meta-tests below feed the model synthetic acceptances that the
+// verifier rejects at head, proving the checkers are not vacuous: each
+// must flag the encoding the corresponding fixed bug used to accept.
+
+func mustParse(t *testing.T, line string) arm64.Inst {
+	t.Helper()
+	inst, err := arm64.ParseInst(line)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", line, err)
+	}
+	return inst
+}
+
+func testProver(t *testing.T) *prover {
+	t.Helper()
+	p := newProver(Options{})
+	p.cur = &ClassResult{Name: "synthetic"}
+	return p
+}
+
+// The pre-fix sp bound (GuardSize-16) combined with elision drift let
+// str q0, [sp, #49136] reach past the data window. The fixpoint check
+// must flag that offset.
+func TestModelCatchesSPDriftEscape(t *testing.T) {
+	p := testProver(t)
+	var sp spStats
+	inst := mustParse(t, "str q0, [sp, #49136]")
+	w, err := arm64.Encode(&inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.record(w, 49136, 16)
+	sp.check(p)
+	if len(p.cur.CEs) == 0 {
+		t.Fatal("sp fixpoint accepted the pre-fix 49136 offset")
+	}
+	t.Logf("flagged: %s", p.cur.CEs[0])
+}
+
+// The current sp bound must pass the same check.
+func TestModelAcceptsSPBound(t *testing.T) {
+	p := testProver(t)
+	var sp spStats
+	sp.record(0, 47088, 16)
+	sp.record(0, -1024, 32)
+	sp.check(p)
+	for _, ce := range p.cur.CEs {
+		t.Errorf("in-bound sp offset flagged: %s", ce)
+	}
+}
+
+// A non-sp immediate one past the guard bound must be flagged.
+func TestModelCatchesGuardEscape(t *testing.T) {
+	p := testProver(t)
+	inst := mustParse(t, "ldr x0, [x18]")
+	inst.Mem.Mode = arm64.AddrImm
+	inst.Mem.Imm = 49152 // GuardSize: last byte lands one page past the window
+	p.checkMemImmLike(0, &inst, ctxNone, nil)
+	if len(p.cur.CEs) == 0 {
+		t.Fatal("model accepted a GuardSize immediate on an always-valid base")
+	}
+	// The exact boundary must pass: 49136+15 is the window's last byte.
+	p.cur.CEs = nil
+	inst = mustParse(t, "ldr q0, [x18]")
+	inst.Mem.Mode = arm64.AddrImm
+	inst.Mem.Imm = 49136
+	p.checkMemImmLike(0, &inst, ctxNone, nil)
+	for _, ce := range p.cur.CEs {
+		t.Errorf("boundary immediate flagged: %s", ce)
+	}
+}
+
+// A scaled register-offset access (index shifted past 32 bits of reach)
+// must be flagged even on the x21 base.
+func TestModelCatchesScaledIndex(t *testing.T) {
+	p := testProver(t)
+	inst := mustParse(t, "ldr x0, [x21, w2, uxtw]")
+	inst.Mem.Amount = 3
+	p.checkMemRegOff(0, &inst)
+	if len(p.cur.CEs) == 0 {
+		t.Fatal("model accepted a scaled guarded index")
+	}
+}
+
+// A literal whose displacement leaves the data window must be flagged.
+func TestModelCatchesLiteralEscape(t *testing.T) {
+	p := testProver(t)
+	inst := mustParse(t, "ldr x0, lit")
+	inst.Mem.Imm = -(1 << 20)
+	p.checkMemLiteralAt(65536, 0, &inst)
+	if len(p.cur.CEs) == 0 {
+		t.Fatal("model accepted a literal reaching below the sandbox")
+	}
+}
+
+// An x21-based load outside the call-table idiom must be flagged.
+func TestModelCatchesTableEscape(t *testing.T) {
+	p := testProver(t)
+	inst := mustParse(t, "ldr x30, [x21, #176]") // MaxTableOffset
+	p.checkRTCallLoad(0, &inst, ctxBLR)
+	if len(p.cur.CEs) == 0 {
+		t.Fatal("model accepted a load one entry past the call table")
+	}
+	p.cur.CEs = nil
+	inst = mustParse(t, "ldr x30, [x21, #168]")
+	p.checkRTCallLoad(0, &inst, ctxBLR)
+	for _, ce := range p.cur.CEs {
+		t.Errorf("last table entry flagged: %s", ce)
+	}
+}
+
+// Writes to protected registers that are not guard-shaped must be
+// flagged: the model cannot bound their value.
+func TestModelCatchesReservedWrite(t *testing.T) {
+	p := testProver(t)
+	inst := mustParse(t, "add x18, x18, #8")
+	p.checkAcceptedWrites(0, &inst, ctxNone)
+	if len(p.cur.CEs) == 0 {
+		t.Fatal("model accepted an unguarded x18 increment")
+	}
+	p.cur.CEs = nil
+	inst = mustParse(t, "add x18, x21, w3, uxtw")
+	p.checkAcceptedWrites(0, &inst, ctxNone)
+	for _, ce := range p.cur.CEs {
+		t.Errorf("canonical guard flagged: %s", ce)
+	}
+}
+
+func TestRegIntervals(t *testing.T) {
+	for _, c := range []struct {
+		reg arm64.Reg
+		lo  int64
+		hi  int64
+	}{
+		{arm64.X21, 0, 0},
+		{arm64.X18, 0, slotMax},
+		{arm64.X23, 0, slotMax},
+		{arm64.X24, 0, slotMax},
+		{arm64.X30, 0, slotMax},
+		{arm64.X22, 0, slotMax},
+	} {
+		iv, ok := regInterval(c.reg)
+		if !ok || iv.lo != c.lo || iv.hi != c.hi {
+			t.Errorf("regInterval(%v) = %v, %v; want [%#x, %#x]", c.reg, iv, ok, c.lo, c.hi)
+		}
+	}
+	if _, ok := regInterval(arm64.X5); ok {
+		t.Error("x5 should be unconstrained")
+	}
+	if _, ok := regInterval(arm64.SP); ok {
+		t.Error("sp must route through the drift envelope, not regInterval")
+	}
+}

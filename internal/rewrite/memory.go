@@ -47,7 +47,11 @@ func (r *rewriter) memOp(f *arm64.File, idx int) error {
 	// guard regions (§4.2). x30-based accesses get the same treatment.
 	if core.AlwaysValidAddr(base.X()) || base.X() == arm64.X30 {
 		if !m.IsRegOffset() {
-			if m.Mode == arm64.AddrImm && int64(m.Imm) > guardImmBound {
+			bound := guardImmBound
+			if base.IsSP() {
+				bound = spImmBound
+			}
+			if m.Mode == arm64.AddrImm && int64(m.Imm) > bound {
 				r.oversizedImm(&inst, line)
 				return nil
 			}
@@ -240,6 +244,12 @@ func (r *rewriter) o0Guard(inst *arm64.Inst, line int) error {
 // below the slot end, 16-byte access). The verifier enforces the same
 // bound; only q-register scaled immediates (up to 65520) can exceed it.
 const guardImmBound = int64(core.GuardSize) - 16
+
+// spImmBound is the tighter bound for sp-based immediates: sp can drift
+// up to SPMaxDrift past the slot when the §4.2 elisions are in play, so
+// the immediate must leave that much headroom inside the guard. The
+// verifier enforces the same split.
+const spImmBound = guardImmBound - int64(core.SPMaxDrift)
 
 // oversizedImm lowers an immediate-offset access whose offset reaches past
 // the guard region: the full 32-bit address is staged in w22 and the

@@ -281,7 +281,14 @@ func spModElidable(f *arm64.File, idx int) bool {
 		if in.Op.IsMemory() && in.Mem.Base.IsSP() &&
 			(in.Mem.Mode == arm64.AddrBase || in.Mem.Mode == arm64.AddrImm ||
 				in.Mem.Mode == arm64.AddrPre || in.Mem.Mode == arm64.AddrPost) {
-			return true // this access traps if sp strayed into a guard page
+			// An immediate past spImmBound does not qualify: memOp lowers
+			// it to the staged [x21, w22, uxtw] form, so the emitted code
+			// has no sp-based access here and the elided add would be
+			// unverifiable (and unsound — the big offset could carry the
+			// drifted sp past the guard band).
+			if in.Mem.Mode != arm64.AddrImm || int64(in.Mem.Imm) <= spImmBound {
+				return true // this access traps if sp strayed into a guard page
+			}
 		}
 		// Another sp write before any access: cannot elide.
 		var dsts [4]arm64.Reg

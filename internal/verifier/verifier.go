@@ -228,9 +228,20 @@ func (v *verify) checkMemory(i int) *Error {
 	m := inst.Mem
 	switch m.Mode {
 	case arm64.AddrLiteral:
-		// PC-relative: the target must stay inside this sandbox.
-		target := int64(v.cfg.TextOff) + int64(i*4) + inst.Imm
-		if target < 0 || uint64(target) >= core.SandboxSize {
+		// PC-relative: the target must stay inside this sandbox. Derived
+		// in uint64 with explicit wrap guards (the same style as the
+		// Verify entry check): summing in int64 could wrap for a hostile
+		// TextOff combined with a large displacement and sneak an
+		// escaping target past the bound.
+		pc := v.cfg.TextOff + uint64(i)*4 // cannot wrap: both bounded by MaxCodeOffset
+		target := pc + uint64(inst.Imm)   // two's-complement; wrap checked below
+		if inst.Imm >= 0 && target < pc {
+			return vErr("literal load displacement wraps the address space")
+		}
+		if inst.Imm < 0 && target > pc {
+			return vErr("literal load reaches below the sandbox")
+		}
+		if target >= core.SandboxSize {
 			return vErr("literal load escapes the sandbox (target offset %#x)", target)
 		}
 		return nil
@@ -249,7 +260,17 @@ func (v *verify) checkMemory(i int) *Error {
 		// neighboring slot. Bound the reach explicitly: from the worst-case
 		// base (one byte below the slot end) a 16-byte access at offset
 		// GuardSize-16 still ends inside the guard.
-		if int64(m.Imm) > int64(core.GuardSize)-16 || int64(m.Imm) < -int64(core.GuardSize) {
+		immHi, immLo := int64(core.GuardSize)-16, -int64(core.GuardSize)
+		if m.Base.IsSP() {
+			// sp is not confined to the slot the way x18/x23/x24/x30 are:
+			// the §4.2 elisions let it drift by up to SPMaxDrift (one
+			// un-reguarded add/sub plus index writeback) at the moment an
+			// access executes. Shrink the immediate bounds by that drift
+			// so the worst-case access still lands inside the guard bands.
+			immHi -= int64(core.SPMaxDrift)
+			immLo += int64(core.SPMaxDrift)
+		}
+		if int64(m.Imm) > immHi || int64(m.Imm) < immLo {
 			return vErr("immediate offset %d reaches past the guard region", m.Imm)
 		}
 		if m.WritesBack() {
@@ -361,7 +382,14 @@ func (v *verify) checkX30Write(i int, d arm64.Reg) *Error {
 	case arm64.BL, arm64.BLR:
 		return nil
 	case arm64.LDR:
-		if inst.Mem.Base == core.RegBase {
+		// Only the immediate-mode runtime-call idiom is exempt: that
+		// shape is fully validated by checkRuntimeCall (table-bounded
+		// offset, followed by blr x30). A guarded register-offset load
+		// (ldr x30, [x21, wN, uxtw]) also has base x21 but reads
+		// arbitrary sandbox memory into x30, which ret would then trust;
+		// it must fall through to the re-guard requirement below.
+		if inst.Mem.Base == core.RegBase &&
+			(inst.Mem.Mode == arm64.AddrImm || inst.Mem.Mode == arm64.AddrBase) {
 			return nil // runtime-call idiom, checked by checkMemory
 		}
 	}

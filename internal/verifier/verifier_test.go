@@ -555,3 +555,126 @@ func le64(v uint64) []byte {
 	binary.LittleEndian.PutUint64(b, v)
 	return b
 }
+
+// TestX30RegOffsetLoadEscape is the regression test for the soundness
+// hole the internal/prove sweep found: checkX30Write exempted every LDR
+// whose base is x21, assuming the runtime-call idiom, but the idiom is
+// immediate-mode only. A guarded register-offset load into x30
+// (ldr x30, [x21, wN, uxtw]) reads attacker-chosen sandbox memory, and a
+// following ret would then jump to an arbitrary host address.
+func TestX30RegOffsetLoadEscape(t *testing.T) {
+	for _, src := range []string{
+		"\tldr x30, [x21, w0, uxtw]\n\tret",
+		"\tldr x30, [x21, w0, uxtw]\n\tnop",
+	} {
+		err := verifySrc(t, "_start:\n"+src+"\n")
+		if err == nil {
+			t.Errorf("%q accepted: arbitrary host jump", src)
+		} else if !strings.Contains(err.Error(), "x30") {
+			t.Errorf("%q: error %q does not mention x30", src, err)
+		}
+	}
+	// The rewriter's actual output stays legal: x30-loading accesses get
+	// an immediate re-guard, confining the dirty value to fall-through.
+	if err := verifySrc(t, "_start:\n\tldr x30, [x21, w0, uxtw]\n\tadd x30, x21, w30, uxtw\n\tret\n"); err != nil {
+		t.Errorf("re-guarded x30 load rejected: %v", err)
+	}
+	// The immediate-mode runtime-call idiom is untouched by the fix.
+	if err := verifySrc(t, "_start:\n\tldr x30, [x21, #16]\n\tblr x30\n\tret\n"); err != nil {
+		t.Errorf("runtime-call idiom rejected: %v", err)
+	}
+}
+
+// checkImm runs checkMemory on a synthetic immediate-mode access. The
+// interesting boundary offsets are not all encodable (q-form immediates
+// step by 16, so GuardSize-15 ... GuardSize-1 have no concrete word),
+// but the bound must hold for any decoded Imm value.
+func checkImm(t *testing.T, src string, imm int64) *Error {
+	t.Helper()
+	inst, err := arm64.ParseInst(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	inst.Mem.Mode = arm64.AddrImm
+	inst.Mem.Imm = int32(imm)
+	cfg := DefaultConfig()
+	cfg.TextOff = core.MinCodeOffset
+	v := &verify{cfg: cfg, insts: []arm64.Inst{inst}}
+	return v.checkMemory(0)
+}
+
+// TestGuardImmediateEdges pins the immediate-offset bounds at their
+// exact edges, both the encodable ones (through the assembler) and the
+// synthetic in-between values: accepted at GuardSize-16, rejected at
+// GuardSize-12, with the mirrored negative bound, and the sp bounds
+// shrunk by SPMaxDrift on both sides.
+func TestGuardImmediateEdges(t *testing.T) {
+	guard := int64(core.GuardSize)
+	drift := int64(core.SPMaxDrift)
+
+	// Encodable edges, end to end through the assembler.
+	accepts := []string{
+		"\tldr q0, [x18, #49136]",    // GuardSize-16: last byte is the window's last
+		"\tstr q0, [x23, #49136]",    // mirrored on the other hoisted base
+		"\tstr q0, [sp, #47088]",     // GuardSize-16-SPMaxDrift
+		"\tldur x0, [x18, #-256]",    // widest encodable negative unscaled
+		"\tldp q0, q1, [sp, #-1024]", // widest encodable negative pair
+	}
+	for _, src := range accepts {
+		if err := verifySrc(t, "_start:\n"+src+"\n\tret\n"); err != nil {
+			t.Errorf("%q rejected: %v", src, err)
+		}
+	}
+	rejects := []string{
+		"\tldr q0, [x18, #49152]", // GuardSize: one step past
+		"\tstr q0, [x24, #49152]",
+		"\tstr q0, [sp, #47104]", // sp bound + 16: one q step past
+		"\tstr q0, [sp, #49136]", // the pre-fix sp bound (drift escape)
+	}
+	for _, src := range rejects {
+		if err := verifySrc(t, "_start:\n"+src+"\n\tret\n"); err == nil {
+			t.Errorf("%q accepted", src)
+		}
+	}
+
+	// Synthetic non-encodable boundaries: the bound is exact, not
+	// rounded to the nearest encoding.
+	cases := []struct {
+		src  string
+		imm  int64
+		want bool // accepted?
+	}{
+		{"ldr q0, [x18]", guard - 16, true},
+		{"ldr q0, [x18]", guard - 12, false}, // GuardSize-12: reaches 3 bytes past
+		{"ldr x0, [x18]", guard - 16, true},  // bound is per-offset, not per-extent
+		{"ldr x0, [x18]", guard - 15, false},
+		{"ldr x0, [x18]", -guard, true}, // mirrored negative bound
+		{"ldr x0, [x18]", -guard - 1, false},
+		{"str q0, [sp]", guard - 16 - drift, true},
+		{"str q0, [sp]", guard - 12 - drift, false},
+		{"str q0, [sp]", -(guard - drift), true}, // mirrored sp bound
+		{"str q0, [sp]", -(guard - drift) - 1, false},
+	}
+	for _, c := range cases {
+		err := checkImm(t, c.src, c.imm)
+		if c.want && err != nil {
+			t.Errorf("%s imm=%d rejected: %v", c.src, c.imm, err)
+		}
+		if !c.want && err == nil {
+			t.Errorf("%s imm=%d accepted", c.src, c.imm)
+		}
+	}
+}
+
+// TestSPDriftRepro replays the drift-escape chain the old GuardSize-16
+// sp bound permitted: an elided sub leaves sp below the slot, and a
+// maximal q store then reached past the guard band. The shrunk bound
+// rejects the store; the same chain at the new bound stays legal.
+func TestSPDriftRepro(t *testing.T) {
+	if err := verifySrc(t, "_start:\n\tsub sp, sp, #1008\n\tstr q0, [sp, #49136]\n\tret\n"); err == nil {
+		t.Error("pre-fix drift chain accepted")
+	}
+	if err := verifySrc(t, "_start:\n\tsub sp, sp, #1008\n\tstr q0, [sp, #47088]\n\tret\n"); err != nil {
+		t.Errorf("in-bound drift chain rejected: %v", err)
+	}
+}
