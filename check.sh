@@ -54,6 +54,12 @@ if [ -n "${LFI_PROVE_FULL:-}" ]; then
     go run ./cmd/lfi-verify -prove -full
 fi
 
+echo '== wasm conformance under race (wasmfront differential suite, wasmbase)'
+go test -race ./internal/wasmfront ./internal/wasmbase
+
+echo '== wasm bench smoke (lfi-bench -wasm -smoke)'
+go run ./cmd/lfi-bench -wasm -smoke
+
 echo '== serve race suite (go test -race ./internal/serve)'
 go test -race ./internal/serve
 

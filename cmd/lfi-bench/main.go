@@ -46,7 +46,9 @@ func main() {
 	chart := flag.Bool("chart", false, "render figures as ASCII bar charts")
 	all := flag.Bool("all", false, "regenerate everything on both machines")
 	emuBench := flag.Bool("emu", false, "measure raw simulator throughput per workload")
-	jsonPath := flag.String("json", "", "with -emu: also write the report to this file (e.g. BENCH_emu.json)")
+	wasmBench := flag.Bool("wasm", false, "compare wasmfront-on-LFI against the Wasm engine models on the sample modules")
+	smoke := flag.Bool("smoke", false, "with -wasm: tiny iteration counts for CI")
+	jsonPath := flag.String("json", "", "with -emu/-wasm: also write the report to this file (e.g. BENCH_wasm.json)")
 	slowpath := flag.Bool("slowpath", false, "with -emu: use the per-step interpreter instead of the block fast path")
 	ablate := flag.Bool("ablate", false, "with -emu: run the dispatch-layer ablation (blocks only, +chaining, +superblocks, +fusion)")
 	metrics := flag.Bool("metrics", false, "with -emu/-pool: also report observability counters (caches, latency quantiles)")
@@ -152,6 +154,14 @@ func main() {
 		} else {
 			runEmu(*machine, *scale, !*slowpath, *jsonPath, *metrics)
 		}
+		done = true
+	}
+	if *wasmBench {
+		wasmScale := *scale
+		if *smoke {
+			wasmScale = 0.005
+		}
+		runWasmBench(*machine, wasmScale, *jsonPath)
 		done = true
 	}
 	if !done {
@@ -319,6 +329,23 @@ func printRows(title string, systems []string, rows []bench.OverheadRow) {
 		fmt.Printf(" %*.1f", max(len(s), 8), bench.Geomean(rows, s))
 	}
 	fmt.Println()
+}
+
+func runWasmBench(machine string, scale float64, jsonPath string) {
+	m, _ := model(machine)
+	r := &bench.Runner{Model: m, Scale: scale}
+	rep, err := r.WasmCompare(machine)
+	if err != nil {
+		fatal("wasm: %v", err)
+	}
+	printRows(fmt.Sprintf("Wasm frontend: LFI vs engine models (%% over native translation) - %s",
+		machineTitle(machine)), bench.WasmSystems(), rep.Rows())
+	if jsonPath != "" {
+		if err := rep.WriteJSON(jsonPath); err != nil {
+			fatal("wasm: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
 }
 
 func runFig3(machine string, scale float64) {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	lfi-run [-machine m1|t2a] [-unverified] [-timeslice n] prog.elf...
+//	lfi-run -wasm [-opt n] mod.wasm...
 package main
 
 import (
@@ -22,9 +23,11 @@ func main() {
 	report := flag.Bool("report", false, "print cycle/instruction counts to stderr")
 	trace := flag.Uint64("trace", 0, "print the first N executed instructions to stderr")
 	profile := flag.Int("profile", 0, "print the N hottest instructions (requires -machine)")
+	wasm := flag.Bool("wasm", false, "inputs are WebAssembly modules, compiled through the wasmfront pipeline")
+	opt := flag.Int("opt", 2, "with -wasm: rewriter optimization level (0, 1, 2)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: lfi-run prog.elf...")
+		fmt.Fprintln(os.Stderr, "usage: lfi-run prog.elf... | lfi-run -wasm mod.wasm...")
 		os.Exit(2)
 	}
 
@@ -59,6 +62,14 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lfi-run:", err)
 			os.Exit(1)
+		}
+		if *wasm {
+			res, err := lfi.CompileWasm(b, lfi.CompileOptions{Opt: lfi.OptLevel(*opt)})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lfi-run: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			b = res.ELF
 		}
 		p, err := rt.Load(b)
 		if err != nil {

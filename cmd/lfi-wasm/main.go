@@ -1,0 +1,136 @@
+// lfi-wasm compiles WebAssembly modules (MVP integer subset) into LFI
+// sandbox executables, and can run them or emit the intermediate guarded
+// assembly.
+//
+// Usage:
+//
+//	lfi-wasm mod.wasm -o mod.elf         # compile to a sandbox ELF
+//	lfi-wasm -run mod.wasm               # compile and execute
+//	lfi-wasm -dump mod.wasm              # print the translated assembly
+//	lfi-wasm -sample calls -o mod.wasm   # emit a built-in sample module
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"lfi"
+	"lfi/internal/wasmfront"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (ELF, or .wasm with -sample)")
+	opt := flag.Int("opt", 2, "rewriter optimization level (0, 1, 2)")
+	native := flag.Bool("native", false, "build unguarded (baselines only; does not verify)")
+	dump := flag.Bool("dump", false, "print the translated assembly instead of assembling")
+	run := flag.Bool("run", false, "compile and execute, reporting the result checksum")
+	machine := flag.String("machine", "", "with -run: timing model m1 or t2a")
+	sample := flag.String("sample", "", "emit a built-in sample module: arith, memfill, or calls")
+	iters := flag.Uint("iters", 1000, "with -sample: iteration count")
+	flag.Parse()
+
+	if *sample != "" {
+		var wasm []byte
+		switch *sample {
+		case "arith":
+			wasm = wasmfront.SampleArithLoop(uint32(*iters))
+		case "memfill":
+			wasm = wasmfront.SampleMemFill(uint32(*iters))
+		case "calls":
+			wasm = wasmfront.SampleCalls(uint32(*iters))
+		default:
+			fatal("unknown sample %q (want arith, memfill, or calls)", *sample)
+		}
+		writeOut(*out, wasm)
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lfi-wasm [-run|-dump|-o out.elf] mod.wasm")
+		os.Exit(2)
+	}
+	wasm, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *dump {
+		asm, _, err := wasmfront.Translate(wasm)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Print(asm)
+		return
+	}
+
+	opts := lfi.CompileOptions{Opt: lfi.OptLevel(*opt)}
+	var res *lfi.CompileResult
+	if *native {
+		asm, _, terr := wasmfront.Translate(wasm)
+		if terr != nil {
+			fatal("%v", terr)
+		}
+		res, err = lfi.CompileNative(asm)
+	} else {
+		res, err = lfi.CompileWasm(wasm, opts)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *run {
+		cfg := lfi.RuntimeConfig{DisableVerification: *native}
+		switch *machine {
+		case "":
+		case "m1":
+			cfg.Machine = lfi.MachineM1
+		case "t2a":
+			cfg.Machine = lfi.MachineT2A
+		default:
+			fatal("unknown machine %q", *machine)
+		}
+		rt := lfi.NewRuntime(cfg)
+		p, err := rt.Load(res.ELF)
+		if err != nil {
+			fatal("%v", err)
+		}
+		status, err := rt.RunProcess(p)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if trap, ok := wasmfront.TrapFromStatus(status); ok {
+			fmt.Fprintf(os.Stderr, "lfi-wasm: trap: %v\n", trap)
+			os.Exit(status)
+		}
+		if status != 0 {
+			fmt.Fprintf(os.Stderr, "lfi-wasm: exit status %d\n", status)
+			os.Exit(status)
+		}
+		outBytes := rt.Stdout()
+		if len(outBytes) == 8 {
+			fmt.Printf("result: %#x\n", binary.LittleEndian.Uint64(outBytes))
+		} else {
+			os.Stdout.Write(outBytes)
+		}
+		return
+	}
+
+	writeOut(*out, res.ELF)
+}
+
+func writeOut(path string, b []byte) {
+	if path == "" || path == "-" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "lfi-wasm: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"testing"
+
+	"lfi/internal/emu"
+)
+
+func TestWasmCompareShape(t *testing.T) {
+	r := &Runner{Model: emu.ModelM1(), Scale: 0.01}
+	rep, err := r.WasmCompare("m1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workloads) != 3 {
+		t.Fatalf("workloads = %d, want 3", len(rep.Workloads))
+	}
+	for _, w := range rep.Workloads {
+		if len(w.Systems) != len(WasmSystems()) {
+			t.Errorf("%s: %d systems, want %d", w.Workload, len(w.Systems), len(WasmSystems()))
+		}
+		if w.Checksum == "" || w.NativeCycles <= 0 {
+			t.Errorf("%s: missing checksum or native cycles", w.Workload)
+		}
+	}
+	o0 := rep.Geomean["LFI O0"]
+	o2 := rep.Geomean["LFI O2"]
+	t.Logf("geomeans: O0=%.1f%% O2=%.1f%% Wasmtime=%.1f%%", o0, o2, rep.Geomean["Wasmtime"])
+	// The paper's claim (§6.2): LFI-sandboxed Wasm beats the Wasm engine
+	// models, which pay both instrumentation and codegen-quality costs.
+	if o2 > o0 {
+		t.Errorf("O2 (%.1f%%) should not exceed O0 (%.1f%%)", o2, o0)
+	}
+	for _, sys := range []string{"Wasmtime", "Wasm2c", "WAMR"} {
+		if rep.Geomean[sys] <= o2 {
+			t.Errorf("%s geomean %.1f%% should exceed LFI O2 %.1f%%", sys, rep.Geomean[sys], o2)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package fuzz
+
+import (
+	"errors"
+	"testing"
+
+	"lfi/internal/core"
+	"lfi/internal/verifier"
+	"lfi/internal/wasmbase"
+	"lfi/internal/wasmfront"
+)
+
+// wasmOptLevels are the rewriter levels every translated module must
+// verify under.
+var wasmOptLevels = []core.OptLevel{core.O0, core.O1, core.O2}
+
+// checkWasmOracle enforces the two-frontend agreement contract:
+//
+//  1. wasmbase.ValidateModule rejects ⇒ wasmfront.Translate rejects.
+//  2. ValidateModule accepts ⇒ Translate succeeds or returns a
+//     *wasmfront.LimitError (valid Wasm beyond an implementation limit).
+//  3. Translate succeeds ⇒ the emitted assembly builds and passes the
+//     machine-code verifier at O0, O1, and O2.
+//
+// Direction 1 is the dangerous one: a module the validator rejects must
+// never reach code generation.
+func checkWasmOracle(t *testing.T, wasm []byte) {
+	_, vErr := wasmbase.ValidateModule(wasm)
+	asm, _, tErr := wasmfront.Translate(wasm)
+
+	if vErr != nil {
+		if tErr == nil {
+			t.Fatalf("validator rejected (%v) but Translate accepted", vErr)
+		}
+		return
+	}
+	if tErr != nil {
+		var le *wasmfront.LimitError
+		if !errors.As(tErr, &le) {
+			t.Fatalf("validator accepted but Translate failed with %T: %v", tErr, tErr)
+		}
+		return
+	}
+	for _, opt := range wasmOptLevels {
+		img, err := buildSandboxed(asm, core.Options{Opt: opt}, core.SlotBase(1))
+		if err != nil {
+			t.Fatalf("O%d: translated module does not build: %v\nasm:\n%s", opt, err, asm)
+		}
+		cfg := verifier.DefaultConfig()
+		cfg.TextOff = core.MinCodeOffset
+		if _, err := verifier.Verify(img.Text, cfg); err != nil {
+			t.Fatalf("O%d: verifier rejected translated module: %v\nasm:\n%s", opt, err, asm)
+		}
+	}
+}
+
+// FuzzWasmTranslate fuzzes the module-level agreement between the
+// wasmbase validator and the wasmfront translator. The input is tried
+// both as raw module bytes and as the body of a generated one-function
+// module, so body-level mutations hit the code-section deep path without
+// having to re-derive the module framing.
+func FuzzWasmTranslate(f *testing.F) {
+	f.Add(wasmfront.SampleArithLoop(3))
+	f.Add(wasmfront.SampleMemFill(3))
+	f.Add(wasmfront.SampleCalls(3))
+	f.Add([]byte("\x00asm\x01\x00\x00\x00"))
+	f.Add([]byte{0x41, 0x2a, 0x1a, 0x0b})       // i32.const 42; drop; end (as body)
+	f.Add([]byte{0x02, 0x40, 0x0c, 0x00, 0x0b}) // block; br 0; end (as body)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		checkWasmOracle(t, b)
+
+		// Reinterpret the input as a function body in an otherwise valid
+		// module with a memory, a global, and a table to dispatch into.
+		mb := wasmfront.NewModBuilder()
+		mb.Memory(1)
+		tv := mb.Type(nil, nil)
+		mb.Global(wasmfront.I32, true, 7)
+		var helper wasmfront.Code
+		helper.End()
+		hf := mb.Func(tv, nil, helper.Bytes())
+		mb.Table(2)
+		mb.Elem(0, hf)
+		body := append(append([]byte{}, b...), 0x0b) // ensure a trailing end
+		mf := mb.Func(tv, []wasmfront.ValType{wasmfront.I32, wasmfront.I64}, body)
+		mb.Export("main", mf)
+		checkWasmOracle(t, mb.Bytes())
+	})
+}

@@ -11,6 +11,7 @@ import (
 	"lfi/internal/lfirt"
 	"lfi/internal/obs"
 	"lfi/internal/progs"
+	"lfi/internal/wasmfront"
 )
 
 // An Image is a program prepared for serving: the verified ELF, its
@@ -96,6 +97,42 @@ func (c *Cache) Build(src string, opts core.Options) (*Image, error) {
 	c.misses++
 	c.mMisses.Inc()
 	res, err := progs.Build(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	img, err := c.makeImage(key, res.ELF)
+	if err != nil {
+		return nil, err
+	}
+	c.images[key] = img
+	return img, nil
+}
+
+// BuildWasm translates a WebAssembly module through the wasmfront
+// pipeline (validate → decode → translate → rewrite → assemble → verify
+// → load → snapshot) and caches the result keyed by the module's content
+// hash and build options. Repeated submissions of the same module bytes
+// reuse the prepared image just like asm-source builds.
+func (c *Cache) BuildWasm(wasm []byte, opts core.Options) (*Image, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "wasm:%d:%v:%v:%v\n", opts.Opt, opts.NoLoads, opts.DisableSPOpts, c.cfg.VerifierCfg.NoLoads)
+	h.Write(wasm)
+	key := "wasm:" + hex.EncodeToString(h.Sum(nil))
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if img, ok := c.images[key]; ok {
+		c.hits++
+		c.mHits.Inc()
+		return img, nil
+	}
+	c.misses++
+	c.mMisses.Inc()
+	asm, _, err := wasmfront.Translate(wasm)
+	if err != nil {
+		return nil, err
+	}
+	res, err := progs.Build(asm, opts)
 	if err != nil {
 		return nil, err
 	}

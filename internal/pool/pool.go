@@ -429,6 +429,12 @@ func (p *Pool) ImageFromELF(elfBytes []byte) (*Image, error) {
 	return p.cache.FromELF(elfBytes)
 }
 
+// BuildWasmImage translates a WebAssembly module through the cached
+// wasmfront pipeline.
+func (p *Pool) BuildWasmImage(wasm []byte, opts core.Options) (*Image, error) {
+	return p.cache.BuildWasm(wasm, opts)
+}
+
 // Cache exposes the image cache (for stats).
 func (p *Pool) Cache() *Cache { return p.cache }
 

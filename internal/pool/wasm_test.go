@@ -1,0 +1,101 @@
+package pool
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"lfi/internal/core"
+	"lfi/internal/wasmfront"
+)
+
+// wasmChecksum runs the module on the reference interpreter and returns
+// the 8-byte little-endian checksum the sandboxed build must write.
+func wasmChecksum(t testing.TB, wasm []byte) []byte {
+	t.Helper()
+	m, err := wasmfront.Decode(wasm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, trap, err := wasmfront.NewInterp(m).Run()
+	if err != nil || trap != wasmfront.TrapNone {
+		t.Fatalf("interp: res=%#x trap=%v err=%v", res, trap, err)
+	}
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, res)
+	return out
+}
+
+// TestPoolServesWasm pushes a nontrivial module — recursive calls,
+// indirect dispatch through a funcref table, and linear-memory traffic —
+// through the content-hashed image cache and a worker, end to end.
+func TestPoolServesWasm(t *testing.T) {
+	p := New(Config{Workers: 2})
+	defer p.Close()
+
+	wasm := wasmfront.SampleCalls(200)
+	want := wasmChecksum(t, wasm)
+
+	img, err := p.BuildWasmImage(wasm, core.Options{Opt: core.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Do(Job{Image: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Status != 0 {
+		t.Fatalf("status = %d, want 0", res.Status)
+	}
+	if string(res.Stdout) != string(want) {
+		t.Errorf("checksum = %x, want %x", res.Stdout, want)
+	}
+}
+
+// TestWasmImageCacheDeduplicates checks identical module bytes hit the
+// cache while different options miss.
+func TestWasmImageCacheDeduplicates(t *testing.T) {
+	p := New(Config{Workers: 1})
+	defer p.Close()
+
+	wasm := wasmfront.SampleArithLoop(50)
+	a, err := p.BuildWasmImage(wasm, core.Options{Opt: core.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.BuildWasmImage(wasm, core.Options{Opt: core.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical wasm built two images")
+	}
+	c, err := p.BuildWasmImage(wasm, core.Options{Opt: core.O0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different options shared an image")
+	}
+
+	// Wasm jobs run through the standard worker path.
+	res, err := p.Do(Job{Image: a})
+	if err != nil || res.Err != nil {
+		t.Fatalf("run: %v / %v", err, res.Err)
+	}
+	if string(res.Stdout) != string(wasmChecksum(t, wasm)) {
+		t.Errorf("checksum mismatch")
+	}
+}
+
+// TestWasmBuildRejectsInvalid ensures malformed modules fail at build
+// time, not at serve time.
+func TestWasmBuildRejectsInvalid(t *testing.T) {
+	p := New(Config{Workers: 1})
+	defer p.Close()
+	if _, err := p.BuildWasmImage([]byte("\x00asm junk"), core.Options{Opt: core.O2}); err == nil {
+		t.Error("malformed wasm accepted")
+	}
+}

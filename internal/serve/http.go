@@ -71,7 +71,11 @@ type ImageRequest struct {
 	// ELF is a prebuilt sandbox executable, base64-encoded; it is
 	// verified before registration.
 	ELF string `json:"elf,omitempty"`
-	// Opt is the rewriter optimization level for Source (0, 1, 2 = default 2).
+	// Wasm is a WebAssembly module, base64-encoded; it is translated
+	// through the wasmfront pipeline and verified like source builds.
+	Wasm string `json:"wasm,omitempty"`
+	// Opt is the rewriter optimization level for Source and Wasm
+	// (0, 1, 2 = default 2).
 	Opt *int `json:"opt,omitempty"`
 }
 
@@ -378,21 +382,26 @@ func (s *Server) handleImagePost(w http.ResponseWriter, r *http.Request) {
 		img *pool.Image
 		err error
 	)
+	opts := core.Options{Opt: core.O2}
+	if req.Opt != nil {
+		opts.Opt = core.OptLevel(*req.Opt)
+	}
 	switch {
-	case req.Source != "" && req.ELF == "":
-		opts := core.Options{Opt: core.O2}
-		if req.Opt != nil {
-			opts.Opt = core.OptLevel(*req.Opt)
-		}
+	case req.Source != "" && req.ELF == "" && req.Wasm == "":
 		img, err = s.BuildImage(req.Name, req.Source, opts)
-	case req.ELF != "" && req.Source == "":
+	case req.ELF != "" && req.Source == "" && req.Wasm == "":
 		var elf []byte
 		if elf, err = base64.StdEncoding.DecodeString(req.ELF); err == nil {
 			img, err = s.ImageFromELF(req.Name, elf)
 		}
+	case req.Wasm != "" && req.Source == "" && req.ELF == "":
+		var wasm []byte
+		if wasm, err = base64.StdEncoding.DecodeString(req.Wasm); err == nil {
+			img, err = s.BuildWasm(req.Name, wasm, opts)
+		}
 	default:
 		writeJSON(w, http.StatusBadRequest, &JobResponse{ErrorKind: "bad_request",
-			Error: "exactly one of source, elf required"})
+			Error: "exactly one of source, elf, wasm required"})
 		return
 	}
 	if err != nil {

@@ -255,6 +255,17 @@ func (s *Server) BuildImage(name, src string, opts core.Options) (*pool.Image, e
 	return img, nil
 }
 
+// BuildWasm translates a WebAssembly module through the shared cache's
+// wasmfront pipeline and registers the result under name.
+func (s *Server) BuildWasm(name string, wasm []byte, opts core.Options) (*pool.Image, error) {
+	img, err := s.cache.BuildWasm(wasm, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.registerAlias(name, img.Key)
+	return img, nil
+}
+
 // ImageFromELF verifies and registers a prebuilt executable under name.
 func (s *Server) ImageFromELF(name string, elfBytes []byte) (*pool.Image, error) {
 	img, err := s.cache.FromELF(elfBytes)

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"lfi/internal/core"
+	"lfi/internal/wasmfront"
+)
+
+// lossy round-trips s the way a JSON string field does: stdout carries
+// raw checksum bytes, and invalid UTF-8 is replaced during encoding.
+func lossy(t *testing.T, s string) string {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out string
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestHTTPWasmImage registers a Wasm module through POST /v1/images and
+// serves jobs against it — the module exercises calls, indirect
+// dispatch, and linear memory.
+func TestHTTPWasmImage(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2})
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+
+	wasm := wasmfront.SampleCalls(100)
+	m, err := wasmfront.Decode(wasm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, trap, err := wasmfront.NewInterp(m).Run()
+	if err != nil || trap != wasmfront.TrapNone {
+		t.Fatalf("interp: %v %v", trap, err)
+	}
+	want := make([]byte, 8)
+	binary.LittleEndian.PutUint64(want, res)
+
+	body, _ := json.Marshal(&ImageRequest{
+		Name: "wcalls",
+		Wasm: base64.StdEncoding.EncodeToString(wasm),
+	})
+	resp, err := http.Post(ts.URL+"/v1/images", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir ImageResponse
+	json.NewDecoder(resp.Body).Decode(&ir)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || ir.Key == "" {
+		t.Fatalf("register: code=%d resp=%+v", resp.StatusCode, ir)
+	}
+
+	for _, ref := range []string{"wcalls", ir.Key} {
+		jr, code := postJob(t, ts, &JobRequest{Image: ref})
+		if code != http.StatusOK || jr.ErrorKind != "ok" || jr.Status != 0 {
+			t.Fatalf("serve by %q: code=%d resp=%+v", ref, code, jr)
+		}
+		if jr.Stdout != lossy(t, string(want)) {
+			t.Errorf("serve by %q: checksum %q, want %q", ref, jr.Stdout, lossy(t, string(want)))
+		}
+	}
+}
+
+// TestHTTPWasmImageErrors covers rejection paths: bad base64, malformed
+// modules, and mixing wasm with other payload kinds.
+func TestHTTPWasmImageErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Mux())
+	defer ts.Close()
+
+	post := func(req *ImageRequest) int {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/v1/images", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := post(&ImageRequest{Wasm: "!!!not-base64"}); code != http.StatusBadRequest {
+		t.Errorf("bad base64: code=%d", code)
+	}
+	junk := base64.StdEncoding.EncodeToString([]byte("\x00asm junk"))
+	if code := post(&ImageRequest{Wasm: junk}); code != http.StatusBadRequest {
+		t.Errorf("malformed module: code=%d", code)
+	}
+	good := base64.StdEncoding.EncodeToString(wasmfront.SampleArithLoop(5))
+	if code := post(&ImageRequest{Wasm: good, Source: helloSrc(1)}); code != http.StatusBadRequest {
+		t.Errorf("wasm+source: code=%d", code)
+	}
+}
+
+// TestBuildWasmDirect exercises the non-HTTP server surface.
+func TestBuildWasmDirect(t *testing.T) {
+	s := newTestServer(t, Config{})
+	img, err := s.BuildWasm("warith", wasmfront.SampleArithLoop(20), core.Options{Opt: core.O1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.resolveImage("warith"); err != nil || got != img {
+		t.Fatalf("alias resolve: %v %v", got, err)
+	}
+}

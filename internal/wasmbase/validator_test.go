@@ -62,6 +62,87 @@ func TestValidateTypeErrors(t *testing.T) {
 	}
 }
 
+// TestValidateMalformedEncodings covers the structural-decoding edge
+// cases that historically disagreed with the wasmfront decoder: lebs cut
+// off mid-value, section lengths running past the buffer, and function
+// bodies whose declared size crosses the code-section boundary.
+func TestValidateMalformedEncodings(t *testing.T) {
+	header := []byte("\x00asm\x01\x00\x00\x00")
+
+	t.Run("truncated-leb-section-size", func(t *testing.T) {
+		// Section id 1 followed by a leb with the continuation bit set and
+		// no further bytes.
+		m := append(append([]byte{}, header...), 0x01, 0x85)
+		if _, err := ValidateModule(m); err == nil {
+			t.Error("truncated section-size leb accepted")
+		}
+	})
+
+	t.Run("truncated-leb-count", func(t *testing.T) {
+		// Type section of length 1 whose count leb is cut off.
+		m := append(append([]byte{}, header...), 0x01, 0x01, 0x80)
+		if _, err := ValidateModule(m); err == nil {
+			t.Error("truncated count leb accepted")
+		}
+	})
+
+	t.Run("leb-u32-nonzero-high-bits", func(t *testing.T) {
+		// 5-byte leb whose final byte sets bits above bit 31 — must be
+		// rejected as a malformed u32, not silently truncated.
+		m := append(append([]byte{}, header...), 0x01, 0x85, 0x80, 0x80, 0x80, 0x78)
+		if _, err := ValidateModule(m); err == nil {
+			t.Error("u32 leb with high bits accepted")
+		}
+	})
+
+	t.Run("section-length-overflow", func(t *testing.T) {
+		// Section claims 0xffffffff bytes but the buffer ends immediately.
+		m := append(append([]byte{}, header...), 0x01, 0xff, 0xff, 0xff, 0xff, 0x0f)
+		if _, err := ValidateModule(m); err == nil {
+			t.Error("section length past buffer accepted")
+		}
+	})
+
+	t.Run("section-length-short", func(t *testing.T) {
+		// Section payload longer than declared: contents must be read
+		// against the declared end, and the mismatch rejected.
+		m := GenModule(1, 32)
+		// Inflate the first section's declared length by swapping its
+		// single-byte leb for a larger value still inside the buffer.
+		m[9]++ // first section's size byte (id at 8, size at 9)
+		if _, err := ValidateModule(m); err == nil {
+			t.Error("section payload/length mismatch accepted")
+		}
+	})
+
+	t.Run("body-length-past-section-end", func(t *testing.T) {
+		m := GenModule(1, 32)
+		// Find the code section and inflate the first body's size leb so
+		// the body would run past the section end into trailing bytes.
+		idx := -1
+		for i := 8; i < len(m)-2; i++ {
+			if m[i] == 0x0a { // section id 10
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Fatal("no code section found")
+		}
+		// Layout for GenModule output: id, size (leb), count=1, bodySize (leb).
+		// Walk past the section-size leb.
+		j := idx + 1
+		for m[j]&0x80 != 0 {
+			j++
+		}
+		j += 2 // past final size byte and the count byte
+		m[j] += 40
+		if _, err := ValidateModule(m); err == nil {
+			t.Error("body length past section end accepted")
+		}
+	})
+}
+
 // TestValidatorNeverPanics fuzzes the validator with random mutations of a
 // valid module.
 func TestValidatorNeverPanics(t *testing.T) {

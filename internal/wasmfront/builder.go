@@ -1,0 +1,304 @@
+package wasmfront
+
+import "encoding/binary"
+
+// ModBuilder assembles Wasm binaries for tests, samples, and benchmarks —
+// a programmatic stand-in for a .wat assembler. Instruction bytes are
+// written with the Leb/Op helpers below.
+type ModBuilder struct {
+	types   []FuncType
+	funcs   []uint32 // type index per function
+	bodies  [][]byte // locals+code per function, without the size prefix
+	table   uint32
+	hasTab  bool
+	elems   [][]byte
+	mem     uint32
+	hasMem  bool
+	globals [][]byte
+	exports [][]byte
+	start   int
+	data    [][]byte
+}
+
+// NewModBuilder returns an empty builder with no start function.
+func NewModBuilder() *ModBuilder { return &ModBuilder{start: -1} }
+
+// LebU encodes an unsigned leb128.
+func LebU(v uint64) []byte {
+	var out []byte
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		if v != 0 {
+			b |= 0x80
+		}
+		out = append(out, b)
+		if v == 0 {
+			return out
+		}
+	}
+}
+
+// LebS encodes a signed leb128.
+func LebS(v int64) []byte {
+	var out []byte
+	for {
+		b := byte(v & 0x7f)
+		v >>= 7
+		done := (v == 0 && b&0x40 == 0) || (v == -1 && b&0x40 != 0)
+		if !done {
+			b |= 0x80
+		}
+		out = append(out, b)
+		if done {
+			return out
+		}
+	}
+}
+
+// Type interns a function signature and returns its index.
+func (mb *ModBuilder) Type(params, results []ValType) uint32 {
+	for i, t := range mb.types {
+		if typeEq(t.Params, params) && typeEq(t.Results, results) {
+			return uint32(i)
+		}
+	}
+	mb.types = append(mb.types, FuncType{
+		Params:  append([]ValType(nil), params...),
+		Results: append([]ValType(nil), results...),
+	})
+	return uint32(len(mb.types) - 1)
+}
+
+func typeEq(a, b []ValType) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Func adds a function and returns its index. locals declares extra
+// locals beyond the parameters; code is the body instruction stream and
+// must end with OpEnd.
+func (mb *ModBuilder) Func(typeIdx uint32, locals []ValType, code []byte) uint32 {
+	var body []byte
+	body = append(body, LebU(uint64(len(locals)))...)
+	for _, l := range locals {
+		body = append(body, 1, byte(l))
+	}
+	body = append(body, code...)
+	mb.funcs = append(mb.funcs, typeIdx)
+	mb.bodies = append(mb.bodies, body)
+	return uint32(len(mb.funcs) - 1)
+}
+
+// Memory declares a linear memory of min pages.
+func (mb *ModBuilder) Memory(pages uint32) {
+	mb.mem = pages
+	mb.hasMem = true
+}
+
+// Table declares a funcref table of the given size.
+func (mb *ModBuilder) Table(size uint32) {
+	mb.table = size
+	mb.hasTab = true
+}
+
+// Elem adds an active element segment at offset.
+func (mb *ModBuilder) Elem(offset uint32, funcs ...uint32) {
+	seg := []byte{0, OpI32Const}
+	seg = append(seg, LebS(int64(offset))...)
+	seg = append(seg, OpEnd)
+	seg = append(seg, LebU(uint64(len(funcs)))...)
+	for _, f := range funcs {
+		seg = append(seg, LebU(uint64(f))...)
+	}
+	mb.elems = append(mb.elems, seg)
+}
+
+// Global adds a global and returns its index.
+func (mb *ModBuilder) Global(t ValType, mut bool, init int64) uint32 {
+	g := []byte{byte(t), 0}
+	if mut {
+		g[1] = 1
+	}
+	if t == I32 {
+		g = append(g, OpI32Const)
+	} else {
+		g = append(g, OpI64Const)
+	}
+	g = append(g, LebS(init)...)
+	g = append(g, OpEnd)
+	mb.globals = append(mb.globals, g)
+	return uint32(len(mb.globals) - 1)
+}
+
+// Export exports function fi under name.
+func (mb *ModBuilder) Export(name string, fi uint32) {
+	e := LebU(uint64(len(name)))
+	e = append(e, name...)
+	e = append(e, 0)
+	e = append(e, LebU(uint64(fi))...)
+	mb.exports = append(mb.exports, e)
+}
+
+// Start sets the start-section function.
+func (mb *ModBuilder) Start(fi uint32) { mb.start = int(fi) }
+
+// Data adds an active data segment.
+func (mb *ModBuilder) Data(offset uint32, bytes []byte) {
+	seg := []byte{0, OpI32Const}
+	seg = append(seg, LebS(int64(offset))...)
+	seg = append(seg, OpEnd)
+	seg = append(seg, LebU(uint64(len(bytes)))...)
+	seg = append(seg, bytes...)
+	mb.data = append(mb.data, seg)
+}
+
+func section(id byte, payload []byte) []byte {
+	out := []byte{id}
+	out = append(out, LebU(uint64(len(payload)))...)
+	return append(out, payload...)
+}
+
+func vec(items [][]byte) []byte {
+	out := LebU(uint64(len(items)))
+	for _, it := range items {
+		out = append(out, it...)
+	}
+	return out
+}
+
+// Bytes serializes the module.
+func (mb *ModBuilder) Bytes() []byte {
+	out := make([]byte, 8)
+	copy(out, "\x00asm")
+	binary.LittleEndian.PutUint32(out[4:], 1)
+
+	if len(mb.types) > 0 {
+		var items [][]byte
+		for _, t := range mb.types {
+			ft := []byte{0x60}
+			ft = append(ft, LebU(uint64(len(t.Params)))...)
+			for _, p := range t.Params {
+				ft = append(ft, byte(p))
+			}
+			ft = append(ft, LebU(uint64(len(t.Results)))...)
+			for _, r := range t.Results {
+				ft = append(ft, byte(r))
+			}
+			items = append(items, ft)
+		}
+		out = append(out, section(1, vec(items))...)
+	}
+	if len(mb.funcs) > 0 {
+		var items [][]byte
+		for _, ti := range mb.funcs {
+			items = append(items, LebU(uint64(ti)))
+		}
+		out = append(out, section(3, vec(items))...)
+	}
+	if mb.hasTab {
+		tab := []byte{0x70, 0}
+		tab = append(tab, LebU(uint64(mb.table))...)
+		out = append(out, section(4, vec([][]byte{tab}))...)
+	}
+	if mb.hasMem {
+		memEnt := []byte{0}
+		memEnt = append(memEnt, LebU(uint64(mb.mem))...)
+		out = append(out, section(5, vec([][]byte{memEnt}))...)
+	}
+	if len(mb.globals) > 0 {
+		out = append(out, section(6, vec(mb.globals))...)
+	}
+	if len(mb.exports) > 0 {
+		out = append(out, section(7, vec(mb.exports))...)
+	}
+	if mb.start >= 0 {
+		out = append(out, section(8, LebU(uint64(mb.start)))...)
+	}
+	if len(mb.elems) > 0 {
+		out = append(out, section(9, vec(mb.elems))...)
+	}
+	if len(mb.bodies) > 0 {
+		var items [][]byte
+		for _, b := range mb.bodies {
+			item := LebU(uint64(len(b)))
+			items = append(items, append(item, b...))
+		}
+		out = append(out, section(10, vec(items))...)
+	}
+	if len(mb.data) > 0 {
+		out = append(out, section(11, vec(mb.data))...)
+	}
+	return out
+}
+
+// Code is a small helper for building instruction streams.
+type Code struct{ b []byte }
+
+func (c *Code) Op(ops ...byte) *Code { c.b = append(c.b, ops...); return c }
+
+func (c *Code) I32Const(v int32) *Code {
+	c.b = append(c.b, OpI32Const)
+	c.b = append(c.b, LebS(int64(v))...)
+	return c
+}
+
+func (c *Code) I64Const(v int64) *Code {
+	c.b = append(c.b, OpI64Const)
+	c.b = append(c.b, LebS(v)...)
+	return c
+}
+
+// Idx appends an opcode with one leb-u32 immediate (local.get, call,
+// br, block-less uses).
+func (c *Code) Idx(op byte, v uint32) *Code {
+	c.b = append(c.b, op)
+	c.b = append(c.b, LebU(uint64(v))...)
+	return c
+}
+
+// Block/Loop/If append a structured opcode with a block type (0x40 for
+// empty, or a ValType byte).
+func (c *Code) Block(bt byte) *Code { c.b = append(c.b, OpBlock, bt); return c }
+func (c *Code) Loop(bt byte) *Code  { c.b = append(c.b, OpLoop, bt); return c }
+func (c *Code) If(bt byte) *Code    { c.b = append(c.b, OpIf, bt); return c }
+
+// Mem appends a memory instruction with align and offset immediates.
+func (c *Code) Mem(op byte, align, off uint32) *Code {
+	c.b = append(c.b, op)
+	c.b = append(c.b, LebU(uint64(align))...)
+	c.b = append(c.b, LebU(uint64(off))...)
+	return c
+}
+
+// BrTable appends a br_table with the given targets and default.
+func (c *Code) BrTable(targets []uint32, def uint32) *Code {
+	c.b = append(c.b, OpBrTable)
+	c.b = append(c.b, LebU(uint64(len(targets)))...)
+	for _, t := range targets {
+		c.b = append(c.b, LebU(uint64(t))...)
+	}
+	c.b = append(c.b, LebU(uint64(def))...)
+	return c
+}
+
+// CallIndirect appends a call_indirect with type index ti (table 0).
+func (c *Code) CallIndirect(ti uint32) *Code {
+	c.b = append(c.b, OpCallIndirect)
+	c.b = append(c.b, LebU(uint64(ti))...)
+	c.b = append(c.b, 0)
+	return c
+}
+
+// End appends OpEnd.
+func (c *Code) End() *Code { c.b = append(c.b, OpEnd); return c }
+
+// Bytes returns the instruction stream.
+func (c *Code) Bytes() []byte { return c.b }

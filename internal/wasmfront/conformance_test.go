@@ -1,0 +1,600 @@
+package wasmfront
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"lfi/internal/core"
+	"lfi/internal/lfirt"
+	"lfi/internal/progs"
+)
+
+// The differential conformance suite: every program runs through the
+// in-package reference interpreter AND the full translate → rewrite →
+// verify → load → emulate path at O0/O1/O2, asserting identical results
+// and identical traps. This is the fastdiff pattern from internal/emu
+// applied to the Wasm frontend.
+
+// runSandboxed compiles wasm through the full pipeline at opts and runs
+// it under a fresh verified runtime, returning exit status and stdout.
+func runSandboxed(t *testing.T, wasm []byte, opts core.Options) (int, []byte) {
+	t.Helper()
+	asm, _, err := Translate(wasm)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	res, err := progs.Build(asm, opts)
+	if err != nil {
+		t.Fatalf("build (opt %v): %v\nasm:\n%s", opts.Opt, err, asm)
+	}
+	rt := lfirt.New(lfirt.DefaultConfig())
+	p, err := rt.Load(res.ELF)
+	if err != nil {
+		t.Fatalf("load (opt %v): %v", opts.Opt, err)
+	}
+	status, err := rt.RunProc(p)
+	if err != nil {
+		t.Fatalf("run (opt %v): %v", opts.Opt, err)
+	}
+	return status, rt.Stdout()
+}
+
+// checkConformance runs wasm on the interpreter and on the sandbox at
+// every opt level and requires identical outcomes.
+func checkConformance(t *testing.T, wasm []byte) {
+	t.Helper()
+	m, err := Decode(wasm)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want, wantTrap, err := NewInterp(m).Run()
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	for _, opt := range []core.OptLevel{core.O0, core.O1, core.O2} {
+		status, out := runSandboxed(t, wasm, core.Options{Opt: opt})
+		if wantTrap != TrapNone {
+			if status != TrapExitStatus(wantTrap) {
+				t.Errorf("opt %v: status %#x, want trap %v (%#x)", opt, status, wantTrap, TrapExitStatus(wantTrap))
+			}
+			continue
+		}
+		if status != 0 {
+			gotTrap, _ := TrapFromStatus(status)
+			t.Errorf("opt %v: trapped %v (status %#x), want result %#x", opt, gotTrap, status, want)
+			continue
+		}
+		if len(out) != 8 {
+			t.Errorf("opt %v: stdout %d bytes, want 8", opt, len(out))
+			continue
+		}
+		if got := binary.LittleEndian.Uint64(out); got != want {
+			t.Errorf("opt %v: result %#x, want %#x", opt, got, want)
+		}
+	}
+}
+
+// mainI32 wraps body (which must leave one i32 and End) in a module whose
+// exported main extends it to the i64 checksum.
+func mainI32(body *Code, build func(mb *ModBuilder)) []byte {
+	mb := NewModBuilder()
+	if build != nil {
+		build(mb)
+	}
+	t := mb.Type(nil, []ValType{I64})
+	code := append([]byte(nil), body.b[:len(body.b)-1]...) // strip End
+	code = append(code, OpI64ExtendU, OpEnd)
+	f := mb.Func(t, []ValType{I32, I32, I32, I64}, code)
+	mb.Export("main", f)
+	return mb.Bytes()
+}
+
+// mainI64 wraps a body leaving one i64.
+func mainI64(body *Code, build func(mb *ModBuilder)) []byte {
+	mb := NewModBuilder()
+	if build != nil {
+		build(mb)
+	}
+	t := mb.Type(nil, []ValType{I64})
+	f := mb.Func(t, []ValType{I32, I32, I32, I64}, body.Bytes())
+	mb.Export("main", f)
+	return mb.Bytes()
+}
+
+func withMem(pages uint32) func(*ModBuilder) {
+	return func(mb *ModBuilder) { mb.Memory(pages) }
+}
+
+func TestConformanceArith(t *testing.T) {
+	const (
+		iAdd, iSub, iMul = 0x6a, 0x6b, 0x6c
+		iDivS, iDivU     = 0x6d, 0x6e
+		iRemS, iRemU     = 0x6f, 0x70
+		iAnd, iOr, iXor  = 0x71, 0x72, 0x73
+		iShl, iShrS      = 0x74, 0x75
+		iShrU            = 0x76
+		iRotl, iRotr     = 0x77, 0x78
+	)
+	cases := []struct {
+		name string
+		body func() *Code
+	}{
+		{"basic-chain", func() *Code {
+			var c Code
+			return c.I32Const(1).I32Const(2).Op(iAdd).I32Const(3).Op(iMul).I32Const(4).Op(iSub).End()
+		}},
+		{"div-s-intmin-neg1", func() *Code { // must trap: overflow
+			var c Code
+			return c.I32Const(-0x80000000).I32Const(-1).Op(iDivS).End()
+		}},
+		{"div-s-intmin-1", func() *Code {
+			var c Code
+			return c.I32Const(-0x80000000).I32Const(1).Op(iDivS).End()
+		}},
+		{"div-s-zero", func() *Code { // must trap: div by zero
+			var c Code
+			return c.I32Const(7).I32Const(0).Op(iDivS).End()
+		}},
+		{"rem-s-intmin-neg1", func() *Code { // defined: 0
+			var c Code
+			return c.I32Const(-0x80000000).I32Const(-1).Op(iRemS).End()
+		}},
+		{"rem-u-zero", func() *Code { // must trap
+			var c Code
+			return c.I32Const(7).I32Const(0).Op(iRemU).End()
+		}},
+		{"div-u-wraparound", func() *Code {
+			var c Code
+			return c.I32Const(-1).I32Const(16).Op(iDivU).End() // 0xffffffff/16
+		}},
+		{"rem-s-negative", func() *Code {
+			var c Code
+			return c.I32Const(-7).I32Const(3).Op(iRemS).End() // -1 (u32 0xffffffff)
+		}},
+		{"shift-mod-32", func() *Code {
+			var c Code
+			return c.I32Const(1).I32Const(33).Op(iShl).End() // 1<<33 == 2 (mod 32)
+		}},
+		{"shr-s-sign", func() *Code {
+			var c Code
+			return c.I32Const(-16).I32Const(2).Op(iShrS).End()
+		}},
+		{"shr-u-high", func() *Code {
+			var c Code
+			return c.I32Const(-16).I32Const(2).Op(iShrU).End()
+		}},
+		{"rot-pair", func() *Code {
+			var c Code
+			return c.I32Const(0x12345678).I32Const(8).Op(iRotl).
+				I32Const(0x12345678).I32Const(8).Op(iRotr).Op(iXor).End()
+		}},
+		{"rot-count-zero", func() *Code {
+			var c Code
+			return c.I32Const(0x12345678).I32Const(32).Op(iRotl).End()
+		}},
+		{"bitwise", func() *Code {
+			var c Code
+			return c.I32Const(0x0ff0).I32Const(0x1234).Op(iAnd).
+				I32Const(0x4000).Op(iOr).I32Const(0x5555).Op(iXor).End()
+		}},
+		{"deep-stack-spill", func() *Code {
+			var c Code
+			for i := int32(1); i <= 12; i++ {
+				c.I32Const(i * i)
+			}
+			for i := 0; i < 11; i++ {
+				c.Op(iAdd)
+			}
+			return c.End()
+		}},
+		{"cmp-battery", func() *Code {
+			var c Code
+			c.I32Const(-5).I32Const(3).Op(0x48) // lt_s = 1
+			c.I32Const(-5).I32Const(3).Op(0x49) // lt_u = 0
+			c.Op(iAdd)
+			c.I32Const(7).I32Const(7).Op(0x4d) // le_u = 1
+			c.Op(iAdd)
+			c.I32Const(-1).I32Const(0).Op(0x4b) // gt_u = 1
+			c.Op(iAdd)
+			c.I32Const(4).Op(OpI32Eqz) // 0
+			c.Op(iAdd)
+			c.I32Const(0).Op(OpI32Eqz) // 1
+			c.Op(iAdd)
+			return c.End()
+		}},
+		{"select", func() *Code {
+			var c Code
+			c.I32Const(111).I32Const(222).I32Const(1).Op(OpSelect)
+			c.I32Const(333).I32Const(444).I32Const(0).Op(OpSelect)
+			return c.Op(iAdd).End()
+		}},
+		{"unreachable", func() *Code {
+			var c Code
+			return c.Op(OpUnreachable).I32Const(1).End()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkConformance(t, mainI32(tc.body(), nil))
+		})
+	}
+}
+
+func TestConformanceI64(t *testing.T) {
+	cases := []struct {
+		name string
+		body func() *Code
+	}{
+		{"mul-add-large", func() *Code {
+			var c Code
+			return c.I64Const(0x123456789abcdef0).I64Const(-3).Op(0x7e).
+				I64Const(0x1111111111111111).Op(0x7c).End()
+		}},
+		{"div-s-i64min-neg1", func() *Code { // trap
+			var c Code
+			return c.I64Const(-0x8000000000000000).I64Const(-1).Op(0x7f).End()
+		}},
+		{"rem-s-i64min-neg1", func() *Code { // defined 0
+			var c Code
+			return c.I64Const(-0x8000000000000000).I64Const(-1).Op(0x81).End()
+		}},
+		{"div-zero-i64", func() *Code {
+			var c Code
+			return c.I64Const(5).I64Const(0).Op(0x80).End()
+		}},
+		{"shift-rot-64", func() *Code {
+			var c Code
+			c.I64Const(1).I64Const(65).Op(0x86)                   // shl mod 64 = 2
+			c.I64Const(-0x8000000000000000).I64Const(63).Op(0x87) // shr_s = -1
+			c.I64Const(0x00ff00ff00ff00ff).I64Const(16).Op(0x89)  // rotl
+			c.Op(0x85)                                            // xor
+			c.Op(0x7c)                                            // add
+			return c.End()
+		}},
+		{"wrap-extend", func() *Code {
+			var c Code
+			c.I64Const(0x1_0000_0005).Op(OpI32WrapI64).Op(OpI64ExtendU) // 5
+			c.I32Const(-0x80000000).Op(OpI64ExtendS)                    // sign-extends
+			c.Op(0x7c)
+			return c.End()
+		}},
+		{"extend-u-zero-high", func() *Code {
+			var c Code
+			return c.I32Const(-1).Op(OpI64ExtendU).End() // 0xffffffff
+		}},
+		{"cmp-i64", func() *Code {
+			var c Code
+			c.I64Const(-1).I64Const(1).Op(0x53).Op(OpI64ExtendU) // lt_s = 1
+			c.I64Const(-1).I64Const(1).Op(0x54).Op(OpI64ExtendU) // lt_u = 0
+			c.Op(0x7c)
+			c.I64Const(9).Op(OpI64Eqz).Op(OpI64ExtendU).Op(0x7c)
+			return c.End()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkConformance(t, mainI64(tc.body(), nil))
+		})
+	}
+}
+
+func TestConformanceControl(t *testing.T) {
+	cases := []struct {
+		name string
+		wasm []byte
+	}{
+		{"loop-sum", mainI32(func() *Code {
+			var c Code
+			c.I32Const(10).Idx(OpLocalSet, 0)
+			c.Loop(0x40)
+			c.Idx(OpLocalGet, 1).Idx(OpLocalGet, 0).Op(0x6a).Idx(OpLocalSet, 1)
+			c.Idx(OpLocalGet, 0).I32Const(1).Op(0x6b).Idx(OpLocalTee, 0)
+			c.Idx(OpBrIf, 0)
+			c.End()
+			return c.Idx(OpLocalGet, 1).End()
+		}(), nil)},
+		{"block-result-br", mainI32(func() *Code {
+			var c Code
+			c.Block(byte(I32))
+			c.I32Const(42).Idx(OpBr, 0)
+			c.I32Const(7) // dead
+			c.End()
+			return c.End()
+		}(), nil)},
+		{"nested-br-outer", mainI32(func() *Code {
+			var c Code
+			c.Block(byte(I32))
+			c.Block(0x40)
+			c.I32Const(5).Idx(OpBr, 1)
+			c.End()
+			c.I32Const(9)
+			c.End()
+			return c.End()
+		}(), nil)},
+		{"if-else-result", mainI32(func() *Code {
+			var c Code
+			c.I32Const(3).I32Const(2).Op(0x4a) // gt_s → 1
+			c.If(byte(I32)).I32Const(100).Op(OpElse).I32Const(200).End()
+			return c.End()
+		}(), nil)},
+		{"if-no-else", mainI32(func() *Code {
+			var c Code
+			c.I32Const(0).Idx(OpLocalSet, 0)
+			c.I32Const(1).If(0x40).I32Const(77).Idx(OpLocalSet, 0).End()
+			c.I32Const(0).If(0x40).I32Const(88).Idx(OpLocalSet, 0).End()
+			return c.Idx(OpLocalGet, 0).End()
+		}(), nil)},
+		{"early-return", mainI64(func() *Code {
+			var c Code
+			c.I32Const(1).If(0x40).I64Const(31).Op(OpReturn).End()
+			return c.I64Const(99).End()
+		}(), nil)},
+		{"br-table-cases", mainI64(func() *Code {
+			// Sum f(i) for i in 5..0 where f dispatches through br_table:
+			// index 0/1/2 → 10/20/30, everything else → default 99.
+			var c Code
+			c.I32Const(6).Idx(OpLocalSet, 0) // countdown 6..1, idx = l0-1
+			c.Loop(0x40)
+			c.I32Const(99).Idx(OpLocalSet, 1) // default case value
+			c.Block(0x40)                     // done
+			c.Block(0x40).Block(0x40).Block(0x40)
+			c.Idx(OpLocalGet, 0).I32Const(1).Op(0x6b)
+			c.BrTable([]uint32{0, 1, 2}, 3)
+			c.End() // case 0
+			c.I32Const(10).Idx(OpLocalSet, 1).Idx(OpBr, 2)
+			c.End() // case 1
+			c.I32Const(20).Idx(OpLocalSet, 1).Idx(OpBr, 1)
+			c.End() // case 2
+			c.I32Const(30).Idx(OpLocalSet, 1)
+			c.End() // done
+			c.Idx(OpLocalGet, 1).Op(OpI64ExtendU)
+			c.Idx(OpLocalGet, 3).Op(0x7c).Idx(OpLocalSet, 3)
+			c.Idx(OpLocalGet, 0).I32Const(1).Op(0x6b).Idx(OpLocalTee, 0)
+			c.Idx(OpBrIf, 0)
+			c.End()
+			return c.Idx(OpLocalGet, 3).End()
+		}(), nil)},
+		{"br-table-negative-index", mainI32(func() *Code {
+			var c Code
+			c.Block(byte(I32))
+			c.Block(0x40)
+			c.I32Const(-1).BrTable([]uint32{0}, 0) // u32 huge → default (same label)
+			c.End()
+			c.I32Const(64).Idx(OpBr, 0)
+			c.End()
+			return c.End()
+		}(), nil)},
+		{"br-if-value-preserved", mainI32(func() *Code {
+			var c Code
+			c.Block(byte(I32))
+			c.I32Const(5) // block result candidate
+			c.I32Const(1).Idx(OpBrIf, 0)
+			c.I32Const(3).Op(0x6a)
+			c.End()
+			return c.End()
+		}(), nil)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkConformance(t, tc.wasm)
+		})
+	}
+}
+
+func TestConformanceMemory(t *testing.T) {
+	const memBytes = PageBytes // 1 page in all cases below
+	cases := []struct {
+		name string
+		body func() *Code
+	}{
+		{"roundtrip-i32", func() *Code {
+			var c Code
+			c.I32Const(64).I32Const(-123456789).Mem(OpI32Store, 2, 0)
+			return c.I32Const(64).Mem(OpI32Load, 2, 0).End()
+		}},
+		{"subword-sign", func() *Code {
+			var c Code
+			c.I32Const(0).I32Const(0x80).Mem(OpI32Store8, 0, 0)
+			c.I32Const(0).Mem(OpI32Load8S, 0, 0)          // -128
+			c.I32Const(0).Mem(OpI32Load8U, 0, 0).Op(0x6a) // +128
+			return c.End()
+		}},
+		{"load16-mix", func() *Code {
+			var c Code
+			c.I32Const(8).I32Const(-2).Mem(OpI32Store16, 1, 0)
+			c.I32Const(8).Mem(OpI32Load16S, 1, 0)
+			c.I32Const(8).Mem(OpI32Load16U, 1, 0).Op(0x73)
+			return c.End()
+		}},
+		{"offset-immediate", func() *Code {
+			var c Code
+			c.I32Const(100).I32Const(7777).Mem(OpI32Store, 2, 28)
+			return c.I32Const(96).Mem(OpI32Load, 2, 32).End()
+		}},
+		{"oob-load-at-size", func() *Code { // memBytes-4 is the last valid i32 addr
+			var c Code
+			return c.I32Const(int32(memBytes-3)).Mem(OpI32Load, 2, 0).End()
+		}},
+		{"in-bounds-last-word", func() *Code {
+			var c Code
+			c.I32Const(int32(memBytes-4)).I32Const(11).Mem(OpI32Store, 2, 0)
+			return c.I32Const(int32(memBytes-4)).Mem(OpI32Load, 2, 0).End()
+		}},
+		{"oob-store-one-past", func() *Code {
+			var c Code
+			c.I32Const(int32(memBytes)).I32Const(1).Mem(OpI32Store8, 0, 0)
+			return c.I32Const(0).End()
+		}},
+		{"in-bounds-last-byte", func() *Code {
+			var c Code
+			c.I32Const(int32(memBytes-1)).I32Const(0xab).Mem(OpI32Store8, 0, 0)
+			return c.I32Const(int32(memBytes-1)).Mem(OpI32Load8U, 0, 0).End()
+		}},
+		{"oob-huge-offset", func() *Code {
+			var c Code
+			return c.I32Const(4).Mem(OpI32Load, 2, 0x7fffffff).End()
+		}},
+		{"oob-addr-plus-offset-overflow", func() *Code {
+			var c Code
+			return c.I32Const(-4).Mem(OpI32Load, 2, 8).End() // 0xfffffffc + 8
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkConformance(t, mainI32(tc.body(), withMem(1)))
+		})
+	}
+
+	t.Run("i64-widths", func(t *testing.T) {
+		var c Code
+		c.I32Const(16).I64Const(-0x1122334455667788).Mem(OpI64Store, 3, 0)
+		c.I32Const(16).Mem(OpI64Load, 3, 0)
+		c.I32Const(16).Mem(OpI64Load32U, 2, 0).Op(0x7c)
+		c.I32Const(16).Mem(OpI64Load32S, 2, 0).Op(0x85)
+		c.I32Const(20).Mem(OpI64Load8S, 0, 0).Op(0x7c)
+		c.I32Const(40).I64Const(-2).Mem(OpI64Store32, 2, 0)
+		c.I32Const(40).Mem(OpI64Load32U, 2, 0).Op(0x85)
+		checkConformance(t, mainI64(c.End(), withMem(1)))
+	})
+
+	t.Run("data-segment", func(t *testing.T) {
+		var c Code
+		c.I32Const(3).Mem(OpI32Load8U, 0, 0)
+		c.I32Const(0).Mem(OpI32Load, 2, 0).Op(0x6a)
+		checkConformance(t, mainI32(c.End(), func(mb *ModBuilder) {
+			mb.Memory(1)
+			mb.Data(0, []byte{1, 2, 3, 4, 5, 6})
+			mb.Data(100, []byte{0xff})
+		}))
+	})
+}
+
+func TestConformanceCalls(t *testing.T) {
+	t.Run("fib-recursive", func(t *testing.T) {
+		mb := NewModBuilder()
+		tMain := mb.Type(nil, []ValType{I64})
+		tUn := mb.Type([]ValType{I32}, []ValType{I32})
+		var fib Code
+		fib.Idx(OpLocalGet, 0).I32Const(2).Op(0x48)
+		fib.If(byte(I32)).Idx(OpLocalGet, 0)
+		fib.Op(OpElse)
+		fib.Idx(OpLocalGet, 0).I32Const(1).Op(0x6b).Idx(OpCall, 0)
+		fib.Idx(OpLocalGet, 0).I32Const(2).Op(0x6b).Idx(OpCall, 0)
+		fib.Op(0x6a)
+		fib.End()
+		fib.End()
+		fibF := mb.Func(tUn, nil, fib.Bytes())
+		var c Code
+		c.I32Const(15).Idx(OpCall, fibF).Op(OpI64ExtendU).End()
+		mainF := mb.Func(tMain, nil, c.Bytes())
+		mb.Export("main", mainF)
+		checkConformance(t, mb.Bytes())
+	})
+
+	t.Run("multi-arg-args-on-stack", func(t *testing.T) {
+		mb := NewModBuilder()
+		tMain := mb.Type(nil, []ValType{I64})
+		t6 := mb.Type([]ValType{I32, I32, I32, I32, I32, I32}, []ValType{I32})
+		var h Code
+		h.Idx(OpLocalGet, 0).Idx(OpLocalGet, 1).Op(0x6b)
+		h.Idx(OpLocalGet, 2).Op(0x6c)
+		h.Idx(OpLocalGet, 3).Op(0x6a)
+		h.Idx(OpLocalGet, 4).Op(0x73)
+		h.Idx(OpLocalGet, 5).Op(0x6b)
+		h.End()
+		hF := mb.Func(t6, nil, h.Bytes())
+		var c Code
+		// Push padding so the call's arguments straddle the spill boundary.
+		c.I32Const(1000).I32Const(2000).I32Const(3000)
+		c.I32Const(9).I32Const(4).I32Const(7).I32Const(11).I32Const(5).I32Const(3)
+		c.Idx(OpCall, hF)
+		c.Op(0x6a).Op(0x6a).Op(0x6a)
+		c.Op(OpI64ExtendU).End()
+		mainF := mb.Func(tMain, nil, c.Bytes())
+		mb.Export("main", mainF)
+		checkConformance(t, mb.Bytes())
+	})
+
+	t.Run("indirect-dispatch", func(t *testing.T) {
+		checkConformance(t, SampleCalls(50))
+	})
+
+	t.Run("indirect-type-mismatch", func(t *testing.T) {
+		mb := NewModBuilder()
+		tMain := mb.Type(nil, []ValType{I64})
+		tUn := mb.Type([]ValType{I32}, []ValType{I32})
+		tBin := mb.Type([]ValType{I32, I32}, []ValType{I32})
+		var un Code
+		un.Idx(OpLocalGet, 0).End()
+		unF := mb.Func(tUn, nil, un.Bytes())
+		var c Code
+		c.I32Const(1).I32Const(2).I32Const(0).CallIndirect(tBin) // entry 0 has type tUn
+		c.Op(OpI64ExtendU).End()
+		mainF := mb.Func(tMain, nil, c.Bytes())
+		mb.Table(2)
+		mb.Elem(0, unF)
+		mb.Export("main", mainF)
+		checkConformance(t, mb.Bytes())
+	})
+
+	t.Run("indirect-null-entry", func(t *testing.T) {
+		mb := NewModBuilder()
+		tMain := mb.Type(nil, []ValType{I64})
+		tUn := mb.Type([]ValType{I32}, []ValType{I32})
+		var un Code
+		un.Idx(OpLocalGet, 0).End()
+		unF := mb.Func(tUn, nil, un.Bytes())
+		var c Code
+		c.I32Const(5).I32Const(1).CallIndirect(tUn) // entry 1 is null
+		c.Op(OpI64ExtendU).End()
+		mainF := mb.Func(tMain, nil, c.Bytes())
+		mb.Table(2)
+		mb.Elem(0, unF)
+		mb.Export("main", mainF)
+		checkConformance(t, mb.Bytes())
+	})
+
+	t.Run("indirect-out-of-bounds", func(t *testing.T) {
+		mb := NewModBuilder()
+		tMain := mb.Type(nil, []ValType{I64})
+		tUn := mb.Type([]ValType{I32}, []ValType{I32})
+		var un Code
+		un.Idx(OpLocalGet, 0).End()
+		unF := mb.Func(tUn, nil, un.Bytes())
+		var c Code
+		c.I32Const(5).I32Const(99).CallIndirect(tUn)
+		c.Op(OpI64ExtendU).End()
+		mainF := mb.Func(tMain, nil, c.Bytes())
+		mb.Table(2)
+		mb.Elem(0, unF)
+		mb.Export("main", mainF)
+		checkConformance(t, mb.Bytes())
+	})
+}
+
+func TestConformanceGlobals(t *testing.T) {
+	mb := NewModBuilder()
+	tMain := mb.Type(nil, []ValType{I64})
+	g0 := mb.Global(I32, true, 5)
+	g1 := mb.Global(I64, true, -0x100000000)
+	g2 := mb.Global(I32, false, 1000)
+	var c Code
+	c.Idx(OpGlobalGet, g0).I32Const(37).Op(0x6a).Idx(OpGlobalSet, g0)
+	c.Idx(OpGlobalGet, g1).I64Const(3).Op(0x7e).Idx(OpGlobalSet, g1)
+	c.Idx(OpGlobalGet, g0).Idx(OpGlobalGet, g2).Op(0x6a).Op(OpI64ExtendU)
+	c.Idx(OpGlobalGet, g1).Op(0x7c)
+	c.End()
+	mainF := mb.Func(tMain, nil, c.Bytes())
+	mb.Export("main", mainF)
+	checkConformance(t, mb.Bytes())
+}
+
+// TestConformanceSamples runs the three benchmark workloads (scaled
+// down) through the full differential check.
+func TestConformanceSamples(t *testing.T) {
+	for _, w := range SampleWorkloads() {
+		t.Run(w.Name, func(t *testing.T) {
+			checkConformance(t, w.Build(200))
+		})
+	}
+}

@@ -1,0 +1,697 @@
+package wasmfront
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file decodes a Wasm binary into the shared Module/Instr
+// representation. The structural surface (sections parsed, leb128 rules,
+// opcode set) deliberately mirrors wasmbase.ValidateModule: Translate
+// runs the validator first, so anything that decodes here must have
+// validated there, and the decoder may not be laxer anywhere. Features
+// that are valid Wasm but outside the subset (imports, floats) surface
+// as LimitError so callers can tell "invalid" from "unsupported".
+
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) errf(format string, args ...any) error {
+	return &DecodeError{Offset: r.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, r.errf("unexpected end")
+	}
+	v := r.b[r.pos]
+	r.pos++
+	return v, nil
+}
+
+// u32 decodes an unsigned leb128 u32. Bits at and above 32 must be zero.
+func (r *reader) u32() (uint32, error) {
+	var v uint32
+	var shift uint
+	for {
+		b, err := r.byte()
+		if err != nil {
+			return 0, err
+		}
+		if shift == 28 && b&0x70 != 0 {
+			return 0, r.errf("leb128 u32 overflow")
+		}
+		v |= uint32(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 35 {
+			return 0, r.errf("leb128 too long")
+		}
+	}
+}
+
+// s64 decodes a signed leb128 of up to 10 bytes.
+func (r *reader) s64() (int64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; i < 10; i++ {
+		b, err := r.byte()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+		if b&0x80 == 0 {
+			if shift < 64 && b&0x40 != 0 {
+				v |= ^uint64(0) << shift
+			}
+			return int64(v), nil
+		}
+	}
+	return 0, r.errf("leb128 too long")
+}
+
+func (r *reader) name() (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if r.pos+int(n) > len(r.b) {
+		return "", r.errf("name overruns module")
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *reader) valtype() (ValType, error) {
+	t, err := r.byte()
+	if err != nil {
+		return 0, err
+	}
+	switch ValType(t) {
+	case I32, I64:
+		return ValType(t), nil
+	}
+	return 0, r.errf("unsupported value type %#x", t)
+}
+
+// constExpr decodes an `i32.const`/`i64.const` initializer expression
+// terminated by end, returning the value and the const's type.
+func (r *reader) constExpr() (int64, ValType, error) {
+	op, err := r.byte()
+	if err != nil {
+		return 0, 0, err
+	}
+	var t ValType
+	switch op {
+	case OpI32Const:
+		t = I32
+	case OpI64Const:
+		t = I64
+	default:
+		return 0, 0, r.errf("unsupported init expression opcode %#x", op)
+	}
+	v, err := r.s64()
+	if err != nil {
+		return 0, 0, err
+	}
+	endOp, err := r.byte()
+	if err != nil {
+		return 0, 0, err
+	}
+	if endOp != OpEnd {
+		return 0, 0, r.errf("init expression not terminated by end")
+	}
+	if t == I32 {
+		v = int64(uint32(v)) // keep the zero-extended invariant
+	}
+	return v, t, nil
+}
+
+// Decode parses a Wasm binary into the supported-subset Module. The
+// returned error is a *DecodeError for malformed input and a *LimitError
+// for valid-but-unsupported features.
+func Decode(b []byte) (*Module, error) {
+	r := &reader{b: b}
+	if len(b) < 8 || string(b[:4]) != "\x00asm" || binary.LittleEndian.Uint32(b[4:]) != 1 {
+		return nil, &DecodeError{Msg: "bad magic or version"}
+	}
+	r.pos = 8
+
+	m := &Module{Exports: map[string]uint32{}, Start: -1}
+	var funcTypes []uint32
+	sawCode := false
+
+	for r.pos < len(b) {
+		id, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		size, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		end := r.pos + int(size)
+		if end > len(b) || end < r.pos {
+			return nil, r.errf("section overruns module")
+		}
+		switch id {
+		case 1:
+			err = r.typeSection(m)
+		case 2:
+			err = r.importSection()
+		case 3:
+			err = r.funcSection(m, &funcTypes)
+		case 4:
+			err = r.tableSection(m)
+		case 5:
+			err = r.memorySection(m)
+		case 6:
+			err = r.globalSection(m)
+		case 7:
+			err = r.exportSection(m, funcTypes)
+		case 8:
+			err = r.startSection(m, funcTypes)
+		case 9:
+			err = r.elemSection(m, funcTypes)
+		case 10:
+			sawCode = true
+			err = r.codeSection(m, funcTypes)
+		case 11:
+			err = r.dataSection(m)
+		default:
+			r.pos = end // custom/unknown sections are skipped structurally
+		}
+		if err != nil {
+			return nil, err
+		}
+		if r.pos != end {
+			return nil, r.errf("section size mismatch (section %d)", id)
+		}
+	}
+	if len(funcTypes) > 0 && !sawCode {
+		return nil, r.errf("missing code section")
+	}
+	return m, nil
+}
+
+func (r *reader) typeSection(m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		form, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if form != 0x60 {
+			return r.errf("bad functype form %#x", form)
+		}
+		var ft FuncType
+		np, err := r.u32()
+		if err != nil {
+			return err
+		}
+		for j := uint32(0); j < np; j++ {
+			t, err := r.valtype()
+			if err != nil {
+				return err
+			}
+			ft.Params = append(ft.Params, t)
+		}
+		nr, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if nr > 1 {
+			return r.errf("multi-value results unsupported")
+		}
+		for j := uint32(0); j < nr; j++ {
+			t, err := r.valtype()
+			if err != nil {
+				return err
+			}
+			ft.Results = append(ft.Results, t)
+		}
+		m.Types = append(m.Types, ft)
+	}
+	return nil
+}
+
+func (r *reader) importSection() error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		return limitf("imports unsupported")
+	}
+	return nil
+}
+
+func (r *reader) funcSection(m *Module, funcTypes *[]uint32) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		ti, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if int(ti) >= len(m.Types) {
+			return r.errf("function type index %d out of range", ti)
+		}
+		*funcTypes = append(*funcTypes, ti)
+	}
+	return nil
+}
+
+func (r *reader) tableSection(m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if n > 1 {
+		return r.errf("at most one table")
+	}
+	for i := uint32(0); i < n; i++ {
+		et, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if et != 0x70 { // funcref
+			return r.errf("unsupported table element type %#x", et)
+		}
+		min, _, err := r.limits()
+		if err != nil {
+			return err
+		}
+		m.TableSize = min
+	}
+	return nil
+}
+
+func (r *reader) limits() (min, max uint32, err error) {
+	flag, err := r.byte()
+	if err != nil {
+		return 0, 0, err
+	}
+	if flag > 1 {
+		return 0, 0, r.errf("bad limits flag %#x", flag)
+	}
+	min, err = r.u32()
+	if err != nil {
+		return 0, 0, err
+	}
+	max = min
+	if flag == 1 {
+		max, err = r.u32()
+		if err != nil {
+			return 0, 0, err
+		}
+		if max < min {
+			return 0, 0, r.errf("limits max %d < min %d", max, min)
+		}
+	}
+	return min, max, nil
+}
+
+func (r *reader) memorySection(m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if n > 1 {
+		return r.errf("at most one memory")
+	}
+	for i := uint32(0); i < n; i++ {
+		min, _, err := r.limits()
+		if err != nil {
+			return err
+		}
+		if min > 1<<16 {
+			return r.errf("memory min %d pages exceeds 4GiB", min)
+		}
+		m.MemPages = min
+	}
+	return nil
+}
+
+func (r *reader) globalSection(m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		t, err := r.valtype()
+		if err != nil {
+			return err
+		}
+		mut, err := r.byte()
+		if err != nil {
+			return err
+		}
+		if mut > 1 {
+			return r.errf("bad global mutability %#x", mut)
+		}
+		v, vt, err := r.constExpr()
+		if err != nil {
+			return err
+		}
+		if vt != t {
+			return r.errf("global init type %v != declared %v", vt, t)
+		}
+		m.Globals = append(m.Globals, Global{Type: t, Mut: mut == 1, Init: v})
+	}
+	return nil
+}
+
+func (r *reader) exportSection(m *Module, funcTypes []uint32) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		name, err := r.name()
+		if err != nil {
+			return err
+		}
+		kind, err := r.byte()
+		if err != nil {
+			return err
+		}
+		idx, err := r.u32()
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case 0:
+			if int(idx) >= len(funcTypes) {
+				return r.errf("export %q: function %d out of range", name, idx)
+			}
+			if _, dup := m.Exports[name]; dup {
+				return r.errf("duplicate export %q", name)
+			}
+			m.Exports[name] = idx
+		case 1, 2, 3: // table/memory/global exports are allowed and ignored
+		default:
+			return r.errf("bad export kind %#x", kind)
+		}
+	}
+	return nil
+}
+
+func (r *reader) startSection(m *Module, funcTypes []uint32) error {
+	idx, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if int(idx) >= len(funcTypes) {
+		return r.errf("start function %d out of range", idx)
+	}
+	ft := m.Types[funcTypes[idx]]
+	if len(ft.Params) != 0 || len(ft.Results) != 0 {
+		return r.errf("start function must have type [] -> []")
+	}
+	m.Start = int(idx)
+	return nil
+}
+
+func (r *reader) elemSection(m *Module, funcTypes []uint32) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		ti, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if ti != 0 {
+			return r.errf("element segment table %d out of range", ti)
+		}
+		off, t, err := r.constExpr()
+		if err != nil {
+			return err
+		}
+		if t != I32 {
+			return r.errf("element offset must be i32")
+		}
+		cnt, err := r.u32()
+		if err != nil {
+			return err
+		}
+		seg := ElemSeg{Offset: uint32(off)}
+		for j := uint32(0); j < cnt; j++ {
+			fi, err := r.u32()
+			if err != nil {
+				return err
+			}
+			if int(fi) >= len(funcTypes) {
+				return r.errf("element function %d out of range", fi)
+			}
+			seg.Funcs = append(seg.Funcs, fi)
+		}
+		if uint64(seg.Offset)+uint64(len(seg.Funcs)) > uint64(m.TableSize) {
+			return r.errf("element segment [%d,%d) exceeds table size %d",
+				seg.Offset, int(seg.Offset)+len(seg.Funcs), m.TableSize)
+		}
+		m.Elems = append(m.Elems, seg)
+	}
+	return nil
+}
+
+func (r *reader) dataSection(m *Module) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < n; i++ {
+		mi, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if mi != 0 {
+			return r.errf("data segment memory %d out of range", mi)
+		}
+		off, t, err := r.constExpr()
+		if err != nil {
+			return err
+		}
+		if t != I32 {
+			return r.errf("data offset must be i32")
+		}
+		cnt, err := r.u32()
+		if err != nil {
+			return err
+		}
+		if r.pos+int(cnt) > len(r.b) {
+			return r.errf("data segment overruns module")
+		}
+		seg := DataSeg{Offset: uint32(off), Bytes: append([]byte(nil), r.b[r.pos:r.pos+int(cnt)]...)}
+		r.pos += int(cnt)
+		if uint64(seg.Offset)+uint64(len(seg.Bytes)) > uint64(m.MemBytes()) {
+			return r.errf("data segment [%d,%d) exceeds memory size %d",
+				seg.Offset, int(seg.Offset)+len(seg.Bytes), m.MemBytes())
+		}
+		m.Data = append(m.Data, seg)
+	}
+	return nil
+}
+
+func (r *reader) codeSection(m *Module, funcTypes []uint32) error {
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if int(n) != len(funcTypes) {
+		return r.errf("code count %d != function count %d", n, len(funcTypes))
+	}
+	for i := uint32(0); i < n; i++ {
+		bodySize, err := r.u32()
+		if err != nil {
+			return err
+		}
+		bodyEnd := r.pos + int(bodySize)
+		if bodyEnd > len(r.b) || bodyEnd < r.pos {
+			return r.errf("body overruns module")
+		}
+		fn := Func{Type: funcTypes[i]}
+		nGroups, err := r.u32()
+		if err != nil {
+			return err
+		}
+		for g := uint32(0); g < nGroups; g++ {
+			count, err := r.u32()
+			if err != nil {
+				return err
+			}
+			t, err := r.valtype()
+			if err != nil {
+				return err
+			}
+			if count > 1<<16 {
+				return r.errf("too many locals")
+			}
+			for j := uint32(0); j < count; j++ {
+				fn.Locals = append(fn.Locals, t)
+			}
+		}
+		body, err := r.decodeBody(bodyEnd)
+		if err != nil {
+			return err
+		}
+		if r.pos != bodyEnd {
+			return r.errf("body has trailing bytes")
+		}
+		fn.Body = body
+		m.Funcs = append(m.Funcs, fn)
+	}
+	return nil
+}
+
+// decodeBody decodes one function body's instruction stream up to (and
+// including) the End that closes the function.
+func (r *reader) decodeBody(end int) ([]Instr, error) {
+	var out []Instr
+	depth := 1 // the implicit function block
+	for r.pos < end {
+		op, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		in := Instr{Op: op}
+		switch op {
+		case OpUnreachable, OpNop, OpReturn, OpDrop, OpSelect,
+			OpI32Eqz, OpI64Eqz, OpI32WrapI64, OpI64ExtendS, OpI64ExtendU:
+		case OpElse:
+			in.Val = 0
+		case OpEnd:
+			depth--
+			out = append(out, in)
+			if depth == 0 {
+				return out, nil
+			}
+			continue
+		case OpBlock, OpLoop, OpIf:
+			bt, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case bt == 0x40:
+			case ValType(bt) == I32 || ValType(bt) == I64:
+			default:
+				return nil, r.errf("unsupported block type %#x", bt)
+			}
+			in.Val = int64(bt)
+			depth++
+		case OpBr, OpBrIf, OpCall, OpLocalGet, OpLocalSet, OpLocalTee,
+			OpGlobalGet, OpGlobalSet:
+			v, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			in.Val = int64(v)
+		case OpBrTable:
+			cnt, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if int(cnt) > end-r.pos { // each target is at least one byte
+				return nil, r.errf("br_table overruns body")
+			}
+			for j := uint32(0); j <= cnt; j++ { // targets plus default
+				d, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				in.Targets = append(in.Targets, d)
+			}
+		case OpCallIndirect:
+			ti, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			tbl, err := r.byte()
+			if err != nil {
+				return nil, err
+			}
+			if tbl != 0 {
+				return nil, r.errf("call_indirect table %d out of range", tbl)
+			}
+			in.Val = int64(ti)
+		case OpI32Const:
+			v, err := r.s64()
+			if err != nil {
+				return nil, err
+			}
+			in.Val = int64(uint32(v))
+		case OpI64Const:
+			v, err := r.s64()
+			if err != nil {
+				return nil, err
+			}
+			in.Val = v
+		default:
+			switch {
+			case isMemOp(op):
+				if _, err := r.u32(); err != nil { // align (hint, unchecked)
+					return nil, err
+				}
+				off, err := r.u32()
+				if err != nil {
+					return nil, err
+				}
+				in.Off = off
+			case isBinOp(op) || isCmpOp(op):
+			default:
+				return nil, r.errf("unsupported opcode %#x", op)
+			}
+		}
+		out = append(out, in)
+	}
+	return nil, r.errf("function body not terminated by end")
+}
+
+func isMemOp(op byte) bool {
+	return (op >= OpI32Load && op <= OpI64Load) ||
+		(op >= OpI32Load8S && op <= OpI64Load32U) ||
+		op == OpI32Store || op == OpI64Store ||
+		(op >= OpI32Store8 && op <= OpI64Store32)
+}
+
+func isCmpOp(op byte) bool {
+	return (op >= 0x46 && op <= 0x4f) || (op >= 0x51 && op <= 0x5a)
+}
+
+func isBinOp(op byte) bool {
+	return (op >= 0x6a && op <= 0x78) || (op >= 0x7c && op <= 0x8a)
+}
+
+// MemOpSize returns the access width in bytes of a load/store opcode.
+func MemOpSize(op byte) int {
+	switch op {
+	case OpI32Load8S, OpI32Load8U, OpI64Load8S, OpI64Load8U, OpI32Store8, OpI64Store8:
+		return 1
+	case OpI32Load16S, OpI32Load16U, OpI64Load16S, OpI64Load16U, OpI32Store16, OpI64Store16:
+		return 2
+	case OpI32Load, OpI64Load32S, OpI64Load32U, OpI32Store, OpI64Store32:
+		return 4
+	case OpI64Load, OpI64Store:
+		return 8
+	}
+	return 0
+}
+
+// IsStoreOp reports whether op writes memory.
+func IsStoreOp(op byte) bool {
+	return op == OpI32Store || op == OpI64Store || (op >= OpI32Store8 && op <= OpI64Store32)
+}

@@ -1,0 +1,535 @@
+package wasmfront
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// Interp is the reference interpreter the conformance suite diffs the
+// translated code against. It executes the same decoded []Instr the
+// translator consumes, with value semantics chosen to match the
+// translation exactly: every value is a uint64, i32 values zero-extended.
+type Interp struct {
+	m       *Module
+	mem     []byte
+	globals []uint64
+	table   []tableEntry
+
+	// Fuel bounds total instructions executed; MaxCallDepth bounds
+	// recursion. Both produce errors, not traps: the translated code has
+	// no such limits, so the conformance harness sizes programs to fit.
+	Fuel         int64
+	MaxCallDepth int
+
+	ends  map[int]map[int]int // per function: block/loop/if ip -> end ip
+	elses map[int]map[int]int // per function: if ip -> else ip
+	depth int
+}
+
+type tableEntry struct {
+	fn  uint32
+	tag uint32 // type index + 1; 0 = null
+}
+
+// NewInterp instantiates the module: zeroed linear memory with data
+// segments applied, initialized globals, and the populated call table.
+func NewInterp(m *Module) *Interp {
+	it := &Interp{
+		m:            m,
+		mem:          make([]byte, m.MemBytes()),
+		globals:      make([]uint64, len(m.Globals)),
+		table:        make([]tableEntry, m.TableSize),
+		Fuel:         100_000_000,
+		MaxCallDepth: 4096,
+		ends:         map[int]map[int]int{},
+		elses:        map[int]map[int]int{},
+	}
+	for i, g := range m.Globals {
+		it.globals[i] = uint64(g.Init)
+	}
+	for _, seg := range m.Data {
+		copy(it.mem[seg.Offset:], seg.Bytes)
+	}
+	for _, seg := range m.Elems {
+		for i, fi := range seg.Funcs {
+			it.table[seg.Offset+uint32(i)] = tableEntry{fn: fi, tag: m.Funcs[fi].Type + 1}
+		}
+	}
+	return it
+}
+
+// Run executes the module's entry function and returns its result (0 for
+// a void entry) or the trap it raised. err reports resource exhaustion or
+// a missing entry, never a Wasm-level fault.
+func (it *Interp) Run() (result uint64, trap Trap, err error) {
+	entry, err := it.m.EntryFunc()
+	if err != nil {
+		return 0, TrapNone, err
+	}
+	res, trap, err := it.invoke(uint32(entry), nil)
+	if err != nil || trap != TrapNone {
+		return 0, trap, err
+	}
+	if len(res) == 1 {
+		return res[0], TrapNone, nil
+	}
+	return 0, TrapNone, nil
+}
+
+// matchCtrl precomputes the else/end indices for one function body.
+func (it *Interp) matchCtrl(fi int) (map[int]int, map[int]int) {
+	if e, ok := it.ends[fi]; ok {
+		return e, it.elses[fi]
+	}
+	ends := map[int]int{}
+	elses := map[int]int{}
+	var stack []int
+	body := it.m.Funcs[fi].Body
+	for ip, in := range body {
+		switch in.Op {
+		case OpBlock, OpLoop, OpIf:
+			stack = append(stack, ip)
+		case OpElse:
+			elses[stack[len(stack)-1]] = ip
+		case OpEnd:
+			if len(stack) > 0 {
+				ends[stack[len(stack)-1]] = ip
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	it.ends[fi] = ends
+	it.elses[fi] = elses
+	return ends, elses
+}
+
+type iframe struct {
+	isLoop bool
+	headIP int
+	endIP  int
+	height int
+	arity  int
+}
+
+func (it *Interp) invoke(fi uint32, args []uint64) ([]uint64, Trap, error) {
+	it.depth++
+	defer func() { it.depth-- }()
+	if it.depth > it.MaxCallDepth {
+		return nil, TrapNone, fmt.Errorf("wasmfront: interpreter call depth exceeded")
+	}
+	fn := &it.m.Funcs[fi]
+	ft := it.m.Types[fn.Type]
+	locals := make([]uint64, len(ft.Params)+len(fn.Locals))
+	copy(locals, args)
+	ends, elses := it.matchCtrl(int(fi))
+	body := fn.Body
+
+	var stack []uint64
+	var frames []iframe
+	push := func(v uint64) { stack = append(stack, v) }
+	pop := func() uint64 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	bool32 := func(b bool) {
+		if b {
+			push(1)
+		} else {
+			push(0)
+		}
+	}
+
+	ip := 0
+	for ip < len(body) {
+		if it.Fuel--; it.Fuel < 0 {
+			return nil, TrapNone, fmt.Errorf("wasmfront: interpreter fuel exhausted")
+		}
+		in := body[ip]
+		next := ip + 1
+
+		// branch transfers control to relative frame depth d.
+		branch := func(d int) {
+			fr := frames[len(frames)-1-d]
+			arity := fr.arity
+			if fr.isLoop {
+				arity = 0 // a branch to a loop carries no values (MVP)
+			}
+			kept := append([]uint64(nil), stack[len(stack)-arity:]...)
+			stack = append(stack[:fr.height], kept...)
+			if fr.isLoop {
+				frames = frames[:len(frames)-1-d]
+				next = fr.headIP // re-executes OpLoop, which re-pushes the frame
+			} else {
+				frames = frames[:len(frames)-d]
+				next = fr.endIP // OpEnd pops the frame
+			}
+		}
+
+		switch in.Op {
+		case OpNop:
+		case OpUnreachable:
+			return nil, TrapUnreachable, nil
+		case OpBlock:
+			frames = append(frames, iframe{
+				headIP: ip, endIP: ends[ip], height: len(stack), arity: blockArity(in.Val),
+			})
+		case OpLoop:
+			frames = append(frames, iframe{
+				isLoop: true, headIP: ip, endIP: ends[ip], height: len(stack),
+				arity: blockArity(in.Val),
+			})
+		case OpIf:
+			cond := pop()
+			frames = append(frames, iframe{
+				headIP: ip, endIP: ends[ip], height: len(stack), arity: blockArity(in.Val),
+			})
+			if cond == 0 {
+				if elseIP, ok := elses[ip]; ok {
+					next = elseIP + 1
+				} else {
+					next = ends[ip]
+				}
+			}
+		case OpElse:
+			// Reached only by falling out of the then-arm: skip to end.
+			next = frames[len(frames)-1].endIP
+		case OpEnd:
+			if len(frames) > 0 {
+				frames = frames[:len(frames)-1]
+			}
+		case OpBr:
+			branch(int(in.Val))
+		case OpBrIf:
+			if pop() != 0 {
+				branch(int(in.Val))
+			}
+		case OpBrTable:
+			idx := uint32(pop())
+			n := len(in.Targets)
+			if int(idx) < n-1 {
+				branch(int(in.Targets[idx]))
+			} else {
+				branch(int(in.Targets[n-1]))
+			}
+		case OpReturn:
+			return stack[len(stack)-len(ft.Results):], TrapNone, nil
+
+		case OpCall:
+			res, trap, err := it.callFunc(uint32(in.Val), &stack)
+			if trap != TrapNone || err != nil {
+				return nil, trap, err
+			}
+			stack = append(stack, res...)
+		case OpCallIndirect:
+			idx := uint32(pop())
+			if int(idx) >= len(it.table) {
+				return nil, TrapBadIndirect, nil
+			}
+			ent := it.table[idx]
+			if ent.tag == 0 {
+				return nil, TrapBadIndirect, nil
+			}
+			if ent.tag != uint32(in.Val)+1 {
+				return nil, TrapSigMismatch, nil
+			}
+			res, trap, err := it.callFunc(ent.fn, &stack)
+			if trap != TrapNone || err != nil {
+				return nil, trap, err
+			}
+			stack = append(stack, res...)
+
+		case OpDrop:
+			pop()
+		case OpSelect:
+			c, b, a := pop(), pop(), pop()
+			if c != 0 {
+				push(a)
+			} else {
+				push(b)
+			}
+
+		case OpLocalGet:
+			push(locals[in.Val])
+		case OpLocalSet:
+			locals[in.Val] = pop()
+		case OpLocalTee:
+			locals[in.Val] = stack[len(stack)-1]
+		case OpGlobalGet:
+			push(it.globals[in.Val])
+		case OpGlobalSet:
+			it.globals[in.Val] = pop()
+
+		case OpI32Const:
+			push(uint64(uint32(in.Val)))
+		case OpI64Const:
+			push(uint64(in.Val))
+
+		case OpI32Eqz:
+			bool32(uint32(pop()) == 0)
+		case OpI64Eqz:
+			bool32(pop() == 0)
+		case OpI32WrapI64:
+			push(uint64(uint32(pop())))
+		case OpI64ExtendS:
+			push(uint64(int64(int32(uint32(pop())))))
+		case OpI64ExtendU:
+			// already zero-extended
+
+		default:
+			switch {
+			case isMemOp(in.Op):
+				trap := it.memOp(in, pop, push)
+				if trap != TrapNone {
+					return nil, trap, nil
+				}
+			case isCmpOp(in.Op):
+				b, a := pop(), pop()
+				bool32(evalCmp(in.Op, a, b))
+			case isBinOp(in.Op):
+				b, a := pop(), pop()
+				v, trap := evalBin(in.Op, a, b)
+				if trap != TrapNone {
+					return nil, trap, nil
+				}
+				push(v)
+			default:
+				return nil, TrapNone, fmt.Errorf("wasmfront: interpreter: unsupported opcode %#x", in.Op)
+			}
+		}
+		ip = next
+	}
+	return stack[len(stack)-len(ft.Results):], TrapNone, nil
+}
+
+// callFunc pops arguments for fi off the caller's stack and invokes it.
+func (it *Interp) callFunc(fi uint32, stack *[]uint64) ([]uint64, Trap, error) {
+	ft := it.m.Types[it.m.Funcs[fi].Type]
+	n := len(ft.Params)
+	args := (*stack)[len(*stack)-n:]
+	res, trap, err := it.invoke(fi, args)
+	if trap != TrapNone || err != nil {
+		return nil, trap, err
+	}
+	*stack = (*stack)[:len(*stack)-n]
+	return append([]uint64(nil), res...), TrapNone, nil
+}
+
+func (it *Interp) memOp(in Instr, pop func() uint64, push func(uint64)) Trap {
+	size := uint64(MemOpSize(in.Op))
+	if IsStoreOp(in.Op) {
+		val := pop()
+		addr := uint64(uint32(pop())) + uint64(in.Off)
+		if addr+size > uint64(len(it.mem)) {
+			return TrapOOB
+		}
+		b := it.mem[addr:]
+		switch in.Op {
+		case OpI32Store8, OpI64Store8:
+			b[0] = byte(val)
+		case OpI32Store16, OpI64Store16:
+			binary.LittleEndian.PutUint16(b, uint16(val))
+		case OpI32Store, OpI64Store32:
+			binary.LittleEndian.PutUint32(b, uint32(val))
+		case OpI64Store:
+			binary.LittleEndian.PutUint64(b, val)
+		}
+		return TrapNone
+	}
+	addr := uint64(uint32(pop())) + uint64(in.Off)
+	if addr+size > uint64(len(it.mem)) {
+		return TrapOOB
+	}
+	b := it.mem[addr:]
+	var v uint64
+	switch in.Op {
+	case OpI32Load:
+		v = uint64(binary.LittleEndian.Uint32(b))
+	case OpI32Load8S:
+		v = uint64(uint32(int32(int8(b[0]))))
+	case OpI32Load8U, OpI64Load8U:
+		v = uint64(b[0])
+	case OpI32Load16S:
+		v = uint64(uint32(int32(int16(binary.LittleEndian.Uint16(b)))))
+	case OpI32Load16U, OpI64Load16U:
+		v = uint64(binary.LittleEndian.Uint16(b))
+	case OpI64Load:
+		v = binary.LittleEndian.Uint64(b)
+	case OpI64Load8S:
+		v = uint64(int64(int8(b[0])))
+	case OpI64Load16S:
+		v = uint64(int64(int16(binary.LittleEndian.Uint16(b))))
+	case OpI64Load32S:
+		v = uint64(int64(int32(binary.LittleEndian.Uint32(b))))
+	case OpI64Load32U:
+		v = uint64(binary.LittleEndian.Uint32(b))
+	}
+	push(v)
+	return TrapNone
+}
+
+func evalCmp(op byte, a, b uint64) bool {
+	if op >= 0x51 { // i64 family
+		sa, sb := int64(a), int64(b)
+		switch op {
+		case 0x51:
+			return a == b
+		case 0x52:
+			return a != b
+		case 0x53:
+			return sa < sb
+		case 0x54:
+			return a < b
+		case 0x55:
+			return sa > sb
+		case 0x56:
+			return a > b
+		case 0x57:
+			return sa <= sb
+		case 0x58:
+			return a <= b
+		case 0x59:
+			return sa >= sb
+		case 0x5a:
+			return a >= b
+		}
+		return false
+	}
+	ua, ub := uint32(a), uint32(b)
+	sa, sb := int32(ua), int32(ub)
+	switch op {
+	case 0x46:
+		return ua == ub
+	case 0x47:
+		return ua != ub
+	case 0x48:
+		return sa < sb
+	case 0x49:
+		return ua < ub
+	case 0x4a:
+		return sa > sb
+	case 0x4b:
+		return ua > ub
+	case 0x4c:
+		return sa <= sb
+	case 0x4d:
+		return ua <= ub
+	case 0x4e:
+		return sa >= sb
+	case 0x4f:
+		return ua >= ub
+	}
+	return false
+}
+
+func evalBin(op byte, a, b uint64) (uint64, Trap) {
+	if op >= 0x7c { // i64 family
+		sa, sb := int64(a), int64(b)
+		switch op - 0x7c {
+		case binAdd:
+			return a + b, TrapNone
+		case binSub:
+			return a - b, TrapNone
+		case binMul:
+			return a * b, TrapNone
+		case binDivS:
+			if b == 0 {
+				return 0, TrapDivZero
+			}
+			if sa == -1<<63 && sb == -1 {
+				return 0, TrapOverflow
+			}
+			return uint64(sa / sb), TrapNone
+		case binDivU:
+			if b == 0 {
+				return 0, TrapDivZero
+			}
+			return a / b, TrapNone
+		case binRemS:
+			if b == 0 {
+				return 0, TrapDivZero
+			}
+			if sa == -1<<63 && sb == -1 {
+				return 0, TrapNone
+			}
+			return uint64(sa % sb), TrapNone
+		case binRemU:
+			if b == 0 {
+				return 0, TrapDivZero
+			}
+			return a % b, TrapNone
+		case binAnd:
+			return a & b, TrapNone
+		case binOr:
+			return a | b, TrapNone
+		case binXor:
+			return a ^ b, TrapNone
+		case binShl:
+			return a << (b & 63), TrapNone
+		case binShrS:
+			return uint64(sa >> (b & 63)), TrapNone
+		case binShrU:
+			return a >> (b & 63), TrapNone
+		case binRotl:
+			return bits.RotateLeft64(a, int(b&63)), TrapNone
+		case binRotr:
+			return bits.RotateLeft64(a, -int(b&63)), TrapNone
+		}
+		return 0, TrapNone
+	}
+	ua, ub := uint32(a), uint32(b)
+	sa, sb := int32(ua), int32(ub)
+	r32 := func(v uint32) (uint64, Trap) { return uint64(v), TrapNone }
+	switch op - 0x6a {
+	case binAdd:
+		return r32(ua + ub)
+	case binSub:
+		return r32(ua - ub)
+	case binMul:
+		return r32(ua * ub)
+	case binDivS:
+		if ub == 0 {
+			return 0, TrapDivZero
+		}
+		if sa == -1<<31 && sb == -1 {
+			return 0, TrapOverflow
+		}
+		return r32(uint32(sa / sb))
+	case binDivU:
+		if ub == 0 {
+			return 0, TrapDivZero
+		}
+		return r32(ua / ub)
+	case binRemS:
+		if ub == 0 {
+			return 0, TrapDivZero
+		}
+		if sa == -1<<31 && sb == -1 {
+			return 0, TrapNone
+		}
+		return r32(uint32(sa % sb))
+	case binRemU:
+		if ub == 0 {
+			return 0, TrapDivZero
+		}
+		return r32(ua % ub)
+	case binAnd:
+		return r32(ua & ub)
+	case binOr:
+		return r32(ua | ub)
+	case binXor:
+		return r32(ua ^ ub)
+	case binShl:
+		return r32(ua << (ub & 31))
+	case binShrS:
+		return r32(uint32(sa >> (ub & 31)))
+	case binShrU:
+		return r32(ua >> (ub & 31))
+	case binRotl:
+		return r32(bits.RotateLeft32(ua, int(ub&31)))
+	case binRotr:
+		return r32(bits.RotateLeft32(ua, -int(ub&31)))
+	}
+	return 0, TrapNone
+}

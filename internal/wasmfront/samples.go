@@ -1,0 +1,151 @@
+package wasmfront
+
+// Sample modules shared by the benchmark harness (lfi-bench -wasm), the
+// end-to-end pool/serve tests, and the quickstart example. Each is a
+// self-contained module exporting "main" () -> i64 whose result doubles
+// as the run's checksum, so every engine (reference interpreter,
+// wasmfront-on-LFI, wasmbase engine models) must agree on it.
+
+// SampleArithLoop runs iters rounds of a 64-bit LCG mixed with 32-bit
+// shifts/rotates/divisions, accumulating a checksum.
+func SampleArithLoop(iters uint32) []byte {
+	mb := NewModBuilder()
+	tMain := mb.Type(nil, []ValType{I64})
+	var c Code
+	// l0: i (i32), l1: state (i64), l2: acc (i64)
+	c.I32Const(int32(iters)).Idx(OpLocalSet, 0)
+	c.I64Const(0x243f6a8885a308d3&0x7fffffffffffffff).Idx(OpLocalSet, 1)
+	c.Loop(0x40)
+	//   state = state * 6364136223846793005 + 1442695040888963407
+	c.Idx(OpLocalGet, 1).I64Const(6364136223846793005).Op(0x7e). // i64.mul
+									I64Const(1442695040888963407).Op(0x7c). // i64.add
+									Idx(OpLocalTee, 1)
+	//   acc ^= rotl64(state, i & 63)
+	c.Idx(OpLocalGet, 0).Op(OpI64ExtendU).I64Const(63).Op(0x83). // i64.and
+									Op(0x89) // i64.rotl
+	c.Idx(OpLocalGet, 2).Op(0x85).Idx(OpLocalSet, 2) // i64.xor
+	//   acc += i32.div_u(wrap(state) | 1, (i|1)) extended
+	c.Idx(OpLocalGet, 1).Op(OpI32WrapI64).I32Const(1).Op(0x72). // i32.or
+									Idx(OpLocalGet, 0).I32Const(1).Op(0x72).
+									Op(0x6e). // i32.div_u
+									Op(OpI64ExtendU)
+	c.Idx(OpLocalGet, 2).Op(0x7c).Idx(OpLocalSet, 2) // i64.add
+	//   i--; br_if
+	c.Idx(OpLocalGet, 0).I32Const(1).Op(0x6b).Idx(OpLocalTee, 0)
+	c.Idx(OpBrIf, 0)
+	c.End()
+	c.Idx(OpLocalGet, 2).End()
+	f := mb.Func(tMain, []ValType{I32, I64, I64}, c.Bytes())
+	mb.Export("main", f)
+	return mb.Bytes()
+}
+
+// SampleMemFill writes a strided pattern over a 256KiB linear memory,
+// then sums it back with mixed-width loads. Exercises the bounds-check +
+// guarded-access path heavily.
+func SampleMemFill(iters uint32) []byte {
+	mb := NewModBuilder()
+	mb.Memory(4) // 4 pages = 256KiB
+	tMain := mb.Type(nil, []ValType{I64})
+	const mask = 4*PageBytes - 4
+	var c Code
+	// l0: i (i32), l1: acc (i64), l2: addr (i32)
+	c.I32Const(int32(iters)).Idx(OpLocalSet, 0)
+	c.Loop(0x40)
+	//   addr = (i * 2654435761) & mask
+	c.Idx(OpLocalGet, 0).I32Const(-1640531527).Op(0x6c). // i32.mul (knuth)
+								I32Const(int32(mask)).Op(0x71). // i32.and
+								Idx(OpLocalTee, 2)
+	//   mem[addr] = i*i (i32 store)
+	c.Idx(OpLocalGet, 0).Idx(OpLocalGet, 0).Op(0x6c).Mem(OpI32Store, 2, 0)
+	//   acc += load8_u(addr) + load16_u(addr ^ 2) + i64(load(addr))
+	c.Idx(OpLocalGet, 2).Mem(OpI32Load8U, 0, 0)
+	c.Idx(OpLocalGet, 2).I32Const(2).Op(0x73).Mem(OpI32Load16U, 1, 0).Op(0x6a)
+	c.Op(OpI64ExtendU)
+	c.Idx(OpLocalGet, 2).Mem(OpI64Load32S, 2, 0).Op(0x7c)
+	c.Idx(OpLocalGet, 1).Op(0x7c).Idx(OpLocalSet, 1)
+	//   i--; br_if
+	c.Idx(OpLocalGet, 0).I32Const(1).Op(0x6b).Idx(OpLocalTee, 0)
+	c.Idx(OpBrIf, 0)
+	c.End()
+	c.Idx(OpLocalGet, 1).End()
+	f := mb.Func(tMain, []ValType{I32, I64, I32}, c.Bytes())
+	mb.Export("main", f)
+	return mb.Bytes()
+}
+
+// SampleCalls combines recursive direct calls (memoized Fibonacci over
+// linear memory) with an indirect-dispatch loop through a funcref table —
+// the "loop + memory traffic + calls" acceptance module.
+func SampleCalls(iters uint32) []byte {
+	mb := NewModBuilder()
+	mb.Memory(1)
+	tMain := mb.Type(nil, []ValType{I64})
+	tUn := mb.Type([]ValType{I32}, []ValType{I32})
+	tBin := mb.Type([]ValType{I32, I32}, []ValType{I32})
+
+	// fib(n): memoized in memory at 8*n (0 = unset, stored value+1).
+	var fib Code
+	fib.Idx(OpLocalGet, 0).I32Const(2).Op(0x48) // i32.lt_s
+	fib.If(byte(I32)).Idx(OpLocalGet, 0)
+	fib.Op(OpElse)
+	fib.Idx(OpLocalGet, 0).I32Const(3).Op(0x74).Mem(OpI32Load, 2, 0).Idx(OpLocalTee, 1)
+	fib.If(byte(I32)).Idx(OpLocalGet, 1).I32Const(1).Op(0x6b)
+	fib.Op(OpElse)
+	fib.Idx(OpLocalGet, 0).I32Const(1).Op(0x6b).Idx(OpCall, 0)
+	fib.Idx(OpLocalGet, 0).I32Const(2).Op(0x6b).Idx(OpCall, 0)
+	fib.Op(0x6a).Idx(OpLocalTee, 1).Op(OpDrop)
+	fib.Idx(OpLocalGet, 0).I32Const(3).Op(0x74)
+	fib.Idx(OpLocalGet, 1).I32Const(1).Op(0x6a).Mem(OpI32Store, 2, 0)
+	fib.Idx(OpLocalGet, 1)
+	fib.End() // inner if
+	fib.End() // outer if
+	fib.End()
+	fibF := mb.Func(tUn, []ValType{I32}, fib.Bytes())
+
+	// Three binary ops dispatched indirectly.
+	var add, mul, xor Code
+	add.Idx(OpLocalGet, 0).Idx(OpLocalGet, 1).Op(0x6a).End()
+	mul.Idx(OpLocalGet, 0).Idx(OpLocalGet, 1).Op(0x6c).End()
+	xor.Idx(OpLocalGet, 0).Idx(OpLocalGet, 1).Op(0x73).End()
+	addF := mb.Func(tBin, nil, add.Bytes())
+	mulF := mb.Func(tBin, nil, mul.Bytes())
+	xorF := mb.Func(tBin, nil, xor.Bytes())
+
+	// main: acc = fib(24); then iters rounds of acc = op[i%3](acc, i).
+	var c Code
+	// l0: i (i32), l1: acc (i32)
+	c.I32Const(24).Idx(OpCall, fibF).Idx(OpLocalSet, 1)
+	c.I32Const(int32(iters)).Idx(OpLocalSet, 0)
+	c.Loop(0x40)
+	c.Idx(OpLocalGet, 1).Idx(OpLocalGet, 0)
+	c.Idx(OpLocalGet, 0).I32Const(3).Op(0x70) // i32.rem_u
+	c.CallIndirect(tBin)
+	c.Idx(OpLocalSet, 1)
+	c.Idx(OpLocalGet, 0).I32Const(1).Op(0x6b).Idx(OpLocalTee, 0)
+	c.Idx(OpBrIf, 0)
+	c.End()
+	c.Idx(OpLocalGet, 1).Op(OpI64ExtendU).End()
+	mainF := mb.Func(tMain, []ValType{I32, I32}, c.Bytes())
+
+	mb.Table(3)
+	mb.Elem(0, addF, mulF, xorF)
+	mb.Export("main", mainF)
+	return mb.Bytes()
+}
+
+// SampleWorkload names one benchmark workload.
+type SampleWorkload struct {
+	Name  string
+	Build func(iters uint32) []byte
+	Iters uint32 // default iteration count at scale 1.0
+}
+
+// SampleWorkloads returns the standard three-workload benchmark set.
+func SampleWorkloads() []SampleWorkload {
+	return []SampleWorkload{
+		{Name: "wasm-arith", Build: SampleArithLoop, Iters: 60000},
+		{Name: "wasm-memfill", Build: SampleMemFill, Iters: 40000},
+		{Name: "wasm-calls", Build: SampleCalls, Iters: 50000},
+	}
+}

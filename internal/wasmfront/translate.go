@@ -1,0 +1,1039 @@
+package wasmfront
+
+import (
+	"fmt"
+	"strings"
+
+	"lfi/internal/core"
+	"lfi/internal/wasmbase"
+)
+
+// Translate validates, decodes, and compiles a Wasm binary into the
+// assembly dialect internal/rewrite consumes. Validation runs first, so
+// every module this function accepts also passes wasmbase.ValidateModule.
+func Translate(b []byte) (string, *Module, error) {
+	if _, err := wasmbase.ValidateModule(b); err != nil {
+		return "", nil, fmt.Errorf("wasmfront: %w", err)
+	}
+	m, err := Decode(b)
+	if err != nil {
+		return "", nil, err
+	}
+	asm, err := m.Asm()
+	if err != nil {
+		return "", nil, err
+	}
+	return asm, m, nil
+}
+
+// EntryFunc picks the function _start calls: an exported "main" or
+// "_start" taking no parameters, else the start-section function.
+func (m *Module) EntryFunc() (int, error) {
+	for _, name := range []string{"main", "_start"} {
+		if idx, ok := m.Exports[name]; ok {
+			ft := m.Types[m.Funcs[idx].Type]
+			if len(ft.Params) != 0 {
+				return 0, limitf("entry %q takes parameters", name)
+			}
+			return int(idx), nil
+		}
+	}
+	if m.Start >= 0 {
+		return m.Start, nil
+	}
+	return 0, limitf("no entry function (export \"main\"/\"_start\" or a start section)")
+}
+
+// Value-stack register pool: depths 0..6 live in x9..x15; deeper values
+// live in their frame home slot. x8/x17 are scratch, x27 holds indirect
+// call targets and div-check constants, x28 holds the linear-memory base.
+const poolSize = 7
+
+func poolReg(d int) string { return fmt.Sprintf("x%d", 9+d) }
+
+// w converts an x-register name to its 32-bit view.
+func w(xreg string) string { return "w" + xreg[1:] }
+
+type emitter struct{ b strings.Builder }
+
+func (e *emitter) ins(format string, args ...any) {
+	e.b.WriteByte('\t')
+	fmt.Fprintf(&e.b, format, args...)
+	e.b.WriteByte('\n')
+}
+
+func (e *emitter) label(l string) {
+	e.b.WriteString(l)
+	e.b.WriteString(":\n")
+}
+
+// xctrl is one translation-time control frame.
+type xctrl struct {
+	isLoop     bool
+	isIf       bool
+	entryDepth int
+	results    int
+	brLabel    string // where br jumps: loop head, else end label
+	endLabel   string
+	elseLabel  string
+	sawElse    bool
+}
+
+func (c *xctrl) branchArity() int {
+	if c.isLoop {
+		return 0
+	}
+	return c.results
+}
+
+type fnXlate struct {
+	m        *Module
+	fi       int
+	ft       FuncType
+	nLocals  int
+	e        emitter
+	depth    int
+	maxDepth int
+	ctrl     []xctrl
+	nextLbl  int
+}
+
+func (f *fnXlate) lbl() string {
+	f.nextLbl++
+	return fmt.Sprintf(".Lw%d_%d", f.fi, f.nextLbl)
+}
+
+func (f *fnXlate) retLabel() string { return fmt.Sprintf(".Lw%d_ret", f.fi) }
+
+func (f *fnXlate) homeOff(d int) int  { return 8 * (f.nLocals + 1 + d) }
+func (f *fnXlate) localOff(l int) int { return 8 * l }
+func (f *fnXlate) lrOff() int         { return 8 * f.nLocals }
+
+func (f *fnXlate) push() int {
+	d := f.depth
+	f.depth++
+	if f.depth > f.maxDepth {
+		f.maxDepth = f.depth
+	}
+	return d
+}
+
+// src returns the register holding depth d, loading spilled values into
+// scratch (an x-register name) first.
+func (f *fnXlate) src(d int, scratch string) string {
+	if d < poolSize {
+		return poolReg(d)
+	}
+	f.e.ins("ldr %s, [sp, #%d]", scratch, f.homeOff(d))
+	return scratch
+}
+
+// dst returns the register a result for depth d should be computed into;
+// store must be called afterwards to spill it if needed.
+func (f *fnXlate) dst(d int) string {
+	if d < poolSize {
+		return poolReg(d)
+	}
+	return "x8"
+}
+
+func (f *fnXlate) store(d int, reg string) {
+	if d >= poolSize {
+		f.e.ins("str %s, [sp, #%d]", reg, f.homeOff(d))
+	}
+}
+
+// moveVal copies the value at stack depth srcD to depth dstD.
+func (f *fnXlate) moveVal(srcD, dstD int) {
+	if srcD == dstD {
+		return
+	}
+	sPool, dPool := srcD < poolSize, dstD < poolSize
+	switch {
+	case sPool && dPool:
+		f.e.ins("mov %s, %s", poolReg(dstD), poolReg(srcD))
+	case sPool:
+		f.e.ins("str %s, [sp, #%d]", poolReg(srcD), f.homeOff(dstD))
+	case dPool:
+		f.e.ins("ldr %s, [sp, #%d]", poolReg(dstD), f.homeOff(srcD))
+	default:
+		f.e.ins("ldr x8, [sp, #%d]", f.homeOff(srcD))
+		f.e.ins("str x8, [sp, #%d]", f.homeOff(dstD))
+	}
+}
+
+// matConst32 materializes a u32 into the w view of reg.
+func (f *fnXlate) matConst32(reg string, v uint32) {
+	lo, hi := v&0xffff, v>>16
+	switch {
+	case hi == 0:
+		f.e.ins("movz %s, #%d", w(reg), lo)
+	case lo == 0:
+		f.e.ins("movz %s, #%d, lsl #16", w(reg), hi)
+	default:
+		f.e.ins("movz %s, #%d", w(reg), lo)
+		f.e.ins("movk %s, #%d, lsl #16", w(reg), hi)
+	}
+}
+
+// matConst64 materializes a u64 into reg.
+func (f *fnXlate) matConst64(reg string, v uint64) {
+	first := true
+	for i := 0; i < 4; i++ {
+		c := (v >> (16 * i)) & 0xffff
+		if c == 0 {
+			continue
+		}
+		op := "movk"
+		if first {
+			op = "movz"
+			first = false
+		}
+		if i == 0 {
+			f.e.ins("%s %s, #%d", op, reg, c)
+		} else {
+			f.e.ins("%s %s, #%d, lsl #%d", op, reg, c, 16*i)
+		}
+	}
+	if first {
+		f.e.ins("movz %s, #0", reg)
+	}
+}
+
+// Asm compiles the whole module to one assembly file.
+func (m *Module) Asm() (string, error) {
+	if err := m.checkLimits(); err != nil {
+		return "", err
+	}
+	entry, err := m.EntryFunc()
+	if err != nil {
+		return "", err
+	}
+
+	var out strings.Builder
+	out.WriteString(".text\n")
+	m.emitStart(&out, entry)
+
+	for i := range m.Funcs {
+		body, err := m.translateFunc(i)
+		if err != nil {
+			return "", err
+		}
+		out.WriteString(body)
+	}
+
+	m.emitTrapTail(&out)
+	m.emitData(&out)
+	return out.String(), nil
+}
+
+func (m *Module) checkLimits() error {
+	if len(m.Funcs) > MaxFuncs {
+		return limitf("%d functions (max %d)", len(m.Funcs), MaxFuncs)
+	}
+	if len(m.Globals) > MaxGlobals {
+		return limitf("%d globals (max %d)", len(m.Globals), MaxGlobals)
+	}
+	if m.TableSize > MaxTableSize {
+		return limitf("table size %d (max %d)", m.TableSize, MaxTableSize)
+	}
+	if m.MemPages > MaxMemPages {
+		return limitf("%d memory pages (max %d)", m.MemPages, MaxMemPages)
+	}
+	for i := range m.Funcs {
+		ft := m.Types[m.Funcs[i].Type]
+		if len(ft.Params) > MaxParams {
+			return limitf("function %d has %d parameters (max %d)", i, len(ft.Params), MaxParams)
+		}
+	}
+	return nil
+}
+
+// emitStart writes _start: materialize the memory base into x28, copy
+// active data segments, call the entry function, write the 8-byte result
+// checksum to stdout, and exit 0.
+func (m *Module) emitStart(out *strings.Builder, entry int) {
+	var e emitter
+	f := &fnXlate{m: m} // for matConst helpers only
+	f.e = e
+
+	out.WriteString(".globl _start\n_start:\n")
+	if m.MemBytes() > 0 {
+		f.e.ins("adrp x28, __wasm_mem")
+		f.e.ins("add x28, x28, :lo12:__wasm_mem")
+	}
+	for i, seg := range m.Data {
+		if len(seg.Bytes) == 0 {
+			continue
+		}
+		f.e.ins("adrp x0, __wasm_data%d", i)
+		f.e.ins("add x0, x0, :lo12:__wasm_data%d", i)
+		if seg.Offset <= 4095 {
+			f.e.ins("add x1, x28, #%d", seg.Offset)
+		} else {
+			f.matConst32("x17", seg.Offset)
+			f.e.ins("add x1, x28, x17")
+		}
+		f.matConst32("x2", uint32(len(seg.Bytes)))
+		f.e.ins("mov x3, #0")
+		f.e.b.WriteString(fmt.Sprintf(".Lwcopy%d:\n", i))
+		f.e.ins("cmp x3, x2")
+		f.e.ins("b.hs .Lwcopydone%d", i)
+		f.e.ins("ldrb w4, [x0, x3]")
+		f.e.ins("strb w4, [x1, x3]")
+		f.e.ins("add x3, x3, #1")
+		f.e.ins("b .Lwcopy%d", i)
+		f.e.b.WriteString(fmt.Sprintf(".Lwcopydone%d:\n", i))
+	}
+	// Patch the indirect-call table's code-address slots at startup:
+	// static .quad relocations hold link-time addresses, which are only
+	// correct when the image runs at its linked base. Computing each
+	// address with adrp keeps the program loadable at any base, so the
+	// same translation runs guarded and as the unguarded bench baseline.
+	if m.TableSize > 0 {
+		f.e.ins("adrp x0, __wasm_table")
+		f.e.ins("add x0, x0, :lo12:__wasm_table")
+		for i, en := range m.tableEntries() {
+			if en.tag == 0 {
+				continue
+			}
+			f.e.ins("adrp x1, __wf%d", en.fn)
+			f.e.ins("add x1, x1, :lo12:__wf%d", en.fn)
+			f.e.ins("str x1, [x0, #%d]", 16*i)
+		}
+	}
+	f.e.ins("bl __wf%d", entry)
+	if len(m.Types[m.Funcs[entry].Type].Results) == 0 {
+		f.e.ins("mov x0, #0")
+	}
+	f.e.ins("adrp x1, __wasm_result")
+	f.e.ins("add x1, x1, :lo12:__wasm_result")
+	f.e.ins("str x0, [x1]")
+	f.e.ins("mov x0, #1")
+	f.e.ins("mov x2, #8")
+	f.e.ins("ldr x30, [x21, #%d]", core.RTWrite.TableOffset())
+	f.e.ins("blr x30")
+	f.e.ins("mov x0, #0")
+	f.e.ins("ldr x30, [x21, #%d]", core.RTExit.TableOffset())
+	f.e.ins("blr x30")
+	out.WriteString(f.e.b.String())
+}
+
+// tableSlot is one resolved indirect-call table slot.
+type tableSlot struct {
+	fn  uint32
+	tag uint32
+}
+
+// tableEntries resolves the element segments into the flat table: each
+// slot's function index and type tag (typeindex+1, 0 = null).
+func (m *Module) tableEntries() []tableSlot {
+	entries := make([]tableSlot, m.TableSize)
+	for _, seg := range m.Elems {
+		for i, fi := range seg.Funcs {
+			entries[seg.Offset+uint32(i)] = tableSlot{fn: fi, tag: m.Funcs[fi].Type + 1}
+		}
+	}
+	return entries
+}
+
+// emitTrapTail writes the shared trap exits: each trap loads its status
+// and leaves through the runtime exit call.
+func (m *Module) emitTrapTail(out *strings.Builder) {
+	var e emitter
+	for _, t := range []struct {
+		label string
+		trap  Trap
+	}{
+		{".Lwtrap_unreachable", TrapUnreachable},
+		{".Lwtrap_div", TrapDivZero},
+		{".Lwtrap_ovf", TrapOverflow},
+		{".Lwtrap_oob", TrapOOB},
+		{".Lwtrap_callidx", TrapBadIndirect},
+		{".Lwtrap_sig", TrapSigMismatch},
+	} {
+		e.label(t.label)
+		e.ins("mov x0, #%d", TrapExitStatus(t.trap))
+		e.ins("b .Lwtrap_exit")
+	}
+	e.label(".Lwtrap_exit")
+	e.ins("ldr x30, [x21, #%d]", core.RTExit.TableOffset())
+	e.ins("blr x30")
+	out.WriteString(e.b.String())
+}
+
+// emitData writes globals, the statically initialized indirect-call
+// table (16-byte entries: code address, then type tag = typeindex+1 with
+// 0 meaning null), the result cell, data segment bytes, and the .bss
+// linear memory.
+func (m *Module) emitData(out *strings.Builder) {
+	out.WriteString(".data\n")
+	if len(m.Globals) > 0 {
+		out.WriteString("__wasm_globals:\n")
+		for _, g := range m.Globals {
+			out.WriteString(fmt.Sprintf("\t.quad %#x\n", uint64(g.Init)))
+		}
+	}
+	if m.TableSize > 0 {
+		out.WriteString("__wasm_table:\n")
+		for _, en := range m.tableEntries() {
+			// Code addresses are patched in by _start; only the type tag
+			// (typeindex+1, 0 = null) is static.
+			out.WriteString(fmt.Sprintf("\t.quad 0\n\t.quad %d\n", en.tag))
+		}
+	}
+	out.WriteString("__wasm_result:\n\t.quad 0\n")
+	for i, seg := range m.Data {
+		if len(seg.Bytes) == 0 {
+			continue
+		}
+		out.WriteString(fmt.Sprintf("__wasm_data%d:\n", i))
+		for _, b := range seg.Bytes {
+			out.WriteString(fmt.Sprintf("\t.byte %d\n", b))
+		}
+	}
+	if m.MemBytes() > 0 {
+		out.WriteString(".bss\n__wasm_mem:\n")
+		out.WriteString(fmt.Sprintf("\t.space %d\n", m.MemBytes()))
+	}
+}
+
+func blockArity(bt int64) int {
+	if byte(bt) == 0x40 {
+		return 0
+	}
+	return 1
+}
+
+// translateFunc compiles one function body. The prologue stores incoming
+// arguments and zeroes declared locals; the body keeps the Wasm value
+// stack in the x9..x15 pool with home slots in the frame; the epilogue
+// restores x30 and returns the depth-0 value in x0.
+func (m *Module) translateFunc(fi int) (string, error) {
+	fn := &m.Funcs[fi]
+	ft := m.Types[fn.Type]
+	f := &fnXlate{
+		m:       m,
+		fi:      fi,
+		ft:      ft,
+		nLocals: len(ft.Params) + len(fn.Locals),
+	}
+	f.ctrl = []xctrl{{
+		entryDepth: 0,
+		results:    len(ft.Results),
+		brLabel:    f.retLabel(),
+	}}
+
+	if err := f.body(fn.Body); err != nil {
+		return "", err
+	}
+
+	slots := f.nLocals + 1 + f.maxDepth
+	if slots > MaxFrameSlots {
+		return "", limitf("function %d needs %d frame slots (max %d)", fi, slots, MaxFrameSlots)
+	}
+	frame := (8*slots + 15) &^ 15
+
+	var out strings.Builder
+	out.WriteString(fmt.Sprintf("__wf%d:\n", fi))
+	var p emitter
+	p.ins("sub sp, sp, #%d", frame)
+	p.ins("str x30, [sp, #%d]", f.lrOff())
+	for i := range ft.Params {
+		p.ins("str x%d, [sp, #%d]", i, f.localOff(i))
+	}
+	if len(fn.Locals) > 0 {
+		p.ins("mov x8, #0")
+		for i := range fn.Locals {
+			p.ins("str x8, [sp, #%d]", f.localOff(len(ft.Params)+i))
+		}
+	}
+	out.WriteString(p.b.String())
+	out.WriteString(f.e.b.String())
+
+	var ep emitter
+	ep.label(f.retLabel())
+	if len(ft.Results) == 1 {
+		ep.ins("mov x0, x9")
+	}
+	ep.ins("ldr x30, [sp, #%d]", f.lrOff())
+	ep.ins("add sp, sp, #%d", frame)
+	ep.ins("ret")
+	out.WriteString(ep.b.String())
+	return out.String(), nil
+}
+
+// skipDead advances past statically dead code (after br, br_table,
+// return, unreachable) to the Else or End that re-establishes
+// reachability, returning its index.
+func skipDead(body []Instr, ip int) int {
+	level := 0
+	for ip++; ip < len(body); ip++ {
+		switch body[ip].Op {
+		case OpBlock, OpLoop, OpIf:
+			level++
+		case OpElse:
+			if level == 0 {
+				return ip
+			}
+		case OpEnd:
+			if level == 0 {
+				return ip
+			}
+			level--
+		}
+	}
+	return len(body) // unterminated; decoder prevents this
+}
+
+func (f *fnXlate) body(body []Instr) error {
+	for ip := 0; ip < len(body); ip++ {
+		in := body[ip]
+		terminal, err := f.instr(in)
+		if err != nil {
+			return err
+		}
+		if terminal {
+			ip = skipDead(body, ip)
+			if ip >= len(body) {
+				break
+			}
+			// The Else/End reached dead re-establishes a known depth.
+			fr := &f.ctrl[len(f.ctrl)-1]
+			if body[ip].Op == OpElse {
+				f.depth = fr.entryDepth
+			} else {
+				f.depth = fr.entryDepth + fr.results
+			}
+			if _, err := f.instr(body[ip]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// instr translates one instruction; it reports whether control
+// unconditionally left (the following code is dead).
+func (f *fnXlate) instr(in Instr) (bool, error) {
+	e := &f.e
+	switch in.Op {
+	case OpNop:
+	case OpUnreachable:
+		e.ins("b .Lwtrap_unreachable")
+		return true, nil
+
+	case OpBlock:
+		f.ctrl = append(f.ctrl, xctrl{
+			entryDepth: f.depth,
+			results:    blockArity(in.Val),
+			endLabel:   f.lbl(),
+		})
+		fr := &f.ctrl[len(f.ctrl)-1]
+		fr.brLabel = fr.endLabel
+	case OpLoop:
+		head := f.lbl()
+		f.ctrl = append(f.ctrl, xctrl{
+			isLoop:     true,
+			entryDepth: f.depth,
+			results:    blockArity(in.Val),
+			brLabel:    head,
+		})
+		e.label(head)
+	case OpIf:
+		cond := f.src(f.depth-1, "x8")
+		f.depth--
+		fr := xctrl{
+			isIf:       true,
+			entryDepth: f.depth,
+			results:    blockArity(in.Val),
+			endLabel:   f.lbl(),
+			elseLabel:  f.lbl(),
+		}
+		fr.brLabel = fr.endLabel
+		e.ins("cbz %s, %s", w(cond), fr.elseLabel)
+		f.ctrl = append(f.ctrl, fr)
+	case OpElse:
+		fr := &f.ctrl[len(f.ctrl)-1]
+		e.ins("b %s", fr.endLabel)
+		e.label(fr.elseLabel)
+		fr.sawElse = true
+		f.depth = fr.entryDepth
+	case OpEnd:
+		fr := f.ctrl[len(f.ctrl)-1]
+		f.ctrl = f.ctrl[:len(f.ctrl)-1]
+		if len(f.ctrl) == 0 {
+			return false, nil // function end; epilogue follows
+		}
+		if fr.isIf && !fr.sawElse {
+			if fr.results != 0 {
+				return false, limitf("if without else yielding a value")
+			}
+			e.label(fr.elseLabel)
+		}
+		if fr.endLabel != "" {
+			e.label(fr.endLabel)
+		}
+		f.depth = fr.entryDepth + fr.results
+
+	case OpBr:
+		fr := f.frameAt(uint32(in.Val))
+		f.branchMoves(fr, f.depth)
+		e.ins("b %s", fr.brLabel)
+		return true, nil
+	case OpBrIf:
+		cond := f.src(f.depth-1, "x8")
+		f.depth--
+		skip := f.lbl()
+		e.ins("cbz %s, %s", w(cond), skip)
+		fr := f.frameAt(uint32(in.Val))
+		f.branchMoves(fr, f.depth)
+		e.ins("b %s", fr.brLabel)
+		e.label(skip)
+	case OpBrTable:
+		if len(in.Targets) > MaxBrTableTargets+1 {
+			return false, limitf("br_table with %d targets (max %d)", len(in.Targets)-1, MaxBrTableTargets)
+		}
+		idx := f.src(f.depth-1, "x8")
+		f.depth--
+		n := len(in.Targets)
+		labels := make([]string, n-1)
+		for i := 0; i < n-1; i++ {
+			labels[i] = f.lbl()
+			e.ins("cmp %s, #%d", w(idx), i)
+			e.ins("b.eq %s", labels[i])
+		}
+		def := f.frameAt(in.Targets[n-1])
+		f.branchMoves(def, f.depth)
+		e.ins("b %s", def.brLabel)
+		for i := 0; i < n-1; i++ {
+			e.label(labels[i])
+			fr := f.frameAt(in.Targets[i])
+			f.branchMoves(fr, f.depth)
+			e.ins("b %s", fr.brLabel)
+		}
+		return true, nil
+	case OpReturn:
+		fr := &f.ctrl[0]
+		f.branchMoves(fr, f.depth)
+		e.ins("b %s", fr.brLabel)
+		return true, nil
+
+	case OpCall:
+		fi := uint32(in.Val)
+		ft := f.m.Types[f.m.Funcs[fi].Type]
+		f.call(len(ft.Params), len(ft.Results), func() {
+			e.ins("bl __wf%d", fi)
+		})
+	case OpCallIndirect:
+		ti := uint32(in.Val)
+		ft := f.m.Types[ti]
+		if f.m.TableSize == 0 {
+			// No table symbol exists; every index is out of bounds.
+			f.depth-- // index
+			e.ins("b .Lwtrap_callidx")
+			f.depth -= len(ft.Params)
+			for range ft.Results {
+				f.push()
+			}
+			break
+		}
+		idx := f.src(f.depth-1, "x8")
+		f.depth--
+		e.ins("cmp %s, #%d", idx, f.m.TableSize)
+		e.ins("b.hs .Lwtrap_callidx")
+		e.ins("adrp x17, __wasm_table")
+		e.ins("add x17, x17, :lo12:__wasm_table")
+		e.ins("add x17, x17, %s, lsl #4", idx)
+		e.ins("ldr x27, [x17, #8]")
+		e.ins("cbz x27, .Lwtrap_callidx")
+		if ti+1 <= 4095 {
+			e.ins("cmp x27, #%d", ti+1)
+		} else {
+			f.matConst32("x17", ti+1)
+			e.ins("cmp x27, x17")
+		}
+		e.ins("b.ne .Lwtrap_sig")
+		e.ins("ldr x27, [x17]")
+		f.call(len(ft.Params), len(ft.Results), func() {
+			e.ins("blr x27")
+		})
+
+	case OpDrop:
+		f.depth--
+	case OpSelect:
+		c := f.src(f.depth-1, "x8")
+		b := f.src(f.depth-2, "x17")
+		a := f.src(f.depth-3, "x27")
+		f.depth -= 3
+		rd := f.push()
+		d := f.dst(rd)
+		e.ins("cmp %s, #0", w(c))
+		e.ins("csel %s, %s, %s, ne", d, a, b)
+		f.store(rd, d)
+
+	case OpLocalGet:
+		rd := f.push()
+		if rd < poolSize {
+			e.ins("ldr %s, [sp, #%d]", poolReg(rd), f.localOff(int(in.Val)))
+		} else {
+			e.ins("ldr x8, [sp, #%d]", f.localOff(int(in.Val)))
+			f.store(rd, "x8")
+		}
+	case OpLocalSet:
+		s := f.src(f.depth-1, "x8")
+		f.depth--
+		e.ins("str %s, [sp, #%d]", s, f.localOff(int(in.Val)))
+	case OpLocalTee:
+		s := f.src(f.depth-1, "x8")
+		e.ins("str %s, [sp, #%d]", s, f.localOff(int(in.Val)))
+
+	case OpGlobalGet:
+		e.ins("adrp x17, __wasm_globals")
+		e.ins("add x17, x17, :lo12:__wasm_globals")
+		rd := f.push()
+		if rd < poolSize {
+			e.ins("ldr %s, [x17, #%d]", poolReg(rd), 8*in.Val)
+		} else {
+			e.ins("ldr x8, [x17, #%d]", 8*in.Val)
+			f.store(rd, "x8")
+		}
+	case OpGlobalSet:
+		s := f.src(f.depth-1, "x8")
+		f.depth--
+		e.ins("adrp x17, __wasm_globals")
+		e.ins("add x17, x17, :lo12:__wasm_globals")
+		e.ins("str %s, [x17, #%d]", s, 8*in.Val)
+
+	case OpI32Const:
+		rd := f.push()
+		d := f.dst(rd)
+		f.matConst32(d, uint32(in.Val))
+		f.store(rd, d)
+	case OpI64Const:
+		rd := f.push()
+		d := f.dst(rd)
+		f.matConst64(d, uint64(in.Val))
+		f.store(rd, d)
+
+	case OpI32Eqz, OpI64Eqz:
+		s := f.src(f.depth-1, "x17")
+		f.depth--
+		rd := f.push()
+		d := f.dst(rd)
+		if in.Op == OpI32Eqz {
+			e.ins("cmp %s, #0", w(s))
+		} else {
+			e.ins("cmp %s, #0", s)
+		}
+		e.ins("cset %s, eq", w(d))
+		f.store(rd, d)
+
+	case OpI32WrapI64:
+		f.unary(func(s, d string) {
+			e.ins("mov %s, %s", w(d), w(s))
+		})
+	case OpI64ExtendS:
+		f.unary(func(s, d string) {
+			e.ins("sxtw %s, %s", d, w(s))
+		})
+	case OpI64ExtendU:
+		// i32 values are kept zero-extended in both pool registers and
+		// home slots, so reinterpreting as i64 needs no code.
+
+	default:
+		switch {
+		case isMemOp(in.Op):
+			if IsStoreOp(in.Op) {
+				f.memStore(in)
+			} else {
+				f.memLoad(in)
+			}
+		case isCmpOp(in.Op):
+			f.compare(in.Op)
+		case isBinOp(in.Op):
+			return f.binop(in.Op)
+		default:
+			return false, limitf("unsupported opcode %#x", in.Op)
+		}
+	}
+	return false, nil
+}
+
+// frameAt resolves a branch depth to its control frame.
+func (f *fnXlate) frameAt(depth uint32) *xctrl {
+	return &f.ctrl[len(f.ctrl)-1-int(depth)]
+}
+
+// branchMoves copies the branch operands (0 or 1 values in this subset)
+// from the top of the stack to the target frame's merge slots. The moves
+// run only on the taken path, so fall-through values stay intact.
+func (f *fnXlate) branchMoves(fr *xctrl, depth int) {
+	k := fr.branchArity()
+	for i := 0; i < k; i++ {
+		f.moveVal(depth-k+i, fr.entryDepth+i)
+	}
+}
+
+// call emits an inter-function call: flush the live register pool to
+// home slots (the callee clobbers x9..x15 freely), marshal arguments
+// into x0.., invoke, capture the result, and refill the pool.
+func (f *fnXlate) call(nParams, nResults int, invoke func()) {
+	e := &f.e
+	d := f.depth
+	live := d
+	if live > poolSize {
+		live = poolSize
+	}
+	for j := 0; j < live; j++ {
+		e.ins("str %s, [sp, #%d]", poolReg(j), f.homeOff(j))
+	}
+	for i := 0; i < nParams; i++ {
+		sd := d - nParams + i
+		if sd < poolSize {
+			e.ins("mov x%d, %s", i, poolReg(sd))
+		} else {
+			e.ins("ldr x%d, [sp, #%d]", i, f.homeOff(sd))
+		}
+	}
+	invoke()
+	f.depth = d - nParams
+	if nResults == 1 {
+		rd := f.push()
+		if rd < poolSize {
+			e.ins("mov %s, x0", poolReg(rd))
+		} else {
+			e.ins("str x0, [sp, #%d]", f.homeOff(rd))
+		}
+	}
+	reload := d - nParams
+	if reload > poolSize {
+		reload = poolSize
+	}
+	for j := 0; j < reload; j++ {
+		e.ins("ldr %s, [sp, #%d]", poolReg(j), f.homeOff(j))
+	}
+}
+
+// memAddr pops nothing itself: given the register holding the effective
+// i32 address, it computes base+offset into x8, bounds-checks against
+// the memory limit, and rebases into the sandbox via x28. Returns false
+// if the access can never be in bounds (the trap branch was emitted).
+func (f *fnXlate) memAddr(addr string, off uint32, size int) bool {
+	e := &f.e
+	limit := int64(f.m.MemBytes()) - int64(size)
+	if limit < 0 || int64(off) > limit {
+		e.ins("b .Lwtrap_oob")
+		return false
+	}
+	if off <= 4095 {
+		e.ins("add x8, %s, #%d", addr, off)
+	} else {
+		f.matConst32("x17", off)
+		e.ins("add x8, %s, x17", addr)
+	}
+	if limit <= 4095 {
+		e.ins("cmp x8, #%d", limit)
+	} else {
+		f.matConst32("x17", uint32(limit))
+		e.ins("cmp x8, x17")
+	}
+	e.ins("b.hi .Lwtrap_oob")
+	// 64-bit add: the full address works both unguarded (bench native
+	// baseline) and guarded, where the rewriter folds the access to
+	// [x21, w8, uxtw] and the low 32 bits are the sandbox offset.
+	e.ins("add x8, x28, x8")
+	return true
+}
+
+var loadOps = map[byte]struct {
+	op   string
+	wide bool // x-register destination
+}{
+	OpI32Load:    {"ldr", false},
+	OpI32Load8S:  {"ldrsb", false},
+	OpI32Load8U:  {"ldrb", false},
+	OpI32Load16S: {"ldrsh", false},
+	OpI32Load16U: {"ldrh", false},
+	OpI64Load:    {"ldr", true},
+	OpI64Load8S:  {"ldrsb", true},
+	OpI64Load8U:  {"ldrb", false},
+	OpI64Load16S: {"ldrsh", true},
+	OpI64Load16U: {"ldrh", false},
+	OpI64Load32S: {"ldrsw", true},
+	OpI64Load32U: {"ldr", false},
+}
+
+func (f *fnXlate) memLoad(in Instr) {
+	e := &f.e
+	addr := f.src(f.depth-1, "x8")
+	f.depth--
+	rd := f.push()
+	if !f.memAddr(addr, in.Off, MemOpSize(in.Op)) {
+		return
+	}
+	lo := loadOps[in.Op]
+	d := "x17"
+	if rd < poolSize {
+		d = poolReg(rd)
+	}
+	if lo.wide {
+		e.ins("%s %s, [x8]", lo.op, d)
+	} else {
+		e.ins("%s %s, [x8]", lo.op, w(d))
+	}
+	f.store(rd, d)
+}
+
+var storeOps = map[byte]struct {
+	op   string
+	wide bool
+}{
+	OpI32Store:   {"str", false},
+	OpI32Store8:  {"strb", false},
+	OpI32Store16: {"strh", false},
+	OpI64Store:   {"str", true},
+	OpI64Store8:  {"strb", false},
+	OpI64Store16: {"strh", false},
+	OpI64Store32: {"str", false},
+}
+
+func (f *fnXlate) memStore(in Instr) {
+	e := &f.e
+	val := f.src(f.depth-1, "x27")
+	addr := f.src(f.depth-2, "x8")
+	f.depth -= 2
+	if !f.memAddr(addr, in.Off, MemOpSize(in.Op)) {
+		return
+	}
+	so := storeOps[in.Op]
+	if so.wide {
+		e.ins("%s %s, [x8]", so.op, val)
+	} else {
+		e.ins("%s %s, [x8]", so.op, w(val))
+	}
+}
+
+// cmpConds maps the opcode's position within a comparison family to the
+// ARM condition for cset.
+var cmpConds = []string{"eq", "ne", "lt", "lo", "gt", "hi", "le", "ls", "ge", "hs"}
+
+func (f *fnXlate) compare(op byte) {
+	e := &f.e
+	wide := op >= 0x51
+	pos := int(op - 0x46)
+	if wide {
+		pos = int(op - 0x51)
+	}
+	b := f.src(f.depth-1, "x17")
+	a := f.src(f.depth-2, "x8")
+	f.depth -= 2
+	rd := f.push()
+	d := f.dst(rd)
+	if wide {
+		e.ins("cmp %s, %s", a, b)
+	} else {
+		e.ins("cmp %s, %s", w(a), w(b))
+	}
+	e.ins("cset %s, %s", w(d), cmpConds[pos])
+	f.store(rd, d)
+}
+
+// binop families: position within 0x6a.. (i32) and 0x7c.. (i64).
+const (
+	binAdd = iota
+	binSub
+	binMul
+	binDivS
+	binDivU
+	binRemS
+	binRemU
+	binAnd
+	binOr
+	binXor
+	binShl
+	binShrS
+	binShrU
+	binRotl
+	binRotr
+)
+
+var binMnemonic = map[int]string{
+	binAdd: "add", binSub: "sub", binMul: "mul",
+	binAnd: "and", binOr: "orr", binXor: "eor",
+	binShl: "lsl", binShrS: "asr", binShrU: "lsr",
+}
+
+func (f *fnXlate) binop(op byte) (bool, error) {
+	e := &f.e
+	wide := op >= 0x7c
+	pos := int(op - 0x6a)
+	if wide {
+		pos = int(op - 0x7c)
+	}
+	reg := func(x string) string {
+		if wide {
+			return x
+		}
+		return w(x)
+	}
+	b := f.src(f.depth-1, "x17")
+	a := f.src(f.depth-2, "x8")
+	f.depth -= 2
+	rd := f.push()
+	d := f.dst(rd)
+
+	switch pos {
+	case binDivS:
+		ok := f.lbl()
+		e.ins("cbz %s, .Lwtrap_div", reg(b))
+		e.ins("cmn %s, #1", reg(b))
+		e.ins("b.ne %s", ok)
+		if wide {
+			e.ins("movz x27, #0x8000, lsl #48")
+		} else {
+			e.ins("movz w27, #0x8000, lsl #16")
+		}
+		e.ins("cmp %s, %s", reg(a), reg("x27"))
+		e.ins("b.eq .Lwtrap_ovf")
+		e.label(ok)
+		e.ins("sdiv %s, %s, %s", reg(d), reg(a), reg(b))
+	case binDivU:
+		e.ins("cbz %s, .Lwtrap_div", reg(b))
+		e.ins("udiv %s, %s, %s", reg(d), reg(a), reg(b))
+	case binRemS:
+		// ARM sdiv(INT_MIN, -1) = INT_MIN, so msub yields the correct
+		// Wasm result 0 without an overflow check.
+		e.ins("cbz %s, .Lwtrap_div", reg(b))
+		e.ins("sdiv %s, %s, %s", reg("x27"), reg(a), reg(b))
+		e.ins("msub %s, %s, %s, %s", reg(d), reg("x27"), reg(b), reg(a))
+	case binRemU:
+		e.ins("cbz %s, .Lwtrap_div", reg(b))
+		e.ins("udiv %s, %s, %s", reg("x27"), reg(a), reg(b))
+		e.ins("msub %s, %s, %s, %s", reg(d), reg("x27"), reg(b), reg(a))
+	case binRotl:
+		// rotl(a, n) = rotr(a, -n); shift registers apply modulo datasize.
+		e.ins("neg %s, %s", reg("x27"), reg(b))
+		e.ins("ror %s, %s, %s", reg(d), reg(a), reg("x27"))
+	case binRotr:
+		e.ins("ror %s, %s, %s", reg(d), reg(a), reg(b))
+	default:
+		mn, okOp := binMnemonic[pos]
+		if !okOp {
+			return false, limitf("unsupported binary opcode %#x", op)
+		}
+		e.ins("%s %s, %s, %s", mn, reg(d), reg(a), reg(b))
+	}
+	f.store(rd, d)
+	return false, nil
+}
+
+// unary rewrites the top of stack in place.
+func (f *fnXlate) unary(emit func(src, dst string)) {
+	s := f.src(f.depth-1, "x8")
+	f.depth--
+	rd := f.push()
+	d := f.dst(rd)
+	emit(s, d)
+	f.store(rd, d)
+}

@@ -1,0 +1,220 @@
+package wasmfront
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// corrupt returns a copy of b with the byte at off replaced.
+func corrupt(b []byte, off int, v byte) []byte {
+	out := append([]byte(nil), b...)
+	out[off] = v
+	return out
+}
+
+func TestDecodeNegative(t *testing.T) {
+	good := SampleArithLoop(10)
+	cases := []struct {
+		name string
+		wasm []byte
+	}{
+		{"empty", nil},
+		{"short-magic", []byte("\x00as")},
+		{"bad-magic", []byte("\x00asX\x01\x00\x00\x00")},
+		{"bad-version", []byte("\x00asm\x02\x00\x00\x00")},
+		{"truncated-module", good[:len(good)-3]},
+		{"truncated-leb", append(append([]byte{}, good[:8]...), 0x01, 0x85)}, // section size leb cut off
+		{"section-len-overflow", append(append([]byte{}, good[:8]...),
+			0x01, 0xff, 0xff, 0xff, 0xff, 0x7f)}, // claims 0xffffffff-byte section
+		{"leb-u32-high-bits", append(append([]byte{}, good[:8]...),
+			0x01, 0x85, 0x80, 0x80, 0x80, 0x78)}, // u32 with bits >= 32 set
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Decode(tc.wasm); err == nil {
+				t.Fatalf("Decode accepted malformed module")
+			} else {
+				var de *DecodeError
+				if !errors.As(err, &de) {
+					t.Fatalf("want *DecodeError, got %T: %v", err, err)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeBodyPastSectionEnd(t *testing.T) {
+	// A code section whose single body's declared size runs past the
+	// section boundary must be rejected, not read into the next section.
+	mb := NewModBuilder()
+	ty := mb.Type(nil, []ValType{I32})
+	var c Code
+	c.I32Const(1).End()
+	f := mb.Func(ty, nil, c.Bytes())
+	mb.Export("main", f)
+	wasm := mb.Bytes()
+
+	// Find the code section (id 10) and inflate the body-size leb.
+	idx := -1
+	for i := 8; i < len(wasm); i++ {
+		if wasm[i] == 10 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no code section")
+	}
+	// layout: id, secLen, count, bodyLen, ...
+	bad := corrupt(wasm, idx+3, wasm[idx+3]+20)
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("Decode accepted body running past section end")
+	}
+}
+
+func TestTranslateLimits(t *testing.T) {
+	t.Run("too-many-params", func(t *testing.T) {
+		mb := NewModBuilder()
+		params := make([]ValType, MaxParams+1)
+		for i := range params {
+			params[i] = I32
+		}
+		ty := mb.Type(params, []ValType{I32})
+		var c Code
+		c.Idx(OpLocalGet, 0).End()
+		mb.Func(ty, nil, c.Bytes())
+		tm := mb.Type(nil, []ValType{I64})
+		var m Code
+		m.I64Const(0).End()
+		mf := mb.Func(tm, nil, m.Bytes())
+		mb.Export("main", mf)
+		wantLimitError(t, mb.Bytes())
+	})
+
+	t.Run("too-many-mem-pages", func(t *testing.T) {
+		mb := NewModBuilder()
+		mb.Memory(MaxMemPages + 1)
+		tm := mb.Type(nil, []ValType{I64})
+		var m Code
+		m.I64Const(0).End()
+		mf := mb.Func(tm, nil, m.Bytes())
+		mb.Export("main", mf)
+		wantLimitError(t, mb.Bytes())
+	})
+
+	t.Run("too-many-locals", func(t *testing.T) {
+		mb := NewModBuilder()
+		tm := mb.Type(nil, []ValType{I64})
+		locals := make([]ValType, MaxFrameSlots+1)
+		for i := range locals {
+			locals[i] = I64
+		}
+		var m Code
+		m.I64Const(0).End()
+		mf := mb.Func(tm, locals, m.Bytes())
+		mb.Export("main", mf)
+		wantLimitError(t, mb.Bytes())
+	})
+
+	t.Run("br-table-too-wide", func(t *testing.T) {
+		mb := NewModBuilder()
+		tm := mb.Type(nil, []ValType{I64})
+		var m Code
+		m.Block(0x40)
+		targets := make([]uint32, MaxBrTableTargets+1)
+		m.I32Const(0).BrTable(targets, 0)
+		m.End()
+		m.I64Const(0).End()
+		mf := mb.Func(tm, nil, m.Bytes())
+		mb.Export("main", mf)
+		wantLimitError(t, mb.Bytes())
+	})
+
+	t.Run("table-too-big", func(t *testing.T) {
+		mb := NewModBuilder()
+		mb.Table(MaxTableSize + 1)
+		tm := mb.Type(nil, []ValType{I64})
+		var m Code
+		m.I64Const(0).End()
+		mf := mb.Func(tm, nil, m.Bytes())
+		mb.Export("main", mf)
+		wantLimitError(t, mb.Bytes())
+	})
+}
+
+func wantLimitError(t *testing.T, wasm []byte) {
+	t.Helper()
+	_, _, err := Translate(wasm)
+	if err == nil {
+		t.Fatal("Translate accepted over-limit module")
+	}
+	var le *LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("want *LimitError, got %T: %v", err, err)
+	}
+}
+
+func TestEntryFunc(t *testing.T) {
+	t.Run("no-entry", func(t *testing.T) {
+		mb := NewModBuilder()
+		tm := mb.Type(nil, []ValType{I64})
+		var m Code
+		m.I64Const(0).End()
+		mb.Func(tm, nil, m.Bytes())
+		_, _, err := Translate(mb.Bytes())
+		if err == nil {
+			t.Fatal("Translate accepted module with no entry point")
+		}
+	})
+
+	t.Run("start-section", func(t *testing.T) {
+		mb := NewModBuilder()
+		tv := mb.Type(nil, nil)
+		var m Code
+		m.End()
+		f := mb.Func(tv, nil, m.Bytes())
+		mb.Start(f)
+		asm, mod, err := Translate(mb.Bytes())
+		if err != nil {
+			t.Fatalf("translate: %v", err)
+		}
+		if ef, err := mod.EntryFunc(); err != nil || ef != int(f) {
+			t.Fatalf("EntryFunc = %d, %v; want %d", ef, err, f)
+		}
+		if !strings.Contains(asm, "bl __wf0") {
+			t.Fatal("start entry not called from _start")
+		}
+	})
+
+	t.Run("export-wins-over-start", func(t *testing.T) {
+		mb := NewModBuilder()
+		tv := mb.Type(nil, nil)
+		var a, b Code
+		a.End()
+		b.End()
+		fa := mb.Func(tv, nil, a.Bytes())
+		fb := mb.Func(tv, nil, b.Bytes())
+		mb.Start(fa)
+		mb.Export("main", fb)
+		_, mod, err := Translate(mb.Bytes())
+		if err != nil {
+			t.Fatalf("translate: %v", err)
+		}
+		if ef, _ := mod.EntryFunc(); ef != int(fb) {
+			t.Fatalf("EntryFunc = %d, want exported main %d", ef, fb)
+		}
+	})
+
+	t.Run("entry-with-params-rejected", func(t *testing.T) {
+		mb := NewModBuilder()
+		tp := mb.Type([]ValType{I32}, nil)
+		var m Code
+		m.End()
+		f := mb.Func(tp, nil, m.Bytes())
+		mb.Export("main", f)
+		if _, _, err := Translate(mb.Bytes()); err == nil {
+			t.Fatal("Translate accepted entry with parameters")
+		}
+	})
+}

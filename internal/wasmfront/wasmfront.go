@@ -1,0 +1,275 @@
+// Package wasmfront compiles a WebAssembly MVP subset into the
+// GNU-assembly dialect the LFI rewriter consumes, so real Wasm modules
+// run inside verified LFI sandboxes (the Gobi direction: WebAssembly as a
+// path to library sandboxing, with LFI as the backend instead of native
+// compilation).
+//
+// The subset is the integer core: i32/i64 arithmetic and comparisons,
+// locals and globals, one linear memory with (sub-word) loads and stores,
+// structured control flow (block/loop/if/br/br_if/br_table), and direct
+// plus indirect calls through one funcref table. Floats, imports, and
+// multi-value are out of scope — a module using them is rejected.
+//
+// Lowering contract (see DESIGN.md "Wasm frontend"):
+//
+//   - Linear memory is a .bss region whose sandbox offset is materialized
+//     once into x28; every access computes a 32-bit offset and issues the
+//     load/store through a plain base register, which the rewriter turns
+//     into the zero-cost [x21, wN, uxtw] guarded form at O1/O2. Explicit
+//     bounds checks against the memory size precede every access, so an
+//     out-of-range address traps deterministically *before* the guard
+//     would have wrapped it into the sandbox.
+//   - The Wasm value stack is register-allocated: depths 0..6 live in
+//     x9..x15, deeper values spill to a shadow region in the native stack
+//     frame. Every depth also owns a frame slot, flushed around calls.
+//   - Locals and the saved link register live in the same sp-based frame;
+//     sp-relative accesses pass the rewriter unguarded (§4.2 elision).
+//   - Traps (unreachable, division by zero, signed-overflow division,
+//     out-of-bounds access, bad indirect call) exit the sandbox through
+//     the runtime-call table with distinct statuses (TrapExitStatus).
+//
+// Translate validates the module with wasmbase.ValidateModule first, so
+// every module this frontend accepts also validates — the two front-end
+// surfaces cannot disagree in the dangerous direction.
+package wasmfront
+
+import "fmt"
+
+// ValType is a WebAssembly value type. Only the integer types exist in
+// this subset.
+type ValType byte
+
+const (
+	I32 ValType = 0x7f
+	I64 ValType = 0x7e
+)
+
+func (t ValType) String() string {
+	switch t {
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	}
+	return fmt.Sprintf("valtype(%#x)", byte(t))
+}
+
+// FuncType is a function signature.
+type FuncType struct {
+	Params  []ValType
+	Results []ValType // 0 or 1 entries
+}
+
+// Func is one decoded function: its type index, declared locals (params
+// excluded), and the decoded instruction sequence of its body, terminated
+// by an End at nesting depth 0.
+type Func struct {
+	Type   uint32
+	Locals []ValType
+	Body   []Instr
+}
+
+// Global is one module global with its constant initializer.
+type Global struct {
+	Type ValType
+	Mut  bool
+	Init int64
+}
+
+// ElemSeg is one active element segment: function indices written into
+// the table starting at Offset.
+type ElemSeg struct {
+	Offset uint32
+	Funcs  []uint32
+}
+
+// DataSeg is one active data segment copied into linear memory at load.
+type DataSeg struct {
+	Offset uint32
+	Bytes  []byte
+}
+
+// Module is a decoded WebAssembly module restricted to the supported
+// subset.
+type Module struct {
+	Types     []FuncType
+	Funcs     []Func
+	TableSize uint32
+	Elems     []ElemSeg
+	MemPages  uint32 // minimum pages; the translated memory is exactly this size
+	Globals   []Global
+	Exports   map[string]uint32 // function exports only
+	Start     int               // start function index, -1 if absent
+	Data      []DataSeg
+}
+
+// MemBytes returns the linear memory size in bytes.
+func (m *Module) MemBytes() uint32 { return m.MemPages * PageBytes }
+
+// PageBytes is the WebAssembly page size.
+const PageBytes = 64 * 1024
+
+// Instr is one decoded instruction. Operands are pre-decoded so the
+// translator and the reference interpreter share one representation:
+//
+//	Val:     constant value, local/global/function/type index, branch
+//	         depth, or block type byte
+//	Off:     memarg offset
+//	Targets: br_table targets (the last entry is the default)
+type Instr struct {
+	Op      byte
+	Val     int64
+	Off     uint32
+	Targets []uint32
+}
+
+// Wasm opcodes of the supported subset, named where the translator or
+// interpreter refers to them directly.
+const (
+	OpUnreachable  = 0x00
+	OpNop          = 0x01
+	OpBlock        = 0x02
+	OpLoop         = 0x03
+	OpIf           = 0x04
+	OpElse         = 0x05
+	OpEnd          = 0x0b
+	OpBr           = 0x0c
+	OpBrIf         = 0x0d
+	OpBrTable      = 0x0e
+	OpReturn       = 0x0f
+	OpCall         = 0x10
+	OpCallIndirect = 0x11
+	OpDrop         = 0x1a
+	OpSelect       = 0x1b
+	OpLocalGet     = 0x20
+	OpLocalSet     = 0x21
+	OpLocalTee     = 0x22
+	OpGlobalGet    = 0x23
+	OpGlobalSet    = 0x24
+	OpI32Load      = 0x28
+	OpI64Load      = 0x29
+	OpI32Load8S    = 0x2c
+	OpI32Load8U    = 0x2d
+	OpI32Load16S   = 0x2e
+	OpI32Load16U   = 0x2f
+	OpI64Load8S    = 0x30
+	OpI64Load8U    = 0x31
+	OpI64Load16S   = 0x32
+	OpI64Load16U   = 0x33
+	OpI64Load32S   = 0x34
+	OpI64Load32U   = 0x35
+	OpI32Store     = 0x36
+	OpI64Store     = 0x37
+	OpI32Store8    = 0x3a
+	OpI32Store16   = 0x3b
+	OpI64Store8    = 0x3c
+	OpI64Store16   = 0x3d
+	OpI64Store32   = 0x3e
+	OpI32Const     = 0x41
+	OpI64Const     = 0x42
+	OpI32Eqz       = 0x45
+	OpI64Eqz       = 0x50
+	OpI32WrapI64   = 0xa7
+	OpI64ExtendS   = 0xac
+	OpI64ExtendU   = 0xad
+)
+
+// Trap identifies a defined trap cause. The translated program exits the
+// sandbox with TrapExitStatus(trap); the reference interpreter returns
+// the same value, so the conformance suite can diff traps exactly.
+type Trap int
+
+const (
+	TrapNone Trap = iota
+	// TrapUnreachable: the unreachable instruction executed.
+	TrapUnreachable
+	// TrapDivZero: integer division or remainder by zero.
+	TrapDivZero
+	// TrapOverflow: signed division overflow (INT_MIN / -1).
+	TrapOverflow
+	// TrapOOB: a linear-memory access past the memory size.
+	TrapOOB
+	// TrapBadIndirect: call_indirect index out of table bounds or a null
+	// table entry.
+	TrapBadIndirect
+	// TrapSigMismatch: call_indirect type-signature mismatch.
+	TrapSigMismatch
+)
+
+func (t Trap) String() string {
+	switch t {
+	case TrapNone:
+		return "no trap"
+	case TrapUnreachable:
+		return "unreachable"
+	case TrapDivZero:
+		return "integer divide by zero"
+	case TrapOverflow:
+		return "integer overflow"
+	case TrapOOB:
+		return "out of bounds memory access"
+	case TrapBadIndirect:
+		return "undefined element"
+	case TrapSigMismatch:
+		return "indirect call type mismatch"
+	}
+	return fmt.Sprintf("trap(%d)", int(t))
+}
+
+// TrapExitStatus maps a trap to the sandbox exit status the translated
+// code uses. Statuses stay clear of the 0..127 range ordinary programs
+// use.
+func TrapExitStatus(t Trap) int { return 0xE0 + int(t) }
+
+// TrapFromStatus inverts TrapExitStatus; ok is false for statuses that
+// are not trap exits.
+func TrapFromStatus(status int) (Trap, bool) {
+	if status > 0xE0 && status <= 0xE0+int(TrapSigMismatch) {
+		return Trap(status - 0xE0), true
+	}
+	return TrapNone, false
+}
+
+// LimitError reports a module that is valid WebAssembly (it passes
+// wasmbase.ValidateModule) but exceeds an implementation limit of this
+// translator. The differential fuzz oracle treats LimitError as an
+// acceptable outcome; any other failure on a validated module is a bug.
+type LimitError struct{ Msg string }
+
+func (e *LimitError) Error() string { return "wasmfront: limit: " + e.Msg }
+
+func limitf(format string, args ...any) error {
+	return &LimitError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// DecodeError reports a structurally invalid module.
+type DecodeError struct {
+	Offset int
+	Msg    string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("wasmfront: invalid module at +%#x: %s", e.Offset, e.Msg)
+}
+
+// Translator implementation limits. A module beyond these is rejected
+// with LimitError. They exist to keep every emitted immediate inside the
+// encodable (and sp-elision-safe) ranges; see translate.go.
+const (
+	// MaxParams: arguments pass in x0..x7.
+	MaxParams = 8
+	// MaxFrameSlots bounds locals + spill slots so the frame fits one
+	// `sub sp, sp, #imm` (imm <= 4095) and every slot offset stays a
+	// valid unscaled immediate.
+	MaxFrameSlots = 500
+	// MaxGlobals keeps every global's byte offset an encodable immediate.
+	MaxGlobals = 256
+	// MaxTableSize keeps every 16-byte table entry offset encodable.
+	MaxTableSize = 256
+	// MaxBrTableTargets bounds the compare chain br_table lowers to.
+	MaxBrTableTargets = 64
+	// MaxMemPages bounds the .bss linear memory (512 * 64KiB = 32MiB).
+	MaxMemPages = 512
+	// MaxFuncs bounds the emitted function count.
+	MaxFuncs = 1024
+)

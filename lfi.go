@@ -54,6 +54,7 @@ import (
 	"lfi/internal/pool"
 	"lfi/internal/rewrite"
 	"lfi/internal/verifier"
+	"lfi/internal/wasmfront"
 )
 
 // OptLevel selects the rewriter optimization level (§6.1).
@@ -142,6 +143,20 @@ func Compile(asmSource string, opts CompileOptions) (*CompileResult, error) {
 		FileSize: len(elfBytes),
 		Stats:    stats,
 	}, nil
+}
+
+// CompileWasm translates a WebAssembly module (MVP integer subset)
+// through the wasmfront pipeline — validate → decode → translate to
+// guarded assembly → rewrite → assemble — into a sandbox ELF executable.
+// The module's linear memory, funcref table, and traps are lowered to
+// the same guarded-access discipline Compile enforces on hand-written
+// assembly.
+func CompileWasm(wasm []byte, opts CompileOptions) (*CompileResult, error) {
+	asm, _, err := wasmfront.Translate(wasm)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(asm, opts)
 }
 
 // CompileNative assembles source without guards. The result does not pass
@@ -494,6 +509,13 @@ func (p *Pool) BuildImage(asmSource string, opts CompileOptions) (*Image, error)
 // verifying it first.
 func (p *Pool) ImageFromELF(elfBytes []byte) (*Image, error) {
 	return p.p.ImageFromELF(elfBytes)
+}
+
+// BuildWasmImage translates a WebAssembly module through the cached
+// wasmfront pipeline; repeated builds of the same module bytes return
+// the cached image.
+func (p *Pool) BuildWasmImage(wasm []byte, opts CompileOptions) (*Image, error) {
+	return p.p.BuildWasmImage(wasm, opts.internal())
 }
 
 // Submit enqueues a job without blocking; it returns ErrQueueFull when
