@@ -605,7 +605,10 @@ func validateBody(r *wasmReader, end int, m *modState, fidx int) error {
 		if err != nil {
 			return err
 		}
-		if count > 1<<16 {
+		// Cap total locals across all groups, not per group: the group
+		// count is attacker-controlled and each ~4-byte group could
+		// otherwise grow the slice by 2^16 entries.
+		if uint64(len(locals))+uint64(count) > 1<<16 {
 			return r.err("too many locals")
 		}
 		for j := uint32(0); j < count; j++ {

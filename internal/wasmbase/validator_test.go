@@ -115,6 +115,24 @@ func TestValidateMalformedEncodings(t *testing.T) {
 		}
 	})
 
+	t.Run("cumulative-locals-overflow", func(t *testing.T) {
+		// Two locals groups of 65535 entries each: every group is under
+		// the per-group cap, but the cumulative 131070 locals must be
+		// rejected before the locals slice is grown.
+		m := append(append([]byte{}, header...),
+			0x01, 0x04, 0x01, 0x60, 0x00, 0x00, // type section: () -> ()
+			0x03, 0x02, 0x01, 0x00, // function section: func 0 has type 0
+			0x0a, 0x0c, 0x01, 0x0a, // code section: 1 body of 10 bytes
+			0x02,                   // 2 locals groups
+			0xff, 0xff, 0x03, 0x7f, // 65535 x i32
+			0xff, 0xff, 0x03, 0x7f, // 65535 x i32
+			0x0b, // end
+		)
+		if _, err := ValidateModule(m); err == nil {
+			t.Error("cumulative locals over 2^16 accepted")
+		}
+	})
+
 	t.Run("body-length-past-section-end", func(t *testing.T) {
 		m := GenModule(1, 32)
 		// Find the code section and inflate the first body's size leb so

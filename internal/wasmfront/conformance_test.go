@@ -554,6 +554,42 @@ func TestConformanceCalls(t *testing.T) {
 		checkConformance(t, mb.Bytes())
 	})
 
+	t.Run("indirect-high-type-index", func(t *testing.T) {
+		// Regression: with a type index >= 4095 the signature tag ti+1 no
+		// longer fits a cmp immediate and must be materialized in a
+		// register that is not x17, which still holds the table-entry
+		// address for the target load.
+		mb := NewModBuilder()
+		tMain := mb.Type(nil, []ValType{I64})
+		for i := 0; i < 4096; i++ {
+			params := make([]ValType, 12)
+			for j := range params {
+				if i&(1<<j) != 0 {
+					params[j] = I64
+				} else {
+					params[j] = I32
+				}
+			}
+			mb.Type(params, nil)
+		}
+		tUn := mb.Type([]ValType{I32}, []ValType{I32})
+		if tUn <= 4095 {
+			t.Fatalf("type index %d does not exercise the wide-immediate path", tUn)
+		}
+		var un Code
+		un.Idx(OpLocalGet, 0).I32Const(2).Op(0x6c)
+		un.End()
+		unF := mb.Func(tUn, nil, un.Bytes())
+		var c Code
+		c.I32Const(21).I32Const(0).CallIndirect(tUn)
+		c.Op(OpI64ExtendU).End()
+		mainF := mb.Func(tMain, nil, c.Bytes())
+		mb.Table(2)
+		mb.Elem(0, unF)
+		mb.Export("main", mainF)
+		checkConformance(t, mb.Bytes())
+	})
+
 	t.Run("indirect-out-of-bounds", func(t *testing.T) {
 		mb := NewModBuilder()
 		tMain := mb.Type(nil, []ValType{I64})

@@ -537,7 +537,9 @@ func (r *reader) codeSection(m *Module, funcTypes []uint32) error {
 			if err != nil {
 				return err
 			}
-			if count > 1<<16 {
+			// Cumulative cap across groups, matching wasmbase's
+			// validator: unbounded group counts must not grow Locals.
+			if uint64(len(fn.Locals))+uint64(count) > 1<<16 {
 				return r.errf("too many locals")
 			}
 			for j := uint32(0); j < count; j++ {

@@ -650,8 +650,10 @@ func (f *fnXlate) instr(in Instr) (bool, error) {
 		if ti+1 <= 4095 {
 			e.ins("cmp x27, #%d", ti+1)
 		} else {
-			f.matConst32("x17", ti+1)
-			e.ins("cmp x27, x17")
+			// x17 still holds the table-entry address (needed for the
+			// target load below); x8 is dead once idx has been folded in.
+			f.matConst32("x8", ti+1)
+			e.ins("cmp x27, x8")
 		}
 		e.ins("b.ne .Lwtrap_sig")
 		e.ins("ldr x27, [x17]")

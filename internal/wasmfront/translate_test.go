@@ -73,6 +73,25 @@ func TestDecodeBodyPastSectionEnd(t *testing.T) {
 	}
 }
 
+func TestDecodeCumulativeLocalsOverflow(t *testing.T) {
+	// 2^16+1 single-local groups: each group is under any per-group cap,
+	// but the cumulative count must be rejected at decode time, before
+	// the Locals slice is grown.
+	mb := NewModBuilder()
+	tm := mb.Type(nil, []ValType{I64})
+	locals := make([]ValType, 1<<16+1)
+	for i := range locals {
+		locals[i] = I64
+	}
+	var m Code
+	m.I64Const(0).End()
+	mf := mb.Func(tm, locals, m.Bytes())
+	mb.Export("main", mf)
+	if _, err := Decode(mb.Bytes()); err == nil {
+		t.Fatal("Decode accepted 2^16+1 cumulative locals")
+	}
+}
+
 func TestTranslateLimits(t *testing.T) {
 	t.Run("too-many-params", func(t *testing.T) {
 		mb := NewModBuilder()
